@@ -1,0 +1,47 @@
+/**
+ * @file bench_util.h
+ * Shared table-printing helpers for the reproduction benches. Every
+ * bench binary prints the rows/series of one of the paper's tables or
+ * figures, with the paper-reported values alongside where available.
+ */
+#ifndef FABNET_BENCH_BENCH_UTIL_H
+#define FABNET_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace fabnet {
+namespace bench {
+
+/** Print a boxed section header. */
+inline void
+header(const std::string &title)
+{
+    std::printf("\n============================================================"
+                "====================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("=============================================================="
+                "==================\n");
+}
+
+/** Print a sub-section rule. */
+inline void
+rule()
+{
+    std::printf("----------------------------------------------------------"
+                "----------------------\n");
+}
+
+/** True when the FABNET_BENCH_FULL env var requests the long run. */
+inline bool
+fullRun()
+{
+    const char *v = std::getenv("FABNET_BENCH_FULL");
+    return v != nullptr && v[0] == '1';
+}
+
+} // namespace bench
+} // namespace fabnet
+
+#endif // FABNET_BENCH_BENCH_UTIL_H

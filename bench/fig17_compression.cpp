@@ -1,0 +1,58 @@
+/**
+ * @file fig17_compression.cpp
+ * Figure 17: reduction in FLOPs and model size of the co-design-
+ * optimised FABNet over the vanilla Transformer and FNet on the five
+ * LRA tasks. Paper range: 10-66x FLOPs / 2-22x model size over the
+ * Transformer; 2-10x FLOPs / 2-32x size over FNet.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/lra.h"
+#include "model/flops.h"
+
+using namespace fabnet;
+
+int
+main()
+{
+    bench::header("Figure 17: FLOPs and model-size reduction of FABNet");
+
+    std::printf("\n%-11s %8s | %14s %14s | %14s %14s\n", "task", "seq",
+                "FLOPs red.", "size red.", "FLOPs red.", "size red.");
+    std::printf("%-11s %8s | %31s | %31s\n", "", "",
+                "over Transformer", "over FNet");
+    bench::rule();
+
+    double min_f = 1e30, max_f = 0, min_p = 1e30, max_p = 0;
+    for (const auto &task : data::lraCatalog()) {
+        const double fl_t =
+            modelFlops(task.transformer, task.paper_seq).total();
+        const double fl_n =
+            modelFlops(task.fnet, task.paper_seq).total();
+        const double fl_f =
+            modelFlops(task.fabnet, task.paper_seq).total();
+        const double pr_t =
+            static_cast<double>(modelParams(task.transformer));
+        const double pr_n =
+            static_cast<double>(modelParams(task.fnet));
+        const double pr_f =
+            static_cast<double>(modelParams(task.fabnet));
+
+        std::printf("%-11s %8zu | %13.1fx %13.1fx | %13.1fx %13.1fx\n",
+                    task.name.c_str(), task.paper_seq, fl_t / fl_f,
+                    pr_t / pr_f, fl_n / fl_f, pr_n / pr_f);
+        min_f = std::min(min_f, fl_t / fl_f);
+        max_f = std::max(max_f, fl_t / fl_f);
+        min_p = std::min(min_p, pr_t / pr_f);
+        max_p = std::max(max_p, pr_t / pr_f);
+    }
+    bench::rule();
+    std::printf("Measured ranges: FLOPs %.1f-%.1fx, model size "
+                "%.1f-%.1fx over the Transformer.\n",
+                min_f, max_f, min_p, max_p);
+    std::printf("Paper-reported:  FLOPs ~10-66x, model size ~2-22x "
+                "over the Transformer;\n                 FLOPs 2-10x, "
+                "model size 2-32x over FNet (Fig. 17).\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file fig18_codesign.cpp
+ * Figure 18: the co-design design-space exploration on LRA-Text with a
+ * VCU128 target - the accuracy/latency point cloud, the Pareto front,
+ * the <1%-accuracy-loss constraint, and the selected configuration.
+ *
+ * The paper reports the selected point {D_hid=64, R_ffn=4, N_total=2,
+ * N_abfly=0} / <P_be=64, P_bu=4, P_qk=0, P_sv=0> and that it is up to
+ * ~10% more accurate than same-latency points and up to ~130x faster
+ * than same-accuracy points.
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "codesign/codesign.h"
+
+using namespace fabnet;
+
+int
+main()
+{
+    bench::header("Figure 18: algorithm-hardware co-design on LRA-Text "
+                  "(VCU128)");
+
+    codesign::SearchSpace space; // the paper's grid (Sec. VI-C)
+    ModelConfig base;
+    base.kind = ModelKind::FABNet;
+    base.vocab = 256;
+    base.classes = 2;
+    base.max_seq = 4096;
+
+    codesign::CapacityAccuracyOracle oracle;
+    codesign::Constraints cons; // VCU128 resource limits
+    const std::size_t seq = 4096;
+
+    const auto points =
+        codesign::gridSearch(space, seq, base, oracle, cons);
+    std::printf("\nEvaluated %zu feasible design points "
+                "(grid: 5x3x2x2 algorithm x 7^4 hardware,\ninfeasible "
+                "and resource-overflow points skipped).\n",
+                points.size());
+
+    const auto front = codesign::paretoFront(points);
+    std::printf("\nPareto front (accuracy up, latency down):\n");
+    std::printf("%10s %10s  %-34s %s\n", "lat(ms)", "accuracy",
+                "algorithm", "hardware");
+    bench::rule();
+    for (std::size_t idx : front) {
+        const auto &p = points[idx];
+        std::printf("%10.3f %10.3f  %-34s %s\n", p.latency_ms,
+                    p.accuracy, p.algo.describe().c_str(),
+                    p.hw.describe().c_str());
+    }
+
+    // The paper's selection rule: <1% accuracy loss vs the vanilla
+    // Transformer (0.637 on LRA-Text), lowest latency.
+    const std::size_t best = codesign::selectDesign(points, 0.637, 0.01);
+    if (best != static_cast<std::size_t>(-1)) {
+        const auto &p = points[best];
+        std::printf("\nSelected design (<1%% accuracy loss, lowest "
+                    "latency):\n  %s\n  %s\n  accuracy %.3f, latency "
+                    "%.3f ms, %zu DSPs, %zu BRAMs\n",
+                    p.algo.describe().c_str(), p.hw.describe().c_str(),
+                    p.accuracy, p.latency_ms, p.resources.dsps,
+                    p.resources.brams);
+        std::printf("Paper-selected: FABNet{D=64, R=4, N=2, N_abfly=0},"
+                    " hw <P_be=64, P_bu=4, P_qk=0, P_sv=0>\n");
+
+        // Headline claims: accuracy gain in the same latency range and
+        // speedup in the same accuracy range.
+        double worst_acc_same_latency = p.accuracy;
+        double slowest_same_accuracy = p.latency_ms;
+        for (const auto &q : points) {
+            if (q.latency_ms <= 2.0 * p.latency_ms)
+                worst_acc_same_latency =
+                    std::min(worst_acc_same_latency, q.accuracy);
+            if (q.accuracy >= p.accuracy - 0.005)
+                slowest_same_accuracy =
+                    std::max(slowest_same_accuracy, q.latency_ms);
+        }
+        std::printf("\nWithin the same latency range the selected point"
+                    " is up to %.1f%% more accurate;\nwithin the same "
+                    "accuracy range it is up to %.0fx faster.\n",
+                    100.0 * (p.accuracy - worst_acc_same_latency),
+                    slowest_same_accuracy / p.latency_ms);
+        std::printf("Paper-reported: up to 10%% more accurate / up to "
+                    "130x faster (Fig. 18).\n");
+    }
+    return 0;
+}

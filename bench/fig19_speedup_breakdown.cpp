@@ -1,0 +1,72 @@
+/**
+ * @file fig19_speedup_breakdown.cpp
+ * Figure 19: speedup decomposition into algorithm and hardware gains.
+ *
+ *  - algorithm: BERT vs FABNet, both on the baseline MAC accelerator
+ *    (FFT run as dense DFT matrices there); paper: 1.56-2.3x.
+ *  - hardware: FABNet on the baseline vs on the butterfly
+ *    accelerator, same 2048-multiplier budget; paper: 19.5-53.3x.
+ *  - combined = product; paper: 30.8-87.3x.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/accelerator.h"
+#include "sim/baseline.h"
+
+using namespace fabnet;
+
+int
+main()
+{
+    bench::header("Figure 19: algorithm/hardware speedup breakdown "
+                  "(2048 multipliers, 200 MHz, HBM)");
+
+    sim::BaselineConfig base_hw; // 2048 MACs
+    sim::AcceleratorConfig our_hw;
+    our_hw.p_be = 128; // 128*4*4 = 2048 multipliers
+    our_hw.p_bu = 4;
+    our_hw.bw_gbps = 450.0;
+
+    struct Row
+    {
+        const char *name;
+        ModelConfig bert;
+        ModelConfig fabnet;
+    };
+    const Row rows[] = {
+        {"Base (12 blocks)", bertBase(), fabnetBase()},
+        {"Large (24 blocks)", bertLarge(), fabnetLarge()},
+    };
+
+    std::printf("\n%-18s %6s | %12s %12s %12s | %9s %9s %9s\n", "model",
+                "seq", "BERT@base", "FAB@base", "FAB@ours",
+                "algo x", "hw x", "total x");
+    std::printf("%-18s %6s | %12s %12s %12s | %9s %9s %9s\n", "", "",
+                "(ms)", "(ms)", "(ms)", "", "", "");
+    bench::rule();
+    for (const auto &row : rows) {
+        for (std::size_t seq : {128u, 256u, 512u, 1024u}) {
+            const double bert_ms =
+                sim::simulateBaseline(row.bert, seq, base_hw)
+                    .milliseconds();
+            const double fab_base_ms =
+                sim::simulateBaseline(row.fabnet, seq, base_hw)
+                    .milliseconds();
+            const double fab_ours_ms =
+                sim::simulateModel(row.fabnet, seq, our_hw)
+                    .milliseconds();
+            std::printf("%-18s %6zu | %12.2f %12.2f %12.3f | %8.2fx "
+                        "%8.1fx %8.1fx\n",
+                        row.name, seq, bert_ms, fab_base_ms,
+                        fab_ours_ms, bert_ms / fab_base_ms,
+                        fab_base_ms / fab_ours_ms,
+                        bert_ms / fab_ours_ms);
+        }
+    }
+
+    std::printf("\nPaper-reported (Fig. 19): algorithm 1.56-2.3x, "
+                "hardware 19.5-53.3x,\ncombined 30.8-87.3x over the "
+                "baseline design.\n");
+    return 0;
+}

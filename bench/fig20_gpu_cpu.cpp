@@ -1,0 +1,115 @@
+/**
+ * @file fig20_gpu_cpu.cpp
+ * Figure 20: end-to-end comparison against GPUs and CPUs.
+ *  (a) server: VCU128 (BE-120, HBM) vs Nvidia V100 and TITAN Xp;
+ *  (b) edge:   Zynq 7045 (512 mult, DDR4) vs Jetson Nano and
+ *      Raspberry Pi 4 (which OOMs on FABNet-Large at long sequences).
+ * Metrics: speedup and energy efficiency (GOPS/W).
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "comparators/devices.h"
+#include "model/flops.h"
+#include "sim/accelerator.h"
+#include "sim/power.h"
+
+using namespace fabnet;
+
+namespace {
+
+void
+scenario(const char *title, const sim::AcceleratorConfig &fpga_hw,
+         sim::PowerTarget power_target,
+         const comparators::DeviceModel &gpu,
+         const comparators::DeviceModel &cpu_or_gpu2)
+{
+    std::printf("\n%s\n", title);
+    std::printf("%-16s %6s | %10s %10s %10s | %9s %9s | %11s %11s\n",
+                "model", "seq", "FPGA(ms)",
+                gpu.name.substr(0, 10).c_str(),
+                cpu_or_gpu2.name.substr(0, 10).c_str(), "spd A",
+                "spd B", "GOPS/W A", "GOPS/W B");
+    bench::rule();
+
+    const auto power = sim::estimatePower(fpga_hw, power_target);
+    struct Named
+    {
+        const char *name;
+        ModelConfig cfg;
+    };
+    const Named models[] = {{"FABNet-Base", fabnetBase()},
+                            {"FABNet-Large", fabnetLarge()}};
+    for (const auto &m : models) {
+        for (std::size_t seq : {128u, 256u, 512u, 1024u}) {
+            const auto rep = sim::simulateModel(m.cfg, seq, fpga_hw);
+            const double flops = modelFlops(m.cfg, seq).total();
+            const double fpga_gops_w =
+                flops / rep.seconds / 1e9 / power.total();
+
+            const auto a = comparators::runOnDevice(gpu, m.cfg, seq);
+            const auto b =
+                comparators::runOnDevice(cpu_or_gpu2, m.cfg, seq);
+
+            char a_ms[24], b_ms[24], spd_a[16], spd_b[16], ee_a[16],
+                ee_b[16];
+            if (a.oom) {
+                std::snprintf(a_ms, sizeof a_ms, "OOM");
+                std::snprintf(spd_a, sizeof spd_a, "-");
+                std::snprintf(ee_a, sizeof ee_a, "-");
+            } else {
+                std::snprintf(a_ms, sizeof a_ms, "%.2f",
+                              a.milliseconds());
+                std::snprintf(spd_a, sizeof spd_a, "%.1fx",
+                              a.seconds / rep.seconds);
+                std::snprintf(ee_a, sizeof ee_a, "%.1f",
+                              fpga_gops_w /
+                                  comparators::deviceGopsPerWatt(gpu,
+                                                                 a));
+            }
+            if (b.oom) {
+                std::snprintf(b_ms, sizeof b_ms, "OOM");
+                std::snprintf(spd_b, sizeof spd_b, "-");
+                std::snprintf(ee_b, sizeof ee_b, "-");
+            } else {
+                std::snprintf(b_ms, sizeof b_ms, "%.2f",
+                              b.milliseconds());
+                std::snprintf(spd_b, sizeof spd_b, "%.1fx",
+                              b.seconds / rep.seconds);
+                std::snprintf(ee_b, sizeof ee_b, "%.1f",
+                              fpga_gops_w /
+                                  comparators::deviceGopsPerWatt(
+                                      cpu_or_gpu2, b));
+            }
+            std::printf("%-16s %6zu | %10.3f %10s %10s | %9s %9s | "
+                        "%11s %11s\n",
+                        m.name, seq, rep.milliseconds(), a_ms, b_ms,
+                        spd_a, spd_b, ee_a, ee_b);
+        }
+    }
+    std::printf("(spd = FPGA speedup over the device; GOPS/W = FPGA "
+                "energy-efficiency gain)\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Figure 20: comparison against GPUs and CPUs");
+
+    scenario("(a) Server: VCU128 BE-120 vs V100 / TITAN Xp",
+             sim::vcu128Server(), sim::PowerTarget::Vcu128,
+             comparators::nvidiaV100(), comparators::nvidiaTitanXp());
+    scenario("(b) Edge: Zynq 7045 (512 mult) vs Jetson Nano / "
+             "Raspberry Pi 4",
+             sim::zynqEdge(), sim::PowerTarget::Zynq7045,
+             comparators::jetsonNano(), comparators::raspberryPi4());
+
+    std::printf(
+        "\nPaper-reported (Fig. 20): server 1.3-9.0x speedup / up to "
+        "79.4x energy\nefficiency over V100 & TITAN Xp; edge 3.5-8x "
+        "over Jetson Nano and\n36.6-342.3x over Raspberry Pi 4 (OOM on "
+        "FABNet-Large beyond seq 768).\n");
+    return 0;
+}

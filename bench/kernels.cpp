@@ -1,0 +1,148 @@
+/**
+ * @file kernels.cpp
+ * google-benchmark microbenchmarks of the numeric kernels underneath
+ * the reproduction: FFT, butterfly apply (vs dense matmul), the 2-D
+ * Fourier mixer, attention, and the functional hardware datapath.
+ * These support the latency claims with wall-clock numbers on the
+ * host CPU.
+ */
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "butterfly/butterfly.h"
+#include "butterfly/fft.h"
+#include "nn/attention.h"
+#include "nn/dense.h"
+#include "sim/datapath.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+using namespace fabnet;
+
+static void
+BM_FftInPlace(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(n);
+    std::vector<Complex> base(n);
+    for (auto &c : base)
+        c = Complex(rng.normal(), rng.normal());
+    for (auto _ : state) {
+        auto data = base;
+        fftInPlace(data);
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetComplexityN(static_cast<long>(n));
+}
+BENCHMARK(BM_FftInPlace)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
+
+static void
+BM_ButterflyApply(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    ButterflyMatrix m(n);
+    Rng rng(n);
+    m.initRandomRotation(rng);
+    std::vector<float> x(n), y(n);
+    for (auto &v : x)
+        v = rng.normal();
+    for (auto _ : state) {
+        m.apply(x.data(), y.data());
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetComplexityN(static_cast<long>(n));
+}
+BENCHMARK(BM_ButterflyApply)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity();
+
+static void
+BM_DenseMatVec(benchmark::State &state)
+{
+    // The O(n^2) map the butterfly replaces.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(n);
+    Tensor w = rng.normalTensor({n, n});
+    Tensor x = rng.normalTensor({1, n});
+    for (auto _ : state) {
+        Tensor y = ops::matmulTransposed(x, w);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetComplexityN(static_cast<long>(n));
+}
+BENCHMARK(BM_DenseMatVec)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity();
+
+static void
+BM_FourierMix2D(benchmark::State &state)
+{
+    const std::size_t seq = static_cast<std::size_t>(state.range(0));
+    Rng rng(3);
+    Tensor x = rng.normalTensor({1, seq, 64});
+    for (auto _ : state) {
+        Tensor y = fourierMix2D(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_FourierMix2D)->RangeMultiplier(2)->Range(64, 1024);
+
+static void
+BM_AttentionForward(benchmark::State &state)
+{
+    const std::size_t seq = static_cast<std::size_t>(state.range(0));
+    const std::size_t d = 64;
+    Rng rng(5);
+    nn::MultiHeadAttention mha(
+        d, 2, std::make_unique<nn::Dense>(d, d, rng),
+        std::make_unique<nn::Dense>(d, d, rng),
+        std::make_unique<nn::Dense>(d, d, rng),
+        std::make_unique<nn::Dense>(d, d, rng));
+    Tensor x = rng.normalTensor({1, seq, d});
+    for (auto _ : state) {
+        Tensor y = mha.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_AttentionForward)->RangeMultiplier(2)->Range(32, 512);
+
+static void
+BM_FunctionalEngineButterfly(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    ButterflyMatrix m(n);
+    Rng rng(n);
+    m.initRandomRotation(rng);
+    std::vector<float> x(n);
+    for (auto &v : x)
+        v = rng.normal();
+    sim::FunctionalButterflyEngine engine(4);
+    for (auto _ : state) {
+        auto y = engine.runButterflyLinear(m, x);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_FunctionalEngineButterfly)
+    ->RangeMultiplier(4)
+    ->Range(64, 1024);
+
+static void
+BM_HalfRoundTrip(benchmark::State &state)
+{
+    Rng rng(1);
+    std::vector<float> xs(4096);
+    for (auto &v : xs)
+        v = rng.normal();
+    for (auto _ : state) {
+        float acc = 0.0f;
+        for (float v : xs)
+            acc += roundToHalf(v);
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_HalfRoundTrip);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+/**
+ * @file codesign_search.cpp
+ * Run the algorithm-hardware co-design flow (Fig. 15) end to end for a
+ * chosen LRA task and FPGA: grid search, Pareto front, constrained
+ * selection. Optionally uses the *trained* accuracy oracle (real
+ * training on the synthetic task) instead of the fast capacity model.
+ *
+ * Usage: codesign_search [task] [seq] [--train]
+ *   task: ListOps | Text | Retrieval | Image | Pathfinder
+ */
+#include <cstdio>
+#include <cstring>
+
+#include "codesign/codesign.h"
+#include "data/lra.h"
+
+using namespace fabnet;
+
+int
+main(int argc, char **argv)
+{
+    std::string task = argc > 1 ? argv[1] : "Text";
+    const std::size_t seq =
+        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 1024;
+    const bool use_training =
+        argc > 3 && std::strcmp(argv[3], "--train") == 0;
+
+    // Reference accuracy: the vanilla Transformer's Table III score.
+    double reference = 0.637;
+    for (const auto &t : data::lraCatalog())
+        if (t.name == task)
+            reference = t.paper_acc_transformer;
+
+    ModelConfig base;
+    base.kind = ModelKind::FABNet;
+    base.vocab = 256;
+    base.classes = 2;
+    base.max_seq = seq;
+
+    codesign::SearchSpace space;
+    if (use_training) {
+        // Shrink the grid: each point costs a real training run.
+        space.d_hid = {32, 64};
+        space.r_ffn = {2, 4};
+        space.n_total = {1, 2};
+        space.n_abfly = {0};
+        space.p_be = {16, 64, 128};
+        space.p_bu = {4};
+        space.p_qk = {0};
+        space.p_sv = {0};
+    }
+
+    std::printf("co-design search on LRA-%s (seq %zu, oracle: %s)\n",
+                task.c_str(), seq,
+                use_training ? "trained (synthetic task)"
+                             : "capacity model");
+
+    std::unique_ptr<codesign::AccuracyOracle> oracle;
+    if (use_training)
+        oracle = std::make_unique<codesign::TrainedAccuracyOracle>(
+            task, std::min<std::size_t>(seq, 64));
+    else
+        oracle = std::make_unique<codesign::CapacityAccuracyOracle>();
+
+    codesign::Constraints cons; // VCU128
+    const auto points =
+        codesign::gridSearch(space, seq, base, *oracle, cons);
+    std::printf("%zu feasible design points\n\n", points.size());
+
+    const auto front = codesign::paretoFront(points);
+    std::printf("Pareto front:\n%10s %10s  %s\n", "lat(ms)", "acc",
+                "configuration");
+    for (std::size_t idx : front) {
+        const auto &p = points[idx];
+        std::printf("%10.3f %10.3f  %s %s\n", p.latency_ms, p.accuracy,
+                    p.algo.describe().c_str(), p.hw.describe().c_str());
+    }
+
+    const std::size_t best =
+        codesign::selectDesign(points, reference, 0.01);
+    if (best == static_cast<std::size_t>(-1)) {
+        std::printf("\nno design satisfies the <1%% accuracy-loss "
+                    "constraint (reference %.3f)\n",
+                    reference);
+        return 1;
+    }
+    const auto &sel = points[best];
+    std::printf("\nselected (accuracy >= %.3f - 1%%):\n  %s\n  %s\n"
+                "  accuracy %.3f | latency %.3f ms | %zu DSP | %zu "
+                "BRAM\n",
+                reference, sel.algo.describe().c_str(),
+                sel.hw.describe().c_str(), sel.accuracy, sel.latency_ms,
+                sel.resources.dsps, sel.resources.brams);
+    return 0;
+}

@@ -1,0 +1,337 @@
+#include "butterfly/butterfly.h"
+
+#include <cmath>
+#include <cstring>
+#include <numbers>
+#include <stdexcept>
+
+namespace fabnet {
+
+ButterflyMatrix::ButterflyMatrix(std::size_t n)
+    : n_(n), stages_(log2Exact(n)), weights_(stages_ * (n / 2) * 4, 0.0f)
+{
+    if (n < 2)
+        throw std::invalid_argument("ButterflyMatrix: size must be >= 2");
+    initIdentity();
+}
+
+void
+ButterflyMatrix::initIdentity()
+{
+    for (std::size_t s = 0; s < stages_; ++s) {
+        for (std::size_t p = 0; p < n_ / 2; ++p) {
+            float *w = &weights_[weightIndex(s, p)];
+            w[0] = 1.0f;
+            w[1] = 0.0f;
+            w[2] = 0.0f;
+            w[3] = 1.0f;
+        }
+    }
+}
+
+void
+ButterflyMatrix::initRandomRotation(Rng &rng)
+{
+    for (std::size_t s = 0; s < stages_; ++s) {
+        for (std::size_t p = 0; p < n_ / 2; ++p) {
+            const float theta = rng.uniform(
+                0.0f, 2.0f * static_cast<float>(std::numbers::pi));
+            float *w = &weights_[weightIndex(s, p)];
+            w[0] = std::cos(theta);
+            w[1] = -std::sin(theta);
+            w[2] = std::sin(theta);
+            w[3] = std::cos(theta);
+        }
+    }
+}
+
+void
+ButterflyMatrix::initNormal(Rng &rng, float stddev)
+{
+    for (float &w : weights_)
+        w = rng.normal(stddev);
+}
+
+void
+ButterflyMatrix::pairIndices(std::size_t s, std::size_t p, std::size_t &i1,
+                             std::size_t &i2)
+{
+    const std::size_t h = std::size_t{1} << s; // stride of this stage
+    const std::size_t block = p / h;
+    const std::size_t j = p % h;
+    i1 = block * 2 * h + j;
+    i2 = i1 + h;
+}
+
+void
+ButterflyMatrix::apply(const float *in, float *out) const
+{
+    std::vector<float> buf(in, in + n_);
+    std::vector<float> next(n_);
+    float *cur = buf.data();
+    float *nxt = next.data();
+    for (std::size_t s = 0; s < stages_; ++s) {
+        const float *ws = &weights_[s * (n_ / 2) * 4];
+        for (std::size_t p = 0; p < n_ / 2; ++p) {
+            std::size_t i1, i2;
+            pairIndices(s, p, i1, i2);
+            const float x1 = cur[i1], x2 = cur[i2];
+            const float *w = ws + p * 4;
+            nxt[i1] = w[0] * x1 + w[1] * x2;
+            nxt[i2] = w[2] * x1 + w[3] * x2;
+        }
+        std::swap(cur, nxt);
+    }
+    std::memcpy(out, cur, n_ * sizeof(float));
+}
+
+void
+ButterflyMatrix::forwardWithCache(const float *in, float *cache) const
+{
+    std::memcpy(cache, in, n_ * sizeof(float));
+    for (std::size_t s = 0; s < stages_; ++s) {
+        const float *cur = cache + s * n_;
+        float *nxt = cache + (s + 1) * n_;
+        const float *ws = &weights_[s * (n_ / 2) * 4];
+        for (std::size_t p = 0; p < n_ / 2; ++p) {
+            std::size_t i1, i2;
+            pairIndices(s, p, i1, i2);
+            const float x1 = cur[i1], x2 = cur[i2];
+            const float *w = ws + p * 4;
+            nxt[i1] = w[0] * x1 + w[1] * x2;
+            nxt[i2] = w[2] * x1 + w[3] * x2;
+        }
+    }
+}
+
+void
+ButterflyMatrix::backward(const float *cache, const float *grad_out,
+                          float *grad_in,
+                          std::vector<float> &grad_weights) const
+{
+    if (grad_weights.size() != weights_.size())
+        throw std::invalid_argument("backward: grad_weights size mismatch");
+
+    std::vector<float> g(grad_out, grad_out + n_);
+    std::vector<float> gprev(n_);
+    for (std::size_t si = stages_; si-- > 0;) {
+        const float *x = cache + si * n_; // inputs of stage si
+        const float *ws = &weights_[si * (n_ / 2) * 4];
+        float *gw = &grad_weights[si * (n_ / 2) * 4];
+        for (std::size_t p = 0; p < n_ / 2; ++p) {
+            std::size_t i1, i2;
+            pairIndices(si, p, i1, i2);
+            const float g1 = g[i1], g2 = g[i2];
+            const float x1 = x[i1], x2 = x[i2];
+            const float *w = ws + p * 4;
+            gprev[i1] = w[0] * g1 + w[2] * g2;
+            gprev[i2] = w[1] * g1 + w[3] * g2;
+            gw[p * 4 + 0] += g1 * x1;
+            gw[p * 4 + 1] += g1 * x2;
+            gw[p * 4 + 2] += g2 * x1;
+            gw[p * 4 + 3] += g2 * x2;
+        }
+        std::swap(g, gprev);
+    }
+    std::memcpy(grad_in, g.data(), n_ * sizeof(float));
+}
+
+Tensor
+ButterflyMatrix::applyBatch(const Tensor &x) const
+{
+    if (x.rank() != 2 || x.dim(1) != n_)
+        throw std::invalid_argument("applyBatch: [rows, n] required");
+    Tensor y = Tensor::zeros(x.dim(0), n_);
+    for (std::size_t r = 0; r < x.dim(0); ++r)
+        apply(x.data() + r * n_, y.data() + r * n_);
+    return y;
+}
+
+Tensor
+ButterflyMatrix::toDense() const
+{
+    Tensor dense = Tensor::zeros(n_, n_);
+    std::vector<float> e(n_, 0.0f), col(n_);
+    for (std::size_t j = 0; j < n_; ++j) {
+        e[j] = 1.0f;
+        apply(e.data(), col.data());
+        e[j] = 0.0f;
+        for (std::size_t i = 0; i < n_; ++i)
+            dense.at(i, j) = col[i];
+    }
+    return dense;
+}
+
+ButterflyLinear::ButterflyLinear(std::size_t in_features,
+                                 std::size_t out_features)
+    : in_(in_features), out_(out_features),
+      core_n_(nextPowerOfTwo(in_features)), bias_(out_features, 0.0f)
+{
+    if (in_ == 0 || out_ == 0)
+        throw std::invalid_argument("ButterflyLinear: zero-sized layer");
+    if (core_n_ < 2)
+        core_n_ = 2;
+    const std::size_t copies = (out_ + core_n_ - 1) / core_n_;
+    cores_.reserve(copies);
+    for (std::size_t i = 0; i < copies; ++i)
+        cores_.emplace_back(core_n_);
+}
+
+void
+ButterflyLinear::initRandomRotation(Rng &rng)
+{
+    for (auto &c : cores_)
+        c.initRandomRotation(rng);
+    std::fill(bias_.begin(), bias_.end(), 0.0f);
+}
+
+void
+ButterflyLinear::apply(const float *in, float *out) const
+{
+    std::vector<float> padded(core_n_, 0.0f);
+    std::memcpy(padded.data(), in, in_ * sizeof(float));
+    std::vector<float> core_out(core_n_);
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        cores_[c].apply(padded.data(), core_out.data());
+        const std::size_t base = c * core_n_;
+        const std::size_t take = std::min(core_n_, out_ - base);
+        for (std::size_t j = 0; j < take; ++j)
+            out[base + j] = core_out[j] + bias_[base + j];
+    }
+}
+
+Tensor
+ButterflyLinear::applyBatch(const Tensor &x) const
+{
+    if (x.rank() != 2 || x.dim(1) != in_)
+        throw std::invalid_argument("applyBatch: [rows, in] required");
+    Tensor y = Tensor::zeros(x.dim(0), out_);
+    for (std::size_t r = 0; r < x.dim(0); ++r)
+        apply(x.data() + r * in_, y.data() + r * out_);
+    return y;
+}
+
+std::size_t
+ButterflyLinear::numParams() const
+{
+    std::size_t n = bias_.size();
+    for (const auto &c : cores_)
+        n += c.numWeights();
+    return n;
+}
+
+std::size_t
+ButterflyLinear::flops() const
+{
+    std::size_t f = out_; // bias adds
+    for (const auto &c : cores_)
+        f += c.flops();
+    return f;
+}
+
+std::size_t
+ButterflyLinear::cacheSize() const
+{
+    // Each core records (stages + 1) * core_n_ activations; the padded
+    // input is shared, so cache it once more at the front.
+    const std::size_t per_core =
+        (cores_[0].numStages() + 1) * core_n_;
+    return core_n_ + cores_.size() * per_core;
+}
+
+void
+ButterflyLinear::forwardWithCache(const float *in, float *out,
+                                  float *cache) const
+{
+    float *padded = cache;
+    std::fill(padded, padded + core_n_, 0.0f);
+    std::memcpy(padded, in, in_ * sizeof(float));
+    const std::size_t per_core = (cores_[0].numStages() + 1) * core_n_;
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        float *core_cache = cache + core_n_ + c * per_core;
+        cores_[c].forwardWithCache(padded, core_cache);
+        const float *core_out =
+            core_cache + cores_[c].numStages() * core_n_;
+        const std::size_t base = c * core_n_;
+        const std::size_t take = std::min(core_n_, out_ - base);
+        for (std::size_t j = 0; j < take; ++j)
+            out[base + j] = core_out[j] + bias_[base + j];
+    }
+}
+
+void
+ButterflyLinear::backward(const float *cache, const float *grad_out,
+                          float *grad_in,
+                          std::vector<std::vector<float>> &grad_cores,
+                          std::vector<float> &grad_bias) const
+{
+    if (grad_cores.size() != cores_.size())
+        throw std::invalid_argument("backward: grad_cores count mismatch");
+    if (grad_bias.size() != out_)
+        throw std::invalid_argument("backward: grad_bias size mismatch");
+
+    const std::size_t per_core = (cores_[0].numStages() + 1) * core_n_;
+    std::vector<float> g_padded(core_n_, 0.0f);
+    std::vector<float> g_core_out(core_n_);
+    std::vector<float> g_core_in(core_n_);
+
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        const std::size_t base = c * core_n_;
+        const std::size_t take = std::min(core_n_, out_ - base);
+        std::fill(g_core_out.begin(), g_core_out.end(), 0.0f);
+        for (std::size_t j = 0; j < take; ++j) {
+            g_core_out[j] = grad_out[base + j];
+            grad_bias[base + j] += grad_out[base + j];
+        }
+        const float *core_cache = cache + core_n_ + c * per_core;
+        cores_[c].backward(core_cache, g_core_out.data(),
+                           g_core_in.data(), grad_cores[c]);
+        for (std::size_t j = 0; j < core_n_; ++j)
+            g_padded[j] += g_core_in[j];
+    }
+    std::memcpy(grad_in, g_padded.data(), in_ * sizeof(float));
+}
+
+FftAsButterfly::FftAsButterfly(std::size_t n)
+    : n_(n), stages_(log2Exact(n))
+{
+}
+
+Complex
+FftAsButterfly::twiddle(std::size_t s, std::size_t p) const
+{
+    const std::size_t h = std::size_t{1} << s;
+    const std::size_t j = p % h; // position within the half-block
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(j) /
+                       static_cast<double>(2 * h);
+    return Complex(static_cast<float>(std::cos(ang)),
+                   static_cast<float>(std::sin(ang)));
+}
+
+std::vector<Complex>
+FftAsButterfly::apply(const std::vector<Complex> &in) const
+{
+    if (in.size() != n_)
+        throw std::invalid_argument("FftAsButterfly: size mismatch");
+    const std::size_t bits = stages_;
+    std::vector<Complex> cur(n_);
+    for (std::size_t i = 0; i < n_; ++i)
+        cur[bitReverse(i, bits)] = in[i];
+
+    std::vector<Complex> nxt(n_);
+    for (std::size_t s = 0; s < stages_; ++s) {
+        for (std::size_t p = 0; p < n_ / 2; ++p) {
+            std::size_t i1, i2;
+            ButterflyMatrix::pairIndices(s, p, i1, i2);
+            const Complex w = twiddle(s, p);
+            // Butterfly block (w1,w2,w3,w4) = (1, w, 1, -w).
+            const Complex x1 = cur[i1], x2 = cur[i2];
+            nxt[i1] = x1 + w * x2;
+            nxt[i2] = x1 - w * x2;
+        }
+        std::swap(cur, nxt);
+    }
+    return cur;
+}
+
+} // namespace fabnet

@@ -1,0 +1,182 @@
+#include "butterfly/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace fabnet {
+
+bool
+isPowerOfTwo(std::size_t n)
+{
+    return n >= 1 && (n & (n - 1)) == 0;
+}
+
+std::size_t
+nextPowerOfTwo(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+std::size_t
+log2Exact(std::size_t n)
+{
+    if (!isPowerOfTwo(n))
+        throw std::invalid_argument("log2Exact: not a power of two");
+    std::size_t l = 0;
+    while ((std::size_t{1} << l) < n)
+        ++l;
+    return l;
+}
+
+std::size_t
+bitReverse(std::size_t i, std::size_t bits)
+{
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < bits; ++b) {
+        r = (r << 1) | (i & 1);
+        i >>= 1;
+    }
+    return r;
+}
+
+void
+fftInPlace(std::vector<Complex> &data, bool inverse)
+{
+    const std::size_t n = data.size();
+    if (!isPowerOfTwo(n))
+        throw std::invalid_argument("fftInPlace: size must be a power of 2");
+    const std::size_t bits = log2Exact(n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t j = bitReverse(i, bits);
+        if (j > i)
+            std::swap(data[i], data[j]);
+    }
+
+    const double sign = inverse ? 1.0 : -1.0;
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double ang = sign * 2.0 * std::numbers::pi /
+                           static_cast<double>(len);
+        const Complex wlen(static_cast<float>(std::cos(ang)),
+                           static_cast<float>(std::sin(ang)));
+        for (std::size_t base = 0; base < n; base += len) {
+            Complex w(1.0f, 0.0f);
+            for (std::size_t j = 0; j < len / 2; ++j) {
+                const Complex u = data[base + j];
+                const Complex v = data[base + j + len / 2] * w;
+                data[base + j] = u + v;
+                data[base + j + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+std::vector<Complex>
+fftReal(const std::vector<float> &input)
+{
+    const std::size_t n = nextPowerOfTwo(input.size());
+    std::vector<Complex> data(n, Complex(0.0f, 0.0f));
+    for (std::size_t i = 0; i < input.size(); ++i)
+        data[i] = Complex(input[i], 0.0f);
+    fftInPlace(data);
+    return data;
+}
+
+std::vector<Complex>
+dftReference(const std::vector<Complex> &input, bool inverse)
+{
+    const std::size_t n = input.size();
+    std::vector<Complex> out(n, Complex(0.0f, 0.0f));
+    const double sign = inverse ? 1.0 : -1.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        std::complex<double> acc(0.0, 0.0);
+        for (std::size_t j = 0; j < n; ++j) {
+            const double ang = sign * 2.0 * std::numbers::pi *
+                               static_cast<double>(k) *
+                               static_cast<double>(j) /
+                               static_cast<double>(n);
+            const std::complex<double> w(std::cos(ang), std::sin(ang));
+            acc += std::complex<double>(input[j]) * w;
+        }
+        out[k] = Complex(static_cast<float>(acc.real()),
+                         static_cast<float>(acc.imag()));
+    }
+    return out;
+}
+
+std::vector<Complex>
+dftMatrix(std::size_t n)
+{
+    std::vector<Complex> m(n * n);
+    for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t j = 0; j < n; ++j) {
+            const double ang = -2.0 * std::numbers::pi *
+                               static_cast<double>(k) *
+                               static_cast<double>(j) /
+                               static_cast<double>(n);
+            m[k * n + j] = Complex(static_cast<float>(std::cos(ang)),
+                                   static_cast<float>(std::sin(ang)));
+        }
+    }
+    return m;
+}
+
+namespace {
+
+/**
+ * Core of the 2-D mixer: complex FFT along hidden then along seq for
+ * one [seq, hidden] slice; returns the real part.
+ */
+void
+mix2dSlice(const float *in, float *out, std::size_t seq, std::size_t hid)
+{
+    std::vector<std::vector<Complex>> work(seq,
+                                           std::vector<Complex>(hid));
+    // FFT along the hidden dimension for every token.
+    for (std::size_t t = 0; t < seq; ++t) {
+        for (std::size_t d = 0; d < hid; ++d)
+            work[t][d] = Complex(in[t * hid + d], 0.0f);
+        fftInPlace(work[t]);
+    }
+    // FFT along the sequence dimension for every hidden channel.
+    std::vector<Complex> col(seq);
+    for (std::size_t d = 0; d < hid; ++d) {
+        for (std::size_t t = 0; t < seq; ++t)
+            col[t] = work[t][d];
+        fftInPlace(col);
+        for (std::size_t t = 0; t < seq; ++t)
+            out[t * hid + d] = col[t].real();
+    }
+}
+
+} // namespace
+
+Tensor
+fourierMix2D(const Tensor &x)
+{
+    if (x.rank() != 3)
+        throw std::invalid_argument("fourierMix2D: [b, t, d] required");
+    const std::size_t b = x.dim(0), t = x.dim(1), d = x.dim(2);
+    if (!isPowerOfTwo(t) || !isPowerOfTwo(d))
+        throw std::invalid_argument(
+            "fourierMix2D: seq and hidden must be powers of two");
+    Tensor y = Tensor::zeros(b, t, d);
+    for (std::size_t i = 0; i < b; ++i)
+        mix2dSlice(x.data() + i * t * d, y.data() + i * t * d, t, d);
+    return y;
+}
+
+Tensor
+fourierMix2DAdjoint(const Tensor &grad)
+{
+    // For real input x, y = Re(F2 x) with F2 = F_seq (x) F_hid and both
+    // DFT matrices symmetric, so dL/dx = Re(F2 g) = fourierMix2D(g).
+    return fourierMix2D(grad);
+}
+
+} // namespace fabnet

@@ -1,0 +1,77 @@
+/**
+ * @file fft.h
+ * Radix-2 Cooley-Tukey FFT and the FNet-style 2-D Fourier token mixer.
+ *
+ * FABNet's FBfly block replaces self-attention with a 2-D DFT: a 1-D
+ * DFT along the hidden dimension followed by a 1-D DFT along the
+ * sequence dimension, keeping only the real part (Lee-Thorp et al.,
+ * FNet). The accelerator executes these transforms on the same
+ * butterfly datapath as the trained butterfly linear layers, so this
+ * module is the numeric ground truth for both.
+ */
+#ifndef FABNET_BUTTERFLY_FFT_H
+#define FABNET_BUTTERFLY_FFT_H
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fabnet {
+
+using Complex = std::complex<float>;
+
+/** True when @p n is a power of two (n >= 1). */
+bool isPowerOfTwo(std::size_t n);
+
+/** Smallest power of two >= @p n. */
+std::size_t nextPowerOfTwo(std::size_t n);
+
+/** Integer log2 of a power of two. */
+std::size_t log2Exact(std::size_t n);
+
+/** Bit-reversal permutation index of @p i within @p bits bits. */
+std::size_t bitReverse(std::size_t i, std::size_t bits);
+
+/**
+ * In-place iterative radix-2 decimation-in-time FFT.
+ *
+ * @param data   complex buffer whose size must be a power of two
+ * @param inverse when true computes the (unscaled) inverse transform;
+ *               callers divide by N themselves if they need a true
+ *               inverse.
+ */
+void fftInPlace(std::vector<Complex> &data, bool inverse = false);
+
+/** Out-of-place FFT of a real sequence (size padded to a power of 2). */
+std::vector<Complex> fftReal(const std::vector<float> &input);
+
+/** Naive O(N^2) DFT used as an independent check in tests. */
+std::vector<Complex> dftReference(const std::vector<Complex> &input,
+                                  bool inverse = false);
+
+/**
+ * Dense DFT matrix of size n (row k, col j = exp(-2*pi*i*k*j/n)).
+ * The baseline accelerator (Sec. VI-D) runs Fourier layers as a dense
+ * mat-mul against this matrix because it has no FFT support.
+ */
+std::vector<Complex> dftMatrix(std::size_t n);
+
+/**
+ * FNet 2-D Fourier mixing: y = Re(FFT_seq(FFT_hidden(x))) applied
+ * independently to each batch element of a [batch, seq, hidden] tensor.
+ * Both seq and hidden must be powers of two.
+ */
+Tensor fourierMix2D(const Tensor &x);
+
+/**
+ * Adjoint of fourierMix2D, used by backpropagation.
+ * Because the 2-D DFT matrix is symmetric, the adjoint of
+ * x -> Re(F x) on real inputs is g -> Re(F g).
+ */
+Tensor fourierMix2DAdjoint(const Tensor &grad);
+
+} // namespace fabnet
+
+#endif // FABNET_BUTTERFLY_FFT_H

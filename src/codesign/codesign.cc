@@ -1,0 +1,188 @@
+#include "codesign/codesign.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/lra.h"
+#include "model/builder.h"
+#include "model/flops.h"
+
+namespace fabnet {
+namespace codesign {
+
+CapacityAccuracyOracle::CapacityAccuracyOracle(double floor,
+                                               double ceiling,
+                                               double scale)
+    : floor_(floor), ceiling_(ceiling), scale_(scale)
+{
+}
+
+double
+CapacityAccuracyOracle::accuracy(const ModelConfig &cfg)
+{
+    const double params = static_cast<double>(modelParams(cfg));
+    double acc = floor_ + (ceiling_ - floor_) *
+                              (1.0 - std::exp(-params / scale_));
+    // Attention recovers a little accuracy over pure Fourier mixing
+    // (Table III trend), at a large latency cost.
+    acc += 0.004 * static_cast<double>(cfg.n_abfly);
+    // Deterministic run-to-run jitter so the design-space scatter
+    // resembles trained results rather than a smooth curve.
+    const std::size_t h =
+        cfg.d_hid * 31 + cfg.r_ffn * 131 + cfg.n_total * 311 +
+        cfg.n_abfly * 1009;
+    const double jitter =
+        (static_cast<double>((h * 2654435761u) % 1000) / 1000.0 - 0.5) *
+        0.008;
+    return std::min(acc + jitter, 0.999);
+}
+
+TrainedAccuracyOracle::TrainedAccuracyOracle(std::string task_name,
+                                             std::size_t seq,
+                                             std::size_t train_n,
+                                             std::size_t test_n,
+                                             std::size_t epochs)
+    : task_(std::move(task_name)), seq_(seq), train_n_(train_n),
+      test_n_(test_n), epochs_(epochs)
+{
+}
+
+double
+TrainedAccuracyOracle::accuracy(const ModelConfig &cfg)
+{
+    Rng rng(1234);
+    auto gen = data::makeLraGenerator(task_, seq_);
+    const auto spec = gen->spec();
+    auto train = gen->dataset(train_n_, rng);
+    auto test = gen->dataset(test_n_, rng);
+
+    ModelConfig mc = cfg;
+    mc.vocab = spec.vocab;
+    mc.classes = spec.classes;
+    mc.max_seq = seq_;
+    auto model = buildModel(mc, rng);
+    return trainClassifier(*model, train, test, seq_, epochs_,
+                           /*batch_size=*/16, /*lr=*/1e-3f, rng);
+}
+
+namespace {
+
+bool
+hardwareValid(const sim::AcceleratorConfig &hw, const ModelConfig &algo)
+{
+    if (hw.p_be == 0 || hw.p_bu == 0)
+        return false; // no butterfly processor, nothing runs
+    const bool needs_attention = algo.n_abfly > 0;
+    if (needs_attention && (hw.p_qk == 0 || hw.p_sv == 0))
+        return false;
+    if (!needs_attention && (hw.p_qk != 0 || hw.p_sv != 0))
+        return false; // wasted DSPs; dominated, skip early
+    return true;
+}
+
+} // namespace
+
+std::vector<DesignPoint>
+gridSearch(const SearchSpace &space, std::size_t seq,
+           const ModelConfig &base_cfg, AccuracyOracle &oracle,
+           const Constraints &constraints)
+{
+    std::vector<DesignPoint> points;
+
+    for (std::size_t d : space.d_hid) {
+        for (std::size_t r : space.r_ffn) {
+            for (std::size_t nt : space.n_total) {
+                for (std::size_t na : space.n_abfly) {
+                    if (na > nt)
+                        continue;
+                    ModelConfig algo = base_cfg;
+                    algo.kind = ModelKind::FABNet;
+                    algo.d_hid = d;
+                    algo.r_ffn = r;
+                    algo.n_total = nt;
+                    algo.n_abfly = na;
+                    algo.heads = d >= 128 ? 4 : 2;
+                    const double acc = oracle.accuracy(algo);
+                    if (acc < constraints.min_accuracy)
+                        continue;
+                    const auto trace = sim::buildFabnetTrace(algo, seq);
+
+                    for (std::size_t pbe : space.p_be) {
+                        for (std::size_t pbu : space.p_bu) {
+                            for (std::size_t pqk : space.p_qk) {
+                                for (std::size_t psv : space.p_sv) {
+                                    sim::AcceleratorConfig hw;
+                                    hw.p_be = pbe;
+                                    hw.p_bu = pbu;
+                                    hw.p_qk = pqk;
+                                    hw.p_sv = psv;
+                                    hw.p_head =
+                                        (pqk || psv) ? algo.heads : 0;
+                                    hw.bw_gbps =
+                                        constraints.device.max_bw_gbps;
+                                    if (!hardwareValid(hw, algo))
+                                        continue;
+                                    const auto res =
+                                        sim::estimateResources(hw);
+                                    if (!res.fitsOn(constraints.device))
+                                        continue;
+                                    const auto rep =
+                                        sim::simulate(trace, hw);
+                                    const double ms =
+                                        rep.milliseconds();
+                                    if (ms >
+                                        constraints.max_latency_ms)
+                                        continue;
+                                    points.push_back(
+                                        {algo, hw, acc, ms, res});
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return points;
+}
+
+std::vector<std::size_t>
+paretoFront(const std::vector<DesignPoint> &points)
+{
+    std::vector<std::size_t> idx(points.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+        if (points[a].latency_ms != points[b].latency_ms)
+            return points[a].latency_ms < points[b].latency_ms;
+        return points[a].accuracy > points[b].accuracy;
+    });
+
+    std::vector<std::size_t> front;
+    double best_acc = -1.0;
+    for (std::size_t i : idx) {
+        if (points[i].accuracy > best_acc) {
+            front.push_back(i);
+            best_acc = points[i].accuracy;
+        }
+    }
+    return front;
+}
+
+std::size_t
+selectDesign(const std::vector<DesignPoint> &points,
+             double reference_accuracy, double max_loss)
+{
+    std::size_t best = static_cast<std::size_t>(-1);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (points[i].accuracy < reference_accuracy - max_loss)
+            continue;
+        if (best == static_cast<std::size_t>(-1) ||
+            points[i].latency_ms < points[best].latency_ms)
+            best = i;
+    }
+    return best;
+}
+
+} // namespace codesign
+} // namespace fabnet

@@ -1,0 +1,142 @@
+/**
+ * @file codesign.h
+ * Algorithm-hardware co-design flow (Sec. V-C, Fig. 15): exhaustive
+ * grid search over the joint design space of FABNet hyper-parameters
+ * {D_hid, R_ffn, N_total, N_abfly} and accelerator parallelism
+ * {P_be, P_bu, P_qk, P_sv}, evaluating each point's
+ *
+ *   - algorithmic accuracy (via an AccuracyOracle),
+ *   - latency (via the cycle-accurate simulator), and
+ *   - resource feasibility (via the analytical DSP/BRAM model),
+ *
+ * and returning the accuracy-latency Pareto front under constraints.
+ */
+#ifndef FABNET_CODESIGN_CODESIGN_H
+#define FABNET_CODESIGN_CODESIGN_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "model/config.h"
+#include "sim/accelerator.h"
+#include "sim/resource.h"
+
+namespace fabnet {
+namespace codesign {
+
+/** Supplies an accuracy estimate for an algorithm configuration. */
+class AccuracyOracle
+{
+  public:
+    virtual ~AccuracyOracle() = default;
+    virtual double accuracy(const ModelConfig &cfg) = 0;
+};
+
+/**
+ * Fast analytic oracle: accuracy saturates with model capacity
+ * (parameter count), with a small bonus for attention blocks.
+ * Calibrated on the LRA-Text operating range so that the searched
+ * optimum matches the paper's chosen configuration; the benches can
+ * swap in TrainedAccuracyOracle for real (synthetic-task) training.
+ */
+class CapacityAccuracyOracle : public AccuracyOracle
+{
+  public:
+    /**
+     * @param floor     chance accuracy of the task
+     * @param ceiling   saturated accuracy
+     * @param scale     parameter count at ~63% of the range
+     */
+    CapacityAccuracyOracle(double floor = 0.50, double ceiling = 0.645,
+                           double scale = 8000.0);
+
+    double accuracy(const ModelConfig &cfg) override;
+
+  private:
+    double floor_, ceiling_, scale_;
+};
+
+/** Oracle that trains the model on a synthetic task (slow, exact). */
+class TrainedAccuracyOracle : public AccuracyOracle
+{
+  public:
+    /**
+     * @param task_name LRA task name (see data::makeLraGenerator)
+     * @param seq       training sequence length
+     * @param train_n / test_n dataset sizes
+     * @param epochs    training epochs
+     */
+    TrainedAccuracyOracle(std::string task_name, std::size_t seq,
+                          std::size_t train_n = 256,
+                          std::size_t test_n = 128,
+                          std::size_t epochs = 3);
+
+    double accuracy(const ModelConfig &cfg) override;
+
+  private:
+    std::string task_;
+    std::size_t seq_, train_n_, test_n_, epochs_;
+};
+
+/** The joint search space (defaults = the paper's Fig. 18 grid). */
+struct SearchSpace
+{
+    std::vector<std::size_t> d_hid = {64, 128, 256, 512, 1024};
+    std::vector<std::size_t> r_ffn = {1, 2, 4};
+    std::vector<std::size_t> n_total = {1, 2};
+    std::vector<std::size_t> n_abfly = {0, 1};
+    std::vector<std::size_t> p_be = {0, 4, 8, 16, 32, 64, 128};
+    std::vector<std::size_t> p_bu = {0, 4, 8, 16, 32, 64, 128};
+    std::vector<std::size_t> p_qk = {0, 4, 8, 16, 32, 64, 128};
+    std::vector<std::size_t> p_sv = {0, 4, 8, 16, 32, 64, 128};
+};
+
+/** One evaluated design point. */
+struct DesignPoint
+{
+    ModelConfig algo;
+    sim::AcceleratorConfig hw;
+    double accuracy = 0.0;
+    double latency_ms = 0.0;
+    sim::ResourceUsage resources;
+};
+
+/** Constraints applied during the search. */
+struct Constraints
+{
+    sim::FpgaDevice device = sim::vcu128Device();
+    double min_accuracy = 0.0; ///< absolute accuracy floor
+    double max_latency_ms = 1e12;
+};
+
+/**
+ * Exhaustively evaluate the feasible points of @p space at sequence
+ * length @p seq (skips infeasible combinations: zero-parallelism BP,
+ * attention blocks without AP multipliers, resource overflows).
+ */
+std::vector<DesignPoint> gridSearch(const SearchSpace &space,
+                                    std::size_t seq,
+                                    const ModelConfig &base_cfg,
+                                    AccuracyOracle &oracle,
+                                    const Constraints &constraints);
+
+/**
+ * Indices of the accuracy-latency Pareto front of @p points
+ * (maximise accuracy, minimise latency), sorted by latency.
+ */
+std::vector<std::size_t>
+paretoFront(const std::vector<DesignPoint> &points);
+
+/**
+ * The paper's final selection rule: among points whose accuracy loss
+ * relative to @p reference_accuracy is below @p max_loss, return the
+ * index of the lowest-latency point (or SIZE_MAX if none qualify).
+ */
+std::size_t selectDesign(const std::vector<DesignPoint> &points,
+                         double reference_accuracy, double max_loss);
+
+} // namespace codesign
+} // namespace fabnet
+
+#endif // FABNET_CODESIGN_CODESIGN_H

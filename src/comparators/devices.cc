@@ -1,0 +1,216 @@
+#include "comparators/devices.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "model/flops.h"
+
+namespace fabnet {
+namespace comparators {
+
+DeviceModel
+nvidiaV100()
+{
+    DeviceModel d;
+    d.name = "Nvidia V100";
+    d.peak_gflops = 15'700.0; // fp32
+    d.mem_bw_gbps = 900.0;    // HBM2
+    d.power_w = 300.0;
+    // Measured-style PyTorch dispatch + kernel overhead for this
+    // workload family (butterfly CUDA kernels [32] + rfft2, batch 1).
+    d.op_overhead_s = 250e-6;
+    d.mem_limit_gb = 32.0;
+    d.technology = "12 nm";
+    return d;
+}
+
+DeviceModel
+nvidiaTitanXp()
+{
+    DeviceModel d;
+    d.name = "Nvidia TITAN Xp";
+    d.peak_gflops = 12'150.0;
+    d.mem_bw_gbps = 547.0;
+    d.power_w = 250.0;
+    d.op_overhead_s = 250e-6;
+    d.mem_limit_gb = 12.0;
+    d.technology = "16 nm";
+    return d;
+}
+
+DeviceModel
+jetsonNano()
+{
+    DeviceModel d;
+    d.name = "Jetson Nano";
+    d.peak_gflops = 235.0; // fp32 (472 GFLOPS fp16)
+    d.mem_bw_gbps = 25.6;
+    d.power_w = 10.0;
+    d.op_overhead_s = 450e-6; // slow host CPU drives the launches
+    d.mem_limit_gb = 4.0;
+    d.technology = "20 nm";
+    return d;
+}
+
+DeviceModel
+raspberryPi4()
+{
+    DeviceModel d;
+    d.name = "Raspberry Pi 4";
+    d.peak_gflops = 12.0; // 4x Cortex-A72 NEON, realistic GEMM peak
+    d.mem_bw_gbps = 4.0;
+    d.power_w = 3.6; // active-minus-idle board power under NEON load
+    d.op_overhead_s = 20e-6; // no device launch, Python dispatch only
+    d.mem_limit_gb = 2.5;    // usable after OS/runtime
+    d.technology = "28 nm";
+    d.eff_gemm = 0.5;
+    d.eff_fft = 0.3;
+    d.eff_butterfly = 0.2;
+    d.eff_pointwise = 0.2;
+    return d;
+}
+
+namespace {
+
+/** One framework-level kernel. */
+struct KernelOp
+{
+    double flops = 0.0;
+    double bytes = 0.0;
+    double eff = 1.0;
+};
+
+/** Approximate op list of one forward pass (batch 1). */
+std::vector<KernelOp>
+kernelTrace(const DeviceModel &dev, const ModelConfig &cfg,
+            std::size_t seq)
+{
+    std::vector<KernelOp> ops;
+    const double t = static_cast<double>(seq);
+    const double d = static_cast<double>(cfg.d_hid);
+    const double h = static_cast<double>(cfg.ffnHidden());
+    const double act = t * d * 4.0; // fp32 activation bytes
+
+    const std::size_t n_fbfly = cfg.kind == ModelKind::FABNet
+                                    ? cfg.n_total - cfg.n_abfly
+                                    : (cfg.kind == ModelKind::FNet
+                                           ? cfg.n_total
+                                           : 0);
+
+    for (std::size_t blk = 0; blk < cfg.n_total; ++blk) {
+        const bool fourier = blk < n_fbfly;
+        const bool butterfly = cfg.kind == ModelKind::FABNet;
+
+        if (fourier) {
+            // One fused rfft2 kernel.
+            ops.push_back({fourierMixFlops(seq, cfg.d_hid),
+                           3.0 * act, dev.eff_fft});
+        } else {
+            const double eff =
+                butterfly ? dev.eff_butterfly : dev.eff_gemm;
+            const double proj_flops =
+                butterfly ? butterflyLinearFlops(seq, cfg.d_hid,
+                                                 cfg.d_hid)
+                          : denseLinearFlops(seq, cfg.d_hid, cfg.d_hid);
+            const double proj_w =
+                butterfly
+                    ? static_cast<double>(butterflyLinearParams(
+                          cfg.d_hid, cfg.d_hid)) * 4.0
+                    : d * d * 4.0;
+            for (int i = 0; i < 4; ++i) // Q, K, V, O projections
+                ops.push_back({proj_flops, 2.0 * act + proj_w, eff});
+            // QK^T, softmax, SV.
+            ops.push_back({2.0 * t * t * d, 2.0 * act + t * t * 4.0,
+                           dev.eff_gemm});
+            ops.push_back({5.0 * static_cast<double>(cfg.heads) * t * t,
+                           2.0 * t * t * 4.0, dev.eff_pointwise});
+            ops.push_back({2.0 * t * t * d, 2.0 * act + t * t * 4.0,
+                           dev.eff_gemm});
+        }
+
+        // FFN (two kernels) + two LayerNorm/residual kernels.
+        const double ffn_eff =
+            butterfly ? dev.eff_butterfly : dev.eff_gemm;
+        const double f1 =
+            butterfly
+                ? butterflyLinearFlops(seq, cfg.d_hid, cfg.ffnHidden())
+                : denseLinearFlops(seq, cfg.d_hid, cfg.ffnHidden());
+        const double f2 =
+            butterfly
+                ? butterflyLinearFlops(seq, cfg.ffnHidden(), cfg.d_hid)
+                : denseLinearFlops(seq, cfg.ffnHidden(), cfg.d_hid);
+        const double w1 =
+            butterfly ? static_cast<double>(butterflyLinearParams(
+                            cfg.d_hid, cfg.ffnHidden())) * 4.0
+                      : d * h * 4.0;
+        ops.push_back({f1, act + t * h * 4.0 + w1, ffn_eff});
+        ops.push_back({f2, act + t * h * 4.0 + w1, ffn_eff});
+        ops.push_back({12.0 * t * d, 2.0 * act, dev.eff_pointwise});
+        ops.push_back({12.0 * t * d, 2.0 * act, dev.eff_pointwise});
+    }
+    return ops;
+}
+
+/** Rough peak-memory estimate (fp32 runtime, activations + weights). */
+double
+peakMemoryGb(const ModelConfig &cfg, std::size_t seq)
+{
+    const double t = static_cast<double>(seq);
+    const double widest =
+        static_cast<double>(std::max(cfg.ffnHidden(), cfg.d_hid));
+    // Working-set factor of ~8 buffers per block (framework
+    // intermediates, FFT workspace, allocator slack), calibrated to
+    // reproduce the paper's OOM boundary on the Raspberry Pi
+    // (FABNet-Large fails above sequence length 768).
+    const double act_bytes = static_cast<double>(cfg.n_total) * 8.0 *
+                             t * widest * 4.0;
+    const double weight_bytes =
+        static_cast<double>(modelParams(cfg)) * 4.0;
+    return (act_bytes + weight_bytes) / 1e9;
+}
+
+} // namespace
+
+DeviceLatency
+runOnDevice(const DeviceModel &device, const ModelConfig &cfg,
+            std::size_t seq)
+{
+    DeviceLatency lat;
+    if (peakMemoryGb(cfg, seq) > device.mem_limit_gb) {
+        lat.oom = true;
+        return lat;
+    }
+    const auto ops = kernelTrace(device, cfg, seq);
+    for (const auto &op : ops) {
+        const double compute =
+            op.flops / (device.peak_gflops * 1e9 * op.eff);
+        const double memory = op.bytes / (device.mem_bw_gbps * 1e9);
+        const double t =
+            std::max({compute, memory, device.op_overhead_s});
+        lat.seconds += t;
+        lat.flops += op.flops;
+        if (t == compute)
+            lat.compute_s += t;
+        else if (t == memory)
+            lat.memory_s += t;
+        else
+            lat.overhead_s += t;
+    }
+    return lat;
+}
+
+double
+deviceGops(const DeviceLatency &lat)
+{
+    return lat.seconds > 0.0 ? lat.flops / lat.seconds / 1e9 : 0.0;
+}
+
+double
+deviceGopsPerWatt(const DeviceModel &device, const DeviceLatency &lat)
+{
+    return device.power_w > 0.0 ? deviceGops(lat) / device.power_w : 0.0;
+}
+
+} // namespace comparators
+} // namespace fabnet

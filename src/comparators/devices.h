@@ -1,0 +1,78 @@
+/**
+ * @file devices.h
+ * Roofline-style latency/energy models of the CPU and GPU platforms
+ * the paper compares against (Table IV): Nvidia V100, TITAN Xp,
+ * Jetson Nano and Raspberry Pi 4.
+ *
+ * Substitution (DESIGN.md §4): we do not have this hardware, so each
+ * device is modelled as
+ *     t_op = max(flops / (peak * eff_kind), bytes / bw, overhead)
+ * summed over the framework-level ops of a forward pass, with
+ * per-kernel-kind efficiency factors (GEMM, FFT, butterfly, pointwise)
+ * and a per-op framework overhead that dominates small models - the
+ * effect that makes the FPGA win at short sequence lengths in Fig. 20.
+ * Device peak numbers come from public spec sheets; efficiency and
+ * overhead constants are calibrated once, documented here, and used
+ * unchanged across every experiment.
+ */
+#ifndef FABNET_COMPARATORS_DEVICES_H
+#define FABNET_COMPARATORS_DEVICES_H
+
+#include <string>
+
+#include "model/config.h"
+
+namespace fabnet {
+namespace comparators {
+
+/** A CPU/GPU platform model. */
+struct DeviceModel
+{
+    std::string name;
+    double peak_gflops = 0.0;   ///< fp32 peak
+    double mem_bw_gbps = 0.0;
+    double power_w = 0.0;       ///< board power under load
+    double op_overhead_s = 0.0; ///< per-kernel framework overhead
+    double mem_limit_gb = 0.0;  ///< usable memory (OOM modelling)
+    std::string technology;
+
+    // Achievable fraction of peak per kernel kind.
+    double eff_gemm = 0.45;
+    double eff_fft = 0.20;
+    double eff_butterfly = 0.15;
+    double eff_pointwise = 0.05;
+};
+
+DeviceModel nvidiaV100();
+DeviceModel nvidiaTitanXp();
+DeviceModel jetsonNano();
+DeviceModel raspberryPi4();
+
+/** Latency estimate of one forward pass on a device. */
+struct DeviceLatency
+{
+    double seconds = 0.0;
+    bool oom = false;         ///< exceeded the device memory
+    double flops = 0.0;       ///< model FLOPs executed
+    double overhead_s = 0.0;  ///< time attributed to launch overhead
+    double compute_s = 0.0;
+    double memory_s = 0.0;
+
+    double milliseconds() const { return seconds * 1e3; }
+};
+
+/** Estimate one batch-1 forward pass of @p cfg at @p seq. */
+DeviceLatency runOnDevice(const DeviceModel &device,
+                          const ModelConfig &cfg, std::size_t seq);
+
+/** Effective throughput in GOPS (model FLOPs / latency). */
+double deviceGops(const DeviceLatency &lat);
+
+/** Energy efficiency in GOPS/W. */
+double deviceGopsPerWatt(const DeviceModel &device,
+                         const DeviceLatency &lat);
+
+} // namespace comparators
+} // namespace fabnet
+
+#endif // FABNET_COMPARATORS_DEVICES_H

@@ -1,0 +1,66 @@
+#include "comparators/sota.h"
+
+namespace fabnet {
+namespace comparators {
+
+double
+scaleLatencyToBudget(double latency_ms, std::size_t published_mults,
+                     double published_ghz, std::size_t target_mults,
+                     double target_ghz)
+{
+    const double mult_ratio = static_cast<double>(published_mults) /
+                              static_cast<double>(target_mults);
+    const double freq_ratio = published_ghz / target_ghz;
+    return latency_ms * mult_ratio * freq_ratio;
+}
+
+double
+scalePowerToBudget(double power_w, std::size_t published_mults,
+                   std::size_t target_mults)
+{
+    return power_w * static_cast<double>(target_mults) /
+           static_cast<double>(published_mults);
+}
+
+std::vector<SotaAccelerator>
+sotaCatalog()
+{
+    std::vector<SotaAccelerator> v;
+    // Latency/power follow the paper's normalisation of each design's
+    // published numbers to 128 multipliers @ 1 GHz on the one-layer
+    // Transformer / LRA-Image workload; the per-row derivations quote
+    // the raw data used.
+    v.push_back({"A3", "HPCA'20", "ASIC (40nm)", 1.0, 128, 56.0, 1.217,
+                 "published attention-only speedup; multipliers reused "
+                 "for FFN; already reported at 128 mult @ 1 GHz"});
+    v.push_back({"SpAtten", "HPCA'21", "ASIC (40nm)", 1.0, 128, 48.8,
+                 1.060,
+                 "end-to-end numbers reported by the authors at the "
+                 "128-mult normalisation of [6]"});
+    v.push_back({"Sanger", "MICRO'21", "ASIC (55nm)", 1.0, 128, 45.2,
+                 0.801,
+                 "systolic array published at 1024 mult / 2243 mW; "
+                 "power scaled by 1024/128 = 8 -> 280.4 mW + "
+                 "pre-processing & memory modules -> 0.801 W"});
+    v.push_back({"Energon", "TCAD'21", "ASIC (45nm)", 1.0, 128, 44.2,
+                 2.633,
+                 "low-precision predictor + attention engine, "
+                 "normalised to the same budget"});
+    v.push_back({"ELSA", "ISCA'21", "ASIC (40nm)", 1.0, 128, 34.7,
+                 0.976,
+                 "sign-random-projection approximation; attention-only "
+                 "design extended to FFN by multiplier reuse"});
+    v.push_back({"DOTA", "ASPLOS'22", "ASIC (22nm)", 1.0, 128, 34.1,
+                 0.858,
+                 "published 11.4x over V100 with 12,000 mult / 12 TOPS;"
+                 " throughput scaled by 12000/128 = 93.75 -> 0.123x "
+                 "of V100 (compute-bound assumption)"});
+    v.push_back({"FTRANS", "ISLPED'20", "FPGA (16nm)", 0.170, 6531,
+                 61.6, 25.130,
+                 "FPGA design, used as published (6531 multipliers at "
+                 "170 MHz); no normalisation applied"});
+    return v;
+}
+
+} // namespace comparators
+} // namespace fabnet

@@ -1,0 +1,70 @@
+/**
+ * @file sota.h
+ * The seven state-of-the-art attention accelerators of Table V, with
+ * the paper's normalisation methodology implemented as code:
+ *
+ *  - ASIC designs are compared "based on the assumption that all the
+ *    ASIC designs are clocked at 1 GHz with 128 multipliers"; designs
+ *    published with more multipliers have their throughput linearly
+ *    scaled down by (multipliers / 128), and their power scaled the
+ *    same way (Sec. VI-F, with the Sanger and DOTA worked examples).
+ *  - Accelerators that only accelerate attention have their available
+ *    multipliers reused for the FFN so the comparison is end-to-end.
+ *
+ * Each entry records the published raw data point we scale from plus
+ * the resulting normalised latency/power, so the bench can show the
+ * derivation (the paper's own Table V values are kept alongside for
+ * validation).
+ */
+#ifndef FABNET_COMPARATORS_SOTA_H
+#define FABNET_COMPARATORS_SOTA_H
+
+#include <string>
+#include <vector>
+
+namespace fabnet {
+namespace comparators {
+
+/** One published accelerator, normalised per the paper's method. */
+struct SotaAccelerator
+{
+    std::string name;
+    std::string venue;
+    std::string technology; ///< e.g. "ASIC (40nm)"
+    double freq_ghz = 1.0;
+    std::size_t multipliers = 128; ///< after normalisation
+
+    /** Normalised end-to-end latency on the Table V workload
+     *  (one-layer vanilla Transformer, LRA-Image, seq 1024). */
+    double latency_ms = 0.0;
+    double power_w = 0.0;
+
+    std::string derivation; ///< how the numbers were obtained
+
+    double throughputPredPerS() const { return 1e3 / latency_ms; }
+    double energyEffPredPerJ() const
+    {
+        return throughputPredPerS() / power_w;
+    }
+};
+
+/** All seven baseline rows of Table V. */
+std::vector<SotaAccelerator> sotaCatalog();
+
+/**
+ * The paper's linear normalisation: scale a design's latency from its
+ * published multiplier count down to the target budget (fewer
+ * multipliers -> proportionally longer latency).
+ */
+double scaleLatencyToBudget(double latency_ms, std::size_t published_mults,
+                            double published_ghz,
+                            std::size_t target_mults, double target_ghz);
+
+/** Same linear scaling for power. */
+double scalePowerToBudget(double power_w, std::size_t published_mults,
+                          std::size_t target_mults);
+
+} // namespace comparators
+} // namespace fabnet
+
+#endif // FABNET_COMPARATORS_SOTA_H

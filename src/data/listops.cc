@@ -1,0 +1,136 @@
+#include "data/listops.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fabnet {
+namespace data {
+
+ListOpsTask::ListOpsTask(std::size_t seq, std::size_t max_depth,
+                         std::size_t max_args)
+    : seq_(seq), max_depth_(max_depth), max_args_(std::max<std::size_t>(
+                                            max_args, 2))
+{
+    if (seq_ < 8)
+        throw std::invalid_argument("ListOpsTask: seq too short");
+}
+
+TaskSpec
+ListOpsTask::spec() const
+{
+    return {"ListOps", kListOpsVocab, seq_, 10};
+}
+
+namespace {
+
+int
+applyOp(int op_token, const std::vector<int> &vals)
+{
+    switch (op_token) {
+      case kOpenMax:
+        return *std::max_element(vals.begin(), vals.end());
+      case kOpenMin:
+        return *std::min_element(vals.begin(), vals.end());
+      case kOpenMed: {
+        std::vector<int> s = vals;
+        std::sort(s.begin(), s.end());
+        return s[(s.size() - 1) / 2]; // lower median
+      }
+      case kOpenSm: {
+        int sum = 0;
+        for (int v : vals)
+            sum += v;
+        return sum % 10;
+      }
+      default:
+        return -1;
+    }
+}
+
+} // namespace
+
+int
+ListOpsTask::genExpr(Rng &rng, std::size_t depth, std::size_t budget,
+                     std::vector<int> &out) const
+{
+    // A digit costs one token; an operator needs at least
+    // 2 (brackets) + 2 (operands). Fall back to a digit when the
+    // budget or depth is exhausted.
+    if (depth >= max_depth_ || budget < 6 || rng.bernoulli(0.35)) {
+        const int d = rng.randint(0, 9);
+        out.push_back(kDigit0 + d);
+        return d;
+    }
+
+    const int ops[4] = {kOpenMax, kOpenMin, kOpenMed, kOpenSm};
+    const int op = ops[rng.randint(0, 3)];
+    out.push_back(op);
+
+    const std::size_t n_args = static_cast<std::size_t>(
+        rng.randint(2, static_cast<int>(max_args_)));
+    std::vector<int> vals;
+    std::size_t remaining = budget - 2; // reserve open+close
+    for (std::size_t i = 0; i < n_args && remaining > 1; ++i) {
+        const std::size_t share =
+            std::max<std::size_t>(1, remaining / (n_args - i));
+        const std::size_t before = out.size();
+        vals.push_back(genExpr(rng, depth + 1, share, out));
+        const std::size_t used = out.size() - before;
+        remaining -= std::min(remaining, used);
+    }
+    out.push_back(kClose);
+    return applyOp(op, vals);
+}
+
+Example
+ListOpsTask::sample(Rng &rng) const
+{
+    Example ex;
+    ex.tokens.reserve(seq_);
+    // Spend roughly half to all of the sequence on the expression so
+    // that long-range structure actually spans the input.
+    const std::size_t budget =
+        static_cast<std::size_t>(rng.randint(
+            static_cast<int>(seq_ / 2), static_cast<int>(seq_)));
+    ex.label = genExpr(rng, 0, budget, ex.tokens);
+    ex.tokens.resize(seq_, kPad);
+    return ex;
+}
+
+int
+ListOpsTask::evaluate(const std::vector<int> &tokens)
+{
+    // Iterative evaluation with an explicit stack of (op, operands).
+    std::vector<std::pair<int, std::vector<int>>> stack;
+    std::vector<int> top_vals;
+    for (int tok : tokens) {
+        if (tok == kPad)
+            break;
+        if (tok >= kDigit0 && tok < kDigit0 + 10) {
+            if (stack.empty())
+                top_vals.push_back(tok - kDigit0);
+            else
+                stack.back().second.push_back(tok - kDigit0);
+        } else if (tok >= kOpenMax && tok <= kOpenSm) {
+            stack.push_back({tok, {}});
+        } else if (tok == kClose) {
+            if (stack.empty() || stack.back().second.empty())
+                return -1;
+            const int v =
+                applyOp(stack.back().first, stack.back().second);
+            stack.pop_back();
+            if (stack.empty())
+                top_vals.push_back(v);
+            else
+                stack.back().second.push_back(v);
+        } else {
+            return -1;
+        }
+    }
+    if (!stack.empty() || top_vals.size() != 1)
+        return -1;
+    return top_vals[0];
+}
+
+} // namespace data
+} // namespace fabnet

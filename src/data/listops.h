@@ -1,0 +1,67 @@
+/**
+ * @file listops.h
+ * ListOps: hierarchical expression evaluation (the original task is
+ * itself synthetic, so this is a faithful re-implementation of the
+ * grammar, not an approximation).
+ *
+ * Expressions are nested prefix-operator lists over single digits:
+ *
+ *     [MAX 2 9 [MIN 4 7 ] 0 ]  ->  9
+ *
+ * Operators: MAX, MIN, MED (lower median), SM (sum modulo 10).
+ * The label is the value of the whole expression (10 classes).
+ */
+#ifndef FABNET_DATA_LISTOPS_H
+#define FABNET_DATA_LISTOPS_H
+
+#include "data/task.h"
+
+namespace fabnet {
+namespace data {
+
+/** Token ids used by the ListOps vocabulary. */
+enum ListOpsToken : int {
+    kPad = 0,
+    kDigit0 = 1, // digits d map to 1 + d
+    kOpenMax = 11,
+    kOpenMin = 12,
+    kOpenMed = 13,
+    kOpenSm = 14,
+    kClose = 15,
+    kListOpsVocab = 16
+};
+
+/** Generator for random ListOps expressions. */
+class ListOpsTask : public TaskGenerator
+{
+  public:
+    /**
+     * @param seq       maximum (padded) sequence length
+     * @param max_depth maximum nesting depth
+     * @param max_args  maximum operands per operator (>= 2)
+     */
+    explicit ListOpsTask(std::size_t seq = 128, std::size_t max_depth = 4,
+                         std::size_t max_args = 5);
+
+    TaskSpec spec() const override;
+    Example sample(Rng &rng) const override;
+
+    /**
+     * Evaluate a token sequence (exposed for tests).
+     * @return the expression value 0..9, or -1 on malformed input.
+     */
+    static int evaluate(const std::vector<int> &tokens);
+
+  private:
+    std::size_t seq_, max_depth_, max_args_;
+
+    /** Append a random sub-expression, spending at most @p budget
+     *  tokens; returns its value. */
+    int genExpr(Rng &rng, std::size_t depth, std::size_t budget,
+                std::vector<int> &out) const;
+};
+
+} // namespace data
+} // namespace fabnet
+
+#endif // FABNET_DATA_LISTOPS_H

@@ -1,0 +1,49 @@
+/**
+ * @file lra.h
+ * Catalogue of the five Long-Range-Arena tasks as evaluated in the
+ * paper: task generators, sequence lengths, the standard vanilla-
+ * Transformer/FNet configurations, the co-design-searched FABNet
+ * configurations, and the paper's reported accuracies (Table III) for
+ * side-by-side reporting.
+ */
+#ifndef FABNET_DATA_LRA_H
+#define FABNET_DATA_LRA_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/task.h"
+#include "model/config.h"
+
+namespace fabnet {
+namespace data {
+
+/** One LRA task with model configs and paper-reported accuracies. */
+struct LraTask
+{
+    std::string name;
+    std::size_t paper_seq; ///< input length used in the paper (Fig. 17)
+    ModelConfig transformer; ///< LRA-standard vanilla Transformer
+    ModelConfig fnet;        ///< FNet at the same scale
+    ModelConfig fabnet;      ///< co-design-searched FABNet
+    double paper_acc_transformer;
+    double paper_acc_fnet;
+    double paper_acc_fabnet;
+};
+
+/** The five tasks in paper order. */
+std::vector<LraTask> lraCatalog();
+
+/**
+ * Instantiate a synthetic generator for LRA task @p name
+ * ("ListOps", "Text", "Retrieval", "Image", "Pathfinder") at sequence
+ * length @p seq (vision tasks round to a square side).
+ */
+std::unique_ptr<TaskGenerator> makeLraGenerator(const std::string &name,
+                                                std::size_t seq);
+
+} // namespace data
+} // namespace fabnet
+
+#endif // FABNET_DATA_LRA_H

@@ -1,0 +1,33 @@
+#include "data/task.h"
+
+#include <algorithm>
+
+namespace fabnet {
+namespace data {
+
+std::vector<Example>
+TaskGenerator::dataset(std::size_t n, Rng &rng) const
+{
+    std::vector<Example> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(sample(rng));
+    return out;
+}
+
+double
+TaskGenerator::labelBalance(const std::vector<Example> &data,
+                            std::size_t classes)
+{
+    if (data.empty() || classes == 0)
+        return 0.0;
+    std::vector<std::size_t> counts(classes, 0);
+    for (const auto &ex : data)
+        if (ex.label >= 0 && static_cast<std::size_t>(ex.label) < classes)
+            ++counts[ex.label];
+    const std::size_t mx = *std::max_element(counts.begin(), counts.end());
+    return static_cast<double>(mx) / data.size();
+}
+
+} // namespace data
+} // namespace fabnet

@@ -1,0 +1,124 @@
+#include "data/text_tasks.h"
+
+#include <stdexcept>
+
+namespace fabnet {
+namespace data {
+
+namespace {
+
+// Byte range reserved for noise so planted patterns are unambiguous.
+constexpr int kNoiseLo = 32;
+constexpr int kNoiseHi = 255;
+
+// Two disjoint trigram lexicons (4 trigrams per class) drawn from
+// bytes below the noise range.
+constexpr int kPatterns[2][4][3] = {
+    {{2, 3, 4}, {5, 6, 7}, {8, 9, 10}, {11, 12, 13}},
+    {{14, 15, 16}, {17, 18, 19}, {20, 21, 22}, {23, 24, 25}},
+};
+
+} // namespace
+
+TextTask::TextTask(std::size_t seq, std::size_t n_plants)
+    : seq_(seq), n_plants_(n_plants ? n_plants
+                                    : std::max<std::size_t>(4, seq / 32))
+{
+    if (seq_ < 16)
+        throw std::invalid_argument("TextTask: seq too short");
+}
+
+TaskSpec
+TextTask::spec() const
+{
+    return {"Text", 256, seq_, 2};
+}
+
+const int *
+TextTask::classPattern(int cls, int which)
+{
+    return kPatterns[cls & 1][which & 3];
+}
+
+Example
+TextTask::sample(Rng &rng) const
+{
+    Example ex;
+    ex.label = rng.randint(0, 1);
+    ex.tokens.resize(seq_);
+    for (auto &t : ex.tokens)
+        t = rng.randint(kNoiseLo, kNoiseHi);
+
+    // Majority of plants from the label class, a minority from the
+    // other class as distractors.
+    const std::size_t majority = n_plants_;
+    const std::size_t minority = n_plants_ / 3;
+    auto plant = [&](int cls, std::size_t count) {
+        for (std::size_t i = 0; i < count; ++i) {
+            const int *pat = kPatterns[cls][rng.randint(0, 3)];
+            const std::size_t pos = static_cast<std::size_t>(
+                rng.randint(0, static_cast<int>(seq_ - 3)));
+            for (std::size_t j = 0; j < 3; ++j)
+                ex.tokens[pos + j] = pat[j];
+        }
+    };
+    plant(ex.label, majority);
+    plant(1 - ex.label, minority);
+    return ex;
+}
+
+RetrievalTask::RetrievalTask(std::size_t seq, std::size_t n_signatures)
+    : seq_(seq), n_signatures_(n_signatures)
+{
+    if (seq_ < 32)
+        throw std::invalid_argument("RetrievalTask: seq too short");
+    if (n_signatures_ < 2)
+        throw std::invalid_argument("RetrievalTask: need >= 2 signatures");
+}
+
+TaskSpec
+RetrievalTask::spec() const
+{
+    return {"Retrieval", 256, seq_, 2};
+}
+
+void
+RetrievalTask::fillDoc(Rng &rng, int sig_id, int *dst,
+                       std::size_t len) const
+{
+    for (std::size_t i = 0; i < len; ++i)
+        dst[i] = rng.randint(32, 255);
+    // Signature: four bytes derived from the id, planted several times.
+    const int sig[4] = {2 + sig_id, 2 + sig_id, 3 + sig_id, 2 + sig_id};
+    const std::size_t plants = std::max<std::size_t>(2, len / 24);
+    for (std::size_t p = 0; p < plants; ++p) {
+        const std::size_t pos = static_cast<std::size_t>(
+            rng.randint(0, static_cast<int>(len - 4)));
+        for (std::size_t j = 0; j < 4; ++j)
+            dst[pos + j] = sig[j];
+    }
+}
+
+Example
+RetrievalTask::sample(Rng &rng) const
+{
+    Example ex;
+    ex.label = rng.randint(0, 1);
+    ex.tokens.assign(seq_, 0);
+
+    const std::size_t doc_len = (seq_ - 1) / 2;
+    const int sig_a =
+        rng.randint(0, static_cast<int>(n_signatures_) - 1);
+    int sig_b = sig_a;
+    if (ex.label == 0) {
+        while (sig_b == sig_a)
+            sig_b = rng.randint(0, static_cast<int>(n_signatures_) - 1);
+    }
+    fillDoc(rng, sig_a, ex.tokens.data(), doc_len);
+    ex.tokens[doc_len] = kSeparator;
+    fillDoc(rng, sig_b, ex.tokens.data() + doc_len + 1, doc_len);
+    return ex;
+}
+
+} // namespace data
+} // namespace fabnet

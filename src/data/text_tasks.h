@@ -1,0 +1,64 @@
+/**
+ * @file text_tasks.h
+ * Byte-level text classification and dual-document retrieval analogues
+ * of LRA-Text and LRA-Retrieval.
+ *
+ * Text: each class owns a small lexicon of byte trigrams; a sequence
+ * is filled with noise bytes plus planted trigrams, with a majority
+ * from the label class. Classification requires aggregating sparse
+ * evidence spread over the whole sequence.
+ *
+ * Retrieval: two documents separated by a marker; each carries a
+ * repeated 4-byte signature. Label 1 iff the two documents carry the
+ * same signature, so the model must relate tokens across the two
+ * halves of a long sequence.
+ */
+#ifndef FABNET_DATA_TEXT_TASKS_H
+#define FABNET_DATA_TEXT_TASKS_H
+
+#include "data/task.h"
+
+namespace fabnet {
+namespace data {
+
+/** Byte-level binary classification (LRA-Text analogue). */
+class TextTask : public TaskGenerator
+{
+  public:
+    explicit TextTask(std::size_t seq = 128, std::size_t n_plants = 0);
+
+    TaskSpec spec() const override;
+    Example sample(Rng &rng) const override;
+
+    /** Trigram lexicon of a class (exposed for tests). */
+    static const int *classPattern(int cls, int which);
+
+  private:
+    std::size_t seq_;
+    std::size_t n_plants_; ///< planted trigrams per sample
+};
+
+/** Dual-document byte retrieval (LRA-Retrieval analogue). */
+class RetrievalTask : public TaskGenerator
+{
+  public:
+    explicit RetrievalTask(std::size_t seq = 128,
+                           std::size_t n_signatures = 8);
+
+    TaskSpec spec() const override;
+    Example sample(Rng &rng) const override;
+
+    static constexpr int kSeparator = 1;
+
+  private:
+    std::size_t seq_;
+    std::size_t n_signatures_;
+
+    /** Write one document with @p sig_id's signature planted. */
+    void fillDoc(Rng &rng, int sig_id, int *dst, std::size_t len) const;
+};
+
+} // namespace data
+} // namespace fabnet
+
+#endif // FABNET_DATA_TEXT_TASKS_H

@@ -1,0 +1,201 @@
+#include "data/vision_tasks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fabnet {
+namespace data {
+
+namespace {
+
+/** Quantise a [0,1] float image into 256 intensity tokens. */
+std::vector<int>
+quantise(const std::vector<float> &img)
+{
+    std::vector<int> tokens(img.size());
+    for (std::size_t i = 0; i < img.size(); ++i) {
+        const float v = std::clamp(img[i], 0.0f, 1.0f);
+        tokens[i] = static_cast<int>(v * 255.0f);
+    }
+    return tokens;
+}
+
+} // namespace
+
+ImageTask::ImageTask(std::size_t side, std::size_t classes)
+    : side_(side), classes_(classes)
+{
+    if (side_ < 8)
+        throw std::invalid_argument("ImageTask: side too small");
+    if (classes_ < 2 || classes_ > 6)
+        throw std::invalid_argument("ImageTask: classes must be 2..6");
+}
+
+TaskSpec
+ImageTask::spec() const
+{
+    return {"Image", 256, side_ * side_, classes_};
+}
+
+void
+ImageTask::drawClass(Rng &rng, int cls, std::vector<float> &img) const
+{
+    const int s = static_cast<int>(side_);
+    const int period = rng.randint(3, 5);
+    const int phase = rng.randint(0, period - 1);
+    const float hi = 0.75f + rng.uniform(0.0f, 0.2f);
+
+    auto px = [&](int r, int c) -> float & {
+        return img[static_cast<std::size_t>(r) * side_ + c];
+    };
+
+    switch (cls) {
+      case 0: // horizontal stripes
+        for (int r = 0; r < s; ++r)
+            for (int c = 0; c < s; ++c)
+                if ((r + phase) % period < period / 2 + 1)
+                    px(r, c) = hi;
+        break;
+      case 1: // vertical stripes
+        for (int r = 0; r < s; ++r)
+            for (int c = 0; c < s; ++c)
+                if ((c + phase) % period < period / 2 + 1)
+                    px(r, c) = hi;
+        break;
+      case 2: // checkerboard
+        for (int r = 0; r < s; ++r)
+            for (int c = 0; c < s; ++c)
+                if (((r / period) + (c / period)) % 2 == 0)
+                    px(r, c) = hi;
+        break;
+      case 3: { // filled disc
+        const int cr = rng.randint(s / 3, 2 * s / 3);
+        const int cc = rng.randint(s / 3, 2 * s / 3);
+        const int rad = rng.randint(s / 5, s / 3);
+        for (int r = 0; r < s; ++r)
+            for (int c = 0; c < s; ++c)
+                if ((r - cr) * (r - cr) + (c - cc) * (c - cc) <=
+                    rad * rad)
+                    px(r, c) = hi;
+        break;
+      }
+      case 4: { // cross
+        const int cr = rng.randint(s / 3, 2 * s / 3);
+        const int cc = rng.randint(s / 3, 2 * s / 3);
+        const int w = std::max(1, s / 10);
+        for (int r = 0; r < s; ++r)
+            for (int c = 0; c < s; ++c)
+                if (std::abs(r - cr) <= w || std::abs(c - cc) <= w)
+                    px(r, c) = hi;
+        break;
+      }
+      default: { // diagonal stripes
+        for (int r = 0; r < s; ++r)
+            for (int c = 0; c < s; ++c)
+                if ((r + c + phase) % period < period / 2 + 1)
+                    px(r, c) = hi;
+        break;
+      }
+    }
+}
+
+Example
+ImageTask::sample(Rng &rng) const
+{
+    Example ex;
+    ex.label = rng.randint(0, static_cast<int>(classes_) - 1);
+    std::vector<float> img(side_ * side_, 0.1f);
+    drawClass(rng, ex.label, img);
+    for (float &v : img)
+        v += rng.normal(0.05f);
+    ex.tokens = quantise(img);
+    return ex;
+}
+
+PathfinderTask::PathfinderTask(std::size_t side) : side_(side)
+{
+    if (side_ < 8)
+        throw std::invalid_argument("PathfinderTask: side too small");
+}
+
+TaskSpec
+PathfinderTask::spec() const
+{
+    return {"Pathfinder", 256, side_ * side_, 2};
+}
+
+void
+PathfinderTask::drawPath(Rng &rng, std::vector<float> &img, int r0,
+                         int c0, int r1, int c1, bool partial) const
+{
+    const int s = static_cast<int>(side_);
+    int r = r0, c = c0;
+    // Random walk biased towards the target; a partial path stops at
+    // roughly half the distance so the endpoints stay disconnected.
+    const int full_dist = std::abs(r1 - r0) + std::abs(c1 - c0);
+    const int max_steps = partial ? full_dist / 2 : 4 * s;
+    for (int step = 0; step < max_steps; ++step) {
+        img[static_cast<std::size_t>(r) * side_ + c] = 0.85f;
+        if (r == r1 && c == c1)
+            break;
+        const bool toward = !rng.bernoulli(0.25);
+        int dr = 0, dc = 0;
+        if (toward) {
+            if (std::abs(r1 - r) >= std::abs(c1 - c))
+                dr = (r1 > r) ? 1 : (r1 < r ? -1 : 0);
+            else
+                dc = (c1 > c) ? 1 : (c1 < c ? -1 : 0);
+        } else {
+            if (rng.bernoulli())
+                dr = rng.bernoulli() ? 1 : -1;
+            else
+                dc = rng.bernoulli() ? 1 : -1;
+        }
+        r = std::clamp(r + dr, 0, s - 1);
+        c = std::clamp(c + dc, 0, s - 1);
+    }
+}
+
+Example
+PathfinderTask::sample(Rng &rng) const
+{
+    const int s = static_cast<int>(side_);
+    Example ex;
+    ex.label = rng.randint(0, 1);
+    std::vector<float> img(side_ * side_, 0.05f);
+
+    // Endpoints in opposite quadrants; drawn as bright 2x2 dots.
+    const int r0 = rng.randint(0, s / 4), c0 = rng.randint(0, s / 4);
+    const int r1 = rng.randint(3 * s / 4, s - 1);
+    const int c1 = rng.randint(3 * s / 4, s - 1);
+    auto dot = [&](int r, int c) {
+        for (int dr = 0; dr <= 1; ++dr)
+            for (int dc = 0; dc <= 1; ++dc) {
+                const int rr = std::clamp(r + dr, 0, s - 1);
+                const int cc = std::clamp(c + dc, 0, s - 1);
+                img[static_cast<std::size_t>(rr) * side_ + cc] = 1.0f;
+            }
+    };
+    dot(r0, c0);
+    dot(r1, c1);
+
+    if (ex.label == 1) {
+        drawPath(rng, img, r0, c0, r1, c1, /*partial=*/false);
+    } else {
+        // Two dangling stubs that do not meet.
+        drawPath(rng, img, r0, c0, r1, c1, /*partial=*/true);
+        drawPath(rng, img, r1, c1, r0, c0, /*partial=*/true);
+    }
+    // Distractor curve between two random edge points.
+    drawPath(rng, img, rng.randint(0, s - 1), 0, rng.randint(0, s - 1),
+             s - 1, /*partial=*/true);
+
+    for (float &v : img)
+        v += rng.normal(0.03f);
+    ex.tokens = quantise(img);
+    return ex;
+}
+
+} // namespace data
+} // namespace fabnet

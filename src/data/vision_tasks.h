@@ -1,0 +1,59 @@
+/**
+ * @file vision_tasks.h
+ * Pixel-sequence analogues of LRA-Image and LRA-Pathfinder.
+ *
+ * Image: square grayscale textures/shapes (stripes, checkerboard,
+ * disc, cross, ...) with noise, flattened row-major into a token
+ * sequence of 256 intensity levels - classification needs 2-D
+ * structure recovered from a 1-D sequence, like sequential CIFAR.
+ *
+ * Pathfinder: two endpoint dots and wavy curves on a grid; label 1
+ * iff a drawn curve connects the endpoints. Long-range spatial
+ * dependency across the flattened sequence.
+ */
+#ifndef FABNET_DATA_VISION_TASKS_H
+#define FABNET_DATA_VISION_TASKS_H
+
+#include "data/task.h"
+
+namespace fabnet {
+namespace data {
+
+/** Grayscale texture classification (LRA-Image analogue). */
+class ImageTask : public TaskGenerator
+{
+  public:
+    /** @param side image side length; seq = side * side. */
+    explicit ImageTask(std::size_t side = 16, std::size_t classes = 4);
+
+    TaskSpec spec() const override;
+    Example sample(Rng &rng) const override;
+
+  private:
+    std::size_t side_, classes_;
+
+    void drawClass(Rng &rng, int cls, std::vector<float> &img) const;
+};
+
+/** Connected-path detection (LRA-Pathfinder analogue). */
+class PathfinderTask : public TaskGenerator
+{
+  public:
+    explicit PathfinderTask(std::size_t side = 16);
+
+    TaskSpec spec() const override;
+    Example sample(Rng &rng) const override;
+
+  private:
+    std::size_t side_;
+
+    /** Draw a meandering curve from @p r0,c0 towards @p r1,c1;
+     *  stops early when @p partial. */
+    void drawPath(Rng &rng, std::vector<float> &img, int r0, int c0,
+                  int r1, int c1, bool partial) const;
+};
+
+} // namespace data
+} // namespace fabnet
+
+#endif // FABNET_DATA_VISION_TASKS_H

@@ -1,0 +1,33 @@
+/**
+ * @file builder.h
+ * Factory functions assembling the three model families from nn layers:
+ * vanilla Transformer, FNet, and FABNet (Fig. 5), plus the partially
+ * compressed hybrid used by Fig. 16.
+ */
+#ifndef FABNET_MODEL_BUILDER_H
+#define FABNET_MODEL_BUILDER_H
+
+#include <memory>
+
+#include "model/classifier.h"
+#include "model/config.h"
+#include "tensor/rng.h"
+
+namespace fabnet {
+
+/** Build a model according to cfg.kind. */
+std::unique_ptr<SequenceClassifier> buildModel(const ModelConfig &cfg,
+                                               Rng &rng);
+
+/**
+ * Build a vanilla Transformer whose last @p n_compressed blocks are
+ * replaced by FBfly blocks (Fourier mixer + butterfly FFN), starting
+ * from the last block - the Fig. 16 sweep.
+ */
+std::unique_ptr<SequenceClassifier>
+buildPartiallyCompressed(const ModelConfig &cfg, std::size_t n_compressed,
+                         Rng &rng);
+
+} // namespace fabnet
+
+#endif // FABNET_MODEL_BUILDER_H

@@ -1,0 +1,96 @@
+/**
+ * @file classifier.h
+ * End-to-end sequence classifier: embedding -> encoder blocks ->
+ * mean-pool head, with training and evaluation loops. This is the
+ * trainable object behind Fig. 16 and Table III.
+ */
+#ifndef FABNET_MODEL_CLASSIFIER_H
+#define FABNET_MODEL_CLASSIFIER_H
+
+#include <memory>
+#include <vector>
+
+#include "model/config.h"
+#include "nn/block.h"
+#include "nn/embedding.h"
+#include "nn/layer.h"
+#include "nn/optimizer.h"
+#include "tensor/rng.h"
+
+namespace fabnet {
+
+/** A labelled token sequence. */
+struct Example
+{
+    std::vector<int> tokens;
+    int label = 0;
+};
+
+/** Batch of examples with identical sequence length. */
+struct Batch
+{
+    std::vector<int> tokens; ///< flat [batch * seq]
+    std::vector<int> labels; ///< [batch]
+    std::size_t batch = 0;
+    std::size_t seq = 0;
+};
+
+/** Assemble a batch from a slice of a dataset (sequences padded/cut). */
+Batch makeBatch(const std::vector<Example> &data, std::size_t start,
+                std::size_t count, std::size_t seq, int pad_token = 0);
+
+/** Embedding + encoder stack + pooled classifier head. */
+class SequenceClassifier
+{
+  public:
+    /**
+     * Build from per-block specs. @p mixers and @p ffns are consumed;
+     * both must have cfg.n_total entries.
+     */
+    SequenceClassifier(const ModelConfig &cfg,
+                       std::vector<std::unique_ptr<nn::Layer>> mixers,
+                       std::vector<std::unique_ptr<nn::Layer>> ffns,
+                       Rng &rng);
+
+    /** Logits [batch, classes] for a token batch. */
+    Tensor forward(const std::vector<int> &tokens, std::size_t batch,
+                   std::size_t seq);
+
+    /**
+     * One optimisation step on a batch.
+     * @return the batch cross-entropy loss.
+     */
+    float trainBatch(const Batch &batch, nn::Adam &opt,
+                     float clip_norm = 1.0f);
+
+    /** Classification accuracy over a dataset (batched internally). */
+    double evaluate(const std::vector<Example> &data, std::size_t seq,
+                    std::size_t batch_size = 16);
+
+    /** All trainable parameters, for the optimiser. */
+    std::vector<nn::ParamRef> params();
+
+    std::size_t numParams();
+
+    const ModelConfig &config() const { return cfg_; }
+
+  private:
+    ModelConfig cfg_;
+    nn::Embedding embedding_;
+    std::vector<std::unique_ptr<nn::EncoderBlock>> blocks_;
+    nn::MeanPoolClassifier head_;
+};
+
+/**
+ * Train @p model for @p epochs over @p train, reporting accuracy on
+ * @p test after every epoch. Returns the final test accuracy.
+ */
+double trainClassifier(SequenceClassifier &model,
+                       const std::vector<Example> &train,
+                       const std::vector<Example> &test, std::size_t seq,
+                       std::size_t epochs, std::size_t batch_size,
+                       float lr, Rng &rng, bool verbose = false);
+
+} // namespace fabnet
+
+#endif // FABNET_MODEL_CLASSIFIER_H

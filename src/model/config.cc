@@ -1,0 +1,81 @@
+#include "model/config.h"
+
+#include <sstream>
+
+namespace fabnet {
+
+std::string
+ModelConfig::describe() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case ModelKind::Transformer:
+        os << "Transformer";
+        break;
+      case ModelKind::FNet:
+        os << "FNet";
+        break;
+      case ModelKind::FABNet:
+        os << "FABNet";
+        break;
+    }
+    os << "(D=" << d_hid << ", R=" << r_ffn << ", N=" << n_total;
+    if (kind == ModelKind::FABNet)
+        os << ", N_abfly=" << n_abfly;
+    os << ", heads=" << heads << ")";
+    return os.str();
+}
+
+ModelConfig
+fabnetBase()
+{
+    ModelConfig c;
+    c.kind = ModelKind::FABNet;
+    c.d_hid = 768;
+    c.r_ffn = 4;
+    c.n_total = 12;
+    c.n_abfly = 0;
+    c.heads = 12;
+    return c;
+}
+
+ModelConfig
+fabnetLarge()
+{
+    ModelConfig c;
+    c.kind = ModelKind::FABNet;
+    c.d_hid = 1024;
+    c.r_ffn = 4;
+    c.n_total = 24;
+    c.n_abfly = 0;
+    c.heads = 16;
+    return c;
+}
+
+ModelConfig
+bertBase()
+{
+    ModelConfig c;
+    c.kind = ModelKind::Transformer;
+    c.d_hid = 768;
+    c.r_ffn = 4;
+    c.n_total = 12;
+    c.n_abfly = 12;
+    c.heads = 12;
+    return c;
+}
+
+ModelConfig
+bertLarge()
+{
+    ModelConfig c;
+    c.kind = ModelKind::Transformer;
+    c.d_hid = 1024;
+    c.r_ffn = 4;
+    c.n_total = 24;
+    c.n_abfly = 24;
+    c.heads = 16;
+    return c;
+}
+
+} // namespace fabnet

@@ -1,0 +1,68 @@
+/**
+ * @file config.h
+ * Model hyper-parameters - the algorithmic half of the paper's joint
+ * design space (Sec. V-C): hidden size D_hid, FFN expansion R_ffn,
+ * total block count N_total and number of attention (ABfly) blocks
+ * N_abfly.
+ */
+#ifndef FABNET_MODEL_CONFIG_H
+#define FABNET_MODEL_CONFIG_H
+
+#include <cstddef>
+#include <string>
+
+namespace fabnet {
+
+/** Which token mixer a block uses. */
+enum class MixerKind {
+    Attention, ///< multi-head self-attention
+    Fourier    ///< FNet-style 2-D FFT mixing
+};
+
+/** Which linear-layer implementation a block uses. */
+enum class LinearKind {
+    Dense,    ///< standard O(n^2) projection
+    Butterfly ///< butterfly-factorised O(n log n) projection
+};
+
+/** Network family, used by builders and FLOPs accounting. */
+enum class ModelKind {
+    Transformer, ///< vanilla: attention + dense everywhere
+    FNet,        ///< Fourier mixer + dense FFN
+    FABNet       ///< FBfly blocks then ABfly blocks, butterfly linears
+};
+
+/** Hyper-parameters shared by all model families. */
+struct ModelConfig
+{
+    ModelKind kind = ModelKind::FABNet;
+    std::size_t vocab = 256;    ///< token vocabulary
+    std::size_t max_seq = 1024; ///< positional-table length
+    std::size_t d_hid = 64;     ///< D_hid
+    std::size_t r_ffn = 4;      ///< R_ffn (FFN expansion ratio)
+    std::size_t n_total = 2;    ///< N_total encoder blocks
+    std::size_t n_abfly = 0;    ///< N_abfly attention blocks (FABNet)
+    std::size_t heads = 2;      ///< attention heads
+    std::size_t classes = 10;   ///< classifier output size
+    bool causal = false;        ///< decoder-style masked attention
+
+    std::size_t ffnHidden() const { return d_hid * r_ffn; }
+
+    std::string describe() const;
+};
+
+/** FABNet-Base from Sec. VI-A: D=768, R=4, 12 blocks, all FBfly. */
+ModelConfig fabnetBase();
+
+/** FABNet-Large from Sec. VI-A: D=1024, R=4, 24 blocks, all FBfly. */
+ModelConfig fabnetLarge();
+
+/** BERT-Base-shaped vanilla Transformer (D=768, 12 layers, 12 heads). */
+ModelConfig bertBase();
+
+/** BERT-Large-shaped vanilla Transformer (D=1024, 24 layers, 16 heads). */
+ModelConfig bertLarge();
+
+} // namespace fabnet
+
+#endif // FABNET_MODEL_CONFIG_H

@@ -1,0 +1,188 @@
+#include "nn/attention.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fabnet {
+namespace nn {
+
+MultiHeadAttention::MultiHeadAttention(std::size_t d_model,
+                                       std::size_t heads,
+                                       std::unique_ptr<Layer> proj_q,
+                                       std::unique_ptr<Layer> proj_k,
+                                       std::unique_ptr<Layer> proj_v,
+                                       std::unique_ptr<Layer> proj_o,
+                                       bool causal)
+    : d_model_(d_model), heads_(heads), causal_(causal),
+      proj_q_(std::move(proj_q)), proj_k_(std::move(proj_k)),
+      proj_v_(std::move(proj_v)), proj_o_(std::move(proj_o))
+{
+    if (d_model_ % heads_ != 0)
+        throw std::invalid_argument(
+            "MultiHeadAttention: d_model must be divisible by heads");
+}
+
+namespace {
+
+/**
+ * Head-slice helpers: activations are stored [b, t, d] with head h
+ * occupying columns [h*dh, (h+1)*dh). These accessors avoid a
+ * physical [b, h, t, dh] reshape.
+ */
+inline const float *
+rowPtr(const Tensor &x, std::size_t b, std::size_t t_idx)
+{
+    return x.data() + (b * x.dim(1) + t_idx) * x.dim(2);
+}
+
+inline float *
+rowPtr(Tensor &x, std::size_t b, std::size_t t_idx)
+{
+    return x.data() + (b * x.dim(1) + t_idx) * x.dim(2);
+}
+
+} // namespace
+
+Tensor
+MultiHeadAttention::forward(const Tensor &x)
+{
+    if (x.rank() != 3 || x.dim(2) != d_model_)
+        throw std::invalid_argument("MultiHeadAttention: [b,t,d] required");
+    b_ = x.dim(0);
+    t_ = x.dim(1);
+    const std::size_t dh = headDim();
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    q_ = proj_q_->forward(x);
+    k_ = proj_k_->forward(x);
+    v_ = proj_v_->forward(x);
+
+    // attn_ rows: (b * heads + h) * t_  + i  over keys j.
+    attn_ = Tensor::zeros(b_, heads_ * t_, t_);
+    Tensor ctx = Tensor::zeros(b_, t_, d_model_);
+
+    std::vector<float> row(t_);
+    for (std::size_t b = 0; b < b_; ++b) {
+        for (std::size_t h = 0; h < heads_; ++h) {
+            const std::size_t off = h * dh;
+            for (std::size_t i = 0; i < t_; ++i) {
+                const float *qi = rowPtr(q_, b, i) + off;
+                // Scores against every visible key (all of them, or
+                // only the prefix when causal), softmax-normalised.
+                const std::size_t visible = causal_ ? i + 1 : t_;
+                float mx = -1e30f;
+                for (std::size_t j = 0; j < visible; ++j) {
+                    const float *kj = rowPtr(k_, b, j) + off;
+                    float s = 0.0f;
+                    for (std::size_t c = 0; c < dh; ++c)
+                        s += qi[c] * kj[c];
+                    row[j] = s * scale;
+                    mx = std::max(mx, row[j]);
+                }
+                float denom = 0.0f;
+                for (std::size_t j = 0; j < visible; ++j) {
+                    row[j] = std::exp(row[j] - mx);
+                    denom += row[j];
+                }
+                const float inv = 1.0f / denom;
+                float *arow =
+                    attn_.data() + (b * heads_ * t_ + h * t_ + i) * t_;
+                for (std::size_t j = 0; j < visible; ++j)
+                    arow[j] = row[j] * inv;
+                for (std::size_t j = visible; j < t_; ++j)
+                    arow[j] = 0.0f; // masked future positions
+                // Context: weighted sum of value head-slices.
+                float *ci = rowPtr(ctx, b, i) + off;
+                for (std::size_t j = 0; j < t_; ++j) {
+                    const float a = arow[j];
+                    if (a == 0.0f)
+                        continue;
+                    const float *vj = rowPtr(v_, b, j) + off;
+                    for (std::size_t c = 0; c < dh; ++c)
+                        ci[c] += a * vj[c];
+                }
+            }
+        }
+    }
+    return proj_o_->forward(ctx);
+}
+
+Tensor
+MultiHeadAttention::backward(const Tensor &grad_out)
+{
+    const std::size_t dh = headDim();
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    Tensor g_ctx = proj_o_->backward(grad_out);
+
+    Tensor gq = Tensor::zeros(b_, t_, d_model_);
+    Tensor gk = Tensor::zeros(b_, t_, d_model_);
+    Tensor gv = Tensor::zeros(b_, t_, d_model_);
+
+    std::vector<float> ga(t_); // dL/dattn for one query row
+    std::vector<float> gs(t_); // dL/dscore (pre-softmax)
+    for (std::size_t b = 0; b < b_; ++b) {
+        for (std::size_t h = 0; h < heads_; ++h) {
+            const std::size_t off = h * dh;
+            for (std::size_t i = 0; i < t_; ++i) {
+                const float *gci = rowPtr(g_ctx, b, i) + off;
+                const float *arow =
+                    attn_.data() + (b * heads_ * t_ + h * t_ + i) * t_;
+                // dL/da_ij = g_ctx_i . v_j ; also accumulate dL/dv_j.
+                for (std::size_t j = 0; j < t_; ++j) {
+                    const float *vj = rowPtr(v_, b, j) + off;
+                    float acc = 0.0f;
+                    for (std::size_t c = 0; c < dh; ++c)
+                        acc += gci[c] * vj[c];
+                    ga[j] = acc;
+                    float *gvj = rowPtr(gv, b, j) + off;
+                    const float a = arow[j];
+                    for (std::size_t c = 0; c < dh; ++c)
+                        gvj[c] += a * gci[c];
+                }
+                // Softmax backward: gs_j = a_j * (ga_j - sum_k ga_k a_k).
+                float dot = 0.0f;
+                for (std::size_t j = 0; j < t_; ++j)
+                    dot += ga[j] * arow[j];
+                for (std::size_t j = 0; j < t_; ++j)
+                    gs[j] = arow[j] * (ga[j] - dot);
+                // Score backward into q_i and k_j.
+                const float *qi = rowPtr(q_, b, i) + off;
+                float *gqi = rowPtr(gq, b, i) + off;
+                for (std::size_t j = 0; j < t_; ++j) {
+                    const float g = gs[j] * scale;
+                    if (g == 0.0f)
+                        continue;
+                    const float *kj = rowPtr(k_, b, j) + off;
+                    float *gkj = rowPtr(gk, b, j) + off;
+                    for (std::size_t c = 0; c < dh; ++c) {
+                        gqi[c] += g * kj[c];
+                        gkj[c] += g * qi[c];
+                    }
+                }
+            }
+        }
+    }
+
+    Tensor gx = proj_q_->backward(gq);
+    Tensor gxk = proj_k_->backward(gk);
+    Tensor gxv = proj_v_->backward(gv);
+    float *p = gx.data();
+    const float *pk = gxk.data();
+    const float *pv = gxv.data();
+    for (std::size_t i = 0; i < gx.size(); ++i)
+        p[i] += pk[i] + pv[i];
+    return gx;
+}
+
+void
+MultiHeadAttention::collectParams(std::vector<ParamRef> &out)
+{
+    proj_q_->collectParams(out);
+    proj_k_->collectParams(out);
+    proj_v_->collectParams(out);
+    proj_o_->collectParams(out);
+}
+
+} // namespace nn
+} // namespace fabnet

@@ -1,0 +1,63 @@
+/**
+ * @file attention.h
+ * Multi-head self-attention with pluggable projection layers.
+ *
+ * The projections (Q, K, V, output) are injected as generic layers so
+ * the same attention core serves both the vanilla Transformer (Dense
+ * projections) and FABNet's ABfly block (ButterflyDense projections) -
+ * exactly the structure of Fig. 5 in the paper.
+ */
+#ifndef FABNET_NN_ATTENTION_H
+#define FABNET_NN_ATTENTION_H
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fabnet {
+namespace nn {
+
+/** Multi-head scaled-dot-product self-attention. */
+class MultiHeadAttention : public Layer
+{
+  public:
+    /**
+     * @param d_model  hidden size (must be divisible by @p heads)
+     * @param heads    number of attention heads
+     * @param proj_q/k/v/o  projection layers mapping d_model->d_model
+     * @param causal   mask future positions (decoder-style attention;
+     *                 the paper notes its design "is flexible and
+     *                 applicable to decoders too")
+     */
+    MultiHeadAttention(std::size_t d_model, std::size_t heads,
+                       std::unique_ptr<Layer> proj_q,
+                       std::unique_ptr<Layer> proj_k,
+                       std::unique_ptr<Layer> proj_v,
+                       std::unique_ptr<Layer> proj_o,
+                       bool causal = false);
+
+    bool causal() const { return causal_; }
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    void collectParams(std::vector<ParamRef> &out) override;
+
+    std::size_t heads() const { return heads_; }
+    std::size_t headDim() const { return d_model_ / heads_; }
+
+  private:
+    std::size_t d_model_, heads_;
+    bool causal_ = false;
+    std::unique_ptr<Layer> proj_q_, proj_k_, proj_v_, proj_o_;
+
+    // Forward caches.
+    Tensor q_, k_, v_;     // [b, t, d]
+    Tensor attn_;          // softmax scores, [b, heads*t, t]
+    std::size_t b_ = 0, t_ = 0;
+};
+
+} // namespace nn
+} // namespace fabnet
+
+#endif // FABNET_NN_ATTENTION_H

@@ -1,0 +1,159 @@
+#include "nn/basic_layers.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "butterfly/fft.h"
+
+namespace fabnet {
+namespace nn {
+
+LayerNorm::LayerNorm(std::size_t dim, float eps)
+    : dim_(dim), eps_(eps), gamma_(dim, 1.0f), beta_(dim, 0.0f),
+      ggamma_(dim, 0.0f), gbeta_(dim, 0.0f)
+{
+}
+
+Tensor
+LayerNorm::forward(const Tensor &x)
+{
+    if (x.shape().back() != dim_)
+        throw std::invalid_argument("LayerNorm::forward: dim mismatch");
+    const std::size_t rows = x.size() / dim_;
+    Tensor y(x.shape());
+    cached_xhat_ = Tensor(x.shape());
+    inv_std_.assign(rows, 0.0f);
+
+    const float *px = x.data();
+    float *py = y.data();
+    float *pxh = cached_xhat_.data();
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float *xr = px + r * dim_;
+        float mean = 0.0f;
+        for (std::size_t j = 0; j < dim_; ++j)
+            mean += xr[j];
+        mean /= static_cast<float>(dim_);
+        float var = 0.0f;
+        for (std::size_t j = 0; j < dim_; ++j) {
+            const float c = xr[j] - mean;
+            var += c * c;
+        }
+        var /= static_cast<float>(dim_);
+        const float inv = 1.0f / std::sqrt(var + eps_);
+        inv_std_[r] = inv;
+        for (std::size_t j = 0; j < dim_; ++j) {
+            const float xh = (xr[j] - mean) * inv;
+            pxh[r * dim_ + j] = xh;
+            py[r * dim_ + j] = gamma_[j] * xh + beta_[j];
+        }
+    }
+    return y;
+}
+
+Tensor
+LayerNorm::backward(const Tensor &grad_out)
+{
+    const std::size_t rows = grad_out.size() / dim_;
+    Tensor gx(grad_out.shape());
+    const float *pg = grad_out.data();
+    const float *pxh = cached_xhat_.data();
+    float *pgx = gx.data();
+    const float inv_d = 1.0f / static_cast<float>(dim_);
+
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float *gr = pg + r * dim_;
+        const float *xh = pxh + r * dim_;
+        // dL/dxhat_j = gamma_j * g_j; the projection terms remove the
+        // mean and the component along xhat.
+        float sum_gxh = 0.0f, sum_gxh_xh = 0.0f;
+        for (std::size_t j = 0; j < dim_; ++j) {
+            const float gxh = gamma_[j] * gr[j];
+            sum_gxh += gxh;
+            sum_gxh_xh += gxh * xh[j];
+            ggamma_[j] += gr[j] * xh[j];
+            gbeta_[j] += gr[j];
+        }
+        const float inv = inv_std_[r];
+        for (std::size_t j = 0; j < dim_; ++j) {
+            const float gxh = gamma_[j] * gr[j];
+            pgx[r * dim_ + j] =
+                inv * (gxh - inv_d * sum_gxh - xh[j] * inv_d * sum_gxh_xh);
+        }
+    }
+    return gx;
+}
+
+void
+LayerNorm::collectParams(std::vector<ParamRef> &out)
+{
+    out.push_back({&gamma_, &ggamma_});
+    out.push_back({&beta_, &gbeta_});
+}
+
+Tensor
+Relu::forward(const Tensor &x)
+{
+    cached_input_ = x;
+    Tensor y = x;
+    for (float &v : y.raw())
+        v = std::max(v, 0.0f);
+    return y;
+}
+
+Tensor
+Relu::backward(const Tensor &grad_out)
+{
+    Tensor gx = grad_out;
+    const float *px = cached_input_.data();
+    float *pg = gx.data();
+    for (std::size_t i = 0; i < gx.size(); ++i)
+        pg[i] = px[i] > 0.0f ? pg[i] : 0.0f;
+    return gx;
+}
+
+Tensor
+Gelu::forward(const Tensor &x)
+{
+    cached_input_ = x;
+    Tensor y = x;
+    constexpr float k = 0.7978845608028654f; // sqrt(2/pi)
+    for (float &v : y.raw()) {
+        const float inner = k * (v + 0.044715f * v * v * v);
+        v = 0.5f * v * (1.0f + std::tanh(inner));
+    }
+    return y;
+}
+
+Tensor
+Gelu::backward(const Tensor &grad_out)
+{
+    Tensor gx = grad_out;
+    const float *px = cached_input_.data();
+    float *pg = gx.data();
+    constexpr float k = 0.7978845608028654f;
+    for (std::size_t i = 0; i < gx.size(); ++i) {
+        const float x = px[i];
+        const float inner = k * (x + 0.044715f * x * x * x);
+        const float t = std::tanh(inner);
+        const float dinner = k * (1.0f + 3.0f * 0.044715f * x * x);
+        const float dgelu =
+            0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+        pg[i] *= dgelu;
+    }
+    return gx;
+}
+
+Tensor
+FourierMix::forward(const Tensor &x)
+{
+    return fourierMix2D(x);
+}
+
+Tensor
+FourierMix::backward(const Tensor &grad_out)
+{
+    return fourierMix2DAdjoint(grad_out);
+}
+
+} // namespace nn
+} // namespace fabnet

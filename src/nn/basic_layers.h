@@ -1,0 +1,71 @@
+/**
+ * @file basic_layers.h
+ * LayerNorm, activations and the FNet-style 2-D Fourier mixing layer.
+ */
+#ifndef FABNET_NN_BASIC_LAYERS_H
+#define FABNET_NN_BASIC_LAYERS_H
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fabnet {
+namespace nn {
+
+/** Layer normalisation over the last dimension, with affine params. */
+class LayerNorm : public Layer
+{
+  public:
+    explicit LayerNorm(std::size_t dim, float eps = 1e-5f);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    void collectParams(std::vector<ParamRef> &out) override;
+
+  private:
+    std::size_t dim_;
+    float eps_;
+    std::vector<float> gamma_, beta_;
+    std::vector<float> ggamma_, gbeta_;
+    Tensor cached_xhat_;          // normalised input
+    std::vector<float> inv_std_;  // per-row 1/sigma
+};
+
+/** ReLU activation. */
+class Relu : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    Tensor cached_input_;
+};
+
+/** GELU activation (tanh approximation). */
+class Gelu : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    Tensor cached_input_;
+};
+
+/**
+ * FNet 2-D Fourier token mixer: y = Re(FFT_seq(FFT_hidden(x))).
+ * Parameter-free; the backward pass uses the symmetry of the DFT
+ * matrix (adjoint of Re(F x) is Re(F g) on real inputs).
+ */
+class FourierMix : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+};
+
+} // namespace nn
+} // namespace fabnet
+
+#endif // FABNET_NN_BASIC_LAYERS_H

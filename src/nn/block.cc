@@ -1,0 +1,88 @@
+#include "nn/block.h"
+
+namespace fabnet {
+namespace nn {
+
+FeedForward::FeedForward(std::unique_ptr<Layer> lin1,
+                         std::unique_ptr<Layer> act,
+                         std::unique_ptr<Layer> lin2)
+    : lin1_(std::move(lin1)), act_(std::move(act)), lin2_(std::move(lin2))
+{
+}
+
+Tensor
+FeedForward::forward(const Tensor &x)
+{
+    return lin2_->forward(act_->forward(lin1_->forward(x)));
+}
+
+Tensor
+FeedForward::backward(const Tensor &grad_out)
+{
+    return lin1_->backward(act_->backward(lin2_->backward(grad_out)));
+}
+
+void
+FeedForward::collectParams(std::vector<ParamRef> &out)
+{
+    lin1_->collectParams(out);
+    act_->collectParams(out);
+    lin2_->collectParams(out);
+}
+
+EncoderBlock::EncoderBlock(std::size_t d_model,
+                           std::unique_ptr<Layer> mixer,
+                           std::unique_ptr<Layer> ffn)
+    : mixer_(std::move(mixer)), ffn_(std::move(ffn)), ln1_(d_model),
+      ln2_(d_model)
+{
+}
+
+Tensor
+EncoderBlock::forward(const Tensor &x)
+{
+    Tensor a = mixer_->forward(x);
+    float *pa = a.data();
+    const float *px = x.data();
+    for (std::size_t i = 0; i < a.size(); ++i)
+        pa[i] += px[i]; // shortcut
+    Tensor h = ln1_.forward(a);
+
+    Tensor f = ffn_->forward(h);
+    float *pf = f.data();
+    const float *ph = h.data();
+    for (std::size_t i = 0; i < f.size(); ++i)
+        pf[i] += ph[i]; // shortcut
+    return ln2_.forward(f);
+}
+
+Tensor
+EncoderBlock::backward(const Tensor &grad_out)
+{
+    Tensor g_hf = ln2_.backward(grad_out); // grad wrt (h + f)
+    Tensor g_h = ffn_->backward(g_hf);
+    float *pgh = g_h.data();
+    const float *pghf = g_hf.data();
+    for (std::size_t i = 0; i < g_h.size(); ++i)
+        pgh[i] += pghf[i]; // residual path
+
+    Tensor g_xa = ln1_.backward(g_h); // grad wrt (x + a)
+    Tensor g_x = mixer_->backward(g_xa);
+    float *pgx = g_x.data();
+    const float *pgxa = g_xa.data();
+    for (std::size_t i = 0; i < g_x.size(); ++i)
+        pgx[i] += pgxa[i]; // residual path
+    return g_x;
+}
+
+void
+EncoderBlock::collectParams(std::vector<ParamRef> &out)
+{
+    mixer_->collectParams(out);
+    ffn_->collectParams(out);
+    ln1_.collectParams(out);
+    ln2_.collectParams(out);
+}
+
+} // namespace nn
+} // namespace fabnet

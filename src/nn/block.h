@@ -1,0 +1,59 @@
+/**
+ * @file block.h
+ * Encoder blocks: the generic post-norm residual block used to build
+ * the vanilla Transformer, FNet and FABNet.
+ *
+ * Structure (Fig. 2 / Fig. 5 of the paper):
+ *
+ *     a = Mixer(x)              Mixer = MHA (vanilla / ABfly)
+ *     h = LN(x + a)                     or 2-D Fourier mix (FNet/FBfly)
+ *     f = W2( act( W1(h) ) )    W1/W2 dense or butterfly
+ *     y = LN(h + f)
+ */
+#ifndef FABNET_NN_BLOCK_H
+#define FABNET_NN_BLOCK_H
+
+#include <memory>
+#include <vector>
+
+#include "nn/basic_layers.h"
+#include "nn/layer.h"
+
+namespace fabnet {
+namespace nn {
+
+/** Two-layer feed-forward network with activation. */
+class FeedForward : public Layer
+{
+  public:
+    FeedForward(std::unique_ptr<Layer> lin1, std::unique_ptr<Layer> act,
+                std::unique_ptr<Layer> lin2);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    void collectParams(std::vector<ParamRef> &out) override;
+
+  private:
+    std::unique_ptr<Layer> lin1_, act_, lin2_;
+};
+
+/** Post-norm residual encoder block: mixer + FFN with layer norms. */
+class EncoderBlock : public Layer
+{
+  public:
+    EncoderBlock(std::size_t d_model, std::unique_ptr<Layer> mixer,
+                 std::unique_ptr<Layer> ffn);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    void collectParams(std::vector<ParamRef> &out) override;
+
+  private:
+    std::unique_ptr<Layer> mixer_, ffn_;
+    LayerNorm ln1_, ln2_;
+};
+
+} // namespace nn
+} // namespace fabnet
+
+#endif // FABNET_NN_BLOCK_H

@@ -1,0 +1,160 @@
+#include "nn/dense.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace fabnet {
+namespace nn {
+
+namespace {
+
+/** Rows when the last dim is treated as features. */
+std::size_t
+rowCount(const Tensor &x)
+{
+    return x.size() / x.shape().back();
+}
+
+} // namespace
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng &rng)
+    : in_(in_features), out_(out_features), w_(in_ * out_), b_(out_, 0.0f),
+      gw_(in_ * out_, 0.0f), gb_(out_, 0.0f)
+{
+    // Kaiming-style init keeps activations stable for ReLU/GELU nets.
+    const float stddev = std::sqrt(2.0f / static_cast<float>(in_));
+    for (float &v : w_)
+        v = rng.normal(stddev);
+}
+
+Tensor
+Dense::forward(const Tensor &x)
+{
+    if (x.shape().back() != in_)
+        throw std::invalid_argument("Dense::forward: feature mismatch");
+    cached_input_ = x;
+    const std::size_t rows = rowCount(x);
+
+    std::vector<std::size_t> out_shape = x.shape();
+    out_shape.back() = out_;
+    Tensor y(out_shape);
+
+    const float *px = x.data();
+    float *py = y.data();
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float *xr = px + r * in_;
+        float *yr = py + r * out_;
+        for (std::size_t o = 0; o < out_; ++o) {
+            const float *wr = &w_[o * in_];
+            float acc = b_[o];
+            for (std::size_t i = 0; i < in_; ++i)
+                acc += wr[i] * xr[i];
+            yr[o] = acc;
+        }
+    }
+    return y;
+}
+
+Tensor
+Dense::backward(const Tensor &grad_out)
+{
+    const Tensor &x = cached_input_;
+    const std::size_t rows = rowCount(x);
+    if (grad_out.shape().back() != out_ || rowCount(grad_out) != rows)
+        throw std::invalid_argument("Dense::backward: shape mismatch");
+
+    Tensor gx(x.shape());
+    const float *pg = grad_out.data();
+    const float *px = x.data();
+    float *pgx = gx.data();
+
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float *gr = pg + r * out_;
+        const float *xr = px + r * in_;
+        float *gxr = pgx + r * in_;
+        for (std::size_t o = 0; o < out_; ++o) {
+            const float g = gr[o];
+            if (g == 0.0f)
+                continue;
+            gb_[o] += g;
+            float *gwr = &gw_[o * in_];
+            const float *wr = &w_[o * in_];
+            for (std::size_t i = 0; i < in_; ++i) {
+                gwr[i] += g * xr[i];
+                gxr[i] += g * wr[i];
+            }
+        }
+    }
+    return gx;
+}
+
+void
+Dense::collectParams(std::vector<ParamRef> &out)
+{
+    out.push_back({&w_, &gw_});
+    out.push_back({&b_, &gb_});
+}
+
+ButterflyDense::ButterflyDense(std::size_t in_features,
+                               std::size_t out_features, Rng &rng)
+    : op_(in_features, out_features), grad_bias_(out_features, 0.0f)
+{
+    op_.initRandomRotation(rng);
+    grad_cores_.resize(op_.numCores());
+    for (std::size_t c = 0; c < op_.numCores(); ++c)
+        grad_cores_[c].assign(op_.core(c).numWeights(), 0.0f);
+}
+
+Tensor
+ButterflyDense::forward(const Tensor &x)
+{
+    if (x.shape().back() != op_.inFeatures())
+        throw std::invalid_argument(
+            "ButterflyDense::forward: feature mismatch");
+    in_shape_ = x.shape();
+    rows_ = x.size() / op_.inFeatures();
+
+    std::vector<std::size_t> out_shape = x.shape();
+    out_shape.back() = op_.outFeatures();
+    Tensor y(out_shape);
+
+    const std::size_t cache_per_row = op_.cacheSize();
+    caches_.assign(rows_ * cache_per_row, 0.0f);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        op_.forwardWithCache(x.data() + r * op_.inFeatures(),
+                             y.data() + r * op_.outFeatures(),
+                             caches_.data() + r * cache_per_row);
+    }
+    return y;
+}
+
+Tensor
+ButterflyDense::backward(const Tensor &grad_out)
+{
+    if (grad_out.shape().back() != op_.outFeatures() ||
+        grad_out.size() / op_.outFeatures() != rows_)
+        throw std::invalid_argument(
+            "ButterflyDense::backward: shape mismatch");
+
+    Tensor gx(in_shape_);
+    const std::size_t cache_per_row = op_.cacheSize();
+    for (std::size_t r = 0; r < rows_; ++r) {
+        op_.backward(caches_.data() + r * cache_per_row,
+                     grad_out.data() + r * op_.outFeatures(),
+                     gx.data() + r * op_.inFeatures(), grad_cores_,
+                     grad_bias_);
+    }
+    return gx;
+}
+
+void
+ButterflyDense::collectParams(std::vector<ParamRef> &out)
+{
+    for (std::size_t c = 0; c < op_.numCores(); ++c)
+        out.push_back({&op_.core(c).weights(), &grad_cores_[c]});
+    out.push_back({&op_.bias(), &grad_bias_});
+}
+
+} // namespace nn
+} // namespace fabnet

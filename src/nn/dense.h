@@ -1,0 +1,72 @@
+/**
+ * @file dense.h
+ * Dense (fully-connected) layer and its butterfly-factorised drop-in
+ * replacement. Both map the last dimension of a [b, t, in] tensor to
+ * [b, t, out]; which one a model uses is exactly the algorithmic knob
+ * the paper turns (vanilla Transformer vs FABNet).
+ */
+#ifndef FABNET_NN_DENSE_H
+#define FABNET_NN_DENSE_H
+
+#include <vector>
+
+#include "butterfly/butterfly.h"
+#include "nn/layer.h"
+#include "tensor/rng.h"
+
+namespace fabnet {
+namespace nn {
+
+/** Standard dense layer y = x W^T + b with W of shape [out, in]. */
+class Dense : public Layer
+{
+  public:
+    Dense(std::size_t in_features, std::size_t out_features, Rng &rng);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    void collectParams(std::vector<ParamRef> &out) override;
+
+    std::size_t inFeatures() const { return in_; }
+    std::size_t outFeatures() const { return out_; }
+
+    std::vector<float> &weight() { return w_; }
+    std::vector<float> &bias() { return b_; }
+
+  private:
+    std::size_t in_, out_;
+    std::vector<float> w_, b_;
+    std::vector<float> gw_, gb_;
+    Tensor cached_input_;
+};
+
+/**
+ * Butterfly-factorised linear layer (the FABNet replacement for every
+ * dense projection). Parameter count O(n log n) instead of O(n^2).
+ */
+class ButterflyDense : public Layer
+{
+  public:
+    ButterflyDense(std::size_t in_features, std::size_t out_features,
+                   Rng &rng);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    void collectParams(std::vector<ParamRef> &out) override;
+
+    const ButterflyLinear &op() const { return op_; }
+    ButterflyLinear &op() { return op_; }
+
+  private:
+    ButterflyLinear op_;
+    std::vector<std::vector<float>> grad_cores_;
+    std::vector<float> grad_bias_;
+    std::vector<float> caches_; // per-row activation caches
+    std::vector<std::size_t> in_shape_;
+    std::size_t rows_ = 0;
+};
+
+} // namespace nn
+} // namespace fabnet
+
+#endif // FABNET_NN_DENSE_H

@@ -1,0 +1,206 @@
+#include "nn/embedding.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fabnet {
+namespace nn {
+
+Embedding::Embedding(std::size_t vocab, std::size_t max_seq,
+                     std::size_t d_model, Rng &rng)
+    : vocab_(vocab), max_seq_(max_seq), d_(d_model), tok_(vocab * d_model),
+      pos_(max_seq * d_model), gtok_(vocab * d_model, 0.0f),
+      gpos_(max_seq * d_model, 0.0f)
+{
+    const float stddev = 0.02f;
+    for (float &v : tok_)
+        v = rng.normal(stddev);
+    for (float &v : pos_)
+        v = rng.normal(stddev);
+}
+
+Tensor
+Embedding::forward(const std::vector<int> &tokens, std::size_t batch,
+                   std::size_t seq)
+{
+    if (tokens.size() != batch * seq)
+        throw std::invalid_argument("Embedding: token count mismatch");
+    if (seq > max_seq_)
+        throw std::invalid_argument("Embedding: sequence too long");
+    cached_tokens_ = tokens;
+    b_ = batch;
+    t_ = seq;
+
+    Tensor y = Tensor::zeros(batch, seq, d_);
+    float *py = y.data();
+    for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t t = 0; t < seq; ++t) {
+            const int id = tokens[b * seq + t];
+            if (id < 0 || static_cast<std::size_t>(id) >= vocab_)
+                throw std::out_of_range("Embedding: token id out of range");
+            const float *te = &tok_[static_cast<std::size_t>(id) * d_];
+            const float *pe = &pos_[t * d_];
+            float *row = py + (b * seq + t) * d_;
+            for (std::size_t j = 0; j < d_; ++j)
+                row[j] = te[j] + pe[j];
+        }
+    }
+    return y;
+}
+
+void
+Embedding::backward(const Tensor &grad_out)
+{
+    const float *pg = grad_out.data();
+    for (std::size_t b = 0; b < b_; ++b) {
+        for (std::size_t t = 0; t < t_; ++t) {
+            const int id = cached_tokens_[b * t_ + t];
+            float *gt = &gtok_[static_cast<std::size_t>(id) * d_];
+            float *gp = &gpos_[t * d_];
+            const float *row = pg + (b * t_ + t) * d_;
+            for (std::size_t j = 0; j < d_; ++j) {
+                gt[j] += row[j];
+                gp[j] += row[j];
+            }
+        }
+    }
+}
+
+void
+Embedding::collectParams(std::vector<ParamRef> &out)
+{
+    out.push_back({&tok_, &gtok_});
+    out.push_back({&pos_, &gpos_});
+}
+
+MeanPoolClassifier::MeanPoolClassifier(std::size_t d_model,
+                                       std::size_t classes, Rng &rng)
+    : d_(d_model), classes_(classes), w_(classes * d_model),
+      b_(classes, 0.0f), gw_(classes * d_model, 0.0f), gb_(classes, 0.0f)
+{
+    const float stddev = std::sqrt(2.0f / static_cast<float>(d_model));
+    for (float &v : w_)
+        v = rng.normal(stddev);
+}
+
+Tensor
+MeanPoolClassifier::forward(const Tensor &x)
+{
+    if (x.rank() != 3 || x.dim(2) != d_)
+        throw std::invalid_argument("MeanPoolClassifier: [b,t,d] required");
+    batch_ = x.dim(0);
+    t_ = x.dim(1);
+
+    cached_pooled_ = Tensor::zeros(batch_, d_);
+    const float inv_t = 1.0f / static_cast<float>(t_);
+    for (std::size_t b = 0; b < batch_; ++b) {
+        float *pool = cached_pooled_.data() + b * d_;
+        for (std::size_t t = 0; t < t_; ++t) {
+            const float *row = x.data() + (b * t_ + t) * d_;
+            for (std::size_t j = 0; j < d_; ++j)
+                pool[j] += row[j] * inv_t;
+        }
+    }
+
+    Tensor logits = Tensor::zeros(batch_, classes_);
+    for (std::size_t b = 0; b < batch_; ++b) {
+        const float *pool = cached_pooled_.data() + b * d_;
+        float *lr = logits.data() + b * classes_;
+        for (std::size_t c = 0; c < classes_; ++c) {
+            const float *wr = &w_[c * d_];
+            float acc = b_[c];
+            for (std::size_t j = 0; j < d_; ++j)
+                acc += wr[j] * pool[j];
+            lr[c] = acc;
+        }
+    }
+    return logits;
+}
+
+Tensor
+MeanPoolClassifier::backward(const Tensor &grad_logits)
+{
+    Tensor gx = Tensor::zeros(batch_, t_, d_);
+    const float inv_t = 1.0f / static_cast<float>(t_);
+    std::vector<float> gpool(d_);
+    for (std::size_t b = 0; b < batch_; ++b) {
+        const float *gl = grad_logits.data() + b * classes_;
+        const float *pool = cached_pooled_.data() + b * d_;
+        std::fill(gpool.begin(), gpool.end(), 0.0f);
+        for (std::size_t c = 0; c < classes_; ++c) {
+            const float g = gl[c];
+            gb_[c] += g;
+            float *gwr = &gw_[c * d_];
+            const float *wr = &w_[c * d_];
+            for (std::size_t j = 0; j < d_; ++j) {
+                gwr[j] += g * pool[j];
+                gpool[j] += g * wr[j];
+            }
+        }
+        for (std::size_t t = 0; t < t_; ++t) {
+            float *row = gx.data() + (b * t_ + t) * d_;
+            for (std::size_t j = 0; j < d_; ++j)
+                row[j] = gpool[j] * inv_t;
+        }
+    }
+    return gx;
+}
+
+void
+MeanPoolClassifier::collectParams(std::vector<ParamRef> &out)
+{
+    out.push_back({&w_, &gw_});
+    out.push_back({&b_, &gb_});
+}
+
+float
+softmaxCrossEntropy(const Tensor &logits, const std::vector<int> &labels,
+                    Tensor &grad_logits)
+{
+    const std::size_t batch = logits.dim(0);
+    const std::size_t classes = logits.dim(1);
+    if (labels.size() != batch)
+        throw std::invalid_argument("softmaxCrossEntropy: label count");
+
+    grad_logits = Tensor::zeros(batch, classes);
+    double loss = 0.0;
+    const float inv_b = 1.0f / static_cast<float>(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        const float *lr = logits.data() + b * classes;
+        float *gr = grad_logits.data() + b * classes;
+        float mx = lr[0];
+        for (std::size_t c = 1; c < classes; ++c)
+            mx = std::max(mx, lr[c]);
+        double denom = 0.0;
+        for (std::size_t c = 0; c < classes; ++c)
+            denom += std::exp(static_cast<double>(lr[c] - mx));
+        const int y = labels[b];
+        loss -= (static_cast<double>(lr[y] - mx) - std::log(denom));
+        for (std::size_t c = 0; c < classes; ++c) {
+            const float p = static_cast<float>(
+                std::exp(static_cast<double>(lr[c] - mx)) / denom);
+            gr[c] = (p - (static_cast<int>(c) == y ? 1.0f : 0.0f)) * inv_b;
+        }
+    }
+    return static_cast<float>(loss / batch);
+}
+
+std::vector<int>
+argmaxRows(const Tensor &logits)
+{
+    const std::size_t batch = logits.dim(0);
+    const std::size_t classes = logits.dim(1);
+    std::vector<int> out(batch, 0);
+    for (std::size_t b = 0; b < batch; ++b) {
+        const float *lr = logits.data() + b * classes;
+        int best = 0;
+        for (std::size_t c = 1; c < classes; ++c)
+            if (lr[c] > lr[best])
+                best = static_cast<int>(c);
+        out[b] = best;
+    }
+    return out;
+}
+
+} // namespace nn
+} // namespace fabnet

@@ -1,0 +1,80 @@
+/**
+ * @file embedding.h
+ * Token + learned positional embedding, and the pooled classifier head.
+ */
+#ifndef FABNET_NN_EMBEDDING_H
+#define FABNET_NN_EMBEDDING_H
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/rng.h"
+
+namespace fabnet {
+namespace nn {
+
+/** Token embedding with learned positional embedding added. */
+class Embedding
+{
+  public:
+    Embedding(std::size_t vocab, std::size_t max_seq, std::size_t d_model,
+              Rng &rng);
+
+    /** tokens is a flat [batch*seq] id array. */
+    Tensor forward(const std::vector<int> &tokens, std::size_t batch,
+                   std::size_t seq);
+
+    /** Accumulate gradients into the embedding tables. */
+    void backward(const Tensor &grad_out);
+
+    void collectParams(std::vector<ParamRef> &out);
+
+    std::size_t vocab() const { return vocab_; }
+    std::size_t dModel() const { return d_; }
+
+  private:
+    std::size_t vocab_, max_seq_, d_;
+    std::vector<float> tok_, pos_;
+    std::vector<float> gtok_, gpos_;
+    std::vector<int> cached_tokens_;
+    std::size_t b_ = 0, t_ = 0;
+};
+
+/** Mean-pool over the sequence followed by a dense classifier. */
+class MeanPoolClassifier
+{
+  public:
+    MeanPoolClassifier(std::size_t d_model, std::size_t classes, Rng &rng);
+
+    /** [b, t, d] -> logits [b, classes]. */
+    Tensor forward(const Tensor &x);
+
+    /** dL/dlogits [b, classes] -> dL/dx [b, t, d]. */
+    Tensor backward(const Tensor &grad_logits);
+
+    void collectParams(std::vector<ParamRef> &out);
+
+  private:
+    std::size_t d_, classes_;
+    std::vector<float> w_, b_;
+    std::vector<float> gw_, gb_;
+    Tensor cached_pooled_; // [b, d]
+    std::size_t batch_ = 0, t_ = 0;
+};
+
+/**
+ * Softmax cross-entropy loss.
+ * @return mean loss over the batch; @p grad_logits receives dL/dlogits.
+ */
+float softmaxCrossEntropy(const Tensor &logits,
+                          const std::vector<int> &labels,
+                          Tensor &grad_logits);
+
+/** Argmax predictions of a [b, classes] logits tensor. */
+std::vector<int> argmaxRows(const Tensor &logits);
+
+} // namespace nn
+} // namespace fabnet
+
+#endif // FABNET_NN_EMBEDDING_H

@@ -1,0 +1,48 @@
+/**
+ * @file gradcheck.h
+ * Finite-difference gradient checking used by the test suite to verify
+ * every analytic backward pass in the framework.
+ */
+#ifndef FABNET_NN_GRADCHECK_H
+#define FABNET_NN_GRADCHECK_H
+
+#include <functional>
+
+#include "nn/layer.h"
+
+namespace fabnet {
+namespace nn {
+
+/** Result of a gradient check: worst relative error observed. */
+struct GradCheckResult
+{
+    float max_rel_error = 0.0f;
+    float max_abs_error = 0.0f;
+    bool passed = false;
+};
+
+/**
+ * Check dL/d(input) of @p layer at @p x against central differences,
+ * where L = sum(layer(x) * probe) for a fixed random probe.
+ *
+ * @param tol relative-error tolerance (absolute fallback for tiny
+ *            gradients).
+ */
+GradCheckResult checkInputGrad(Layer &layer, const Tensor &x,
+                               unsigned seed = 7, float eps = 1e-3f,
+                               float tol = 2e-2f);
+
+/**
+ * Check dL/d(params) of @p layer at @p x against central differences.
+ * Checks up to @p max_coords randomly chosen coordinates per parameter
+ * vector to keep test time bounded.
+ */
+GradCheckResult checkParamGrad(Layer &layer, const Tensor &x,
+                               unsigned seed = 7, float eps = 1e-3f,
+                               float tol = 2e-2f,
+                               std::size_t max_coords = 24);
+
+} // namespace nn
+} // namespace fabnet
+
+#endif // FABNET_NN_GRADCHECK_H

@@ -1,0 +1,76 @@
+/**
+ * @file layer.h
+ * Abstract layer interface for the minimal training framework.
+ *
+ * The framework is deliberately explicit (no autograd tape): each layer
+ * caches what its backward pass needs during forward and exposes its
+ * parameters as (value, grad) vector pairs for the optimiser. Models
+ * in this repo are small enough that clarity beats generality, and the
+ * explicit backward passes double as documentation of the math the
+ * hardware executes.
+ */
+#ifndef FABNET_NN_LAYER_H
+#define FABNET_NN_LAYER_H
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fabnet {
+namespace nn {
+
+/** A trainable parameter: flat value vector plus its gradient. */
+struct ParamRef
+{
+    std::vector<float> *value;
+    std::vector<float> *grad;
+};
+
+/** Base class of all layers operating on [batch, seq, hidden] tensors. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /**
+     * Forward pass. Layers cache activations needed by backward();
+     * calling forward twice overwrites the cache of the first call.
+     */
+    virtual Tensor forward(const Tensor &x) = 0;
+
+    /**
+     * Backward pass: given dL/d(output) returns dL/d(input) and
+     * accumulates (+=) parameter gradients.
+     */
+    virtual Tensor backward(const Tensor &grad_out) = 0;
+
+    /** Append this layer's parameters to @p out. */
+    virtual void collectParams(std::vector<ParamRef> &out)
+    {
+        (void)out;
+    }
+
+    /** Number of trainable scalars. */
+    std::size_t numParams()
+    {
+        std::vector<ParamRef> ps;
+        collectParams(ps);
+        std::size_t n = 0;
+        for (const auto &p : ps)
+            n += p.value->size();
+        return n;
+    }
+};
+
+/** Zero every gradient in @p params. */
+inline void
+zeroGrads(const std::vector<ParamRef> &params)
+{
+    for (const auto &p : params)
+        std::fill(p.grad->begin(), p.grad->end(), 0.0f);
+}
+
+} // namespace nn
+} // namespace fabnet
+
+#endif // FABNET_NN_LAYER_H

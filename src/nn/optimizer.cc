@@ -1,0 +1,93 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace fabnet {
+namespace nn {
+
+Sgd::Sgd(std::vector<ParamRef> params, float lr, float momentum)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum)
+{
+    if (momentum_ != 0.0f) {
+        velocity_.resize(params_.size());
+        for (std::size_t i = 0; i < params_.size(); ++i)
+            velocity_[i].assign(params_[i].value->size(), 0.0f);
+    }
+}
+
+void
+Sgd::step()
+{
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        auto &w = *params_[i].value;
+        auto &g = *params_[i].grad;
+        if (momentum_ != 0.0f) {
+            auto &vel = velocity_[i];
+            for (std::size_t j = 0; j < w.size(); ++j) {
+                vel[j] = momentum_ * vel[j] - lr_ * g[j];
+                w[j] += vel[j];
+            }
+        } else {
+            for (std::size_t j = 0; j < w.size(); ++j)
+                w[j] -= lr_ * g[j];
+        }
+        std::fill(g.begin(), g.end(), 0.0f);
+    }
+}
+
+Adam::Adam(std::vector<ParamRef> params, float lr, float beta1, float beta2,
+           float eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps)
+{
+    m_.resize(params_.size());
+    v_.resize(params_.size());
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        m_[i].assign(params_[i].value->size(), 0.0f);
+        v_[i].assign(params_[i].value->size(), 0.0f);
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    const float bc1 =
+        1.0f - std::pow(beta1_, static_cast<float>(t_));
+    const float bc2 =
+        1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        auto &w = *params_[i].value;
+        auto &g = *params_[i].grad;
+        auto &m = m_[i];
+        auto &v = v_[i];
+        for (std::size_t j = 0; j < w.size(); ++j) {
+            m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+            v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+            const float mhat = m[j] / bc1;
+            const float vhat = v[j] / bc2;
+            w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+        }
+        std::fill(g.begin(), g.end(), 0.0f);
+    }
+}
+
+float
+clipGradNorm(const std::vector<ParamRef> &params, float max_norm)
+{
+    double sq = 0.0;
+    for (const auto &p : params)
+        for (float g : *p.grad)
+            sq += static_cast<double>(g) * g;
+    const float norm = static_cast<float>(std::sqrt(sq));
+    if (norm > max_norm && norm > 0.0f) {
+        const float scale = max_norm / norm;
+        for (const auto &p : params)
+            for (float &g : *p.grad)
+                g *= scale;
+    }
+    return norm;
+}
+
+} // namespace nn
+} // namespace fabnet

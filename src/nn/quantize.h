@@ -1,0 +1,42 @@
+/**
+ * @file quantize.h
+ * fp16 weight quantisation. The accelerator stores all weights and
+ * activations as 16-bit floats (Sec. VI-A); quantising a trained
+ * model's parameters through Half and re-evaluating bounds the
+ * deployment-time accuracy impact.
+ */
+#ifndef FABNET_NN_QUANTIZE_H
+#define FABNET_NN_QUANTIZE_H
+
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/half.h"
+
+namespace fabnet {
+namespace nn {
+
+/** Round every parameter to the nearest fp16 value, in place. */
+inline void
+quantizeParamsToHalf(const std::vector<ParamRef> &params)
+{
+    for (const auto &p : params)
+        for (float &w : *p.value)
+            w = roundToHalf(w);
+}
+
+/** Largest absolute change quantisation would cause (dry run). */
+inline float
+maxQuantizationError(const std::vector<ParamRef> &params)
+{
+    float m = 0.0f;
+    for (const auto &p : params)
+        for (float w : *p.value)
+            m = std::max(m, std::abs(w - roundToHalf(w)));
+    return m;
+}
+
+} // namespace nn
+} // namespace fabnet
+
+#endif // FABNET_NN_QUANTIZE_H

@@ -1,0 +1,94 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <cstdio>
+#include <memory>
+
+namespace fabnet {
+namespace nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'A', 'B', 'W'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool
+writeValue(std::FILE *f, const T &v)
+{
+    return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool
+readValue(std::FILE *f, T &v)
+{
+    return std::fread(&v, sizeof(T), 1, f) == 1;
+}
+
+} // namespace
+
+bool
+saveParams(const std::vector<ParamRef> &params, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+    if (std::fwrite(kMagic, 1, 4, f.get()) != 4)
+        return false;
+    if (!writeValue(f.get(), kVersion))
+        return false;
+    const std::uint64_t count = params.size();
+    if (!writeValue(f.get(), count))
+        return false;
+    for (const auto &p : params) {
+        const std::uint64_t len = p.value->size();
+        if (!writeValue(f.get(), len))
+            return false;
+        if (len && std::fwrite(p.value->data(), sizeof(float), len,
+                               f.get()) != len)
+            return false;
+    }
+    return true;
+}
+
+bool
+loadParams(const std::vector<ParamRef> &params, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+    char magic[4];
+    if (std::fread(magic, 1, 4, f.get()) != 4 ||
+        std::memcmp(magic, kMagic, 4) != 0)
+        return false;
+    std::uint32_t version = 0;
+    if (!readValue(f.get(), version) || version != kVersion)
+        return false;
+    std::uint64_t count = 0;
+    if (!readValue(f.get(), count) || count != params.size())
+        return false;
+    for (const auto &p : params) {
+        std::uint64_t len = 0;
+        if (!readValue(f.get(), len) || len != p.value->size())
+            return false;
+        if (len && std::fread(p.value->data(), sizeof(float), len,
+                              f.get()) != len)
+            return false;
+    }
+    return true;
+}
+
+} // namespace nn
+} // namespace fabnet

@@ -1,0 +1,37 @@
+/**
+ * @file serialize.h
+ * Binary save/load of model parameters so trained models can be
+ * checkpointed and deployed (e.g. trained once, then replayed onto
+ * the functional hardware model or quantised for the accelerator).
+ *
+ * Format: magic "FABW", u32 version, u64 count of parameter vectors,
+ * then per vector a u64 length and that many f32 values, little
+ * endian.
+ */
+#ifndef FABNET_NN_SERIALIZE_H
+#define FABNET_NN_SERIALIZE_H
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fabnet {
+namespace nn {
+
+/** Write all parameter values to @p path. @return success. */
+bool saveParams(const std::vector<ParamRef> &params,
+                const std::string &path);
+
+/**
+ * Load parameter values from @p path into @p params.
+ * The layout (vector count and sizes) must match exactly.
+ * @return success.
+ */
+bool loadParams(const std::vector<ParamRef> &params,
+                const std::string &path);
+
+} // namespace nn
+} // namespace fabnet
+
+#endif // FABNET_NN_SERIALIZE_H

@@ -1,0 +1,384 @@
+#include "sim/accelerator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "butterfly/fft.h"
+
+namespace fabnet {
+namespace sim {
+
+std::string
+AcceleratorConfig::describe() const
+{
+    std::ostringstream os;
+    os << "<P_be=" << p_be << ", P_bu=" << p_bu << ", P_head=" << p_head
+       << ", P_qk=" << p_qk << ", P_sv=" << p_sv << ", "
+       << freq_ghz * 1e3 << " MHz, " << bw_gbps << " GB/s, "
+       << multipliers() << " mult>";
+    return os.str();
+}
+
+AcceleratorConfig
+vcu128Server()
+{
+    AcceleratorConfig c;
+    c.p_be = 120; // BE-120: 120*4*4 = 1920 multipliers (Sec. VI-E)
+    c.p_bu = 4;
+    c.p_head = 0;
+    c.p_qk = 0;
+    c.p_sv = 0;
+    c.freq_ghz = 0.2;
+    c.bw_gbps = 450.0; // one HBM stack
+    return c;
+}
+
+AcceleratorConfig
+vcu128Sota()
+{
+    AcceleratorConfig c;
+    c.p_be = 40; // BE-40: 640 DSPs to match the 128-mult/1 GHz ASICs
+    c.p_bu = 4;
+    c.p_head = 0;
+    c.p_qk = 0;
+    c.p_sv = 0;
+    c.freq_ghz = 0.2;
+    c.bw_gbps = 450.0;
+    return c;
+}
+
+AcceleratorConfig
+zynqEdge()
+{
+    AcceleratorConfig c;
+    c.p_be = 32; // 512 multipliers (Sec. VI-E edge scenario)
+    c.p_bu = 4;
+    c.p_head = 0;
+    c.p_qk = 0;
+    c.p_sv = 0;
+    c.freq_ghz = 0.2;
+    c.bw_gbps = 19.2; // DDR4-2400 x64
+    return c;
+}
+
+namespace {
+
+std::size_t
+padPow2(std::size_t n)
+{
+    return std::max<std::size_t>(nextPowerOfTwo(n), 2);
+}
+
+LayerOp
+butterflyLinearOp(const std::string &label, std::size_t rows,
+                  std::size_t in_feats, std::size_t out_feats)
+{
+    LayerOp op;
+    op.kind = OpKind::ButterflyLinear;
+    op.label = label;
+    op.rows = rows;
+    op.n = padPow2(in_feats);
+    op.cores = (out_feats + op.n - 1) / op.n;
+    op.in_feats = in_feats;
+    op.out_feats = out_feats;
+    // 4 weights per pair, N/2 pairs per stage, log2 N stages, per core.
+    op.weight_values = op.cores * 2 * op.n * log2Exact(op.n);
+    return op;
+}
+
+LayerOp
+fftOp(const std::string &label, std::size_t rows, std::size_t n,
+      bool complex_in, bool complex_out)
+{
+    LayerOp op;
+    op.kind = OpKind::Fft;
+    op.label = label;
+    op.rows = rows;
+    op.n = padPow2(n);
+    op.in_feats = n;
+    op.out_feats = n;
+    op.complex_in = complex_in;
+    op.complex_out = complex_out;
+    return op;
+}
+
+LayerOp
+postOp(const std::string &label, std::size_t rows, std::size_t feats)
+{
+    LayerOp op;
+    op.kind = OpKind::PostProcess;
+    op.label = label;
+    op.rows = rows;
+    op.in_feats = feats;
+    op.out_feats = feats;
+    return op;
+}
+
+void
+appendFfn(std::vector<LayerOp> &trace, const std::string &prefix,
+          const ModelConfig &cfg, std::size_t seq)
+{
+    const std::size_t d = cfg.d_hid;
+    const std::size_t h = cfg.ffnHidden();
+    trace.push_back(butterflyLinearOp(prefix + ".ffn1", seq, d, h));
+    trace.push_back(butterflyLinearOp(prefix + ".ffn2", seq, h, d));
+    trace.push_back(postOp(prefix + ".ln2", seq, d));
+}
+
+} // namespace
+
+std::vector<LayerOp>
+buildFabnetTrace(const ModelConfig &cfg, std::size_t seq)
+{
+    if (cfg.kind != ModelKind::FABNet)
+        throw std::invalid_argument(
+            "buildFabnetTrace: only FABNet maps onto the butterfly "
+            "accelerator");
+    std::vector<LayerOp> trace;
+    const std::size_t d = cfg.d_hid;
+    const std::size_t n_fbfly = cfg.n_total - cfg.n_abfly;
+
+    for (std::size_t blk = 0; blk < cfg.n_total; ++blk) {
+        std::ostringstream pre;
+        const bool is_fbfly = blk < n_fbfly;
+        pre << (is_fbfly ? "fbfly" : "abfly") << blk;
+        const std::string prefix = pre.str();
+
+        if (is_fbfly) {
+            // 2-D Fourier mixing: FFT along hidden (real -> complex),
+            // transpose via off-chip, FFT along sequence
+            // (complex -> real part kept).
+            trace.push_back(fftOp(prefix + ".fft_hidden", seq, d,
+                                  /*complex_in=*/false,
+                                  /*complex_out=*/true));
+            trace.push_back(fftOp(prefix + ".fft_seq", d, seq,
+                                  /*complex_in=*/true,
+                                  /*complex_out=*/false));
+            trace.push_back(postOp(prefix + ".ln1", seq, d));
+        } else {
+            // ABfly: K and V first so Q can stream into QK (Fig. 14).
+            trace.push_back(
+                butterflyLinearOp(prefix + ".proj_k", seq, d, d));
+            trace.push_back(
+                butterflyLinearOp(prefix + ".proj_v", seq, d, d));
+            trace.push_back(
+                butterflyLinearOp(prefix + ".proj_q", seq, d, d));
+
+            LayerOp qk;
+            qk.kind = OpKind::AttentionQK;
+            qk.label = prefix + ".qk";
+            qk.heads = cfg.heads;
+            qk.seq = seq;
+            qk.head_dim = d / cfg.heads;
+            qk.rows = seq;
+            qk.causal = cfg.causal;
+            trace.push_back(qk);
+
+            LayerOp sv = qk;
+            sv.kind = OpKind::AttentionSV;
+            sv.label = prefix + ".sv";
+            trace.push_back(sv);
+
+            trace.push_back(
+                butterflyLinearOp(prefix + ".proj_o", seq, d, d));
+            trace.push_back(postOp(prefix + ".ln1", seq, d));
+        }
+        appendFfn(trace, prefix, cfg, seq);
+    }
+    return trace;
+}
+
+namespace {
+
+/** Cycles to push one N-point row through a BE: Fig. 6b datapath. */
+double
+perRowCycles(std::size_t n, std::size_t p_bu)
+{
+    const double per_stage = std::ceil(
+        static_cast<double>(n / 2) / static_cast<double>(p_bu));
+    return static_cast<double>(log2Exact(n)) * per_stage;
+}
+
+OpLatency
+latencyBpOp(const LayerOp &op, const AcceleratorConfig &hw)
+{
+    OpLatency lat;
+    lat.label = op.label;
+    lat.kind = op.kind;
+
+    const double rows_total =
+        static_cast<double>(op.rows) * static_cast<double>(op.cores);
+    const double tiles =
+        std::ceil(rows_total / static_cast<double>(hw.p_be));
+    const double row_cycles = perRowCycles(op.n, hw.p_bu);
+    lat.compute_cycles = tiles * row_cycles;
+
+    const double db = static_cast<double>(hw.data_bytes);
+    const double in_width = op.complex_in ? 2.0 : 1.0;
+    const double out_width = op.complex_out ? 2.0 : 1.0;
+    const double bytes_in =
+        static_cast<double>(op.rows) * op.in_feats * in_width * db;
+    const double bytes_out =
+        static_cast<double>(op.rows) * op.out_feats * out_width * db;
+    const double bytes_w = static_cast<double>(op.weight_values) * db;
+    const double bpc = hw.bytesPerCycle();
+    lat.mem_cycles = (bytes_in + bytes_out + bytes_w) / bpc;
+
+    const double in_t = bytes_in / tiles / bpc;
+    const double out_t = bytes_out / tiles / bpc;
+    const double w_t = bytes_w / bpc;
+
+    if (!hw.double_buffer) {
+        lat.total_cycles =
+            w_t + tiles * (in_t + row_cycles + out_t);
+    } else if (op.kind == OpKind::ButterflyLinear) {
+        // Fig. 13a: input load, compute and output store all overlap
+        // in steady state thanks to the independent ping-pong banks;
+        // weights stream in once up front.
+        const double steady = std::max({row_cycles, in_t, out_t});
+        lat.total_cycles = w_t + in_t + tiles * steady + out_t;
+    } else {
+        // Fig. 13b: the FFT needs read+write access to its bank while
+        // computing, so only the output store overlaps the next load.
+        const double in_or_out = std::max(in_t, out_t);
+        lat.total_cycles = in_t + row_cycles +
+                           (tiles - 1.0) * (in_or_out + row_cycles) +
+                           out_t;
+    }
+    lat.memory_bound = lat.mem_cycles > lat.compute_cycles;
+    return lat;
+}
+
+OpLatency
+latencyApOp(const LayerOp &op, const AcceleratorConfig &hw)
+{
+    OpLatency lat;
+    lat.label = op.label;
+    lat.kind = op.kind;
+    const std::size_t mults =
+        (op.kind == OpKind::AttentionQK) ? hw.p_qk : hw.p_sv;
+    if (hw.p_head == 0 || mults == 0)
+        throw std::invalid_argument(
+            "simulate: attention op on a design without AP "
+            "multipliers (" + op.label + ")");
+
+    double macs = static_cast<double>(op.heads) * op.seq * op.seq *
+                  op.head_dim;
+    // A causal mask skips future keys: (T+1)/2T of the score matrix.
+    if (op.causal)
+        macs *= (static_cast<double>(op.seq) + 1.0) /
+                (2.0 * static_cast<double>(op.seq));
+    const double avail =
+        static_cast<double>(hw.p_head) * static_cast<double>(mults);
+    // Heads are spread over the attention engines; the multiplier
+    // arrays inside each engine are fully utilised by the row-by-row
+    // dataflow. Softmax is pipelined behind QK at one row per
+    // (head_dim/P_qk) cycles and adds a single drain term.
+    lat.compute_cycles = macs / avail;
+    if (op.kind == OpKind::AttentionQK)
+        lat.compute_cycles +=
+            static_cast<double>(op.seq); // softmax drain
+    // Q/K/S/V stream through on-chip buffers; traffic is charged to
+    // the producing/consuming BP ops.
+    lat.mem_cycles = 0.0;
+    lat.total_cycles = lat.compute_cycles;
+    return lat;
+}
+
+OpLatency
+latencyPostOp(const LayerOp &op, const AcceleratorConfig &hw)
+{
+    OpLatency lat;
+    lat.label = op.label;
+    lat.kind = op.kind;
+    const double elems =
+        static_cast<double>(op.rows) * static_cast<double>(op.in_feats);
+    lat.compute_cycles =
+        elems / static_cast<double>(hw.postp_lanes);
+    // Shortcut values are re-read from the shortcut buffer (on-chip);
+    // normalised outputs stream to off-chip with the next op's load.
+    lat.mem_cycles = 0.0;
+    lat.total_cycles = lat.compute_cycles;
+    return lat;
+}
+
+} // namespace
+
+LatencyReport
+simulate(const std::vector<LayerOp> &trace, const AcceleratorConfig &hw)
+{
+    LatencyReport rep;
+    rep.ops.reserve(trace.size());
+
+    for (const auto &op : trace) {
+        OpLatency lat;
+        switch (op.kind) {
+          case OpKind::Fft:
+          case OpKind::ButterflyLinear:
+            lat = latencyBpOp(op, hw);
+            rep.bp_cycles += lat.total_cycles;
+            break;
+          case OpKind::AttentionQK:
+          case OpKind::AttentionSV:
+            lat = latencyApOp(op, hw);
+            rep.ap_cycles += lat.total_cycles;
+            break;
+          case OpKind::PostProcess:
+            lat = latencyPostOp(op, hw);
+            rep.postp_cycles += lat.total_cycles;
+            break;
+        }
+        const double db = static_cast<double>(hw.data_bytes);
+        rep.bytes_moved +=
+            static_cast<double>(op.rows) * op.in_feats *
+                (op.complex_in ? 2.0 : 1.0) * db +
+            static_cast<double>(op.rows) * op.out_feats *
+                (op.complex_out ? 2.0 : 1.0) * db +
+            static_cast<double>(op.weight_values) * db;
+        rep.ops.push_back(lat);
+        rep.total_cycles += lat.total_cycles;
+    }
+
+    // Fine-grained BP<->AP pipelining (Fig. 14): within each ABfly
+    // block the Q projection streams row-wise into QK, and QK's score
+    // rows stream into SV. The saving relative to sequential execution
+    // is (M-1)/M * T_QK + (L-1)/L * T_SV, bounded so the pipelined
+    // phase cannot be shorter than its longest member.
+    if (hw.fine_pipeline) {
+        for (std::size_t i = 0; i + 2 < rep.ops.size(); ++i) {
+            if (!(rep.ops[i].kind == OpKind::ButterflyLinear &&
+                  rep.ops[i + 1].kind == OpKind::AttentionQK &&
+                  rep.ops[i + 2].kind == OpKind::AttentionSV))
+                continue;
+            const double t_q = rep.ops[i].total_cycles;
+            const double t_qk = rep.ops[i + 1].total_cycles;
+            const double t_sv = rep.ops[i + 2].total_cycles;
+            const double rows = static_cast<double>(
+                trace[i + 1].seq ? trace[i + 1].seq : 1);
+            const double naive = t_q + t_qk + t_sv;
+            const double pipelined = std::max({t_q, t_qk, t_sv}) +
+                                     t_qk / rows + t_sv / rows;
+            const double saving =
+                std::max(0.0, naive - std::max(pipelined,
+                                               std::max({t_q, t_qk,
+                                                         t_sv})));
+            rep.pipeline_saving_cycles += saving;
+            rep.total_cycles -= saving;
+        }
+    }
+
+    rep.seconds = rep.total_cycles / (hw.freq_ghz * 1e9);
+    return rep;
+}
+
+LatencyReport
+simulateModel(const ModelConfig &cfg, std::size_t seq,
+              const AcceleratorConfig &hw)
+{
+    return simulate(buildFabnetTrace(cfg, seq), hw);
+}
+
+} // namespace sim
+} // namespace fabnet

@@ -1,0 +1,164 @@
+/**
+ * @file accelerator.h
+ * Cycle-accurate performance model of the adaptable butterfly
+ * accelerator (Fig. 6), mirroring the paper's methodology: "we develop
+ * a cycle-accurate performance model to evaluate the speed
+ * performance, ... cross-validated with our RTL simulation results"
+ * (Sec. VI-A). Our RTL stand-in is the functional datapath model in
+ * datapath.h; the cross-validation lives in the test suite.
+ *
+ * Modelled effects:
+ *  - BP: P_be butterfly engines x P_bu butterfly units, one butterfly
+ *    pair per BU per cycle -> an N-point op takes
+ *    log2(N) * ceil(N/2 / P_bu) cycles per row on one BE.
+ *  - AP: P_head attention engines; QK unit with P_qk multipliers and
+ *    SV unit with P_sv multipliers.
+ *  - Off-chip spills of intermediates between butterfly/FFT stages
+ *    (Sec. IV-A) with a configurable bandwidth.
+ *  - Double buffering with the two overlap strategies of Fig. 13
+ *    (butterfly: load/compute/store all overlap; FFT: store overlaps
+ *    only the next load).
+ *  - Fine-grained BP<->AP pipelining of Fig. 14 (K,V first, Q row-
+ *    streamed into QK, S row-streamed into SV).
+ */
+#ifndef FABNET_SIM_ACCELERATOR_H
+#define FABNET_SIM_ACCELERATOR_H
+
+#include <string>
+#include <vector>
+
+#include "model/config.h"
+
+namespace fabnet {
+namespace sim {
+
+/** Hardware design parameters (the paper's Fig. 15 right column). */
+struct AcceleratorConfig
+{
+    std::size_t p_be = 64; ///< butterfly engines in BP
+    std::size_t p_bu = 4;  ///< butterfly units per BE
+    std::size_t p_head = 1; ///< attention engines in AP
+    std::size_t p_qk = 0;  ///< multipliers in each QK unit
+    std::size_t p_sv = 0;  ///< multipliers in each SV unit
+
+    double freq_ghz = 0.2;   ///< clock (all designs run at 200 MHz)
+    double bw_gbps = 100.0;  ///< off-chip bandwidth
+    std::size_t data_bytes = 2; ///< fp16 activations/weights
+
+    bool double_buffer = true; ///< Fig. 13 overlap (ablation toggle)
+    bool fine_pipeline = true; ///< Fig. 14 BP<->AP overlap (ablation)
+
+    std::size_t buffer_depth = 1024; ///< butterfly/query/key buffer depth
+    std::size_t postp_lanes = 16;    ///< PostP elements per cycle
+
+    /** Total multipliers = P_be*P_bu*4 + P_head*(P_qk + P_sv). */
+    std::size_t multipliers() const
+    {
+        return p_be * p_bu * 4 + p_head * (p_qk + p_sv);
+    }
+
+    /** Off-chip bytes transferable per cycle. */
+    double bytesPerCycle() const { return bw_gbps / freq_ghz; }
+
+    std::string describe() const;
+};
+
+/** Preset: VCU128 server design, BE-120 (Sec. VI-E). */
+AcceleratorConfig vcu128Server();
+
+/** Preset: VCU128 SOTA-comparison design, BE-40 / 640 DSP (Sec. VI-F). */
+AcceleratorConfig vcu128Sota();
+
+/** Preset: Zynq 7045 edge design, 512 multipliers, DDR4 (Sec. VI-E). */
+AcceleratorConfig zynqEdge();
+
+/** Kinds of scheduled hardware operations. */
+enum class OpKind {
+    Fft,             ///< one 1-D FFT pass over many rows (BP)
+    ButterflyLinear, ///< butterfly linear transform (BP)
+    AttentionQK,     ///< Q x K^T + softmax (AP, QK unit)
+    AttentionSV,     ///< S x V (AP, SV unit)
+    PostProcess      ///< layer norm + shortcut add (PostP)
+};
+
+/** One scheduled operation of the layer trace. */
+struct LayerOp
+{
+    OpKind kind = OpKind::ButterflyLinear;
+    std::string label;
+
+    std::size_t rows = 0;  ///< independent vectors to process
+    std::size_t n = 0;     ///< transform size (power of two)
+    std::size_t cores = 1; ///< butterfly cores (rectangular layers)
+
+    std::size_t in_feats = 0;  ///< real input width per row
+    std::size_t out_feats = 0; ///< real output width per row
+
+    bool complex_in = false;  ///< FFT pass reading complex data
+    bool complex_out = false; ///< FFT pass writing complex data
+
+    // Attention-op geometry.
+    std::size_t heads = 0;
+    std::size_t seq = 0;
+    std::size_t head_dim = 0;
+    bool causal = false; ///< decoder mask halves the score work
+
+    std::size_t weight_values = 0; ///< weights streamed from off-chip
+
+    /** True for ops executed on the butterfly processor. */
+    bool onBp() const
+    {
+        return kind == OpKind::Fft || kind == OpKind::ButterflyLinear;
+    }
+};
+
+/**
+ * Build the hardware op trace of one forward pass of @p cfg at
+ * sequence length @p seq. Only FABNet-family models (FBfly/ABfly
+ * blocks) are mappable onto the butterfly accelerator.
+ */
+std::vector<LayerOp> buildFabnetTrace(const ModelConfig &cfg,
+                                      std::size_t seq);
+
+/** Per-op latency outcome. */
+struct OpLatency
+{
+    std::string label;
+    OpKind kind = OpKind::ButterflyLinear;
+    double compute_cycles = 0.0;
+    double mem_cycles = 0.0;
+    double total_cycles = 0.0; ///< after overlap
+    bool memory_bound = false;
+};
+
+/** Whole-network latency report. */
+struct LatencyReport
+{
+    double total_cycles = 0.0;
+    double seconds = 0.0;
+    double bp_cycles = 0.0;     ///< butterfly processor busy cycles
+    double ap_cycles = 0.0;     ///< attention processor busy cycles
+    double postp_cycles = 0.0;  ///< post-processing cycles
+    double bytes_moved = 0.0;   ///< off-chip traffic
+    double pipeline_saving_cycles = 0.0; ///< Fig. 14 overlap benefit
+    std::vector<OpLatency> ops;
+
+    double milliseconds() const { return seconds * 1e3; }
+};
+
+/**
+ * Run the cycle model: schedule @p trace onto @p hw and report
+ * latency. Throws if the trace needs attention but the config has no
+ * AP multipliers (infeasible co-design points are filtered upstream).
+ */
+LatencyReport simulate(const std::vector<LayerOp> &trace,
+                       const AcceleratorConfig &hw);
+
+/** Convenience: trace + simulate in one call. */
+LatencyReport simulateModel(const ModelConfig &cfg, std::size_t seq,
+                            const AcceleratorConfig &hw);
+
+} // namespace sim
+} // namespace fabnet
+
+#endif // FABNET_SIM_ACCELERATOR_H

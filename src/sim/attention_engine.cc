@@ -1,0 +1,74 @@
+#include "sim/attention_engine.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/half.h"
+
+namespace fabnet {
+namespace sim {
+
+AttentionEngine::AttentionEngine(std::size_t p_qk, std::size_t p_sv)
+    : p_qk_(p_qk), p_sv_(p_sv)
+{
+    if (p_qk_ == 0 || p_sv_ == 0)
+        throw std::invalid_argument(
+            "AttentionEngine: QK and SV units need multipliers");
+}
+
+Tensor
+AttentionEngine::run(const Tensor &q, const Tensor &k, const Tensor &v,
+                     bool causal, RunStats *stats) const
+{
+    if (q.rank() != 2 || k.shape() != q.shape() ||
+        v.shape() != q.shape())
+        throw std::invalid_argument(
+            "AttentionEngine: [rows, dh] q/k/v of equal shape");
+    const std::size_t rows = q.dim(0);
+    const std::size_t dh = q.dim(1);
+    const Half scale(1.0f / std::sqrt(static_cast<float>(dh)));
+
+    Tensor ctx = Tensor::zeros(rows, dh);
+    RunStats rs;
+
+    // Row-by-row, as the hardware streams Q rows into the QK unit and
+    // score rows into the SV unit (enabling the Fig. 14 overlap).
+    std::vector<float> score_row;
+    for (std::size_t i = 0; i < rows; ++i) {
+        const std::size_t visible = causal ? i + 1 : rows;
+        score_row.assign(visible, 0.0f);
+        for (std::size_t j = 0; j < visible; ++j) {
+            // fp16 multiplies into an fp32 accumulator (the adder
+            // tree behind the multiplier array is wider).
+            float acc = 0.0f;
+            for (std::size_t c = 0; c < dh; ++c) {
+                const Half prod =
+                    Half(q.at(i, c)) * Half(k.at(j, c));
+                acc += prod.toFloat();
+            }
+            score_row[j] = (Half(acc) * scale).toFloat();
+        }
+        rs.qk_cycles += (visible * dh + p_qk_ - 1) / p_qk_;
+
+        const auto weights = softmax_.process(score_row);
+        ++rs.score_rows;
+
+        // SV unit: weighted sum of the visible value rows.
+        for (std::size_t c = 0; c < dh; ++c) {
+            float acc = 0.0f;
+            for (std::size_t j = 0; j < visible; ++j) {
+                const Half prod =
+                    Half(weights[j]) * Half(v.at(j, c));
+                acc += prod.toFloat();
+            }
+            ctx.at(i, c) = roundToHalf(acc);
+        }
+        rs.sv_cycles += (visible * dh + p_sv_ - 1) / p_sv_;
+    }
+    if (stats)
+        *stats = rs;
+    return ctx;
+}
+
+} // namespace sim
+} // namespace fabnet

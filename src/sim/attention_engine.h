@@ -1,0 +1,58 @@
+/**
+ * @file attention_engine.h
+ * Functional fp16 model of one Attention Engine (Fig. 6c): the QK
+ * unit (multiplier array + accumulator + softmax) and the SV unit,
+ * operating row by row exactly as the hardware streams them - the
+ * dataflow that makes the Fig. 14 fine-grained pipelining possible.
+ *
+ * Cross-validated against the software attention core in the tests
+ * (fp32 reference with identity projections).
+ */
+#ifndef FABNET_SIM_ATTENTION_ENGINE_H
+#define FABNET_SIM_ATTENTION_ENGINE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/postp.h"
+#include "tensor/tensor.h"
+
+namespace fabnet {
+namespace sim {
+
+/** One head's attention computed on the fp16 QK/SV datapath. */
+class AttentionEngine
+{
+  public:
+    /**
+     * @param p_qk multipliers in the QK unit (cycle accounting)
+     * @param p_sv multipliers in the SV unit
+     */
+    AttentionEngine(std::size_t p_qk, std::size_t p_sv);
+
+    /** Cycle/op counters of one run. */
+    struct RunStats
+    {
+        std::size_t qk_cycles = 0;
+        std::size_t sv_cycles = 0;
+        std::size_t score_rows = 0;
+    };
+
+    /**
+     * Compute softmax(Q K^T / sqrt(dh)) V for one head.
+     * @param q,k,v  [rows, dh] matrices (row-major)
+     * @param causal mask future keys
+     * @return the [rows, dh] context matrix
+     */
+    Tensor run(const Tensor &q, const Tensor &k, const Tensor &v,
+               bool causal = false, RunStats *stats = nullptr) const;
+
+  private:
+    std::size_t p_qk_, p_sv_;
+    SoftmaxUnit softmax_;
+};
+
+} // namespace sim
+} // namespace fabnet
+
+#endif // FABNET_SIM_ATTENTION_ENGINE_H

@@ -1,0 +1,75 @@
+/**
+ * @file baseline.h
+ * Performance model of the baseline MAC-array accelerator used for
+ * comparison in Sec. VI-D: multiple multiply-accumulate units (each a
+ * multiplier array + adder tree) with fine-grained intra- and
+ * inter-layer pipelining, parallelism per MAC allocated proportionally
+ * to its workload (load-balanced stages).
+ *
+ * Every layer executes across the full multiplier array with the
+ * intra-layer pipeline overlapping data movement, so the per-sample
+ * latency is total_MACs / (n_mult * utilisation), bounded below by the
+ * memory traffic. The inter-layer pipeline of [43], [44] raises
+ * throughput (one sample per stage time) but not single-batch latency.
+ *
+ * The baseline has no FFT or butterfly support: Fourier layers run as
+ * dense DFT-matrix multiplies and butterfly linear layers as their
+ * dense equivalents - this is exactly why "the operation reduction
+ * brought by the algorithm is not fully utilized by the baseline
+ * design" (Sec. VI-D).
+ */
+#ifndef FABNET_SIM_BASELINE_H
+#define FABNET_SIM_BASELINE_H
+
+#include <cstddef>
+
+#include "model/config.h"
+
+namespace fabnet {
+namespace sim {
+
+/** Baseline accelerator parameters. */
+struct BaselineConfig
+{
+    std::size_t n_mult = 2048;  ///< total multipliers (Sec. VI-D)
+    double freq_ghz = 0.2;      ///< 200 MHz, same as our design
+    double bw_gbps = 450.0;     ///< HBM on VCU128
+    std::size_t data_bytes = 2; ///< fp16
+    /** Achieved MAC utilisation of the load-balanced pipeline;
+     *  dense arrays lose cycles to edge tiles and pipeline drains. */
+    double utilization = 0.67;
+};
+
+/** Latency estimate of the baseline design. */
+struct BaselineReport
+{
+    double macs = 0.0;          ///< total multiply-accumulates
+    double bytes = 0.0;         ///< off-chip traffic
+    double compute_cycles = 0.0;
+    double mem_cycles = 0.0;
+    double stage_cycles = 0.0;  ///< per-pipeline-stage time
+    std::size_t stages = 0;     ///< pipeline depth (encoder blocks)
+    double total_cycles = 0.0;
+    double seconds = 0.0;
+
+    double milliseconds() const { return seconds * 1e3; }
+};
+
+/**
+ * MACs of one forward pass executed *densely* (DFT matrices for
+ * Fourier layers, dense equivalents for butterfly layers).
+ */
+double denseEquivalentMacs(const ModelConfig &cfg, std::size_t seq);
+
+/** Off-chip bytes of a dense execution (weights + activations). */
+double denseEquivalentBytes(const ModelConfig &cfg, std::size_t seq,
+                            std::size_t data_bytes);
+
+/** Simulate @p cfg at sequence length @p seq on the baseline. */
+BaselineReport simulateBaseline(const ModelConfig &cfg, std::size_t seq,
+                                const BaselineConfig &hw);
+
+} // namespace sim
+} // namespace fabnet
+
+#endif // FABNET_SIM_BASELINE_H

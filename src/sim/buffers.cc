@@ -1,0 +1,93 @@
+#include "sim/buffers.h"
+
+#include <stdexcept>
+
+namespace fabnet {
+namespace sim {
+
+ButterflyBuffer::ButterflyBuffer(std::size_t depth)
+    : depth_(depth), sram_a_(depth, 0), sram_b_(depth, 0)
+{
+    if (depth_ < 2 || depth_ % 2 != 0)
+        throw std::invalid_argument(
+            "ButterflyBuffer: depth must be even and >= 2");
+}
+
+void
+ButterflyBuffer::setMode(BufferMode mode)
+{
+    mode_ = mode;
+    compute_bank_ = 0;
+}
+
+void
+ButterflyBuffer::checkRealAccess(std::size_t bank,
+                                 std::size_t addr) const
+{
+    if (mode_ != BufferMode::ButterflyLinear)
+        throw std::logic_error(
+            "ButterflyBuffer: real access in FFT mode");
+    if (bank > 1 || addr >= depth_)
+        throw std::out_of_range("ButterflyBuffer: real access range");
+}
+
+void
+ButterflyBuffer::checkComplexAccess(std::size_t bank,
+                                    std::size_t addr) const
+{
+    if (mode_ != BufferMode::Fft)
+        throw std::logic_error(
+            "ButterflyBuffer: complex access in butterfly mode");
+    if (bank > 1 || addr >= depth_ / 2)
+        throw std::out_of_range(
+            "ButterflyBuffer: complex access range");
+}
+
+void
+ButterflyBuffer::writeReal(std::size_t bank, std::size_t addr,
+                           Half value)
+{
+    checkRealAccess(bank, addr);
+    // Bank 0 = SRAM A, bank 1 = SRAM B: fully independent ports.
+    (bank == 0 ? sram_a_ : sram_b_)[addr] = value.bits();
+}
+
+Half
+ButterflyBuffer::readReal(std::size_t bank, std::size_t addr) const
+{
+    checkRealAccess(bank, addr);
+    return Half::fromBits((bank == 0 ? sram_a_ : sram_b_)[addr]);
+}
+
+void
+ButterflyBuffer::writeComplex(std::size_t bank, std::size_t addr,
+                              Half re, Half im)
+{
+    checkComplexAccess(bank, addr);
+    // Bank 0 concatenates the lower halves of A and B; bank 1 reuses
+    // the upper halves (Fig. 12): the 32-bit word is (A[i], B[i]).
+    const std::size_t base = bank == 0 ? 0 : depth_ / 2;
+    sram_a_[base + addr] = re.bits();
+    sram_b_[base + addr] = im.bits();
+}
+
+void
+ButterflyBuffer::readComplex(std::size_t bank, std::size_t addr,
+                             Half &re, Half &im) const
+{
+    checkComplexAccess(bank, addr);
+    const std::size_t base = bank == 0 ? 0 : depth_ / 2;
+    re = Half::fromBits(sram_a_[base + addr]);
+    im = Half::fromBits(sram_b_[base + addr]);
+}
+
+std::size_t
+ButterflyBuffer::bankCapacity() const
+{
+    // Butterfly-linear: one full SRAM of real words per bank.
+    // FFT: half of each SRAM, paired into complex words.
+    return mode_ == BufferMode::ButterflyLinear ? depth_ : depth_ / 2;
+}
+
+} // namespace sim
+} // namespace fabnet

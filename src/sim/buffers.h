@@ -1,0 +1,111 @@
+/**
+ * @file buffers.h
+ * The butterfly-buffer memory-sharing scheme of Fig. 12: the same pair
+ * of 16-bit-wide input buffers (A and B) serves both operating modes,
+ *
+ *  - butterfly linear transform: A and B act as two independent
+ *    ping-pong banks with separate read/write ports, so input loading
+ *    overlaps compute fully (Fig. 13a), and
+ *  - FFT: complex data needs 32-bit ports, so the LOWER halves of A
+ *    and B concatenate into ping-pong bank 1 and the UPPER halves into
+ *    ping-pong bank 2; compute needs read+write access to its bank, so
+ *    only the output store overlaps the next load (Fig. 13b).
+ *
+ * This functional model tracks word placement and the ping-pong state,
+ * letting tests verify that both mappings address disjoint storage,
+ * that mode switches preserve capacity, and that the overlap rules the
+ * cycle model assumes are actually realisable.
+ */
+#ifndef FABNET_SIM_BUFFERS_H
+#define FABNET_SIM_BUFFERS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/half.h"
+
+namespace fabnet {
+namespace sim {
+
+/** Operating mode of the shared butterfly buffer (set per layer). */
+enum class BufferMode {
+    ButterflyLinear, ///< two independent 16-bit ping-pong banks
+    Fft              ///< two concatenated 32-bit complex banks
+};
+
+/**
+ * The shared double buffer of one butterfly engine: two physical
+ * SRAMs (A, B), each @p depth x 16 bits.
+ */
+class ButterflyBuffer
+{
+  public:
+    explicit ButterflyBuffer(std::size_t depth = 1024);
+
+    std::size_t depth() const { return depth_; }
+    BufferMode mode() const { return mode_; }
+
+    /** Reconfigure the address mapping (between layers only). */
+    void setMode(BufferMode mode);
+
+    /** Bank currently owned by the compute side (0 or 1). */
+    std::size_t computeBank() const { return compute_bank_; }
+
+    /** Swap compute/transfer ownership (end of a tile). */
+    void swapBanks() { compute_bank_ ^= 1; }
+
+    // --- Butterfly-linear mode: real 16-bit words -----------------
+
+    /** Write a real word into @p bank at @p addr. */
+    void writeReal(std::size_t bank, std::size_t addr, Half value);
+
+    /** Read a real word from @p bank at @p addr. */
+    Half readReal(std::size_t bank, std::size_t addr) const;
+
+    // --- FFT mode: complex 32-bit words ---------------------------
+
+    /**
+     * Write a complex word into ping-pong @p bank at @p addr:
+     * the real part goes to SRAM A, the imaginary part to SRAM B
+     * (bank 0 = lower halves, bank 1 = upper halves).
+     */
+    void writeComplex(std::size_t bank, std::size_t addr, Half re,
+                      Half im);
+
+    /** Read a complex word back. */
+    void readComplex(std::size_t bank, std::size_t addr, Half &re,
+                     Half &im) const;
+
+    /** Words a ping-pong bank holds in the current mode. */
+    std::size_t bankCapacity() const;
+
+    /**
+     * True when input loading may overlap compute in the current
+     * mode (the Fig. 13 distinction): butterfly-linear banks have
+     * separate ports; the FFT bank is read+written by compute.
+     */
+    bool loadOverlapsCompute() const
+    {
+        return mode_ == BufferMode::ButterflyLinear;
+    }
+
+    /** Raw physical storage (tests check placement/disjointness). */
+    std::uint16_t rawA(std::size_t addr) const { return sram_a_[addr]; }
+    std::uint16_t rawB(std::size_t addr) const { return sram_b_[addr]; }
+
+  private:
+    std::size_t depth_;
+    BufferMode mode_ = BufferMode::ButterflyLinear;
+    std::size_t compute_bank_ = 0;
+    std::vector<std::uint16_t> sram_a_;
+    std::vector<std::uint16_t> sram_b_;
+
+    void checkRealAccess(std::size_t bank, std::size_t addr) const;
+    void checkComplexAccess(std::size_t bank, std::size_t addr) const;
+};
+
+} // namespace sim
+} // namespace fabnet
+
+#endif // FABNET_SIM_BUFFERS_H

@@ -1,0 +1,294 @@
+#include "sim/datapath.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "butterfly/fft.h"
+
+namespace fabnet {
+namespace sim {
+
+AdaptableButterflyUnit::BflyResult
+AdaptableButterflyUnit::executeBfly(Half in1, Half in2, Half w1, Half w2,
+                                    Half w3, Half w4) const
+{
+    // Four real multipliers...
+    const Half m1 = w1 * in1;
+    const Half m2 = w2 * in2;
+    const Half m3 = w3 * in1;
+    const Half m4 = w4 * in2;
+    // ...feeding the two real adders; results leave via the de-muxes.
+    return {m1 + m2, m3 + m4};
+}
+
+AdaptableButterflyUnit::FftResult
+AdaptableButterflyUnit::executeFft(Half in1_r, Half in1_i, Half in2_r,
+                                   Half in2_i, Half w_r, Half w_i) const
+{
+    // The same four multipliers compute the complex product
+    // v = w * in2 = (wr*i2r - wi*i2i) + (wr*i2i + wi*i2r) i,
+    // using the two real adders/subtractors for the combines.
+    const Half m1 = w_r * in2_r;
+    const Half m2 = w_i * in2_i;
+    const Half m3 = w_r * in2_i;
+    const Half m4 = w_i * in2_r;
+    const Half v_r = m1 - m2;
+    const Half v_i = m3 + m4;
+    // De-muxes route to the complex adder/subtractor pair.
+    return {in1_r + v_r, in1_i + v_i, in1_r - v_r, in1_i - v_i};
+}
+
+ButterflyMemoryLayout::ButterflyMemoryLayout(std::size_t n,
+                                             std::size_t banks)
+    : n_(n), banks_(banks)
+{
+    if (!isPowerOfTwo(n_) || !isPowerOfTwo(banks_))
+        throw std::invalid_argument(
+            "ButterflyMemoryLayout: sizes must be powers of two");
+    if (banks_ > n_ || banks_ < 2)
+        throw std::invalid_argument(
+            "ButterflyMemoryLayout: need 2 <= banks <= n");
+}
+
+std::size_t
+ButterflyMemoryLayout::startingPosition(std::size_t col) const
+{
+    // P_0 = 0 and P_{2^(n-1)+k} = P_k - 1: column c is shifted down by
+    // the number of ones in its binary representation.
+    return static_cast<std::size_t>(std::popcount(col)) % banks_;
+}
+
+std::size_t
+ButterflyMemoryLayout::bankOf(std::size_t x) const
+{
+    const std::size_t col = x / banks_;
+    return (x % banks_ + startingPosition(col)) % banks_;
+}
+
+std::size_t
+ButterflyMemoryLayout::addressOf(std::size_t x) const
+{
+    return x / banks_;
+}
+
+std::vector<std::vector<std::size_t>>
+ButterflyMemoryLayout::scheduleStage(std::size_t stage) const
+{
+    const std::size_t stride = std::size_t{1} << stage;
+    if (stride >= n_)
+        throw std::invalid_argument("scheduleStage: stage out of range");
+
+    // Enumerate the stage's index pairs (x, x + stride).
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    pairs.reserve(n_ / 2);
+    for (std::size_t p = 0; p < n_ / 2; ++p) {
+        std::size_t i1, i2;
+        ButterflyMatrix::pairIndices(stage, p, i1, i2);
+        pairs.push_back({i1, i2});
+    }
+
+    // Earliest-fit: place each pair into the first cycle where both of
+    // its banks are free. The S2P layout guarantees this packs into
+    // exactly n/banks cycles; anything more means a bank conflict.
+    const std::size_t target_cycles = cyclesPerStage();
+    std::vector<std::vector<std::size_t>> cycles(target_cycles);
+    std::vector<std::vector<bool>> used(
+        target_cycles, std::vector<bool>(banks_, false));
+
+    for (const auto &[i1, i2] : pairs) {
+        const std::size_t b1 = bankOf(i1);
+        const std::size_t b2 = bankOf(i2);
+        if (b1 == b2)
+            throw std::runtime_error(
+                "ButterflyMemoryLayout: pair maps to a single bank");
+        bool placed = false;
+        for (std::size_t c = 0; c < target_cycles; ++c) {
+            if (!used[c][b1] && !used[c][b2] &&
+                cycles[c].size() + 2 <= banks_) {
+                used[c][b1] = used[c][b2] = true;
+                cycles[c].push_back(i1);
+                cycles[c].push_back(i2);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            throw std::runtime_error(
+                "ButterflyMemoryLayout: conflict-free schedule "
+                "not found at full bandwidth");
+    }
+    return cycles;
+}
+
+std::vector<IndexCoalescer::Lane>
+IndexCoalescer::coalesce(std::vector<Lane> lanes, std::size_t stride)
+{
+    std::vector<Lane> out;
+    out.reserve(lanes.size());
+    // The crossbar matches each low index with its +stride partner
+    // (bit-count + add in hardware; associative scan here).
+    std::sort(lanes.begin(), lanes.end(),
+              [](const Lane &a, const Lane &b) {
+                  return a.index < b.index;
+              });
+    std::vector<bool> taken(lanes.size(), false);
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        if (taken[i])
+            continue;
+        const std::size_t want = lanes[i].index + stride;
+        bool matched = false;
+        for (std::size_t j = i + 1; j < lanes.size(); ++j) {
+            if (!taken[j] && lanes[j].index == want) {
+                out.push_back(lanes[i]);
+                out.push_back(lanes[j]);
+                taken[i] = taken[j] = true;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            throw std::runtime_error(
+                "IndexCoalescer: unpaired lane index");
+    }
+    return out;
+}
+
+FunctionalButterflyEngine::FunctionalButterflyEngine(std::size_t pbu)
+    : pbu_(pbu)
+{
+    if (pbu_ == 0)
+        throw std::invalid_argument(
+            "FunctionalButterflyEngine: pbu must be positive");
+}
+
+std::size_t
+FunctionalButterflyEngine::analyticCycles(std::size_t n) const
+{
+    const std::size_t per_stage = (n / 2 + pbu_ - 1) / pbu_;
+    return log2Exact(n) * per_stage;
+}
+
+std::vector<float>
+FunctionalButterflyEngine::runButterflyLinear(
+    const ButterflyMatrix &matrix, const std::vector<float> &input,
+    RunStats *stats) const
+{
+    const std::size_t n = matrix.size();
+    if (input.size() != n)
+        throw std::invalid_argument("runButterflyLinear: size mismatch");
+
+    // On-chip working set in fp16, as held by the butterfly buffers.
+    std::vector<Half> cur(n), nxt(n);
+    for (std::size_t i = 0; i < n; ++i)
+        cur[i] = Half(input[i]);
+
+    const std::size_t banks = std::min<std::size_t>(2 * pbu_, n);
+    ButterflyMemoryLayout layout(n, banks);
+    AdaptableButterflyUnit bu;
+    RunStats rs;
+
+    for (std::size_t s = 0; s < matrix.numStages(); ++s) {
+        const std::size_t stride = std::size_t{1} << s;
+        const auto schedule = layout.scheduleStage(s);
+        for (const auto &fetch : schedule) {
+            // One memory cycle: one element per bank, coalesced into
+            // pairs, then issued to the BUs (pbu_ pairs per cycle).
+            std::vector<IndexCoalescer::Lane> lanes;
+            lanes.reserve(fetch.size());
+            for (std::size_t idx : fetch)
+                lanes.push_back({cur[idx], idx});
+            const auto paired = IndexCoalescer::coalesce(lanes, stride);
+            const std::size_t n_pairs = paired.size() / 2;
+            rs.cycles += (n_pairs + pbu_ - 1) / pbu_;
+            for (std::size_t k = 0; k < n_pairs; ++k) {
+                const auto &lo = paired[2 * k];
+                const auto &hi = paired[2 * k + 1];
+                const std::size_t p =
+                    (lo.index / (2 * stride)) * stride +
+                    (lo.index % stride);
+                const float *w =
+                    &matrix.weights()[matrix.weightIndex(s, p)];
+                const auto r = bu.executeBfly(
+                    lo.value, hi.value, Half(w[0]), Half(w[1]),
+                    Half(w[2]), Half(w[3]));
+                nxt[lo.index] = r.out1;
+                nxt[hi.index] = r.out2;
+                ++rs.butterfly_ops;
+            }
+        }
+        std::swap(cur, nxt);
+    }
+
+    std::vector<float> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = cur[i].toFloat();
+    if (stats)
+        *stats = rs;
+    return out;
+}
+
+std::vector<std::complex<float>>
+FunctionalButterflyEngine::runFft(
+    const std::vector<std::complex<float>> &input, RunStats *stats) const
+{
+    const std::size_t n = input.size();
+    if (!isPowerOfTwo(n))
+        throw std::invalid_argument("runFft: power-of-two size required");
+    const std::size_t bits = log2Exact(n);
+
+    // Bit-reversal permutation happens during the S2P load.
+    std::vector<Half> cur_r(n), cur_i(n), nxt_r(n), nxt_i(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t j = bitReverse(i, bits);
+        cur_r[j] = Half(input[i].real());
+        cur_i[j] = Half(input[i].imag());
+    }
+
+    const std::size_t banks = std::min<std::size_t>(2 * pbu_, n);
+    ButterflyMemoryLayout layout(n, banks);
+    AdaptableButterflyUnit bu;
+    FftAsButterfly twiddles(n);
+    RunStats rs;
+
+    for (std::size_t s = 0; s < bits; ++s) {
+        const std::size_t stride = std::size_t{1} << s;
+        const auto schedule = layout.scheduleStage(s);
+        for (const auto &fetch : schedule) {
+            std::vector<IndexCoalescer::Lane> lanes;
+            lanes.reserve(fetch.size());
+            for (std::size_t idx : fetch)
+                lanes.push_back({Half(0.0f), idx}); // indices only
+            const auto paired = IndexCoalescer::coalesce(lanes, stride);
+            const std::size_t n_pairs = paired.size() / 2;
+            rs.cycles += (n_pairs + pbu_ - 1) / pbu_;
+            for (std::size_t k = 0; k < n_pairs; ++k) {
+                const std::size_t i1 = paired[2 * k].index;
+                const std::size_t i2 = paired[2 * k + 1].index;
+                const std::size_t p =
+                    (i1 / (2 * stride)) * stride + (i1 % stride);
+                const Complex w = twiddles.twiddle(s, p);
+                const auto r = bu.executeFft(
+                    cur_r[i1], cur_i[i1], cur_r[i2], cur_i[i2],
+                    Half(w.real()), Half(w.imag()));
+                nxt_r[i1] = r.out1_r;
+                nxt_i[i1] = r.out1_i;
+                nxt_r[i2] = r.out2_r;
+                nxt_i[i2] = r.out2_i;
+                ++rs.butterfly_ops;
+            }
+        }
+        std::swap(cur_r, nxt_r);
+        std::swap(cur_i, nxt_i);
+    }
+
+    std::vector<std::complex<float>> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = {cur_r[i].toFloat(), cur_i[i].toFloat()};
+    if (stats)
+        *stats = rs;
+    return out;
+}
+
+} // namespace sim
+} // namespace fabnet

@@ -1,0 +1,194 @@
+/**
+ * @file datapath.h
+ * Functional (bit-level fp16) model of the adaptable butterfly
+ * hardware: the Butterfly Unit datapath of Fig. 7, the bank-conflict-
+ * free S2P data layout of Fig. 9/10, and the index-coalescing crossbar
+ * of Fig. 11.
+ *
+ * These models mirror the RTL's behaviour closely enough to be
+ * cross-validated against the software reference (fab_butterfly),
+ * reproducing the paper's Appendix C functional validation.
+ */
+#ifndef FABNET_SIM_DATAPATH_H
+#define FABNET_SIM_DATAPATH_H
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "butterfly/butterfly.h"
+#include "tensor/half.h"
+
+namespace fabnet {
+namespace sim {
+
+/** Runtime mode of the adaptable butterfly unit (set per layer). */
+enum class BuMode {
+    ButterflyLinear, ///< four independent real twiddle weights
+    Fft              ///< complex symmetric twiddle (1, w, 1, -w)
+};
+
+/**
+ * Adaptable Butterfly Unit: 4 real multipliers + 2 real adders +
+ * 2 complex adders behind programmable (de)multiplexers (Fig. 7a).
+ * Every intermediate value is rounded to fp16, as the 16-bit datapath
+ * would produce.
+ */
+class AdaptableButterflyUnit
+{
+  public:
+    /** Result of one butterfly-linear twiddle op (Fig. 7b). */
+    struct BflyResult
+    {
+        Half out1, out2;
+    };
+
+    /** Result of one FFT butterfly op (Fig. 7c). */
+    struct FftResult
+    {
+        Half out1_r, out1_i, out2_r, out2_i;
+    };
+
+    /**
+     * Butterfly linear transform mode: the four multipliers compute
+     * w1*in1, w2*in2, w3*in1, w4*in2 and the two real adders produce
+     *   out1 = w1*in1 + w2*in2,  out2 = w3*in1 + w4*in2.
+     */
+    BflyResult executeBfly(Half in1, Half in2, Half w1, Half w2, Half w3,
+                           Half w4) const;
+
+    /**
+     * FFT mode: the four multipliers are re-used for one complex
+     * multiply v = w * in2, then the complex adders produce
+     *   out1 = in1 + v,  out2 = in1 - v.
+     */
+    FftResult executeFft(Half in1_r, Half in1_i, Half in2_r, Half in2_i,
+                         Half w_r, Half w_i) const;
+
+    /** Multipliers per BU (fixed by the microarchitecture). */
+    static constexpr std::size_t kMultipliers = 4;
+};
+
+/**
+ * S2P custom data layout (Fig. 9): element x of an N-point vector is
+ * stored in bank (x mod B + popcount(x / B)) mod B at address x / B,
+ * where B is the number of banks. The per-column rotation implements
+ * the paper's recursive starting positions
+ * P_{2^(n-1)..2^n-1} = P_{0..2^(n-1)-1} - 1 and guarantees that the
+ * index pairs of every butterfly stage can be fetched without bank
+ * conflicts.
+ */
+class ButterflyMemoryLayout
+{
+  public:
+    /**
+     * @param n     vector length (power of two)
+     * @param banks number of memory banks (power of two, <= n)
+     */
+    ButterflyMemoryLayout(std::size_t n, std::size_t banks);
+
+    std::size_t size() const { return n_; }
+    std::size_t banks() const { return banks_; }
+
+    /** Bank holding element @p x. */
+    std::size_t bankOf(std::size_t x) const;
+
+    /** Address of element @p x within its bank. */
+    std::size_t addressOf(std::size_t x) const;
+
+    /** Starting position (row shift) of column @p col - Fig. 9a. */
+    std::size_t startingPosition(std::size_t col) const;
+
+    /**
+     * Schedule the pair reads of butterfly stage @p stage (pair stride
+     * 2^stage) into conflict-free cycles: each returned cycle is a
+     * list of element indices with pairwise distinct banks, pairs kept
+     * adjacent (even position = first element of a pair).
+     *
+     * @throws std::runtime_error if a conflict-free schedule at full
+     * bandwidth (banks elements per cycle) does not exist - i.e. the
+     * layout property is violated.
+     */
+    std::vector<std::vector<std::size_t>>
+    scheduleStage(std::size_t stage) const;
+
+    /** Cycles needed per stage at full bandwidth: n / banks. */
+    std::size_t cyclesPerStage() const { return n_ / banks_; }
+
+  private:
+    std::size_t n_, banks_;
+};
+
+/**
+ * Index-coalescing module (Fig. 11): receives the elements fetched in
+ * one cycle (in arbitrary bank order) and pairs them so each butterfly
+ * unit sees (x, x + stride); a recover stage restores storage order
+ * for write-back.
+ */
+class IndexCoalescer
+{
+  public:
+    /** (value, index) as it arrives from a bank read port. */
+    struct Lane
+    {
+        Half value;
+        std::size_t index;
+    };
+
+    /**
+     * Pair up lanes so lane 2k and 2k+1 hold indices (x, x + stride).
+     * @throws std::runtime_error if the lanes do not form such pairs.
+     */
+    static std::vector<Lane> coalesce(std::vector<Lane> lanes,
+                                      std::size_t stride);
+};
+
+/**
+ * Functional butterfly engine: Pbu adaptable BUs fed through the S2P
+ * layout and index coalescer. Executes complete N-point operations in
+ * fp16 and reports the cycle count actually consumed, which the
+ * performance model's analytic formula is checked against.
+ */
+class FunctionalButterflyEngine
+{
+  public:
+    /**
+     * @param pbu  number of butterfly units (each handles one pair
+     *             per cycle)
+     */
+    explicit FunctionalButterflyEngine(std::size_t pbu);
+
+    /** Result of a functional run. */
+    struct RunStats
+    {
+        std::size_t cycles = 0;
+        std::size_t butterfly_ops = 0;
+    };
+
+    /**
+     * Execute a trained butterfly linear transform (all stages of
+     * @p matrix) on @p input; fp16 datapath.
+     */
+    std::vector<float> runButterflyLinear(const ButterflyMatrix &matrix,
+                                          const std::vector<float> &input,
+                                          RunStats *stats = nullptr) const;
+
+    /**
+     * Execute an N-point FFT (with bit-reversal input permutation, as
+     * the FFT's butterfly factors require); fp16 datapath.
+     */
+    std::vector<std::complex<float>>
+    runFft(const std::vector<std::complex<float>> &input,
+           RunStats *stats = nullptr) const;
+
+    /** Analytic cycles for an N-point op: log2(N) * ceil(N/2 / Pbu). */
+    std::size_t analyticCycles(std::size_t n) const;
+
+  private:
+    std::size_t pbu_;
+};
+
+} // namespace sim
+} // namespace fabnet
+
+#endif // FABNET_SIM_DATAPATH_H

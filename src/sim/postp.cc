@@ -1,0 +1,83 @@
+#include "sim/postp.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fabnet {
+namespace sim {
+
+std::vector<float>
+LayerNormUnit::process(const std::vector<float> &row,
+                       const std::vector<float> &gamma,
+                       const std::vector<float> &beta) const
+{
+    const std::size_t n = row.size();
+    if (gamma.size() != n || beta.size() != n)
+        throw std::invalid_argument("LayerNormUnit: affine mismatch");
+
+    // Pass 1: mean, fp16 inputs into an fp32 accumulator.
+    float mean_acc = 0.0f;
+    for (float v : row)
+        mean_acc += roundToHalf(v);
+    const Half mean(mean_acc / static_cast<float>(n));
+
+    // Pass 2: variance of the fp16 centred values.
+    float var_acc = 0.0f;
+    for (float v : row) {
+        const Half c = Half(v) - mean;
+        var_acc += roundToHalf(c.toFloat() * c.toFloat());
+    }
+    const float var = var_acc / static_cast<float>(n);
+    const Half inv_std(1.0f / std::sqrt(var + eps_));
+
+    std::vector<float> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Half c = Half(row[i]) - mean;
+        const Half norm = c * inv_std;
+        const Half y = Half(gamma[i]) * norm + Half(beta[i]);
+        out[i] = y.toFloat();
+    }
+    return out;
+}
+
+std::vector<float>
+ShortcutAddUnit::process(const std::vector<float> &a,
+                         const std::vector<float> &b) const
+{
+    if (a.size() != b.size())
+        throw std::invalid_argument("ShortcutAddUnit: size mismatch");
+    std::vector<float> out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = (Half(a[i]) + Half(b[i])).toFloat();
+    return out;
+}
+
+std::vector<float>
+SoftmaxUnit::process(const std::vector<float> &row) const
+{
+    if (row.empty())
+        return {};
+    // Streaming max in fp16.
+    Half mx(row[0]);
+    for (float v : row) {
+        const Half h(v);
+        if (h.toFloat() > mx.toFloat())
+            mx = h;
+    }
+    // fp16 exponentials, fp32 denominator accumulator.
+    std::vector<Half> exps(row.size());
+    float denom = 0.0f;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        const Half shifted = Half(row[i]) - mx;
+        exps[i] = Half(std::exp(shifted.toFloat()));
+        denom += exps[i].toFloat();
+    }
+    const Half inv(1.0f / denom);
+    std::vector<float> out(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i)
+        out[i] = (exps[i] * inv).toFloat();
+    return out;
+}
+
+} // namespace sim
+} // namespace fabnet

@@ -1,0 +1,73 @@
+/**
+ * @file postp.h
+ * Functional fp16 models of the non-butterfly datapath units:
+ *
+ *  - the Post-processing Processor (PostP, Fig. 6a) executing layer
+ *    normalisation and shortcut addition,
+ *  - the softmax unit inside each QK attention engine (Fig. 6c).
+ *
+ * Like the butterfly-unit model in datapath.h, every intermediate is
+ * rounded to fp16 so the numerics match a 16-bit hardware pipeline;
+ * the test suite cross-validates against the fp32 software reference
+ * and bounds the precision loss (the paper's Appendix C methodology).
+ */
+#ifndef FABNET_SIM_POSTP_H
+#define FABNET_SIM_POSTP_H
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/half.h"
+
+namespace fabnet {
+namespace sim {
+
+/**
+ * Layer-normalisation unit: a two-pass pipeline (mean, then variance
+ * and normalise) over one row. Accumulations run in fp32, as hardware
+ * accumulators are wider than the datapath; everything else is fp16.
+ */
+class LayerNormUnit
+{
+  public:
+    explicit LayerNormUnit(float eps = 1e-5f) : eps_(eps) {}
+
+    /**
+     * Normalise @p row (length n) with affine params @p gamma/@p beta.
+     * @return the fp16-rounded outputs widened to float.
+     */
+    std::vector<float> process(const std::vector<float> &row,
+                               const std::vector<float> &gamma,
+                               const std::vector<float> &beta) const;
+
+  private:
+    float eps_;
+};
+
+/**
+ * Shortcut-addition unit: element-wise fp16 addition of the residual
+ * buffer onto the stream.
+ */
+class ShortcutAddUnit
+{
+  public:
+    std::vector<float> process(const std::vector<float> &a,
+                               const std::vector<float> &b) const;
+};
+
+/**
+ * Softmax unit of the QK engine: streaming max, fp16 exponentials and
+ * an fp32 accumulator for the denominator (a row of attention scores
+ * at fp16 would overflow the sum otherwise - the same design choice
+ * real fp16 softmax units make).
+ */
+class SoftmaxUnit
+{
+  public:
+    std::vector<float> process(const std::vector<float> &row) const;
+};
+
+} // namespace sim
+} // namespace fabnet
+
+#endif // FABNET_SIM_POSTP_H

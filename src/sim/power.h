@@ -1,0 +1,56 @@
+/**
+ * @file power.h
+ * XPE-style power model, calibrated to the paper's Table VI anchor
+ * designs on VCU128 (BE-40 and BE-120). Dynamic power splits into
+ * clocking, logic & signal, DSP and memory (BRAM + HBM); static power
+ * grows slowly with utilised area. Per-category linear fits through
+ * the two published anchors:
+ *
+ *           BE-40     BE-120
+ *  clock    2.668 W   6.882 W
+ *  logic    2.381 W   7.732 W
+ *  dsp      0.338 W   1.437 W
+ *  memory   5.325 W   6.142 W
+ *  static   3.368 W   3.665 W
+ */
+#ifndef FABNET_SIM_POWER_H
+#define FABNET_SIM_POWER_H
+
+#include "sim/accelerator.h"
+
+namespace fabnet {
+namespace sim {
+
+/** Where the design is implemented, for the power model. */
+enum class PowerTarget {
+    Vcu128, ///< 16 nm + HBM (server)
+    Zynq7045 ///< 28 nm + DDR4 (edge)
+};
+
+/** Per-category power in watts. */
+struct PowerBreakdown
+{
+    double clocking = 0.0;
+    double logic_signal = 0.0;
+    double dsp = 0.0;
+    double memory = 0.0; ///< BRAM + external memory controller
+    double static_power = 0.0;
+
+    double dynamic() const
+    {
+        return clocking + logic_signal + dsp + memory;
+    }
+    double total() const { return dynamic() + static_power; }
+};
+
+/** Estimate the power of a configuration on a target device. */
+PowerBreakdown estimatePower(const AcceleratorConfig &hw,
+                             PowerTarget target = PowerTarget::Vcu128);
+
+/** Energy per inference in joules. */
+double energyPerInference(const PowerBreakdown &power, double seconds);
+
+} // namespace sim
+} // namespace fabnet
+
+#endif // FABNET_SIM_POWER_H

@@ -1,0 +1,80 @@
+#include "sim/report_export.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "codesign/codesign.h"
+
+namespace fabnet {
+namespace sim {
+
+namespace {
+
+const char *
+opKindCsv(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Fft:
+        return "fft";
+      case OpKind::ButterflyLinear:
+        return "butterfly_linear";
+      case OpKind::AttentionQK:
+        return "attention_qk";
+      case OpKind::AttentionSV:
+        return "attention_sv";
+      case OpKind::PostProcess:
+        return "postprocess";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+std::string
+latencyReportCsv(const LatencyReport &report)
+{
+    std::ostringstream os;
+    os << "op,kind,compute_cycles,mem_cycles,total_cycles,"
+          "memory_bound\n";
+    for (const auto &op : report.ops) {
+        os << op.label << ',' << opKindCsv(op.kind) << ','
+           << op.compute_cycles << ',' << op.mem_cycles << ','
+           << op.total_cycles << ',' << (op.memory_bound ? 1 : 0)
+           << '\n';
+    }
+    os << "TOTAL,,,," << report.total_cycles << ",\n";
+    return os.str();
+}
+
+std::string
+designPointsCsv(const std::vector<codesign::DesignPoint> &points)
+{
+    std::ostringstream os;
+    os << "d_hid,r_ffn,n_total,n_abfly,p_be,p_bu,p_qk,p_sv,"
+          "accuracy,latency_ms,dsps,brams,luts\n";
+    for (const auto &p : points) {
+        os << p.algo.d_hid << ',' << p.algo.r_ffn << ','
+           << p.algo.n_total << ',' << p.algo.n_abfly << ','
+           << p.hw.p_be << ',' << p.hw.p_bu << ',' << p.hw.p_qk << ','
+           << p.hw.p_sv << ',' << p.accuracy << ',' << p.latency_ms
+           << ',' << p.resources.dsps << ',' << p.resources.brams
+           << ',' << p.resources.luts << '\n';
+    }
+    return os.str();
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const bool ok =
+        std::fwrite(content.data(), 1, content.size(), f) ==
+        content.size();
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace sim
+} // namespace fabnet

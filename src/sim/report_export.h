@@ -1,0 +1,35 @@
+/**
+ * @file report_export.h
+ * CSV exporters for simulator reports, so latency breakdowns and DSE
+ * point clouds can be plotted outside the benches (the paper's
+ * script_figs equivalent).
+ */
+#ifndef FABNET_SIM_REPORT_EXPORT_H
+#define FABNET_SIM_REPORT_EXPORT_H
+
+#include <string>
+#include <vector>
+
+#include "sim/accelerator.h"
+
+namespace fabnet {
+namespace codesign {
+struct DesignPoint;
+} // namespace codesign
+
+namespace sim {
+
+/** Per-op latency table as CSV (header + one row per op). */
+std::string latencyReportCsv(const LatencyReport &report);
+
+/** Design-space point cloud as CSV (Fig. 18's scatter data). */
+std::string
+designPointsCsv(const std::vector<codesign::DesignPoint> &points);
+
+/** Write a string to a file. @return success. */
+bool writeFile(const std::string &path, const std::string &content);
+
+} // namespace sim
+} // namespace fabnet
+
+#endif // FABNET_SIM_REPORT_EXPORT_H

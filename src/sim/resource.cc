@@ -1,0 +1,95 @@
+#include "sim/resource.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fabnet {
+namespace sim {
+
+FpgaDevice
+vcu128Device()
+{
+    // Availability row of Table VII.
+    return {"VCU128", 1'303'680, 2'607'360, 9'024, 2'016, 2, 450.0};
+}
+
+FpgaDevice
+zynq7045Device()
+{
+    return {"Zynq-7045", 218'600, 437'200, 900, 545, 0, 19.2};
+}
+
+bool
+ResourceUsage::fitsOn(const FpgaDevice &device) const
+{
+    return luts <= device.luts && registers <= device.registers &&
+           dsps <= device.dsps && brams <= device.brams &&
+           hbm_stacks <= device.hbm_stacks;
+}
+
+double
+ResourceUsage::utilisation(const FpgaDevice &device) const
+{
+    double u = 0.0;
+    if (device.luts)
+        u = std::max(u, static_cast<double>(luts) / device.luts);
+    if (device.registers)
+        u = std::max(u,
+                     static_cast<double>(registers) / device.registers);
+    if (device.dsps)
+        u = std::max(u, static_cast<double>(dsps) / device.dsps);
+    if (device.brams)
+        u = std::max(u, static_cast<double>(brams) / device.brams);
+    return u;
+}
+
+ResourceUsage
+estimateResources(const AcceleratorConfig &hw)
+{
+    ResourceUsage r;
+    const double pbe = static_cast<double>(hw.p_be);
+
+    // DSP usage: Sec. V-C formula (4 multipliers per BU).
+    r.dsps = hw.multipliers();
+
+    // BRAM: per-BE butterfly buffers (double-buffered A/B ping-pong
+    // pairs across 2*P_bu banks) plus weight buffers; shared
+    // key/query/shortcut buffers. Calibrated to Table VII:
+    // 8 BRAM36 per BE + 18 shared at the paper's P_bu = 4.
+    const double depth_scale =
+        static_cast<double>(hw.buffer_depth) / 1024.0;
+    const double bu_scale = static_cast<double>(hw.p_bu) / 4.0;
+    const double per_be =
+        8.0 * std::max(1.0, depth_scale) * std::max(1.0, bu_scale);
+    double shared = 18.0 * std::max(1.0, depth_scale);
+    // Designs with an attention processor add key/query buffering per
+    // attention engine.
+    shared += 4.0 * static_cast<double>(hw.p_head) *
+              std::max(1.0, depth_scale);
+    r.brams = static_cast<std::size_t>(std::ceil(per_be * pbe + shared));
+
+    // LUT/FF: linear fits through the two Table VII anchor designs
+    // (both P_bu = 4). Wider BEs pay superlinearly for the S2P
+    // permutation network and index-coalescing crossbar, whose area
+    // grows with the bank count (2*P_bu) times its fan-out depth.
+    const double xbar =
+        bu_scale <= 1.0
+            ? 1.0
+            : bu_scale * (1.0 + 0.5 * std::log2(bu_scale));
+    const double lut = 8450.0 * xbar * pbe + 20'609.0;
+    const double ff = 13'898.6 * xbar * pbe - 19'135.0;
+    // AP adds MAC-array fabric (~30 LUT / 60 FF per multiplier).
+    const double ap_mult =
+        static_cast<double>(hw.p_head * (hw.p_qk + hw.p_sv));
+    r.luts = static_cast<std::size_t>(
+        std::max(0.0, lut + 30.0 * ap_mult));
+    r.registers = static_cast<std::size_t>(
+        std::max(0.0, ff + 60.0 * ap_mult));
+
+    // One HBM stack satisfies the bandwidth needs (Sec. VI-H).
+    r.hbm_stacks = hw.bw_gbps > 100.0 ? 1 : 0;
+    return r;
+}
+
+} // namespace sim
+} // namespace fabnet

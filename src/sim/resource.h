@@ -1,0 +1,68 @@
+/**
+ * @file resource.h
+ * Analytical FPGA resource model (Sec. V-C):
+ *
+ *   DSP  = P_be * P_bu * 4 + P_head * (P_qk + P_sv)
+ *   BRAM = (BRAM_bfly + BRAM_weight) * P_be
+ *          + BRAM_key + BRAM_sc + BRAM_query
+ *
+ * plus LUT/FF estimates fitted to the paper's Vivado reports
+ * (Table VII anchors: BE-40 -> 358,609 LUT / 536,810 FF / 338 BRAM;
+ * BE-120 -> 1,034,610 LUT / 1,648,695 FF / 978 BRAM). The model is
+ * used only during design-space exploration, exactly as in the paper.
+ */
+#ifndef FABNET_SIM_RESOURCE_H
+#define FABNET_SIM_RESOURCE_H
+
+#include <string>
+
+#include "sim/accelerator.h"
+
+namespace fabnet {
+namespace sim {
+
+/** Capacity of a target FPGA. */
+struct FpgaDevice
+{
+    std::string name;
+    std::size_t luts = 0;
+    std::size_t registers = 0;
+    std::size_t dsps = 0;
+    std::size_t brams = 0; ///< BRAM36 blocks
+    std::size_t hbm_stacks = 0;
+    double max_bw_gbps = 0.0;
+};
+
+/** Xilinx VCU128 (cloud/server scenarios). */
+FpgaDevice vcu128Device();
+
+/** Xilinx Zynq 7045 (edge/mobile scenarios). */
+FpgaDevice zynq7045Device();
+
+/** Estimated consumption of one accelerator configuration. */
+struct ResourceUsage
+{
+    std::size_t luts = 0;
+    std::size_t registers = 0;
+    std::size_t dsps = 0;
+    std::size_t brams = 0;
+    std::size_t hbm_stacks = 0;
+
+    /** True when every resource fits on @p device. */
+    bool fitsOn(const FpgaDevice &device) const;
+
+    /** Utilisation of the binding resource, in [0, inf). */
+    double utilisation(const FpgaDevice &device) const;
+};
+
+/**
+ * Apply the analytical model to a hardware configuration.
+ * BRAM counts scale with buffer_depth relative to the paper's
+ * 1024-deep buffers.
+ */
+ResourceUsage estimateResources(const AcceleratorConfig &hw);
+
+} // namespace sim
+} // namespace fabnet
+
+#endif // FABNET_SIM_RESOURCE_H

@@ -1,0 +1,83 @@
+#include "sim/throughput.h"
+
+#include <algorithm>
+
+#include "model/flops.h"
+
+namespace fabnet {
+namespace sim {
+
+ThroughputReport
+estimateThroughput(const ModelConfig &cfg, std::size_t seq,
+                   const AcceleratorConfig &hw, std::size_t batch)
+{
+    const auto trace = buildFabnetTrace(cfg, seq);
+    const auto rep = simulate(trace, hw);
+
+    ThroughputReport out;
+    out.first_sample_cycles = rep.total_cycles;
+
+    // Steady state: per-sample time once the inter-sample pipeline is
+    // full - the busiest single resource (BP, the QK unit, the SV
+    // unit, or the off-chip interface). Never worse than running the
+    // samples back to back.
+    double compute_bp = 0.0, compute_qk = 0.0, compute_sv = 0.0;
+    for (const auto &op : rep.ops) {
+        switch (op.kind) {
+          case OpKind::Fft:
+          case OpKind::ButterflyLinear:
+          case OpKind::PostProcess:
+            compute_bp += op.compute_cycles;
+            break;
+          case OpKind::AttentionQK:
+            compute_qk += op.compute_cycles;
+            break;
+          case OpKind::AttentionSV:
+            compute_sv += op.compute_cycles;
+            break;
+        }
+    }
+    const double mem = rep.bytes_moved / hw.bytesPerCycle();
+    out.steady_state_cycles =
+        hw.double_buffer
+            ? std::min(rep.total_cycles,
+                       std::max({compute_bp, compute_qk, compute_sv,
+                                 mem}))
+            : rep.total_cycles;
+
+    out.total_cycles =
+        out.first_sample_cycles +
+        (batch > 0 ? static_cast<double>(batch - 1) : 0.0) *
+            out.steady_state_cycles;
+    out.seconds = out.total_cycles / (hw.freq_ghz * 1e9);
+    out.samples_per_second =
+        out.seconds > 0.0 ? static_cast<double>(batch) / out.seconds
+                          : 0.0;
+    return out;
+}
+
+RooflineSummary
+summariseRoofline(const ModelConfig &cfg, std::size_t seq,
+                  const AcceleratorConfig &hw,
+                  const LatencyReport &report)
+{
+    RooflineSummary s;
+    const double flops = modelFlops(cfg, seq).total();
+    s.achieved_gops = flops / report.seconds / 1e9;
+    s.peak_gops =
+        2.0 * static_cast<double>(hw.multipliers()) * hw.freq_ghz;
+    s.compute_utilisation =
+        s.peak_gops > 0.0 ? s.achieved_gops / s.peak_gops : 0.0;
+    s.achieved_gbps = report.bytes_moved / report.seconds / 1e9;
+    s.bandwidth_utilisation =
+        hw.bw_gbps > 0.0 ? s.achieved_gbps / hw.bw_gbps : 0.0;
+    s.arithmetic_intensity =
+        report.bytes_moved > 0.0 ? flops / report.bytes_moved : 0.0;
+    // Ridge point: intensity where compute and bandwidth roofs meet.
+    const double ridge = s.peak_gops / hw.bw_gbps;
+    s.memory_bound = s.arithmetic_intensity < ridge;
+    return s;
+}
+
+} // namespace sim
+} // namespace fabnet

@@ -1,0 +1,62 @@
+/**
+ * @file throughput.h
+ * Batch throughput and roofline analysis on top of the cycle model.
+ *
+ * The accelerator's double buffering overlaps the data movement of
+ * sample b+1 with the compute of sample b (Sec. IV-A), so a batch of
+ * B samples takes fill + (B-1) x steady-state where the steady state
+ * is the busiest resource (BP compute, AP compute, or off-chip
+ * traffic).
+ */
+#ifndef FABNET_SIM_THROUGHPUT_H
+#define FABNET_SIM_THROUGHPUT_H
+
+#include "model/config.h"
+#include "sim/accelerator.h"
+
+namespace fabnet {
+namespace sim {
+
+/** Batched execution estimate. */
+struct ThroughputReport
+{
+    double first_sample_cycles = 0.0;  ///< pipeline fill (latency)
+    double steady_state_cycles = 0.0;  ///< per-sample, pipelined
+    double total_cycles = 0.0;         ///< whole batch
+    double seconds = 0.0;
+    double samples_per_second = 0.0;
+
+    double milliseconds() const { return seconds * 1e3; }
+};
+
+/**
+ * Estimate a batch of @p batch identical samples. batch = 1 reduces to
+ * simulate()'s latency.
+ */
+ThroughputReport estimateThroughput(const ModelConfig &cfg,
+                                    std::size_t seq,
+                                    const AcceleratorConfig &hw,
+                                    std::size_t batch);
+
+/** Roofline view of a latency report. */
+struct RooflineSummary
+{
+    double achieved_gops = 0.0;       ///< model FLOPs / time
+    double peak_gops = 0.0;           ///< 2 * multipliers * freq
+    double compute_utilisation = 0.0; ///< achieved / peak
+    double achieved_gbps = 0.0;       ///< bytes moved / time
+    double bandwidth_utilisation = 0.0;
+    double arithmetic_intensity = 0.0; ///< FLOPs per byte moved
+    bool memory_bound = false; ///< intensity below the ridge point
+};
+
+/** Summarise a simulated run against the hardware's roofline. */
+RooflineSummary summariseRoofline(const ModelConfig &cfg,
+                                  std::size_t seq,
+                                  const AcceleratorConfig &hw,
+                                  const LatencyReport &report);
+
+} // namespace sim
+} // namespace fabnet
+
+#endif // FABNET_SIM_THROUGHPUT_H

@@ -1,0 +1,175 @@
+/**
+ * @file patterns.h
+ * The five basic attention-sparsity patterns of Sec. III-A / Fig. 4:
+ * low-rank, sliding-window, butterfly, random and block-wise - as
+ * analysable boolean masks, plus the hardware-oriented analyses the
+ * paper uses to justify choosing butterfly sparsity:
+ *
+ *  - data-access classification (sequential row+column, regular
+ *    stride, or random reads),
+ *  - bank-conflict behaviour under a banked memory,
+ *  - information flow (local vs global token mixing and how many
+ *    pattern applications reach full connectivity).
+ */
+#ifndef FABNET_SPARSITY_PATTERNS_H
+#define FABNET_SPARSITY_PATTERNS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace fabnet {
+namespace sparsity {
+
+/** The basic patterns of Fig. 4. */
+enum class PatternKind {
+    LowRank,
+    SlidingWindow,
+    Butterfly,
+    Random,
+    BlockWise
+};
+
+/** Printable name. */
+std::string patternName(PatternKind kind);
+
+/** An n x n boolean connectivity mask. */
+class SparsityPattern
+{
+  public:
+    /**
+     * Low-rank: every token attends through @p rank landmark tokens
+     * (dense rows and columns at the landmarks), the access pattern
+     * that needs both sequential row and column reads.
+     */
+    static SparsityPattern lowRank(std::size_t n, std::size_t rank);
+
+    /** Sliding window of half-width @p window around the diagonal. */
+    static SparsityPattern slidingWindow(std::size_t n,
+                                         std::size_t window);
+
+    /**
+     * Butterfly: the union of the log2(n) butterfly-stage pairings -
+     * token i connects to i ^ 2^s for every stage s (plus itself).
+     */
+    static SparsityPattern butterfly(std::size_t n);
+
+    /** Uniform random mask of the given density (diagonal kept). */
+    static SparsityPattern random(std::size_t n, double density,
+                                  Rng &rng);
+
+    /** Block-diagonal mask with blocks of size @p block. */
+    static SparsityPattern blockWise(std::size_t n, std::size_t block);
+
+    /** Build by kind with that kind's canonical parameterisation. */
+    static SparsityPattern make(PatternKind kind, std::size_t n,
+                                Rng &rng);
+
+    std::size_t size() const { return n_; }
+    PatternKind kind() const { return kind_; }
+
+    bool at(std::size_t i, std::size_t j) const
+    {
+        return mask_[i * n_ + j];
+    }
+
+    /** Fraction of nonzero entries. */
+    double density() const;
+
+    /** Number of nonzeros in row @p i. */
+    std::size_t rowNnz(std::size_t i) const;
+
+    /** Column indices of the nonzeros of row @p i, ascending. */
+    std::vector<std::size_t> rowCols(std::size_t i) const;
+
+  private:
+    SparsityPattern(PatternKind kind, std::size_t n);
+
+    PatternKind kind_;
+    std::size_t n_;
+    std::vector<char> mask_;
+};
+
+/** Data-access categories of Fig. 4. */
+enum class AccessKind {
+    SequentialRowColumn, ///< needs both row- and column-major streams
+    RegularStride,       ///< fixed-stride gathers
+    RandomRead           ///< data-dependent gathers
+};
+
+std::string accessName(AccessKind kind);
+
+/** Static classification per Fig. 4. */
+AccessKind accessPattern(PatternKind kind);
+
+/**
+ * Measured access regularity: fraction of consecutive nonzero-column
+ * gaps within each row that equal the row's modal gap. 1.0 = perfectly
+ * strided reads, ~0 = random gathers.
+ */
+double strideRegularity(const SparsityPattern &p);
+
+/**
+ * Bank-conflict stall factor: reading each row's nonzeros from a
+ * @p banks -banked memory (bank = column % banks, banks words per
+ * cycle), actual cycles / ideal cycles. 1.0 = conflict-free.
+ */
+double bankConflictFactor(const SparsityPattern &p, std::size_t banks);
+
+/** Information-flow analysis of Fig. 4 (local/global columns). */
+struct InfoFlow
+{
+    bool local = false;  ///< most tokens reach a neighbour in one hop
+    bool global = false; ///< all tokens reachable in O(log n) hops
+    std::size_t hops_to_full = 0; ///< applications until fully mixed
+    /** Fraction of interior tokens with a one-hop immediate
+     *  neighbour; local = coverage >= 0.5. */
+    double local_coverage = 0.0;
+};
+
+/**
+ * BFS over the pattern's connectivity: how many pattern applications
+ * until every token can see every other (capped at @p max_hops).
+ */
+InfoFlow analyseInfoFlow(const SparsityPattern &p,
+                         std::size_t max_hops = 64);
+
+/** One row of the Fig. 4 comparison table. */
+struct PatternReport
+{
+    PatternKind kind;
+    double density = 0.0;
+    AccessKind access;
+    double stride_regularity = 0.0;
+    double bank_conflict_factor = 0.0;
+    bool hw_efficient = false; ///< the paper's "HW Eff." verdict
+    InfoFlow info;
+};
+
+/** Analyse one pattern at size @p n with @p banks memory banks. */
+PatternReport analysePattern(PatternKind kind, std::size_t n,
+                             std::size_t banks, Rng &rng);
+
+/**
+ * Table II: which sparsity patterns each published efficient-attention
+ * variant combines, and where it applies them.
+ */
+struct VariantEntry
+{
+    std::string model;
+    std::vector<PatternKind> patterns;
+    bool on_attention = false;
+    bool on_ffn = false;
+    bool unified_pattern = false; ///< single pattern everywhere
+    bool needs_extra_kernels = false;
+};
+
+/** The published variants of Table II plus this paper's FABNet. */
+std::vector<VariantEntry> variantCatalog();
+
+} // namespace sparsity
+} // namespace fabnet
+
+#endif // FABNET_SPARSITY_PATTERNS_H

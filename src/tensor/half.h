@@ -1,0 +1,70 @@
+/**
+ * @file half.h
+ * IEEE 754 binary16 emulation.
+ *
+ * The paper's accelerator computes in 16-bit half-precision floating
+ * point ("We use 16-bit half-precision floating-point in our hardware
+ * designs", Sec. VI-A). The functional datapath model in src/sim runs
+ * on this type so that its numerics match what the RTL would produce,
+ * and the cross-validation tests bound the fp16-vs-fp32 error.
+ *
+ * Conversion uses round-to-nearest-even, handles subnormals, infinities
+ * and NaN. Arithmetic is performed by converting to float, computing,
+ * and rounding back - exactly what a half-precision FPU does for
+ * individual operations.
+ */
+#ifndef FABNET_TENSOR_HALF_H
+#define FABNET_TENSOR_HALF_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace fabnet {
+
+/** Convert a float to IEEE binary16 bits (round-to-nearest-even). */
+std::uint16_t floatToHalfBits(float f);
+
+/** Convert IEEE binary16 bits to float (exact). */
+float halfBitsToFloat(std::uint16_t h);
+
+/** Value-semantic half-precision float. */
+class Half
+{
+  public:
+    Half() = default;
+    Half(float f) : bits_(floatToHalfBits(f)) {}
+
+    /** Construct from raw storage bits. */
+    static Half fromBits(std::uint16_t bits)
+    {
+        Half h;
+        h.bits_ = bits;
+        return h;
+    }
+
+    std::uint16_t bits() const { return bits_; }
+    float toFloat() const { return halfBitsToFloat(bits_); }
+    operator float() const { return toFloat(); }
+
+    Half operator+(Half o) const { return Half(toFloat() + o.toFloat()); }
+    Half operator-(Half o) const { return Half(toFloat() - o.toFloat()); }
+    Half operator*(Half o) const { return Half(toFloat() * o.toFloat()); }
+    Half operator/(Half o) const { return Half(toFloat() / o.toFloat()); }
+    Half operator-() const { return Half(-toFloat()); }
+
+    bool operator==(Half o) const { return bits_ == o.bits_; }
+
+  private:
+    std::uint16_t bits_ = 0;
+};
+
+/** Round a float through half precision (quantisation operator). */
+inline float
+roundToHalf(float f)
+{
+    return halfBitsToFloat(floatToHalfBits(f));
+}
+
+} // namespace fabnet
+
+#endif // FABNET_TENSOR_HALF_H

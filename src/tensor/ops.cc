@@ -1,0 +1,274 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fabnet {
+namespace ops {
+
+namespace {
+
+void
+requireRank2(const Tensor &t, const char *what)
+{
+    if (t.rank() != 2)
+        throw std::invalid_argument(std::string(what) +
+                                    ": rank-2 tensor required, got " +
+                                    t.shapeString());
+}
+
+void
+requireSameShape(const Tensor &a, const Tensor &b, const char *what)
+{
+    if (a.shape() != b.shape())
+        throw std::invalid_argument(std::string(what) + ": shape mismatch " +
+                                    a.shapeString() + " vs " +
+                                    b.shapeString());
+}
+
+} // namespace
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    requireRank2(a, "matmul");
+    requireRank2(b, "matmul");
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    if (b.dim(0) != k)
+        throw std::invalid_argument("matmul: inner dimension mismatch");
+
+    Tensor c = Tensor::zeros(m, n);
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    // i-k-j loop order keeps the inner loop contiguous for both B and C.
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float av = pa[i * k + kk];
+            if (av == 0.0f)
+                continue;
+            const float *brow = pb + kk * n;
+            float *crow = pc + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransposed(const Tensor &a, const Tensor &b)
+{
+    requireRank2(a, "matmulTransposed");
+    requireRank2(b, "matmulTransposed");
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+    if (b.dim(1) != k)
+        throw std::invalid_argument("matmulTransposed: dimension mismatch");
+
+    Tensor c = Tensor::zeros(m, n);
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            const float *arow = pa + i * k;
+            const float *brow = pb + j * k;
+            float acc = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk)
+                acc += arow[kk] * brow[kk];
+            pc[i * n + j] = acc;
+        }
+    }
+    return c;
+}
+
+Tensor
+transpose(const Tensor &a)
+{
+    requireRank2(a, "transpose");
+    const std::size_t m = a.dim(0), n = a.dim(1);
+    Tensor t = Tensor::zeros(n, m);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            t.at(j, i) = a.at(i, j);
+    return t;
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    requireSameShape(a, b, "add");
+    Tensor c = a;
+    float *pc = c.data();
+    const float *pb = b.data();
+    for (std::size_t i = 0; i < c.size(); ++i)
+        pc[i] += pb[i];
+    return c;
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    requireSameShape(a, b, "sub");
+    Tensor c = a;
+    float *pc = c.data();
+    const float *pb = b.data();
+    for (std::size_t i = 0; i < c.size(); ++i)
+        pc[i] -= pb[i];
+    return c;
+}
+
+Tensor
+mul(const Tensor &a, const Tensor &b)
+{
+    requireSameShape(a, b, "mul");
+    Tensor c = a;
+    float *pc = c.data();
+    const float *pb = b.data();
+    for (std::size_t i = 0; i < c.size(); ++i)
+        pc[i] *= pb[i];
+    return c;
+}
+
+Tensor
+scale(const Tensor &a, float s)
+{
+    Tensor c = a;
+    for (float &v : c.raw())
+        v *= s;
+    return c;
+}
+
+void
+addInPlace(Tensor &a, const Tensor &b)
+{
+    requireSameShape(a, b, "addInPlace");
+    float *pa = a.data();
+    const float *pb = b.data();
+    for (std::size_t i = 0; i < a.size(); ++i)
+        pa[i] += pb[i];
+}
+
+Tensor
+softmaxLastDim(const Tensor &a)
+{
+    if (a.rank() < 2)
+        throw std::invalid_argument("softmaxLastDim: rank >= 2 required");
+    const std::size_t d = a.shape().back();
+    const std::size_t rows = a.size() / d;
+    Tensor out = a;
+    float *p = out.data();
+    for (std::size_t r = 0; r < rows; ++r) {
+        float *row = p + r * d;
+        float mx = row[0];
+        for (std::size_t j = 1; j < d; ++j)
+            mx = std::max(mx, row[j]);
+        float denom = 0.0f;
+        for (std::size_t j = 0; j < d; ++j) {
+            row[j] = std::exp(row[j] - mx);
+            denom += row[j];
+        }
+        const float inv = 1.0f / denom;
+        for (std::size_t j = 0; j < d; ++j)
+            row[j] *= inv;
+    }
+    return out;
+}
+
+Tensor
+layerNormLastDim(const Tensor &a, const std::vector<float> &gamma,
+                 const std::vector<float> &beta, float eps)
+{
+    const std::size_t d = a.shape().back();
+    if (gamma.size() != d || beta.size() != d)
+        throw std::invalid_argument("layerNormLastDim: affine size mismatch");
+    const std::size_t rows = a.size() / d;
+    Tensor out = a;
+    float *p = out.data();
+    for (std::size_t r = 0; r < rows; ++r) {
+        float *row = p + r * d;
+        float mean = 0.0f;
+        for (std::size_t j = 0; j < d; ++j)
+            mean += row[j];
+        mean /= static_cast<float>(d);
+        float var = 0.0f;
+        for (std::size_t j = 0; j < d; ++j) {
+            const float c = row[j] - mean;
+            var += c * c;
+        }
+        var /= static_cast<float>(d);
+        const float inv_std = 1.0f / std::sqrt(var + eps);
+        for (std::size_t j = 0; j < d; ++j)
+            row[j] = (row[j] - mean) * inv_std * gamma[j] + beta[j];
+    }
+    return out;
+}
+
+Tensor
+relu(const Tensor &a)
+{
+    Tensor c = a;
+    for (float &v : c.raw())
+        v = std::max(v, 0.0f);
+    return c;
+}
+
+Tensor
+gelu(const Tensor &a)
+{
+    Tensor c = a;
+    constexpr float k = 0.7978845608028654f; // sqrt(2/pi)
+    for (float &v : c.raw()) {
+        const float inner = k * (v + 0.044715f * v * v * v);
+        v = 0.5f * v * (1.0f + std::tanh(inner));
+    }
+    return c;
+}
+
+double
+sum(const Tensor &a)
+{
+    double s = 0.0;
+    for (float v : a.raw())
+        s += v;
+    return s;
+}
+
+double
+mean(const Tensor &a)
+{
+    return a.size() ? sum(a) / static_cast<double>(a.size()) : 0.0;
+}
+
+float
+maxAbs(const Tensor &a)
+{
+    float m = 0.0f;
+    for (float v : a.raw())
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+float
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    requireSameShape(a, b, "maxAbsDiff");
+    float m = 0.0f;
+    const float *pa = a.data();
+    const float *pb = b.data();
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::fabs(pa[i] - pb[i]));
+    return m;
+}
+
+bool
+allClose(const Tensor &a, const Tensor &b, float tol)
+{
+    if (a.shape() != b.shape())
+        return false;
+    return maxAbsDiff(a, b) <= tol;
+}
+
+} // namespace ops
+} // namespace fabnet

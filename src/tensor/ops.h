@@ -1,0 +1,82 @@
+/**
+ * @file ops.h
+ * Numeric kernels on Tensor: GEMM, softmax, layer normalisation,
+ * activations and element-wise arithmetic.
+ *
+ * These are the reference ("ground truth") implementations that the
+ * hardware-functional models in src/sim are cross-validated against,
+ * mirroring the paper's Appendix C RTL-vs-PyTorch validation.
+ */
+#ifndef FABNET_TENSOR_OPS_H
+#define FABNET_TENSOR_OPS_H
+
+#include <cstddef>
+
+#include "tensor/tensor.h"
+
+namespace fabnet {
+namespace ops {
+
+/** C = A * B for rank-2 tensors; A is [m,k], B is [k,n]. */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/** C = A * B^T for rank-2 tensors; A is [m,k], B is [n,k]. */
+Tensor matmulTransposed(const Tensor &a, const Tensor &b);
+
+/** Transpose of a rank-2 tensor. */
+Tensor transpose(const Tensor &a);
+
+/** Element-wise sum; shapes must match. */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/** Element-wise difference; shapes must match. */
+Tensor sub(const Tensor &a, const Tensor &b);
+
+/** Element-wise (Hadamard) product; shapes must match. */
+Tensor mul(const Tensor &a, const Tensor &b);
+
+/** Scale every element by @p s. */
+Tensor scale(const Tensor &a, float s);
+
+/** a += b in place; shapes must match. */
+void addInPlace(Tensor &a, const Tensor &b);
+
+/**
+ * Row-wise softmax over the last dimension.
+ * Works for rank 2 ([rows, cols]) and rank 3 ([b, t, d]).
+ */
+Tensor softmaxLastDim(const Tensor &a);
+
+/**
+ * Row-wise layer normalisation over the last dimension with affine
+ * parameters gamma/beta of length equal to the last dimension.
+ * @param eps numerical-stability epsilon (paper models use 1e-5).
+ */
+Tensor layerNormLastDim(const Tensor &a, const std::vector<float> &gamma,
+                        const std::vector<float> &beta, float eps = 1e-5f);
+
+/** Rectified linear unit. */
+Tensor relu(const Tensor &a);
+
+/** Gaussian error linear unit (tanh approximation, as in BERT). */
+Tensor gelu(const Tensor &a);
+
+/** Sum of all elements. */
+double sum(const Tensor &a);
+
+/** Mean of all elements. */
+double mean(const Tensor &a);
+
+/** Largest absolute element. */
+float maxAbs(const Tensor &a);
+
+/** Largest absolute element-wise difference between two tensors. */
+float maxAbsDiff(const Tensor &a, const Tensor &b);
+
+/** True when |a - b| <= tol element-wise (shapes must match). */
+bool allClose(const Tensor &a, const Tensor &b, float tol = 1e-5f);
+
+} // namespace ops
+} // namespace fabnet
+
+#endif // FABNET_TENSOR_OPS_H

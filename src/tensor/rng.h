@@ -1,0 +1,81 @@
+/**
+ * @file rng.h
+ * Deterministic random number generation for reproducible experiments.
+ *
+ * Every stochastic component in the library (weight init, data
+ * generators, DSE sampling) takes an explicit Rng so that the benches
+ * regenerate the same tables on every run.
+ */
+#ifndef FABNET_TENSOR_RNG_H
+#define FABNET_TENSOR_RNG_H
+
+#include <cstdint>
+#include <random>
+
+#include "tensor/tensor.h"
+
+namespace fabnet {
+
+/** Seeded mersenne-twister wrapper with the distributions we need. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 42) : gen_(seed) {}
+
+    /** Standard normal scaled by @p stddev. */
+    float normal(float stddev = 1.0f, float mean = 0.0f)
+    {
+        std::normal_distribution<float> d(mean, stddev);
+        return d(gen_);
+    }
+
+    /** Uniform float in [lo, hi). */
+    float uniform(float lo = 0.0f, float hi = 1.0f)
+    {
+        std::uniform_real_distribution<float> d(lo, hi);
+        return d(gen_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int randint(int lo, int hi)
+    {
+        std::uniform_int_distribution<int> d(lo, hi);
+        return d(gen_);
+    }
+
+    /** Bernoulli draw. */
+    bool bernoulli(double p = 0.5)
+    {
+        std::bernoulli_distribution d(p);
+        return d(gen_);
+    }
+
+    /** Tensor filled with N(mean, stddev^2) samples. */
+    Tensor normalTensor(std::vector<std::size_t> shape, float stddev = 1.0f,
+                        float mean = 0.0f)
+    {
+        Tensor t(std::move(shape));
+        for (float &v : t.raw())
+            v = normal(stddev, mean);
+        return t;
+    }
+
+    /** Tensor filled with U[lo, hi) samples. */
+    Tensor uniformTensor(std::vector<std::size_t> shape, float lo, float hi)
+    {
+        Tensor t(std::move(shape));
+        for (float &v : t.raw())
+            v = uniform(lo, hi);
+        return t;
+    }
+
+    /** Underlying engine, for std::shuffle and friends. */
+    std::mt19937_64 &engine() { return gen_; }
+
+  private:
+    std::mt19937_64 gen_;
+};
+
+} // namespace fabnet
+
+#endif // FABNET_TENSOR_RNG_H

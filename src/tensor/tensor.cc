@@ -1,0 +1,163 @@
+#include "tensor/tensor.h"
+
+#include <cassert>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace fabnet {
+
+namespace {
+
+std::size_t
+product(const std::vector<std::size_t> &shape)
+{
+    std::size_t n = 1;
+    for (std::size_t d : shape)
+        n *= d;
+    return shape.empty() ? 0 : n;
+}
+
+} // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(product(shape_), 0.0f)
+{
+    if (shape_.empty() || shape_.size() > 3)
+        throw std::invalid_argument("Tensor rank must be 1..3");
+}
+
+Tensor
+Tensor::zeros(std::size_t n)
+{
+    return Tensor({n});
+}
+
+Tensor
+Tensor::zeros(std::size_t rows, std::size_t cols)
+{
+    return Tensor({rows, cols});
+}
+
+Tensor
+Tensor::zeros(std::size_t b, std::size_t t, std::size_t d)
+{
+    return Tensor({b, t, d});
+}
+
+Tensor
+Tensor::fromVector(const std::vector<float> &values)
+{
+    Tensor t({values.size()});
+    t.data_ = values;
+    return t;
+}
+
+Tensor
+Tensor::fromMatrix(std::size_t rows, std::size_t cols,
+                   const std::vector<float> &values)
+{
+    if (values.size() != rows * cols)
+        throw std::invalid_argument("fromMatrix: size mismatch");
+    Tensor t({rows, cols});
+    t.data_ = values;
+    return t;
+}
+
+std::size_t
+Tensor::dim(std::size_t i) const
+{
+    if (i >= shape_.size())
+        throw std::out_of_range("Tensor::dim index out of range");
+    return shape_[i];
+}
+
+float &
+Tensor::at(std::size_t i)
+{
+    assert(rank() == 1 && i < data_.size());
+    return data_[i];
+}
+
+float
+Tensor::at(std::size_t i) const
+{
+    assert(rank() == 1 && i < data_.size());
+    return data_[i];
+}
+
+std::size_t
+Tensor::flatIndex2(std::size_t i, std::size_t j) const
+{
+    assert(rank() == 2 && i < shape_[0] && j < shape_[1]);
+    return i * shape_[1] + j;
+}
+
+std::size_t
+Tensor::flatIndex3(std::size_t i, std::size_t j, std::size_t k) const
+{
+    assert(rank() == 3 && i < shape_[0] && j < shape_[1] && k < shape_[2]);
+    return (i * shape_[1] + j) * shape_[2] + k;
+}
+
+float &
+Tensor::at(std::size_t i, std::size_t j)
+{
+    return data_[flatIndex2(i, j)];
+}
+
+float
+Tensor::at(std::size_t i, std::size_t j) const
+{
+    return data_[flatIndex2(i, j)];
+}
+
+float &
+Tensor::at(std::size_t i, std::size_t j, std::size_t k)
+{
+    return data_[flatIndex3(i, j, k)];
+}
+
+float
+Tensor::at(std::size_t i, std::size_t j, std::size_t k) const
+{
+    return data_[flatIndex3(i, j, k)];
+}
+
+Tensor
+Tensor::reshaped(std::vector<std::size_t> new_shape) const
+{
+    Tensor out(std::move(new_shape));
+    if (out.size() != size())
+        throw std::invalid_argument("reshaped: element count mismatch");
+    out.data_ = data_;
+    return out;
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+bool
+Tensor::operator==(const Tensor &other) const
+{
+    return shape_ == other.shape_ && data_ == other.data_;
+}
+
+std::string
+Tensor::shapeString() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < shape_.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << shape_[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace fabnet

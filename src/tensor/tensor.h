@@ -1,0 +1,100 @@
+/**
+ * @file tensor.h
+ * Dense row-major float tensor used throughout the FABNet library.
+ *
+ * The tensor is deliberately minimal: a shape vector plus a contiguous
+ * float buffer. Ranks 1-3 cover everything the models need
+ * ([batch, seq, hidden] activations, [rows, cols] weights, [n] vectors).
+ * All numeric kernels live in ops.h; this header only owns storage,
+ * shape book-keeping and element access.
+ */
+#ifndef FABNET_TENSOR_TENSOR_H
+#define FABNET_TENSOR_TENSOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace fabnet {
+
+/** Dense row-major float tensor of rank 1 to 3. */
+class Tensor
+{
+  public:
+    /** Empty tensor (rank 0, no storage). */
+    Tensor() = default;
+
+    /** Allocate a zero-initialised tensor with the given shape. */
+    explicit Tensor(std::vector<std::size_t> shape);
+
+    /** Convenience constructors for common ranks. */
+    static Tensor zeros(std::size_t n);
+    static Tensor zeros(std::size_t rows, std::size_t cols);
+    static Tensor zeros(std::size_t b, std::size_t t, std::size_t d);
+
+    /** Build a rank-1 tensor from explicit values. */
+    static Tensor fromVector(const std::vector<float> &values);
+
+    /** Build a rank-2 tensor from explicit row-major values. */
+    static Tensor fromMatrix(std::size_t rows, std::size_t cols,
+                             const std::vector<float> &values);
+
+    /** Total number of elements. */
+    std::size_t size() const { return data_.size(); }
+
+    /** Tensor rank (number of dimensions). */
+    std::size_t rank() const { return shape_.size(); }
+
+    /** Shape accessor. */
+    const std::vector<std::size_t> &shape() const { return shape_; }
+
+    /** Size of dimension @p i (0-based). */
+    std::size_t dim(std::size_t i) const;
+
+    /** Raw storage access. */
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+    std::vector<float> &raw() { return data_; }
+    const std::vector<float> &raw() const { return data_; }
+
+    /** Rank-1 element access. */
+    float &at(std::size_t i);
+    float at(std::size_t i) const;
+
+    /** Rank-2 element access. */
+    float &at(std::size_t i, std::size_t j);
+    float at(std::size_t i, std::size_t j) const;
+
+    /** Rank-3 element access. */
+    float &at(std::size_t i, std::size_t j, std::size_t k);
+    float at(std::size_t i, std::size_t j, std::size_t k) const;
+
+    /**
+     * Reinterpret the tensor with a new shape.
+     * @pre the element count must be unchanged.
+     */
+    Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+    /** In-place fill with a constant. */
+    void fill(float value);
+
+    /** True when shapes and all elements match exactly. */
+    bool operator==(const Tensor &other) const;
+
+    /** Human readable "[2, 3, 4]" shape string for error messages. */
+    std::string shapeString() const;
+
+  private:
+    std::vector<std::size_t> shape_;
+    std::vector<float> data_;
+
+    std::size_t flatIndex2(std::size_t i, std::size_t j) const;
+    std::size_t flatIndex3(std::size_t i, std::size_t j,
+                           std::size_t k) const;
+};
+
+} // namespace fabnet
+
+#endif // FABNET_TENSOR_TENSOR_H

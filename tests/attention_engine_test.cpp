@@ -1,0 +1,143 @@
+/**
+ * @file attention_engine_test.cpp
+ * Functional fp16 attention engine (QK + SV units) cross-validated
+ * against the fp32 software attention core, plus its cycle accounting
+ * against the performance-model formula.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/attention_engine.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace fabnet {
+namespace sim {
+namespace {
+
+/** fp32 reference: softmax(q k^T / sqrt(dh)) v. */
+Tensor
+referenceAttention(const Tensor &q, const Tensor &k, const Tensor &v,
+                   bool causal)
+{
+    const std::size_t rows = q.dim(0), dh = q.dim(1);
+    Tensor scores = ops::matmulTransposed(q, k);
+    scores = ops::scale(scores,
+                        1.0f / std::sqrt(static_cast<float>(dh)));
+    if (causal)
+        for (std::size_t i = 0; i < rows; ++i)
+            for (std::size_t j = i + 1; j < rows; ++j)
+                scores.at(i, j) = -1e30f;
+    Tensor attn = ops::softmaxLastDim(scores);
+    return ops::matmul(attn, v);
+}
+
+TEST(AttentionEngine, MatchesReferenceWithinFp16)
+{
+    Rng rng(1);
+    for (std::size_t rows : {4u, 16u, 64u}) {
+        const std::size_t dh = 16;
+        Tensor q = rng.normalTensor({rows, dh});
+        Tensor k = rng.normalTensor({rows, dh});
+        Tensor v = rng.normalTensor({rows, dh});
+
+        AttentionEngine engine(16, 16);
+        Tensor hw = engine.run(q, k, v);
+        Tensor ref = referenceAttention(q, k, v, false);
+        EXPECT_LT(ops::maxAbsDiff(hw, ref),
+                  3e-2f * std::max(1.0f, ops::maxAbs(ref)))
+            << "rows=" << rows;
+    }
+}
+
+TEST(AttentionEngine, CausalMatchesReference)
+{
+    Rng rng(2);
+    const std::size_t rows = 12, dh = 8;
+    Tensor q = rng.normalTensor({rows, dh});
+    Tensor k = rng.normalTensor({rows, dh});
+    Tensor v = rng.normalTensor({rows, dh});
+
+    AttentionEngine engine(8, 8);
+    Tensor hw = engine.run(q, k, v, /*causal=*/true);
+    Tensor ref = referenceAttention(q, k, v, true);
+    EXPECT_LT(ops::maxAbsDiff(hw, ref),
+              3e-2f * std::max(1.0f, ops::maxAbs(ref)));
+}
+
+TEST(AttentionEngine, CycleCountMatchesFormula)
+{
+    Rng rng(3);
+    const std::size_t rows = 32, dh = 16;
+    Tensor q = rng.normalTensor({rows, dh});
+    Tensor k = rng.normalTensor({rows, dh});
+    Tensor v = rng.normalTensor({rows, dh});
+
+    for (std::size_t p : {4u, 16u, 64u}) {
+        AttentionEngine engine(p, p);
+        AttentionEngine::RunStats stats;
+        engine.run(q, k, v, false, &stats);
+        // rows x ceil(rows*dh / p) per unit.
+        EXPECT_EQ(stats.qk_cycles,
+                  rows * ((rows * dh + p - 1) / p))
+            << "p=" << p;
+        EXPECT_EQ(stats.sv_cycles, stats.qk_cycles);
+        EXPECT_EQ(stats.score_rows, rows);
+    }
+}
+
+TEST(AttentionEngine, CausalRoughlyHalvesWork)
+{
+    Rng rng(4);
+    const std::size_t rows = 64, dh = 8;
+    Tensor q = rng.normalTensor({rows, dh});
+    Tensor k = rng.normalTensor({rows, dh});
+    Tensor v = rng.normalTensor({rows, dh});
+    AttentionEngine engine(8, 8);
+    AttentionEngine::RunStats full, causal;
+    engine.run(q, k, v, false, &full);
+    engine.run(q, k, v, true, &causal);
+    const double ratio = static_cast<double>(causal.qk_cycles) /
+                         static_cast<double>(full.qk_cycles);
+    EXPECT_NEAR(ratio, 0.51, 0.03);
+}
+
+TEST(AttentionEngine, RowStreamingIsOrderIndependentPerRow)
+{
+    // Each context row depends only on its own query row (with full
+    // attention) - the property that lets QK stream rows into SV.
+    Rng rng(5);
+    const std::size_t rows = 8, dh = 4;
+    Tensor q = rng.normalTensor({rows, dh});
+    Tensor k = rng.normalTensor({rows, dh});
+    Tensor v = rng.normalTensor({rows, dh});
+    AttentionEngine engine(4, 4);
+    Tensor full = engine.run(q, k, v);
+
+    Tensor q2 = q;
+    for (std::size_t c = 0; c < dh; ++c)
+        q2.at(3, c) += 1.0f; // perturb only query row 3
+    Tensor out2 = engine.run(q2, k, v);
+    for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t c = 0; c < dh; ++c) {
+            if (i == 3)
+                continue;
+            EXPECT_NEAR(out2.at(i, c), full.at(i, c), 1e-6f)
+                << "row " << i;
+        }
+    }
+}
+
+TEST(AttentionEngine, RejectsBadShapes)
+{
+    EXPECT_THROW(AttentionEngine(0, 4), std::invalid_argument);
+    AttentionEngine engine(4, 4);
+    Tensor q = Tensor::zeros(4, 8);
+    Tensor k = Tensor::zeros(4, 4);
+    EXPECT_THROW(engine.run(q, k, k), std::invalid_argument);
+}
+
+} // namespace
+} // namespace sim
+} // namespace fabnet

@@ -1,0 +1,131 @@
+/**
+ * @file baseline_test.cpp
+ * Baseline MAC-array accelerator model (Sec. VI-D) and the
+ * algorithm/hardware speedup decomposition of Fig. 19.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/accelerator.h"
+#include "sim/baseline.h"
+
+namespace fabnet {
+namespace sim {
+namespace {
+
+TEST(Baseline, TransformerMacsMatchHandCount)
+{
+    ModelConfig cfg = bertBase();
+    cfg.n_total = 1;
+    cfg.n_abfly = 1;
+    const std::size_t t = 128;
+    const double d = 768.0, h = 3072.0;
+    const double expected = 4.0 * t * d * d  // Q,K,V,O projections
+                            + 2.0 * t * t * d // QK^T + SV
+                            + 2.0 * t * d * h; // FFN
+    EXPECT_NEAR(denseEquivalentMacs(cfg, t), expected, 1.0);
+}
+
+TEST(Baseline, FabnetDenseEquivalentCheaperThanBert)
+{
+    // Fig. 19 algorithm-level gain: FABNet run densely still beats
+    // BERT because the DFT replaces the projections + attention.
+    for (std::size_t seq : {128u, 256u, 512u, 1024u}) {
+        const double bert = denseEquivalentMacs(bertBase(), seq);
+        const double fab = denseEquivalentMacs(fabnetBase(), seq);
+        const double ratio = bert / fab;
+        EXPECT_GT(ratio, 1.1) << "seq " << seq;
+        EXPECT_LT(ratio, 3.0) << "seq " << seq;
+    }
+}
+
+TEST(Baseline, AlgorithmGainGrowsWithSequence)
+{
+    const double r128 = denseEquivalentMacs(bertBase(), 128) /
+                        denseEquivalentMacs(fabnetBase(), 128);
+    const double r1024 = denseEquivalentMacs(bertBase(), 1024) /
+                         denseEquivalentMacs(fabnetBase(), 1024);
+    EXPECT_GT(r1024, r128);
+}
+
+TEST(Baseline, LatencyScalesInverselyWithMultipliers)
+{
+    BaselineConfig hw;
+    hw.n_mult = 1024;
+    const auto r1 = simulateBaseline(bertBase(), 256, hw);
+    hw.n_mult = 2048;
+    const auto r2 = simulateBaseline(bertBase(), 256, hw);
+    EXPECT_NEAR(r1.total_cycles / r2.total_cycles, 2.0, 0.05);
+}
+
+TEST(Baseline, LatencyIsComputeBoundAtHbmBandwidth)
+{
+    BaselineConfig hw;
+    const auto rep = simulateBaseline(bertBase(), 128, hw);
+    EXPECT_EQ(rep.stages, 12u);
+    EXPECT_NEAR(rep.total_cycles, rep.compute_cycles, 1.0);
+    EXPECT_NEAR(rep.stage_cycles * 12.0, rep.total_cycles, 1.0);
+    // BERT-Base at seq 128 is ~11.2 GMACs; at 2048 mults and 67%
+    // utilisation that is ~41 ms at 200 MHz.
+    EXPECT_NEAR(rep.milliseconds(), 41.0, 6.0);
+}
+
+TEST(Baseline, MemoryBoundAtLowBandwidth)
+{
+    BaselineConfig hw;
+    hw.bw_gbps = 1.0;
+    const auto rep = simulateBaseline(bertBase(), 128, hw);
+    EXPECT_GT(rep.mem_cycles, rep.compute_cycles);
+    EXPECT_NEAR(rep.total_cycles, rep.mem_cycles, 1.0);
+}
+
+TEST(Fig19, HardwareSpeedupInPaperRange)
+{
+    // FABNet on the butterfly accelerator vs FABNet on the baseline:
+    // paper reports 19.5-53.3x across base/large x seq 128..1024.
+    BaselineConfig base_hw; // 2048 multipliers
+    AcceleratorConfig our_hw;
+    our_hw.p_be = 128; // 2048 multipliers, same budget
+    our_hw.p_bu = 4;
+    our_hw.bw_gbps = 450.0;
+
+    for (const auto &model : {fabnetBase(), fabnetLarge()}) {
+        for (std::size_t seq : {128u, 256u, 512u, 1024u}) {
+            const double t_base =
+                simulateBaseline(model, seq, base_hw).seconds;
+            const double t_ours =
+                simulateModel(model, seq, our_hw).seconds;
+            const double speedup = t_base / t_ours;
+            EXPECT_GT(speedup, 8.0)
+                << model.describe() << " seq " << seq;
+            EXPECT_LT(speedup, 120.0)
+                << model.describe() << " seq " << seq;
+        }
+    }
+}
+
+TEST(Fig19, CombinedSpeedupExceedsHardwareAlone)
+{
+    BaselineConfig base_hw;
+    AcceleratorConfig our_hw;
+    our_hw.p_be = 128;
+    our_hw.bw_gbps = 450.0;
+
+    const std::size_t seq = 256;
+    const double bert_on_base =
+        simulateBaseline(bertBase(), seq, base_hw).seconds;
+    const double fab_on_base =
+        simulateBaseline(fabnetBase(), seq, base_hw).seconds;
+    const double fab_on_ours =
+        simulateModel(fabnetBase(), seq, our_hw).seconds;
+
+    const double algo = bert_on_base / fab_on_base;
+    const double hw = fab_on_base / fab_on_ours;
+    const double combined = bert_on_base / fab_on_ours;
+    EXPECT_GT(algo, 1.0);
+    EXPECT_NEAR(combined, algo * hw, combined * 0.01);
+    EXPECT_GT(combined, hw);
+}
+
+} // namespace
+} // namespace sim
+} // namespace fabnet

@@ -1,0 +1,139 @@
+/**
+ * @file buffers_test.cpp
+ * The Fig. 12 shared-buffer address mappings: independent ping-pong
+ * banks in butterfly-linear mode, concatenated complex banks in FFT
+ * mode, disjoint placement, capacity accounting and the Fig. 13
+ * overlap-legality rule.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/buffers.h"
+
+namespace fabnet {
+namespace sim {
+namespace {
+
+TEST(ButterflyBuffer, RealBanksAreIndependent)
+{
+    ButterflyBuffer buf(16);
+    buf.setMode(BufferMode::ButterflyLinear);
+    buf.writeReal(0, 3, Half(1.5f));
+    buf.writeReal(1, 3, Half(-2.25f));
+    EXPECT_FLOAT_EQ(buf.readReal(0, 3).toFloat(), 1.5f);
+    EXPECT_FLOAT_EQ(buf.readReal(1, 3).toFloat(), -2.25f);
+    // Bank 0 writes land in SRAM A, bank 1 in SRAM B.
+    EXPECT_EQ(buf.rawA(3), Half(1.5f).bits());
+    EXPECT_EQ(buf.rawB(3), Half(-2.25f).bits());
+}
+
+TEST(ButterflyBuffer, ComplexBanksConcatenateLowerAndUpperHalves)
+{
+    ButterflyBuffer buf(16);
+    buf.setMode(BufferMode::Fft);
+    buf.writeComplex(0, 2, Half(1.0f), Half(2.0f));
+    buf.writeComplex(1, 2, Half(3.0f), Half(4.0f));
+
+    Half re, im;
+    buf.readComplex(0, 2, re, im);
+    EXPECT_FLOAT_EQ(re.toFloat(), 1.0f);
+    EXPECT_FLOAT_EQ(im.toFloat(), 2.0f);
+    buf.readComplex(1, 2, re, im);
+    EXPECT_FLOAT_EQ(re.toFloat(), 3.0f);
+    EXPECT_FLOAT_EQ(im.toFloat(), 4.0f);
+
+    // Bank 0 uses the lower halves of both SRAMs, bank 1 the upper
+    // halves (depth 16 -> upper base 8).
+    EXPECT_EQ(buf.rawA(2), Half(1.0f).bits());
+    EXPECT_EQ(buf.rawB(2), Half(2.0f).bits());
+    EXPECT_EQ(buf.rawA(8 + 2), Half(3.0f).bits());
+    EXPECT_EQ(buf.rawB(8 + 2), Half(4.0f).bits());
+}
+
+TEST(ButterflyBuffer, ComplexBanksAreDisjoint)
+{
+    ButterflyBuffer buf(8);
+    buf.setMode(BufferMode::Fft);
+    // Fill bank 0 completely, then bank 1; bank 0 must be untouched.
+    for (std::size_t a = 0; a < buf.bankCapacity(); ++a)
+        buf.writeComplex(0, a, Half(static_cast<float>(a)),
+                         Half(0.5f));
+    for (std::size_t a = 0; a < buf.bankCapacity(); ++a)
+        buf.writeComplex(1, a, Half(-1.0f), Half(-1.0f));
+    for (std::size_t a = 0; a < buf.bankCapacity(); ++a) {
+        Half re, im;
+        buf.readComplex(0, a, re, im);
+        EXPECT_FLOAT_EQ(re.toFloat(), static_cast<float>(a));
+        EXPECT_FLOAT_EQ(im.toFloat(), 0.5f);
+    }
+}
+
+TEST(ButterflyBuffer, CapacityPerMode)
+{
+    ButterflyBuffer buf(1024); // the paper's buffer depth
+    buf.setMode(BufferMode::ButterflyLinear);
+    EXPECT_EQ(buf.bankCapacity(), 1024u); // 1024 real words per bank
+    buf.setMode(BufferMode::Fft);
+    EXPECT_EQ(buf.bankCapacity(), 512u); // 512 complex words per bank
+}
+
+TEST(ButterflyBuffer, OverlapRuleMatchesFig13)
+{
+    ButterflyBuffer buf(64);
+    buf.setMode(BufferMode::ButterflyLinear);
+    EXPECT_TRUE(buf.loadOverlapsCompute()); // Fig. 13a
+    buf.setMode(BufferMode::Fft);
+    EXPECT_FALSE(buf.loadOverlapsCompute()); // Fig. 13b
+}
+
+TEST(ButterflyBuffer, PingPongSwap)
+{
+    ButterflyBuffer buf(8);
+    EXPECT_EQ(buf.computeBank(), 0u);
+    buf.swapBanks();
+    EXPECT_EQ(buf.computeBank(), 1u);
+    buf.swapBanks();
+    EXPECT_EQ(buf.computeBank(), 0u);
+    // Mode switches reset the ping-pong state.
+    buf.swapBanks();
+    buf.setMode(BufferMode::Fft);
+    EXPECT_EQ(buf.computeBank(), 0u);
+}
+
+TEST(ButterflyBuffer, ModeMismatchedAccessRejected)
+{
+    ButterflyBuffer buf(8);
+    buf.setMode(BufferMode::ButterflyLinear);
+    Half re, im;
+    EXPECT_THROW(buf.readComplex(0, 0, re, im), std::logic_error);
+    buf.setMode(BufferMode::Fft);
+    EXPECT_THROW(buf.writeReal(0, 0, Half(1.0f)), std::logic_error);
+}
+
+TEST(ButterflyBuffer, RangeChecked)
+{
+    ButterflyBuffer buf(8);
+    EXPECT_THROW(buf.writeReal(2, 0, Half(0.0f)), std::out_of_range);
+    EXPECT_THROW(buf.writeReal(0, 8, Half(0.0f)), std::out_of_range);
+    buf.setMode(BufferMode::Fft);
+    EXPECT_THROW(buf.writeComplex(0, 4, Half(0.0f), Half(0.0f)),
+                 std::out_of_range);
+    EXPECT_THROW(ButterflyBuffer(3), std::invalid_argument);
+}
+
+TEST(ButterflyBuffer, ModeSwitchPreservesTotalStorage)
+{
+    // Switching modes re-interprets the same physical SRAM bits.
+    ButterflyBuffer buf(8);
+    buf.setMode(BufferMode::ButterflyLinear);
+    buf.writeReal(0, 1, Half(7.0f)); // SRAM A word 1
+    buf.writeReal(1, 1, Half(9.0f)); // SRAM B word 1
+    buf.setMode(BufferMode::Fft);
+    Half re, im;
+    buf.readComplex(0, 1, re, im); // lower halves: A[1], B[1]
+    EXPECT_FLOAT_EQ(re.toFloat(), 7.0f);
+    EXPECT_FLOAT_EQ(im.toFloat(), 9.0f);
+}
+
+} // namespace
+} // namespace sim
+} // namespace fabnet

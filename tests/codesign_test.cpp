@@ -1,0 +1,211 @@
+/**
+ * @file codesign_test.cpp
+ * Co-design flow: oracles, feasibility filtering, Pareto extraction
+ * and the paper's design-selection rule.
+ */
+#include <gtest/gtest.h>
+
+#include "codesign/codesign.h"
+
+namespace fabnet {
+namespace codesign {
+namespace {
+
+ModelConfig
+baseCfg()
+{
+    ModelConfig c;
+    c.kind = ModelKind::FABNet;
+    c.vocab = 256;
+    c.classes = 2;
+    c.max_seq = 2048;
+    return c;
+}
+
+TEST(CapacityOracle, MonotoneInCapacity)
+{
+    CapacityAccuracyOracle oracle;
+    ModelConfig small = baseCfg();
+    small.d_hid = 64;
+    small.r_ffn = 1;
+    small.n_total = 1;
+    ModelConfig big = baseCfg();
+    big.d_hid = 512;
+    big.r_ffn = 4;
+    big.n_total = 2;
+    EXPECT_GT(oracle.accuracy(big), oracle.accuracy(small));
+}
+
+TEST(CapacityOracle, SaturatesBelowOne)
+{
+    CapacityAccuracyOracle oracle;
+    ModelConfig huge = baseCfg();
+    huge.d_hid = 1024;
+    huge.r_ffn = 4;
+    huge.n_total = 2;
+    EXPECT_LT(oracle.accuracy(huge), 0.67);
+    EXPECT_GT(oracle.accuracy(huge), 0.60);
+}
+
+TEST(CapacityOracle, DeterministicPerConfig)
+{
+    CapacityAccuracyOracle oracle;
+    ModelConfig c = baseCfg();
+    c.d_hid = 128;
+    EXPECT_DOUBLE_EQ(oracle.accuracy(c), oracle.accuracy(c));
+}
+
+TEST(Pareto, ExtractsNonDominatedSet)
+{
+    std::vector<DesignPoint> pts(5);
+    // (latency, accuracy): (1, .5) (2, .6) (3, .55) (4, .7) (5, .65)
+    const double lat[] = {1, 2, 3, 4, 5};
+    const double acc[] = {0.5, 0.6, 0.55, 0.7, 0.65};
+    for (int i = 0; i < 5; ++i) {
+        pts[i].latency_ms = lat[i];
+        pts[i].accuracy = acc[i];
+    }
+    const auto front = paretoFront(pts);
+    ASSERT_EQ(front.size(), 3u);
+    EXPECT_EQ(front[0], 0u); // fastest
+    EXPECT_EQ(front[1], 1u);
+    EXPECT_EQ(front[2], 3u); // most accurate
+}
+
+TEST(Pareto, SinglePointIsItsOwnFront)
+{
+    std::vector<DesignPoint> pts(1);
+    pts[0].latency_ms = 1.0;
+    pts[0].accuracy = 0.6;
+    EXPECT_EQ(paretoFront(pts).size(), 1u);
+}
+
+TEST(SelectDesign, PicksFastestWithinAccuracyLoss)
+{
+    std::vector<DesignPoint> pts(3);
+    pts[0].latency_ms = 1.0;
+    pts[0].accuracy = 0.55; // too inaccurate
+    pts[1].latency_ms = 2.0;
+    pts[1].accuracy = 0.63;
+    pts[2].latency_ms = 5.0;
+    pts[2].accuracy = 0.64;
+    const std::size_t best = selectDesign(pts, 0.637, 0.01);
+    EXPECT_EQ(best, 1u);
+}
+
+TEST(SelectDesign, ReturnsSentinelWhenNoneQualify)
+{
+    std::vector<DesignPoint> pts(1);
+    pts[0].accuracy = 0.2;
+    pts[0].latency_ms = 1.0;
+    EXPECT_EQ(selectDesign(pts, 0.637, 0.01),
+              static_cast<std::size_t>(-1));
+}
+
+TEST(GridSearch, SmallSpaceProducesFeasiblePoints)
+{
+    SearchSpace space;
+    space.d_hid = {64, 128};
+    space.r_ffn = {4};
+    space.n_total = {2};
+    space.n_abfly = {0};
+    space.p_be = {16, 64};
+    space.p_bu = {4};
+    space.p_qk = {0};
+    space.p_sv = {0};
+
+    CapacityAccuracyOracle oracle;
+    Constraints cons;
+    const auto points =
+        gridSearch(space, 1024, baseCfg(), oracle, cons);
+    ASSERT_EQ(points.size(), 2u * 2u); // d_hid x p_be
+    for (const auto &p : points) {
+        EXPECT_GT(p.latency_ms, 0.0);
+        EXPECT_TRUE(p.resources.fitsOn(cons.device));
+        EXPECT_GT(p.accuracy, 0.4);
+    }
+}
+
+TEST(GridSearch, SkipsInfeasibleCombinations)
+{
+    SearchSpace space;
+    space.d_hid = {64};
+    space.r_ffn = {4};
+    space.n_total = {1};
+    space.n_abfly = {1};    // needs attention hardware
+    space.p_be = {16};
+    space.p_bu = {4};
+    space.p_qk = {0};       // ...but none provided
+    space.p_sv = {0};
+    CapacityAccuracyOracle oracle;
+    const auto points =
+        gridSearch(space, 256, baseCfg(), oracle, Constraints{});
+    EXPECT_TRUE(points.empty());
+}
+
+TEST(GridSearch, AttentionPointsCarryApCost)
+{
+    SearchSpace space;
+    space.d_hid = {64};
+    space.r_ffn = {4};
+    space.n_total = {1};
+    space.n_abfly = {0, 1};
+    space.p_be = {16};
+    space.p_bu = {4};
+    space.p_qk = {0, 16};
+    space.p_sv = {0, 16};
+    CapacityAccuracyOracle oracle;
+    const auto points =
+        gridSearch(space, 256, baseCfg(), oracle, Constraints{});
+    // FBfly-only point (qk=sv=0) + ABfly point (qk=sv=16).
+    ASSERT_EQ(points.size(), 2u);
+    const auto &fb = points[0].algo.n_abfly == 0 ? points[0] : points[1];
+    const auto &ab = points[0].algo.n_abfly == 1 ? points[0] : points[1];
+    EXPECT_GT(ab.latency_ms, fb.latency_ms);
+    EXPECT_GT(ab.resources.dsps, fb.resources.dsps);
+}
+
+TEST(GridSearch, MoreParallelismOnParetoFront)
+{
+    SearchSpace space;
+    space.d_hid = {64};
+    space.r_ffn = {4};
+    space.n_total = {2};
+    space.n_abfly = {0};
+    space.p_be = {4, 16, 64};
+    space.p_bu = {4};
+    space.p_qk = {0};
+    space.p_sv = {0};
+    CapacityAccuracyOracle oracle;
+    const auto points =
+        gridSearch(space, 1024, baseCfg(), oracle, Constraints{});
+    ASSERT_EQ(points.size(), 3u);
+    // Same accuracy, so the Pareto front is only the fastest point.
+    const auto front = paretoFront(points);
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(points[front[0]].hw.p_be, 64u);
+}
+
+TEST(GridSearch, RespectsResourceConstraint)
+{
+    SearchSpace space;
+    space.d_hid = {64};
+    space.r_ffn = {4};
+    space.n_total = {1};
+    space.n_abfly = {0};
+    space.p_be = {8, 128};
+    space.p_bu = {4};
+    space.p_qk = {0};
+    space.p_sv = {0};
+    CapacityAccuracyOracle oracle;
+    Constraints cons;
+    cons.device = sim::zynq7045Device(); // small FPGA
+    const auto points =
+        gridSearch(space, 256, baseCfg(), oracle, cons);
+    ASSERT_EQ(points.size(), 1u); // 128 BEs overflow LUTs and DSPs
+    EXPECT_EQ(points[0].hw.p_be, 8u);
+}
+
+} // namespace
+} // namespace codesign
+} // namespace fabnet

@@ -1,0 +1,253 @@
+/**
+ * @file data_test.cpp
+ * Synthetic LRA task generators: label correctness (ListOps has an
+ * exact evaluator), vocab ranges, balance, and catalogue consistency.
+ */
+#include <gtest/gtest.h>
+
+#include "data/listops.h"
+#include "data/lra.h"
+#include "data/text_tasks.h"
+#include "data/vision_tasks.h"
+
+namespace fabnet {
+namespace data {
+namespace {
+
+TEST(ListOps, EvaluatorKnownExpressions)
+{
+    // [MAX 2 9 ] = 9
+    std::vector<int> e1 = {kOpenMax, kDigit0 + 2, kDigit0 + 9, kClose};
+    EXPECT_EQ(ListOpsTask::evaluate(e1), 9);
+    // [MIN 4 [MAX 1 7 ] 3 ] = 3
+    std::vector<int> e2 = {kOpenMin,     kDigit0 + 4, kOpenMax,
+                           kDigit0 + 1,  kDigit0 + 7, kClose,
+                           kDigit0 + 3,  kClose};
+    EXPECT_EQ(ListOpsTask::evaluate(e2), 3);
+    // [SM 5 6 7 ] = 18 mod 10 = 8
+    std::vector<int> e3 = {kOpenSm, kDigit0 + 5, kDigit0 + 6,
+                           kDigit0 + 7, kClose};
+    EXPECT_EQ(ListOpsTask::evaluate(e3), 8);
+    // [MED 1 9 5 ] = 5
+    std::vector<int> e4 = {kOpenMed, kDigit0 + 1, kDigit0 + 9,
+                           kDigit0 + 5, kClose};
+    EXPECT_EQ(ListOpsTask::evaluate(e4), 5);
+    // Even-length median takes the lower one: [MED 2 4 6 8 ] = 4.
+    std::vector<int> e5 = {kOpenMed,    kDigit0 + 2, kDigit0 + 4,
+                           kDigit0 + 6, kDigit0 + 8, kClose};
+    EXPECT_EQ(ListOpsTask::evaluate(e5), 4);
+}
+
+TEST(ListOps, EvaluatorRejectsMalformed)
+{
+    std::vector<int> unclosed = {kOpenMax, kDigit0 + 1};
+    EXPECT_EQ(ListOpsTask::evaluate(unclosed), -1);
+    std::vector<int> empty_op = {kOpenMin, kClose};
+    EXPECT_EQ(ListOpsTask::evaluate(empty_op), -1);
+}
+
+TEST(ListOps, GeneratedLabelsMatchEvaluator)
+{
+    ListOpsTask task(64);
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        Example ex = task.sample(rng);
+        EXPECT_EQ(ListOpsTask::evaluate(ex.tokens), ex.label)
+            << "sample " << i;
+        EXPECT_GE(ex.label, 0);
+        EXPECT_LE(ex.label, 9);
+        EXPECT_EQ(ex.tokens.size(), 64u);
+    }
+}
+
+TEST(ListOps, TokensWithinVocab)
+{
+    ListOpsTask task(128);
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+        Example ex = task.sample(rng);
+        for (int tok : ex.tokens) {
+            EXPECT_GE(tok, 0);
+            EXPECT_LT(tok, kListOpsVocab);
+        }
+    }
+}
+
+TEST(ListOps, SpecConsistent)
+{
+    ListOpsTask task(256);
+    const auto spec = task.spec();
+    EXPECT_EQ(spec.name, "ListOps");
+    EXPECT_EQ(spec.seq, 256u);
+    EXPECT_EQ(spec.classes, 10u);
+    EXPECT_EQ(spec.vocab, static_cast<std::size_t>(kListOpsVocab));
+}
+
+TEST(Text, PlantedPatternsPresent)
+{
+    TextTask task(128);
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i) {
+        Example ex = task.sample(rng);
+        // Count trigram hits of each class lexicon.
+        int hits[2] = {0, 0};
+        for (int cls = 0; cls < 2; ++cls) {
+            for (int w = 0; w < 4; ++w) {
+                const int *pat = TextTask::classPattern(cls, w);
+                for (std::size_t p = 0; p + 3 <= ex.tokens.size();
+                     ++p) {
+                    if (ex.tokens[p] == pat[0] &&
+                        ex.tokens[p + 1] == pat[1] &&
+                        ex.tokens[p + 2] == pat[2])
+                        ++hits[cls];
+                }
+            }
+        }
+        EXPECT_GT(hits[ex.label], hits[1 - ex.label])
+            << "label evidence must be the majority, sample " << i;
+    }
+}
+
+TEST(Text, RoughlyBalancedLabels)
+{
+    TextTask task(64);
+    Rng rng(9);
+    auto data = task.dataset(400, rng);
+    const double balance = TaskGenerator::labelBalance(data, 2);
+    EXPECT_LT(balance, 0.6);
+}
+
+TEST(Retrieval, SeparatorPresentAndDocsFilled)
+{
+    RetrievalTask task(65);
+    Rng rng(11);
+    Example ex = task.sample(rng);
+    EXPECT_EQ(ex.tokens.size(), 65u);
+    EXPECT_EQ(ex.tokens[32], RetrievalTask::kSeparator);
+}
+
+TEST(Retrieval, BalancedLabels)
+{
+    RetrievalTask task(64);
+    Rng rng(13);
+    auto data = task.dataset(300, rng);
+    EXPECT_LT(TaskGenerator::labelBalance(data, 2), 0.6);
+}
+
+TEST(Image, TokensAreIntensities)
+{
+    ImageTask task(16, 4);
+    Rng rng(15);
+    Example ex = task.sample(rng);
+    EXPECT_EQ(ex.tokens.size(), 256u);
+    for (int t : ex.tokens) {
+        EXPECT_GE(t, 0);
+        EXPECT_LE(t, 255);
+    }
+    EXPECT_LT(ex.label, 4);
+}
+
+TEST(Image, ClassesVisuallyDistinct)
+{
+    // Mean intensity of stripe classes differs from the background-
+    // dominated disc class in expectation; just check generation of
+    // all classes works and labels span the range.
+    ImageTask task(16, 4);
+    Rng rng(17);
+    std::vector<bool> seen(4, false);
+    for (int i = 0; i < 100; ++i)
+        seen[task.sample(rng).label] = true;
+    for (int c = 0; c < 4; ++c)
+        EXPECT_TRUE(seen[c]) << "class " << c << " never generated";
+}
+
+TEST(Pathfinder, PositiveHasBrighterConnectivity)
+{
+    PathfinderTask task(16);
+    Rng rng(19);
+    // Positives draw a full path: on average more bright pixels.
+    double bright_pos = 0.0, bright_neg = 0.0;
+    int n_pos = 0, n_neg = 0;
+    for (int i = 0; i < 200; ++i) {
+        Example ex = task.sample(rng);
+        int bright = 0;
+        for (int t : ex.tokens)
+            if (t > 128)
+                ++bright;
+        if (ex.label == 1) {
+            bright_pos += bright;
+            ++n_pos;
+        } else {
+            bright_neg += bright;
+            ++n_neg;
+        }
+    }
+    ASSERT_GT(n_pos, 10);
+    ASSERT_GT(n_neg, 10);
+    EXPECT_GT(bright_pos / n_pos, bright_neg / n_neg);
+}
+
+TEST(Lra, CatalogueHasFiveTasksInPaperOrder)
+{
+    const auto tasks = lraCatalog();
+    ASSERT_EQ(tasks.size(), 5u);
+    EXPECT_EQ(tasks[0].name, "ListOps");
+    EXPECT_EQ(tasks[1].name, "Text");
+    EXPECT_EQ(tasks[2].name, "Retrieval");
+    EXPECT_EQ(tasks[3].name, "Image");
+    EXPECT_EQ(tasks[4].name, "Pathfinder");
+}
+
+TEST(Lra, PaperAccuraciesMatchTableIII)
+{
+    const auto tasks = lraCatalog();
+    // Spot-check against Table III.
+    EXPECT_NEAR(tasks[0].paper_acc_transformer, 0.373, 1e-9);
+    EXPECT_NEAR(tasks[2].paper_acc_fabnet, 0.801, 1e-9);
+    EXPECT_NEAR(tasks[3].paper_acc_fnet, 0.288, 1e-9);
+    // Average accuracy parity between Transformer and FABNet.
+    double t_avg = 0.0, f_avg = 0.0;
+    for (const auto &t : tasks) {
+        t_avg += t.paper_acc_transformer;
+        f_avg += t.paper_acc_fabnet;
+    }
+    EXPECT_NEAR(t_avg / 5.0, f_avg / 5.0, 0.002);
+}
+
+TEST(Lra, GeneratorFactoryCoversAllTasks)
+{
+    Rng rng(21);
+    for (const auto &t : lraCatalog()) {
+        auto gen = makeLraGenerator(t.name, 64);
+        Example ex = gen->sample(rng);
+        EXPECT_EQ(ex.tokens.size(), 64u) << t.name;
+    }
+    EXPECT_THROW(makeLraGenerator("Nope", 64), std::invalid_argument);
+    EXPECT_THROW(makeLraGenerator("Image", 60), std::invalid_argument);
+}
+
+TEST(Lra, ConfigsAreFabnetAndTransformerKinds)
+{
+    for (const auto &t : lraCatalog()) {
+        EXPECT_EQ(t.transformer.kind, ModelKind::Transformer) << t.name;
+        EXPECT_EQ(t.fnet.kind, ModelKind::FNet) << t.name;
+        EXPECT_EQ(t.fabnet.kind, ModelKind::FABNet) << t.name;
+        EXPECT_EQ(t.fabnet.n_abfly, 0u) << t.name;
+    }
+}
+
+TEST(Dataset, DeterministicGivenSeed)
+{
+    ListOpsTask task(32);
+    Rng a(42), b(42);
+    auto da = task.dataset(20, a);
+    auto db = task.dataset(20, b);
+    for (std::size_t i = 0; i < 20; ++i) {
+        EXPECT_EQ(da[i].tokens, db[i].tokens);
+        EXPECT_EQ(da[i].label, db[i].label);
+    }
+}
+
+} // namespace
+} // namespace data
+} // namespace fabnet

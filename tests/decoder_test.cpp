@@ -1,0 +1,171 @@
+/**
+ * @file decoder_test.cpp
+ * Decoder-style (causal) attention: the paper notes its hardware "is
+ * flexible and applicable to decoders too". Tests the causality
+ * property, gradients, model building and the simulator's causal
+ * work reduction.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "model/builder.h"
+#include "nn/attention.h"
+#include "nn/dense.h"
+#include "nn/gradcheck.h"
+#include "sim/accelerator.h"
+#include "tensor/rng.h"
+
+namespace fabnet {
+namespace {
+
+std::unique_ptr<nn::MultiHeadAttention>
+makeCausalMha(std::size_t d, std::size_t heads, Rng &rng)
+{
+    return std::make_unique<nn::MultiHeadAttention>(
+        d, heads, std::make_unique<nn::Dense>(d, d, rng),
+        std::make_unique<nn::Dense>(d, d, rng),
+        std::make_unique<nn::Dense>(d, d, rng),
+        std::make_unique<nn::Dense>(d, d, rng), /*causal=*/true);
+}
+
+TEST(CausalAttention, FuturePositionsCannotInfluencePast)
+{
+    Rng rng(1);
+    auto mha = makeCausalMha(8, 2, rng);
+    Tensor x = rng.normalTensor({1, 6, 8});
+    Tensor y1 = mha->forward(x);
+
+    // Perturb only the last two tokens.
+    Tensor x2 = x;
+    for (std::size_t t = 4; t < 6; ++t)
+        for (std::size_t j = 0; j < 8; ++j)
+            x2.at(0, t, j) += 1.5f;
+    Tensor y2 = mha->forward(x2);
+
+    for (std::size_t t = 0; t < 4; ++t)
+        for (std::size_t j = 0; j < 8; ++j)
+            EXPECT_NEAR(y1.at(0, t, j), y2.at(0, t, j), 1e-5f)
+                << "future leaked into position " << t;
+    // And the changed positions do change.
+    float diff = 0.0f;
+    for (std::size_t j = 0; j < 8; ++j)
+        diff += std::fabs(y1.at(0, 5, j) - y2.at(0, 5, j));
+    EXPECT_GT(diff, 1e-3f);
+}
+
+TEST(CausalAttention, FirstTokenAttendsOnlyToItself)
+{
+    // With causal masking, position 0's context is exactly V_0.
+    const std::size_t t = 4, d = 4;
+    class Identity : public nn::Layer
+    {
+      public:
+        Tensor forward(const Tensor &x) override { return x; }
+        Tensor backward(const Tensor &g) override { return g; }
+    };
+    nn::MultiHeadAttention mha(d, 1, std::make_unique<Identity>(),
+                               std::make_unique<Identity>(),
+                               std::make_unique<Identity>(),
+                               std::make_unique<Identity>(),
+                               /*causal=*/true);
+    Rng rng(2);
+    Tensor x = rng.normalTensor({1, t, d});
+    Tensor y = mha.forward(x);
+    for (std::size_t j = 0; j < d; ++j)
+        EXPECT_NEAR(y.at(0, 0, j), x.at(0, 0, j), 1e-5f);
+}
+
+TEST(CausalAttention, GradCheck)
+{
+    Rng rng(3);
+    auto mha = makeCausalMha(6, 2, rng);
+    Tensor x = rng.normalTensor({1, 4, 6});
+    EXPECT_TRUE(nn::checkInputGrad(*mha, x, 7, 1e-3f, 3e-2f).passed);
+    EXPECT_TRUE(nn::checkParamGrad(*mha, x, 7, 1e-3f, 3e-2f).passed);
+}
+
+TEST(CausalAttention, NonCausalByDefault)
+{
+    Rng rng(4);
+    nn::MultiHeadAttention mha(
+        4, 1, std::make_unique<nn::Dense>(4, 4, rng),
+        std::make_unique<nn::Dense>(4, 4, rng),
+        std::make_unique<nn::Dense>(4, 4, rng),
+        std::make_unique<nn::Dense>(4, 4, rng));
+    EXPECT_FALSE(mha.causal());
+}
+
+TEST(DecoderModel, BuildsAndTrains)
+{
+    // GPT-style FABNet: causal ABfly blocks with butterfly
+    // projections, trained as a classifier over the final pool.
+    Rng rng(5);
+    ModelConfig cfg;
+    cfg.kind = ModelKind::FABNet;
+    cfg.vocab = 16;
+    cfg.classes = 2;
+    cfg.max_seq = 16;
+    cfg.d_hid = 8;
+    cfg.r_ffn = 2;
+    cfg.n_total = 2;
+    cfg.n_abfly = 2; // all-attention decoder
+    cfg.heads = 2;
+    cfg.causal = true;
+    auto model = buildModel(cfg, rng);
+
+    std::vector<Example> data;
+    for (int i = 0; i < 32; ++i) {
+        Example ex;
+        ex.tokens.assign(16, (i % 2) ? 2 : 1);
+        ex.label = i % 2;
+        data.push_back(ex);
+    }
+    nn::Adam opt(model->params(), 5e-3f);
+    Batch b = makeBatch(data, 0, 16, 16);
+    float first = model->trainBatch(b, opt);
+    float last = first;
+    for (int e = 0; e < 10; ++e)
+        last = model->trainBatch(b, opt);
+    EXPECT_LT(last, first);
+}
+
+TEST(DecoderSim, CausalMaskHalvesAttentionWork)
+{
+    ModelConfig cfg;
+    cfg.kind = ModelKind::FABNet;
+    cfg.d_hid = 64;
+    cfg.r_ffn = 2;
+    cfg.n_total = 1;
+    cfg.n_abfly = 1;
+    cfg.heads = 2;
+
+    sim::AcceleratorConfig hw;
+    hw.p_be = 16;
+    hw.p_bu = 4;
+    hw.p_head = 2;
+    hw.p_qk = 16;
+    hw.p_sv = 16;
+    hw.fine_pipeline = false; // isolate the raw attention cycles
+
+    const std::size_t seq = 256;
+    cfg.causal = false;
+    const auto enc = sim::simulateModel(cfg, seq, hw);
+    cfg.causal = true;
+    const auto dec = sim::simulateModel(cfg, seq, hw);
+
+    double enc_qk = 0.0, dec_qk = 0.0;
+    for (std::size_t i = 0; i < enc.ops.size(); ++i) {
+        if (enc.ops[i].kind == sim::OpKind::AttentionQK) {
+            enc_qk = enc.ops[i].compute_cycles;
+            dec_qk = dec.ops[i].compute_cycles;
+        }
+    }
+    ASSERT_GT(enc_qk, 0.0);
+    // (T+1)/2T ~ 0.502 of the full-score work at T=256.
+    EXPECT_NEAR(dec_qk / enc_qk, 0.51, 0.05);
+    EXPECT_LT(dec.total_cycles, enc.total_cycles);
+}
+
+} // namespace
+} // namespace fabnet

@@ -1,0 +1,235 @@
+/**
+ * @file fft_test.cpp
+ * FFT correctness: against the naive DFT, inverse round trips,
+ * linearity, Parseval, and the FNet 2-D mixer and its adjoint.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "butterfly/fft.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace fabnet {
+namespace {
+
+std::vector<Complex>
+randomComplex(std::size_t n, Rng &rng)
+{
+    std::vector<Complex> v(n);
+    for (auto &c : v)
+        c = Complex(rng.normal(), rng.normal());
+    return v;
+}
+
+float
+maxDiff(const std::vector<Complex> &a, const std::vector<Complex> &b)
+{
+    float m = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+TEST(FftHelpers, PowerOfTwoPredicates)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(768));
+    EXPECT_EQ(nextPowerOfTwo(768), 1024u);
+    EXPECT_EQ(nextPowerOfTwo(1024), 1024u);
+    EXPECT_EQ(nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(log2Exact(256), 8u);
+    EXPECT_THROW(log2Exact(100), std::invalid_argument);
+}
+
+TEST(FftHelpers, BitReverse)
+{
+    EXPECT_EQ(bitReverse(0, 4), 0u);
+    EXPECT_EQ(bitReverse(1, 4), 8u);
+    EXPECT_EQ(bitReverse(0b0011, 4), 0b1100u);
+    EXPECT_EQ(bitReverse(0b101, 3), 0b101u);
+    // Involution property.
+    for (std::size_t i = 0; i < 32; ++i)
+        EXPECT_EQ(bitReverse(bitReverse(i, 5), 5), i);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum)
+{
+    std::vector<Complex> x(8, Complex(0, 0));
+    x[0] = Complex(1, 0);
+    fftInPlace(x);
+    for (const auto &c : x) {
+        EXPECT_NEAR(c.real(), 1.0f, 1e-5f);
+        EXPECT_NEAR(c.imag(), 0.0f, 1e-5f);
+    }
+}
+
+TEST(Fft, ConstantGivesImpulse)
+{
+    std::vector<Complex> x(16, Complex(1, 0));
+    fftInPlace(x);
+    EXPECT_NEAR(x[0].real(), 16.0f, 1e-4f);
+    for (std::size_t i = 1; i < 16; ++i)
+        EXPECT_NEAR(std::abs(x[i]), 0.0f, 1e-4f);
+}
+
+class FftVsDftTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(FftVsDftTest, MatchesNaiveDft)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n);
+    auto x = randomComplex(n, rng);
+    auto ref = dftReference(x);
+    auto fast = x;
+    fftInPlace(fast);
+    EXPECT_LT(maxDiff(fast, ref), 1e-2f * std::sqrt((float)n));
+}
+
+TEST_P(FftVsDftTest, InverseRoundTrip)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n + 7);
+    auto x = randomComplex(n, rng);
+    auto y = x;
+    fftInPlace(y, false);
+    fftInPlace(y, true);
+    for (auto &c : y)
+        c /= static_cast<float>(n);
+    EXPECT_LT(maxDiff(x, y), 1e-3f * std::sqrt((float)n));
+}
+
+TEST_P(FftVsDftTest, Linearity)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n + 13);
+    auto x = randomComplex(n, rng);
+    auto y = randomComplex(n, rng);
+    std::vector<Complex> sum(n);
+    for (std::size_t i = 0; i < n; ++i)
+        sum[i] = x[i] + 2.0f * y[i];
+    fftInPlace(x);
+    fftInPlace(y);
+    fftInPlace(sum);
+    std::vector<Complex> expect(n);
+    for (std::size_t i = 0; i < n; ++i)
+        expect[i] = x[i] + 2.0f * y[i];
+    EXPECT_LT(maxDiff(sum, expect), 1e-2f * std::sqrt((float)n));
+}
+
+TEST_P(FftVsDftTest, ParsevalEnergyPreserved)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n + 23);
+    auto x = randomComplex(n, rng);
+    double time_energy = 0.0;
+    for (const auto &c : x)
+        time_energy += std::norm(c);
+    auto f = x;
+    fftInPlace(f);
+    double freq_energy = 0.0;
+    for (const auto &c : f)
+        freq_energy += std::norm(c);
+    EXPECT_NEAR(freq_energy / n, time_energy,
+                1e-3 * std::max(1.0, time_energy));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftVsDftTest,
+                         ::testing::Values(2, 4, 8, 16, 64, 128, 512));
+
+TEST(Fft, RealInputPaddedToPowerOfTwo)
+{
+    std::vector<float> x = {1, 2, 3}; // pads to 4
+    auto f = fftReal(x);
+    ASSERT_EQ(f.size(), 4u);
+    EXPECT_NEAR(f[0].real(), 6.0f, 1e-5f); // sum
+}
+
+TEST(Fft, DftMatrixMatchesTransform)
+{
+    const std::size_t n = 8;
+    Rng rng(99);
+    auto x = randomComplex(n, rng);
+    auto m = dftMatrix(n);
+    std::vector<Complex> via_matrix(n, Complex(0, 0));
+    for (std::size_t k = 0; k < n; ++k)
+        for (std::size_t j = 0; j < n; ++j)
+            via_matrix[k] += m[k * n + j] * x[j];
+    auto fast = x;
+    fftInPlace(fast);
+    EXPECT_LT(maxDiff(via_matrix, fast), 1e-3f);
+}
+
+TEST(FourierMix, MatchesDirect2dDftRealPart)
+{
+    Rng rng(7);
+    const std::size_t b = 2, t = 8, d = 4;
+    Tensor x = rng.normalTensor({b, t, d});
+    Tensor y = fourierMix2D(x);
+
+    // Direct 2-D DFT on batch element 0.
+    auto fd = dftMatrix(d);
+    auto ft = dftMatrix(t);
+    for (std::size_t tt = 0; tt < t; ++tt) {
+        for (std::size_t dd = 0; dd < d; ++dd) {
+            Complex acc(0, 0);
+            for (std::size_t u = 0; u < t; ++u)
+                for (std::size_t v = 0; v < d; ++v)
+                    acc += ft[tt * t + u] * fd[dd * d + v] *
+                           Complex(x.at(0, u, v), 0.0f);
+            EXPECT_NEAR(y.at(0, tt, dd), acc.real(), 2e-3f)
+                << "at (" << tt << "," << dd << ")";
+        }
+    }
+}
+
+TEST(FourierMix, RequiresPowerOfTwoDims)
+{
+    Tensor bad = Tensor::zeros(1, 6, 4);
+    EXPECT_THROW(fourierMix2D(bad), std::invalid_argument);
+    Tensor bad2 = Tensor::zeros(1, 8, 5);
+    EXPECT_THROW(fourierMix2D(bad2), std::invalid_argument);
+}
+
+TEST(FourierMix, AdjointIdentity)
+{
+    // <F(x), y> == <x, F*(y)> for the real-part 2-D transform.
+    Rng rng(21);
+    Tensor x = rng.normalTensor({1, 8, 8});
+    Tensor y = rng.normalTensor({1, 8, 8});
+    const Tensor fx = fourierMix2D(x);
+    const Tensor fty = fourierMix2DAdjoint(y);
+    double lhs = 0.0, rhs = 0.0;
+    for (std::size_t i = 0; i < fx.size(); ++i) {
+        lhs += static_cast<double>(fx.raw()[i]) * y.raw()[i];
+        rhs += static_cast<double>(x.raw()[i]) * fty.raw()[i];
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::fabs(lhs)));
+}
+
+TEST(FourierMix, MixesTokens)
+{
+    // A single-token impulse must spread over every token (the reason
+    // the FBfly block can replace attention).
+    Tensor x = Tensor::zeros(1, 8, 4);
+    x.at(0, 3, 1) = 1.0f;
+    Tensor y = fourierMix2D(x);
+    std::size_t touched = 0;
+    for (std::size_t t = 0; t < 8; ++t)
+        for (std::size_t d = 0; d < 4; ++d)
+            if (std::fabs(y.at(0, t, d)) > 1e-6f)
+                ++touched;
+    // Most positions see the impulse (a handful land on exact zeros
+    // of the cosine product).
+    EXPECT_GE(touched, 24u);
+}
+
+} // namespace
+} // namespace fabnet

@@ -1,0 +1,158 @@
+/**
+ * @file flops_test.cpp
+ * Analytical FLOPs/parameter model: the counters behind Fig. 1 and
+ * Fig. 17, including the paper's headline compression ratios.
+ */
+#include <gtest/gtest.h>
+
+#include "data/lra.h"
+#include "model/flops.h"
+
+namespace fabnet {
+namespace {
+
+TEST(Flops, DenseLinearCount)
+{
+    EXPECT_DOUBLE_EQ(denseLinearFlops(10, 4, 8), 2.0 * 10 * 4 * 8);
+    EXPECT_EQ(denseLinearParams(4, 8), 4u * 8u + 8u);
+}
+
+TEST(Flops, ButterflyLinearCheaperThanDense)
+{
+    // At 1024x1024, butterfly is ~30x cheaper in FLOPs.
+    const double dense = denseLinearFlops(1, 1024, 1024);
+    const double bfly = butterflyLinearFlops(1, 1024, 1024);
+    EXPECT_GT(dense / bfly, 20.0);
+    EXPECT_GT(static_cast<double>(denseLinearParams(1024, 1024)) /
+                  butterflyLinearParams(1024, 1024),
+              30.0);
+}
+
+TEST(Flops, ButterflyExpansionScalesWithCores)
+{
+    const double one = butterflyLinearFlops(1, 64, 64);
+    const double four = butterflyLinearFlops(1, 64, 256);
+    // 4 cores + larger bias term.
+    EXPECT_NEAR(four, 4.0 * (one - 64.0) + 256.0, 1.0);
+}
+
+TEST(Flops, AttentionQuadraticInSequence)
+{
+    const double a1 = attentionCoreFlops(128, 64, 4);
+    const double a2 = attentionCoreFlops(256, 64, 4);
+    EXPECT_NEAR(a2 / a1, 4.0, 0.1);
+}
+
+TEST(Flops, FourierMixLogLinear)
+{
+    const double f1 = fourierMixFlops(1024, 64);
+    const double f2 = fourierMixFlops(2048, 64);
+    // Doubling seq slightly more than doubles (log factor).
+    EXPECT_GT(f2 / f1, 2.0);
+    EXPECT_LT(f2 / f1, 2.4);
+}
+
+TEST(Flops, Figure1TrendLinearDominatesShortSequences)
+{
+    // BERT-Base shape: at seq 128 linear layers are > 80% of FLOPs;
+    // attention takes over as the sequence grows (Fig. 1).
+    ModelConfig bert = bertBase();
+    const auto short_seq = modelFlops(bert, 128);
+    EXPECT_GT(short_seq.linearShare(), 0.8);
+
+    const auto long_seq = modelFlops(bert, 8192);
+    EXPECT_GT(long_seq.attentionShare(), 0.5);
+
+    // Monotone shift between the regimes.
+    double prev_attention = 0.0;
+    for (std::size_t seq : {128u, 512u, 2048u, 8192u}) {
+        const auto fb = modelFlops(bert, seq);
+        EXPECT_GT(fb.attentionShare(), prev_attention);
+        prev_attention = fb.attentionShare();
+    }
+}
+
+TEST(Flops, FabnetBreakdownHasNoAttentionWhenPureFBfly)
+{
+    const auto fb = modelFlops(fabnetBase(), 1024);
+    EXPECT_EQ(fb.attention, 0.0);
+    EXPECT_GT(fb.fft, 0.0);
+    EXPECT_GT(fb.butterfly, 0.0);
+    EXPECT_EQ(fb.linear, 0.0);
+}
+
+TEST(Flops, FabnetHybridCountsAttention)
+{
+    ModelConfig cfg = fabnetBase();
+    cfg.n_abfly = 2;
+    const auto fb = modelFlops(cfg, 1024);
+    EXPECT_GT(fb.attention, 0.0);
+}
+
+TEST(Flops, Figure17ReductionsInPaperRange)
+{
+    // Paper: FABNet reduces FLOPs by ~10-66x and model size ~2-22x
+    // over the vanilla Transformer across the five LRA tasks (model
+    // size includes the embedding tables, which FABNet keeps dense).
+    for (const auto &task : data::lraCatalog()) {
+        const double t_flops =
+            modelFlops(task.transformer, task.paper_seq).total();
+        const double f_flops =
+            modelFlops(task.fabnet, task.paper_seq).total();
+        const double flops_red = t_flops / f_flops;
+        EXPECT_GT(flops_red, 10.0) << task.name;
+        EXPECT_LT(flops_red, 80.0) << task.name;
+
+        const double t_params =
+            static_cast<double>(modelParams(task.transformer));
+        const double f_params =
+            static_cast<double>(modelParams(task.fabnet));
+        const double param_red = t_params / f_params;
+        EXPECT_GT(param_red, 2.0) << task.name;
+        EXPECT_LT(param_red, 22.0) << task.name;
+    }
+}
+
+TEST(Flops, FnetBetweenTransformerAndFabnet)
+{
+    for (const auto &task : data::lraCatalog()) {
+        if (task.name == "Retrieval")
+            continue; // paper inflates FNet's hidden size here
+        const double t =
+            modelFlops(task.transformer, task.paper_seq).total();
+        const double n = modelFlops(task.fnet, task.paper_seq).total();
+        const double f =
+            modelFlops(task.fabnet, task.paper_seq).total();
+        EXPECT_LT(n, t) << task.name;
+        EXPECT_LT(f, n) << task.name;
+    }
+}
+
+TEST(Params, TransformerDominatedByProjectionsAndFfn)
+{
+    ModelConfig bert = bertBase();
+    const std::size_t p = modelParams(bert);
+    // 12 blocks x (4 * (768^2+768) + 2 * (768*3072 + bias) + LN).
+    EXPECT_GT(p, 80'000'000u);
+    EXPECT_LT(p, 90'000'000u);
+}
+
+TEST(Params, FabnetBaseUnderTwoMillion)
+{
+    // Butterfly factorisation shrinks FABNet-Base's blocks by ~50x.
+    const std::size_t p = modelParams(fabnetBase());
+    EXPECT_LT(p, 3'000'000u);
+    EXPECT_GT(p, 200'000u);
+}
+
+TEST(Flops, TotalIsSumOfCategories)
+{
+    const auto fb = modelFlops(fabnetBase(), 512);
+    EXPECT_NEAR(fb.total(),
+                fb.attention + fb.linear + fb.butterfly + fb.fft +
+                    fb.other,
+                1.0);
+}
+
+} // namespace
+} // namespace fabnet

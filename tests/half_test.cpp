@@ -1,0 +1,140 @@
+/**
+ * @file half_test.cpp
+ * IEEE binary16 emulation tests: the hardware datapath computes in
+ * fp16, so conversion correctness underpins the functional model.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/half.h"
+
+namespace fabnet {
+namespace {
+
+TEST(Half, KnownBitPatterns)
+{
+    EXPECT_EQ(floatToHalfBits(0.0f), 0x0000);
+    EXPECT_EQ(floatToHalfBits(-0.0f), 0x8000);
+    EXPECT_EQ(floatToHalfBits(1.0f), 0x3C00);
+    EXPECT_EQ(floatToHalfBits(-1.0f), 0xBC00);
+    EXPECT_EQ(floatToHalfBits(2.0f), 0x4000);
+    EXPECT_EQ(floatToHalfBits(0.5f), 0x3800);
+    EXPECT_EQ(floatToHalfBits(65504.0f), 0x7BFF); // max finite half
+}
+
+TEST(Half, BitPatternsRoundTrip)
+{
+    EXPECT_FLOAT_EQ(halfBitsToFloat(0x3C00), 1.0f);
+    EXPECT_FLOAT_EQ(halfBitsToFloat(0x4000), 2.0f);
+    EXPECT_FLOAT_EQ(halfBitsToFloat(0xC000), -2.0f);
+    EXPECT_FLOAT_EQ(halfBitsToFloat(0x3555), 0.333251953125f);
+}
+
+TEST(Half, OverflowToInfinity)
+{
+    EXPECT_EQ(floatToHalfBits(1e6f), 0x7C00);
+    EXPECT_EQ(floatToHalfBits(-1e6f), 0xFC00);
+    EXPECT_TRUE(std::isinf(halfBitsToFloat(0x7C00)));
+}
+
+TEST(Half, NanPreserved)
+{
+    const std::uint16_t nan_bits =
+        floatToHalfBits(std::numeric_limits<float>::quiet_NaN());
+    EXPECT_EQ(nan_bits & 0x7C00, 0x7C00);
+    EXPECT_NE(nan_bits & 0x03FF, 0);
+    EXPECT_TRUE(std::isnan(halfBitsToFloat(nan_bits)));
+}
+
+TEST(Half, SubnormalsRepresented)
+{
+    // Smallest positive subnormal half = 2^-24.
+    const float tiny = std::ldexp(1.0f, -24);
+    EXPECT_EQ(floatToHalfBits(tiny), 0x0001);
+    EXPECT_FLOAT_EQ(halfBitsToFloat(0x0001), tiny);
+    // Largest subnormal.
+    const float big_sub = std::ldexp(1023.0f, -24);
+    EXPECT_EQ(floatToHalfBits(big_sub), 0x03FF);
+    // Underflow to zero below half the smallest subnormal.
+    EXPECT_EQ(floatToHalfBits(std::ldexp(1.0f, -26)), 0x0000);
+}
+
+TEST(Half, RoundToNearestEven)
+{
+    // 1 + 2^-11 is exactly halfway between 1.0 and the next half
+    // (1 + 2^-10); ties round to even (mantissa 0 -> stays 1.0).
+    const float halfway = 1.0f + std::ldexp(1.0f, -11);
+    EXPECT_EQ(floatToHalfBits(halfway), 0x3C00);
+    // Slightly above halfway rounds up.
+    const float above = 1.0f + std::ldexp(1.0f, -11) +
+                        std::ldexp(1.0f, -16);
+    EXPECT_EQ(floatToHalfBits(above), 0x3C01);
+    // (1 + 3*2^-11) is halfway between 0x3C01 and 0x3C02 -> even 0x3C02.
+    const float halfway2 = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+    EXPECT_EQ(floatToHalfBits(halfway2), 0x3C02);
+}
+
+TEST(Half, MantissaOverflowBumpsExponent)
+{
+    // Just below 2.0: 1.9995... rounds up to 2.0.
+    const float v = std::nextafter(2.0f, 0.0f);
+    EXPECT_EQ(floatToHalfBits(v), 0x4000);
+}
+
+TEST(Half, ArithmeticRoundsEachOperation)
+{
+    Half a(0.1f), b(0.2f);
+    const float expected =
+        roundToHalf(roundToHalf(0.1f) + roundToHalf(0.2f));
+    EXPECT_FLOAT_EQ((a + b).toFloat(), expected);
+    EXPECT_NEAR((a * b).toFloat(), 0.02f, 1e-4f);
+    EXPECT_FLOAT_EQ((-a).toFloat(), -roundToHalf(0.1f));
+}
+
+TEST(Half, RelativeErrorBounded)
+{
+    // fp16 has 11 significand bits: relative error <= 2^-11.
+    for (float v : {0.001f, 0.1f, 1.0f, 3.14159f, 123.456f, 60000.0f}) {
+        const float r = roundToHalf(v);
+        EXPECT_LE(std::fabs(r - v) / v, std::ldexp(1.0f, -11) + 1e-7f)
+            << "value " << v;
+    }
+}
+
+/** Exhaustive bit-level round trip over every finite half pattern. */
+TEST(Half, ExhaustiveHalfToFloatToHalf)
+{
+    for (std::uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+        const std::uint16_t h = static_cast<std::uint16_t>(bits);
+        const float f = halfBitsToFloat(h);
+        if (std::isnan(f))
+            continue; // NaN payloads may differ
+        EXPECT_EQ(floatToHalfBits(f), h) << "bits " << bits;
+    }
+}
+
+class HalfSweepTest : public ::testing::TestWithParam<float>
+{
+};
+
+TEST_P(HalfSweepTest, RoundTripWithinHalfUlp)
+{
+    const float v = GetParam();
+    const float r = roundToHalf(v);
+    // The rounded value must be within one half-ULP of the original;
+    // below the normal range the ULP is fixed at 2^-24 (subnormals).
+    const int exp = std::ilogb(std::fabs(v) > 0 ? v : 1.0f);
+    const float ulp =
+        std::max(std::ldexp(1.0f, exp - 10), std::ldexp(1.0f, -24));
+    EXPECT_LE(std::fabs(r - v), 0.5f * ulp + 1e-12f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, HalfSweepTest,
+                         ::testing::Values(1.0f / 3.0f, 2.7182818f,
+                                           -0.0072f, 511.7f, 1024.3f,
+                                           -65000.0f, 6.1e-5f));
+
+} // namespace
+} // namespace fabnet

@@ -1,0 +1,155 @@
+/**
+ * @file postp_test.cpp
+ * Functional fp16 PostP / softmax units, cross-validated against the
+ * fp32 software reference (Appendix-C style).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/postp.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace fabnet {
+namespace sim {
+namespace {
+
+std::vector<float>
+randomRow(std::size_t n, unsigned seed, float scale = 1.0f)
+{
+    Rng rng(seed);
+    std::vector<float> row(n);
+    for (auto &v : row)
+        v = rng.normal(scale);
+    return row;
+}
+
+TEST(LayerNormUnit, MatchesFp32ReferenceWithinHalfPrecision)
+{
+    const std::size_t n = 64;
+    const auto row = randomRow(n, 1, 2.0f);
+    std::vector<float> gamma(n, 1.0f), beta(n, 0.0f);
+    Rng rng(2);
+    for (auto &g : gamma)
+        g = 1.0f + rng.normal(0.1f);
+    for (auto &b : beta)
+        b = rng.normal(0.1f);
+
+    LayerNormUnit unit;
+    const auto hw = unit.process(row, gamma, beta);
+
+    Tensor x = Tensor::fromMatrix(1, n, row);
+    Tensor ref = ops::layerNormLastDim(x, gamma, beta);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(hw[i], ref.at(0, i),
+                    2e-2f * std::max(1.0f, std::fabs(ref.at(0, i))))
+            << "element " << i;
+}
+
+TEST(LayerNormUnit, OutputIsNormalised)
+{
+    const std::size_t n = 128;
+    const auto row = randomRow(n, 3, 5.0f);
+    std::vector<float> gamma(n, 1.0f), beta(n, 0.0f);
+    LayerNormUnit unit;
+    const auto out = unit.process(row, gamma, beta);
+    double mean = 0.0;
+    for (float v : out)
+        mean += v;
+    mean /= n;
+    double var = 0.0;
+    for (float v : out)
+        var += (v - mean) * (v - mean);
+    var /= n;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(LayerNormUnit, AffineSizeMismatchThrows)
+{
+    LayerNormUnit unit;
+    std::vector<float> row(8, 1.0f), gamma(4, 1.0f), beta(8, 0.0f);
+    EXPECT_THROW(unit.process(row, gamma, beta),
+                 std::invalid_argument);
+}
+
+TEST(ShortcutAddUnit, AddsInHalfPrecision)
+{
+    ShortcutAddUnit unit;
+    const auto out = unit.process({1.0f, 0.1f}, {2.0f, 0.2f});
+    EXPECT_FLOAT_EQ(out[0], 3.0f);
+    EXPECT_NEAR(out[1],
+                (Half(0.1f) + Half(0.2f)).toFloat(), 1e-6f);
+}
+
+TEST(ShortcutAddUnit, SizeMismatchThrows)
+{
+    ShortcutAddUnit unit;
+    EXPECT_THROW(unit.process({1.0f}, {1.0f, 2.0f}),
+                 std::invalid_argument);
+}
+
+TEST(SoftmaxUnit, MatchesFp32Reference)
+{
+    const std::size_t n = 64;
+    const auto row = randomRow(n, 5, 3.0f);
+    SoftmaxUnit unit;
+    const auto hw = unit.process(row);
+
+    Tensor x = Tensor::fromMatrix(1, n, row);
+    Tensor ref = ops::softmaxLastDim(x);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(hw[i], ref.at(0, i), 5e-3f) << "element " << i;
+}
+
+TEST(SoftmaxUnit, SumsToOne)
+{
+    SoftmaxUnit unit;
+    for (std::size_t n : {4u, 64u, 512u}) {
+        const auto out = unit.process(randomRow(n, n, 4.0f));
+        double sum = 0.0;
+        for (float v : out)
+            sum += v;
+        EXPECT_NEAR(sum, 1.0, 5e-3) << "n=" << n;
+    }
+}
+
+TEST(SoftmaxUnit, StableForLargeScores)
+{
+    // Raw fp16 exp(20) overflows; the streaming max-subtraction must
+    // keep the unit finite (why the hardware subtracts the max).
+    SoftmaxUnit unit;
+    const auto out = unit.process({20.0f, 20.0f, 20.0f, 20.0f});
+    for (float v : out) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_NEAR(v, 0.25f, 1e-3f);
+    }
+}
+
+TEST(SoftmaxUnit, LongRowDenominatorDoesNotSaturate)
+{
+    // 4096 near-equal scores: an fp16 accumulator would clip at 65504
+    // ... a 4096-term sum of ~1.0 stays fine, but make the terms large
+    // enough that fp16 accumulation would saturate while the unit's
+    // fp32 accumulator must not.
+    std::vector<float> row(4096, 5.0f);
+    row[0] = 5.2f;
+    SoftmaxUnit unit;
+    const auto out = unit.process(row);
+    double sum = 0.0;
+    for (float v : out)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-2);
+    EXPECT_GT(out[0], out[1]); // ordering preserved
+}
+
+TEST(SoftmaxUnit, EmptyRow)
+{
+    SoftmaxUnit unit;
+    EXPECT_TRUE(unit.process({}).empty());
+}
+
+} // namespace
+} // namespace sim
+} // namespace fabnet

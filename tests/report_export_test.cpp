@@ -1,0 +1,94 @@
+/**
+ * @file report_export_test.cpp
+ * CSV exporters: structure, row counts, and file round trips.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "codesign/codesign.h"
+#include "sim/report_export.h"
+
+namespace fabnet {
+namespace sim {
+namespace {
+
+std::size_t
+countLines(const std::string &s)
+{
+    std::size_t n = 0;
+    for (char c : s)
+        if (c == '\n')
+            ++n;
+    return n;
+}
+
+ModelConfig
+cfg()
+{
+    ModelConfig c;
+    c.kind = ModelKind::FABNet;
+    c.d_hid = 64;
+    c.r_ffn = 2;
+    c.n_total = 1;
+    return c;
+}
+
+TEST(ReportExport, LatencyCsvHasHeaderOpsAndTotal)
+{
+    AcceleratorConfig hw;
+    hw.p_be = 16;
+    const auto rep = simulateModel(cfg(), 128, hw);
+    const auto csv = latencyReportCsv(rep);
+    // header + one row per op + TOTAL.
+    EXPECT_EQ(countLines(csv), rep.ops.size() + 2);
+    EXPECT_NE(csv.find("op,kind,compute_cycles"), std::string::npos);
+    EXPECT_NE(csv.find("fft"), std::string::npos);
+    EXPECT_NE(csv.find("butterfly_linear"), std::string::npos);
+    EXPECT_NE(csv.find("TOTAL"), std::string::npos);
+}
+
+TEST(ReportExport, DesignPointsCsvMatchesPointCount)
+{
+    codesign::SearchSpace space;
+    space.d_hid = {64};
+    space.r_ffn = {2, 4};
+    space.n_total = {1};
+    space.n_abfly = {0};
+    space.p_be = {16};
+    space.p_bu = {4};
+    space.p_qk = {0};
+    space.p_sv = {0};
+    codesign::CapacityAccuracyOracle oracle;
+    ModelConfig base = cfg();
+    base.max_seq = 1024;
+    const auto points = codesign::gridSearch(
+        space, 1024, base, oracle, codesign::Constraints{});
+    ASSERT_EQ(points.size(), 2u);
+    const auto csv = designPointsCsv(points);
+    EXPECT_EQ(countLines(csv), 3u); // header + 2 rows
+    EXPECT_NE(csv.find("d_hid,r_ffn"), std::string::npos);
+}
+
+TEST(ReportExport, FileRoundTrip)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "fab_export.csv";
+    ASSERT_TRUE(writeFile(path, "a,b\n1,2\n"));
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), "a,b\n1,2\n");
+    std::remove(path.c_str());
+}
+
+TEST(ReportExport, WriteToBadPathFails)
+{
+    EXPECT_FALSE(writeFile("/nonexistent/dir/out.csv", "x"));
+}
+
+} // namespace
+} // namespace sim
+} // namespace fabnet

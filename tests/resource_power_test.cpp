@@ -1,0 +1,162 @@
+/**
+ * @file resource_power_test.cpp
+ * Analytical resource model (Table VII anchors) and power model
+ * (Table VI anchors).
+ */
+#include <gtest/gtest.h>
+
+#include "sim/power.h"
+#include "sim/resource.h"
+
+namespace fabnet {
+namespace sim {
+namespace {
+
+AcceleratorConfig
+beDesign(std::size_t p_be)
+{
+    AcceleratorConfig hw;
+    hw.p_be = p_be;
+    hw.p_bu = 4;
+    hw.bw_gbps = 450.0;
+    return hw;
+}
+
+TEST(Resource, DspFormulaMatchesPaper)
+{
+    // BE-40 uses 640 DSPs, BE-120 uses 1920 in BP (Table V / VII).
+    EXPECT_EQ(estimateResources(beDesign(40)).dsps, 640u);
+    EXPECT_EQ(estimateResources(beDesign(120)).dsps, 1920u);
+
+    AcceleratorConfig with_ap = beDesign(120);
+    with_ap.p_head = 12;
+    with_ap.p_qk = 40;
+    with_ap.p_sv = 40;
+    EXPECT_EQ(estimateResources(with_ap).dsps, 1920u + 960u);
+}
+
+TEST(Resource, BramAnchorsWithinTolerance)
+{
+    // Table VII: BE-40 -> 338 BRAMs, BE-120 -> 978 BRAMs.
+    const auto r40 = estimateResources(beDesign(40));
+    const auto r120 = estimateResources(beDesign(120));
+    EXPECT_NEAR(static_cast<double>(r40.brams), 338.0, 10.0);
+    EXPECT_NEAR(static_cast<double>(r120.brams), 978.0, 20.0);
+}
+
+TEST(Resource, LutFfAnchorsWithinTolerance)
+{
+    const auto r40 = estimateResources(beDesign(40));
+    const auto r120 = estimateResources(beDesign(120));
+    EXPECT_NEAR(static_cast<double>(r40.luts), 358'609.0,
+                358'609.0 * 0.02);
+    EXPECT_NEAR(static_cast<double>(r120.luts), 1'034'610.0,
+                1'034'610.0 * 0.02);
+    EXPECT_NEAR(static_cast<double>(r40.registers), 536'810.0,
+                536'810.0 * 0.04);
+    EXPECT_NEAR(static_cast<double>(r120.registers), 1'648'695.0,
+                1'648'695.0 * 0.02);
+}
+
+TEST(Resource, AnchorDesignsFitVcu128)
+{
+    const auto dev = vcu128Device();
+    EXPECT_TRUE(estimateResources(beDesign(40)).fitsOn(dev));
+    EXPECT_TRUE(estimateResources(beDesign(120)).fitsOn(dev));
+    // An absurd design does not fit.
+    EXPECT_FALSE(estimateResources(beDesign(400)).fitsOn(dev));
+}
+
+TEST(Resource, EdgeDesignFitsZynq)
+{
+    AcceleratorConfig hw = zynqEdge();
+    const auto r = estimateResources(hw);
+    // The Zynq 7045 only has 900 DSPs; 512 multipliers fit.
+    EXPECT_LE(r.dsps, 900u);
+    EXPECT_EQ(r.hbm_stacks, 0u);
+}
+
+TEST(Resource, MonotoneInEngines)
+{
+    std::size_t prev_bram = 0, prev_lut = 0;
+    for (std::size_t pbe : {8u, 16u, 32u, 64u, 128u}) {
+        const auto r = estimateResources(beDesign(pbe));
+        EXPECT_GT(r.brams, prev_bram);
+        EXPECT_GT(r.luts, prev_lut);
+        prev_bram = r.brams;
+        prev_lut = r.luts;
+    }
+}
+
+TEST(Resource, UtilisationFractionSane)
+{
+    const auto dev = vcu128Device();
+    const auto r120 = estimateResources(beDesign(120));
+    // Table VII: BE-120 LUT utilisation 79.3% dominates.
+    EXPECT_NEAR(r120.utilisation(dev), 0.793, 0.02);
+}
+
+TEST(Power, TableViAnchorsReproduced)
+{
+    const auto p40 = estimatePower(beDesign(40));
+    EXPECT_NEAR(p40.clocking, 2.668, 0.05);
+    EXPECT_NEAR(p40.logic_signal, 2.381, 0.05);
+    EXPECT_NEAR(p40.dsp, 0.338, 0.02);
+    EXPECT_NEAR(p40.memory, 5.325, 0.05);
+    EXPECT_NEAR(p40.static_power, 3.368, 0.05);
+
+    const auto p120 = estimatePower(beDesign(120));
+    EXPECT_NEAR(p120.clocking, 6.882, 0.05);
+    EXPECT_NEAR(p120.logic_signal, 7.732, 0.05);
+    EXPECT_NEAR(p120.dsp, 1.437, 0.03);
+    EXPECT_NEAR(p120.memory, 6.142, 0.05);
+    EXPECT_NEAR(p120.static_power, 3.665, 0.05);
+}
+
+TEST(Power, DynamicDominatesAsInPaper)
+{
+    // "In both designs, the dynamic power accounts for more than 70%
+    // of the total power consumption."
+    for (std::size_t pbe : {40u, 120u}) {
+        const auto p = estimatePower(beDesign(pbe));
+        EXPECT_GT(p.dynamic() / p.total(), 0.70) << "BE-" << pbe;
+    }
+}
+
+TEST(Power, MemoryShareShrinksWithScale)
+{
+    // Table VI: memory is 37.5% of dynamic power at BE-40 but only
+    // 23.6% at BE-120 - compute power grows faster than memory power.
+    const auto p40 = estimatePower(beDesign(40));
+    const auto p120 = estimatePower(beDesign(120));
+    EXPECT_GT(p40.memory / p40.total(), p120.memory / p120.total());
+}
+
+TEST(Power, EdgeTargetWithinMobileEnvelope)
+{
+    const auto p = estimatePower(zynqEdge(), PowerTarget::Zynq7045);
+    EXPECT_LT(p.total(), 8.0);
+    EXPECT_GT(p.total(), 2.0);
+}
+
+TEST(Power, EnergyPerInference)
+{
+    PowerBreakdown p;
+    p.clocking = 2.0;
+    p.static_power = 1.0;
+    EXPECT_NEAR(energyPerInference(p, 0.5), 1.5, 1e-9);
+}
+
+TEST(Power, MonotoneInEngines)
+{
+    double prev = 0.0;
+    for (std::size_t pbe : {8u, 40u, 80u, 120u}) {
+        const double total = estimatePower(beDesign(pbe)).total();
+        EXPECT_GT(total, prev);
+        prev = total;
+    }
+}
+
+} // namespace
+} // namespace sim
+} // namespace fabnet

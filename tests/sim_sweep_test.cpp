@@ -1,0 +1,185 @@
+/**
+ * @file sim_sweep_test.cpp
+ * Parameterised property sweeps of the performance model across the
+ * hardware design space - the invariants the co-design search relies
+ * on must hold at every grid point, not only the hand-picked cases.
+ */
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "butterfly/fft.h"
+#include "model/config.h"
+#include "sim/accelerator.h"
+#include "sim/resource.h"
+#include "sim/throughput.h"
+
+namespace fabnet {
+namespace sim {
+namespace {
+
+ModelConfig
+sweepModel(std::size_t n_abfly)
+{
+    ModelConfig c;
+    c.kind = ModelKind::FABNet;
+    c.d_hid = 128;
+    c.r_ffn = 4;
+    c.n_total = 2;
+    c.n_abfly = n_abfly;
+    c.heads = 4;
+    return c;
+}
+
+/** (p_be, p_bu, bw_gbps, seq, n_abfly) */
+using SweepParam =
+    std::tuple<std::size_t, std::size_t, double, std::size_t,
+               std::size_t>;
+
+class CycleModelSweep : public ::testing::TestWithParam<SweepParam>
+{
+  protected:
+    AcceleratorConfig
+    hwOf(const SweepParam &p) const
+    {
+        AcceleratorConfig hw;
+        hw.p_be = std::get<0>(p);
+        hw.p_bu = std::get<1>(p);
+        hw.bw_gbps = std::get<2>(p);
+        if (std::get<4>(p) > 0) {
+            hw.p_head = 4;
+            hw.p_qk = 16;
+            hw.p_sv = 16;
+        }
+        return hw;
+    }
+};
+
+TEST_P(CycleModelSweep, LatencyPositiveAndFinite)
+{
+    const auto p = GetParam();
+    const auto rep = simulateModel(sweepModel(std::get<4>(p)),
+                                   std::get<3>(p), hwOf(p));
+    EXPECT_GT(rep.total_cycles, 0.0);
+    EXPECT_TRUE(std::isfinite(rep.total_cycles));
+    EXPECT_GT(rep.bytes_moved, 0.0);
+}
+
+TEST_P(CycleModelSweep, OpTotalsAddUpWithPipelineSaving)
+{
+    const auto p = GetParam();
+    const auto rep = simulateModel(sweepModel(std::get<4>(p)),
+                                   std::get<3>(p), hwOf(p));
+    double sum = 0.0;
+    for (const auto &op : rep.ops)
+        sum += op.total_cycles;
+    EXPECT_NEAR(rep.total_cycles + rep.pipeline_saving_cycles, sum,
+                1e-6 * sum + 1.0);
+}
+
+TEST_P(CycleModelSweep, DoublingEnginesNeverHurtsMuch)
+{
+    // Compute-bound designs must speed up with more engines. When the
+    // design is memory-bound, extra engines enlarge the per-tile
+    // pipeline fill/drain (bigger tiles, same bandwidth), so a small
+    // regression is physical - Fig. 21 shows the same flattening and
+    // slight inversions at 6-12 GB/s.
+    const auto p = GetParam();
+    const auto cfg = sweepModel(std::get<4>(p));
+    auto hw = hwOf(p);
+    const double base =
+        simulateModel(cfg, std::get<3>(p), hw).total_cycles;
+    hw.p_be *= 2;
+    const double doubled =
+        simulateModel(cfg, std::get<3>(p), hw).total_cycles;
+    if (std::get<2>(p) >= 100.0)
+        EXPECT_LE(doubled, base + 1.0);
+    else
+        EXPECT_LE(doubled, base * 1.25 + 1.0);
+}
+
+TEST_P(CycleModelSweep, DisablingDoubleBufferNeverHelps)
+{
+    const auto p = GetParam();
+    const auto cfg = sweepModel(std::get<4>(p));
+    auto hw = hwOf(p);
+    const double on =
+        simulateModel(cfg, std::get<3>(p), hw).total_cycles;
+    hw.double_buffer = false;
+    const double off =
+        simulateModel(cfg, std::get<3>(p), hw).total_cycles;
+    EXPECT_GE(off, on - 1.0);
+}
+
+TEST_P(CycleModelSweep, ThroughputAtLeastLatencyRate)
+{
+    const auto p = GetParam();
+    const auto cfg = sweepModel(std::get<4>(p));
+    const auto hw = hwOf(p);
+    const auto lat = simulateModel(cfg, std::get<3>(p), hw);
+    const auto thr =
+        estimateThroughput(cfg, std::get<3>(p), hw, 16);
+    const double latency_rate = 1.0 / lat.seconds;
+    EXPECT_GE(thr.samples_per_second, latency_rate * 0.99);
+}
+
+TEST_P(CycleModelSweep, ResourceModelMonotoneInEngines)
+{
+    const auto p = GetParam();
+    auto hw = hwOf(p);
+    const auto small = estimateResources(hw);
+    hw.p_be *= 2;
+    const auto big = estimateResources(hw);
+    EXPECT_GT(big.dsps, small.dsps);
+    EXPECT_GT(big.brams, small.brams);
+    EXPECT_GT(big.luts, small.luts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CycleModelSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(8, 32, 96),
+                       ::testing::Values<std::size_t>(4, 8),
+                       ::testing::Values(12.0, 100.0, 450.0),
+                       ::testing::Values<std::size_t>(128, 1024),
+                       ::testing::Values<std::size_t>(0, 1)));
+
+/** Analytic per-row formula swept across engine widths and sizes. */
+class PerRowFormulaSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t,
+                                                 std::size_t>>
+{
+};
+
+TEST_P(PerRowFormulaSweep, MatchesTraceCycles)
+{
+    const auto [n, pbu] = GetParam();
+    // One FFT over a single row with one engine and unlimited
+    // bandwidth isolates the per-row term.
+    LayerOp op;
+    op.kind = OpKind::Fft;
+    op.label = "probe";
+    op.rows = 1;
+    op.n = n;
+    op.in_feats = n;
+    op.out_feats = n;
+    AcceleratorConfig hw;
+    hw.p_be = 1;
+    hw.p_bu = pbu;
+    hw.bw_gbps = 1e9;
+    const auto rep = simulate({op}, hw);
+    const double expected =
+        static_cast<double>(log2Exact(n)) *
+        std::ceil(static_cast<double>(n / 2) /
+                  static_cast<double>(pbu));
+    EXPECT_NEAR(rep.ops[0].compute_cycles, expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PerRowFormulaSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(16, 64, 256,
+                                                      1024, 4096),
+                       ::testing::Values<std::size_t>(1, 4, 16)));
+
+} // namespace
+} // namespace sim
+} // namespace fabnet

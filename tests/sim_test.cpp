@@ -1,0 +1,263 @@
+/**
+ * @file sim_test.cpp
+ * Cycle-accurate performance model: trace construction, scaling laws,
+ * the Fig. 13 overlap strategies and Fig. 14 pipelining ablations,
+ * and bandwidth sensitivity (Fig. 21 behaviour).
+ */
+#include <gtest/gtest.h>
+
+#include "model/config.h"
+#include "sim/accelerator.h"
+
+namespace fabnet {
+namespace sim {
+namespace {
+
+ModelConfig
+smallFabnet(std::size_t n_abfly = 0)
+{
+    ModelConfig c;
+    c.kind = ModelKind::FABNet;
+    c.d_hid = 64;
+    c.r_ffn = 4;
+    c.n_total = 2;
+    c.n_abfly = n_abfly;
+    c.heads = 2;
+    return c;
+}
+
+AcceleratorConfig
+smallHw()
+{
+    AcceleratorConfig hw;
+    hw.p_be = 16;
+    hw.p_bu = 4;
+    hw.bw_gbps = 100.0;
+    return hw;
+}
+
+TEST(Trace, FbflyBlockOpsInOrder)
+{
+    const auto trace = buildFabnetTrace(smallFabnet(), 128);
+    // Per FBfly block: fft_hidden, fft_seq, ln1, ffn1, ffn2, ln2.
+    ASSERT_EQ(trace.size(), 2u * 6u);
+    EXPECT_EQ(trace[0].kind, OpKind::Fft);
+    EXPECT_EQ(trace[1].kind, OpKind::Fft);
+    EXPECT_EQ(trace[2].kind, OpKind::PostProcess);
+    EXPECT_EQ(trace[3].kind, OpKind::ButterflyLinear);
+    EXPECT_EQ(trace[4].kind, OpKind::ButterflyLinear);
+    EXPECT_EQ(trace[5].kind, OpKind::PostProcess);
+}
+
+TEST(Trace, FftPassGeometry)
+{
+    const auto trace = buildFabnetTrace(smallFabnet(), 128);
+    // FFT along hidden: one row per token, complex output.
+    EXPECT_EQ(trace[0].rows, 128u);
+    EXPECT_EQ(trace[0].n, 64u);
+    EXPECT_FALSE(trace[0].complex_in);
+    EXPECT_TRUE(trace[0].complex_out);
+    // FFT along sequence: one row per channel, real output kept.
+    EXPECT_EQ(trace[1].rows, 64u);
+    EXPECT_EQ(trace[1].n, 128u);
+    EXPECT_TRUE(trace[1].complex_in);
+    EXPECT_FALSE(trace[1].complex_out);
+}
+
+TEST(Trace, FfnExpansionUsesCores)
+{
+    const auto trace = buildFabnetTrace(smallFabnet(), 128);
+    const auto &ffn1 = trace[3];
+    EXPECT_EQ(ffn1.in_feats, 64u);
+    EXPECT_EQ(ffn1.out_feats, 256u);
+    EXPECT_EQ(ffn1.cores, 4u);
+    const auto &ffn2 = trace[4];
+    EXPECT_EQ(ffn2.n, 256u);
+    EXPECT_EQ(ffn2.cores, 1u);
+}
+
+TEST(Trace, AbflyBlockSchedulesKvBeforeQ)
+{
+    const auto trace = buildFabnetTrace(smallFabnet(1), 64);
+    // Block 0 is FBfly (6 ops); block 1 is ABfly.
+    const std::size_t base = 6;
+    EXPECT_NE(trace[base + 0].label.find("proj_k"), std::string::npos);
+    EXPECT_NE(trace[base + 1].label.find("proj_v"), std::string::npos);
+    EXPECT_NE(trace[base + 2].label.find("proj_q"), std::string::npos);
+    EXPECT_EQ(trace[base + 3].kind, OpKind::AttentionQK);
+    EXPECT_EQ(trace[base + 4].kind, OpKind::AttentionSV);
+}
+
+TEST(Trace, NonFabnetRejected)
+{
+    EXPECT_THROW(buildFabnetTrace(bertBase(), 128),
+                 std::invalid_argument);
+}
+
+TEST(Simulate, MoreEnginesNeverSlower)
+{
+    const auto cfg = smallFabnet();
+    double prev = 1e18;
+    for (std::size_t pbe : {4u, 8u, 16u, 32u, 64u}) {
+        AcceleratorConfig hw = smallHw();
+        hw.p_be = pbe;
+        hw.bw_gbps = 1000.0; // stay compute-bound
+        const auto rep = simulateModel(cfg, 256, hw);
+        EXPECT_LE(rep.total_cycles, prev + 1.0) << "p_be=" << pbe;
+        prev = rep.total_cycles;
+    }
+}
+
+TEST(Simulate, MoreBandwidthNeverSlower)
+{
+    const auto cfg = smallFabnet();
+    double prev = 1e18;
+    for (double bw : {6.0, 12.0, 25.0, 50.0, 100.0, 200.0}) {
+        AcceleratorConfig hw = smallHw();
+        hw.bw_gbps = bw;
+        const auto rep = simulateModel(cfg, 1024, hw);
+        EXPECT_LE(rep.total_cycles, prev + 1.0) << "bw=" << bw;
+        prev = rep.total_cycles;
+    }
+}
+
+TEST(Simulate, BandwidthSaturates)
+{
+    // Fig. 21: latency flattens once bandwidth exceeds the design's
+    // demand.
+    const auto cfg = smallFabnet();
+    AcceleratorConfig hw = smallHw();
+    hw.p_be = 16;
+    hw.bw_gbps = 400.0;
+    const double t400 = simulateModel(cfg, 1024, hw).total_cycles;
+    hw.bw_gbps = 800.0;
+    const double t800 = simulateModel(cfg, 1024, hw).total_cycles;
+    EXPECT_NEAR(t400, t800, 0.02 * t400);
+}
+
+TEST(Simulate, LowBandwidthIsMemoryBound)
+{
+    const auto cfg = smallFabnet();
+    AcceleratorConfig hw = smallHw();
+    hw.p_be = 64;
+    hw.bw_gbps = 2.0;
+    const auto rep = simulateModel(cfg, 1024, hw);
+    bool any_memory_bound = false;
+    for (const auto &op : rep.ops)
+        if (op.memory_bound)
+            any_memory_bound = true;
+    EXPECT_TRUE(any_memory_bound);
+}
+
+TEST(Simulate, DoubleBufferingHelps)
+{
+    const auto cfg = smallFabnet();
+    AcceleratorConfig on = smallHw();
+    AcceleratorConfig off = smallHw();
+    off.double_buffer = false;
+    const double t_on = simulateModel(cfg, 512, on).total_cycles;
+    const double t_off = simulateModel(cfg, 512, off).total_cycles;
+    EXPECT_LT(t_on, t_off);
+}
+
+TEST(Simulate, FinePipelineSavesOnAbfly)
+{
+    ModelConfig cfg = smallFabnet(1);
+    AcceleratorConfig hw = smallHw();
+    hw.p_head = 2;
+    hw.p_qk = 16;
+    hw.p_sv = 16;
+    const auto with_pipe = simulateModel(cfg, 256, hw);
+    EXPECT_GT(with_pipe.pipeline_saving_cycles, 0.0);
+
+    hw.fine_pipeline = false;
+    const auto without = simulateModel(cfg, 256, hw);
+    EXPECT_EQ(without.pipeline_saving_cycles, 0.0);
+    EXPECT_LT(with_pipe.total_cycles, without.total_cycles);
+}
+
+TEST(Simulate, AttentionWithoutApThrows)
+{
+    ModelConfig cfg = smallFabnet(1);
+    AcceleratorConfig hw = smallHw(); // p_qk = p_sv = 0
+    EXPECT_THROW(simulateModel(cfg, 128, hw), std::invalid_argument);
+}
+
+TEST(Simulate, PureFbflyRunsWithoutAp)
+{
+    ModelConfig cfg = smallFabnet(0);
+    AcceleratorConfig hw = smallHw();
+    EXPECT_NO_THROW(simulateModel(cfg, 128, hw));
+}
+
+TEST(Simulate, CyclesMatchHandComputedSmallCase)
+{
+    // One FBfly block, d=64, seq=64, P_be=64 (one tile per op),
+    // P_bu=4, effectively infinite bandwidth.
+    ModelConfig cfg = smallFabnet();
+    cfg.n_total = 1;
+    AcceleratorConfig hw;
+    hw.p_be = 64;
+    hw.p_bu = 4;
+    hw.bw_gbps = 1e9;
+    const auto rep = simulateModel(cfg, 64, hw);
+    // Per-row cycles for n=64: log2(64)*ceil(32/4) = 6*8 = 48.
+    // fft_hidden: 64 rows -> 1 tile -> 48; fft_seq same -> 48.
+    // ffn1: 64 rows x 4 cores -> 4 tiles -> 192.
+    // ffn2 (n=256): per-row 8*32 = 256; 64 rows -> 1 tile -> 256.
+    // PostP: 2 x (64*64/16) = 2 x 256.
+    const double expected = 48 + 48 + 192 + 256 + 2 * 256;
+    EXPECT_NEAR(rep.total_cycles, expected, expected * 0.01);
+}
+
+TEST(Simulate, ReportAggregatesConsistent)
+{
+    ModelConfig cfg = smallFabnet(1);
+    AcceleratorConfig hw = smallHw();
+    hw.p_head = 2;
+    hw.p_qk = 8;
+    hw.p_sv = 8;
+    const auto rep = simulateModel(cfg, 128, hw);
+    double sum = 0.0;
+    for (const auto &op : rep.ops)
+        sum += op.total_cycles;
+    EXPECT_NEAR(rep.total_cycles + rep.pipeline_saving_cycles, sum,
+                1.0);
+    EXPECT_GT(rep.bytes_moved, 0.0);
+    EXPECT_NEAR(rep.seconds, rep.total_cycles / (0.2e9), 1e-9);
+}
+
+TEST(Simulate, LongerSequencesCostMore)
+{
+    const auto cfg = smallFabnet();
+    AcceleratorConfig hw = smallHw();
+    double prev = 0.0;
+    for (std::size_t seq : {128u, 256u, 512u, 1024u}) {
+        const auto rep = simulateModel(cfg, seq, hw);
+        EXPECT_GT(rep.total_cycles, prev);
+        prev = rep.total_cycles;
+    }
+}
+
+TEST(Config, MultiplierFormulaMatchesPaper)
+{
+    AcceleratorConfig hw;
+    hw.p_be = 64;
+    hw.p_bu = 4;
+    hw.p_head = 12;
+    hw.p_qk = 32;
+    hw.p_sv = 48;
+    // DSP = P_be*P_bu*4 + P_head*(P_qk+P_sv).
+    EXPECT_EQ(hw.multipliers(), 64u * 4u * 4u + 12u * (32u + 48u));
+}
+
+TEST(Config, PresetsMatchPaperDesigns)
+{
+    EXPECT_EQ(vcu128Server().multipliers(), 1920u); // BE-120
+    EXPECT_EQ(vcu128Sota().multipliers(), 640u);    // BE-40
+    EXPECT_EQ(zynqEdge().multipliers(), 512u);      // edge
+}
+
+} // namespace
+} // namespace sim
+} // namespace fabnet

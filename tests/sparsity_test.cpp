@@ -1,0 +1,247 @@
+/**
+ * @file sparsity_test.cpp
+ * The Sec. III-A sparsity-pattern analysis: pattern construction,
+ * data-access regularity, bank conflicts and information flow - the
+ * quantitative backing of the paper's Fig. 4 comparison.
+ */
+#include <gtest/gtest.h>
+
+#include "butterfly/fft.h"
+#include "sparsity/patterns.h"
+
+namespace fabnet {
+namespace sparsity {
+namespace {
+
+TEST(Patterns, DiagonalAlwaysPresent)
+{
+    Rng rng(1);
+    for (auto kind : {PatternKind::LowRank, PatternKind::SlidingWindow,
+                      PatternKind::Butterfly, PatternKind::Random,
+                      PatternKind::BlockWise}) {
+        const auto p = SparsityPattern::make(kind, 64, rng);
+        for (std::size_t i = 0; i < 64; ++i)
+            EXPECT_TRUE(p.at(i, i)) << patternName(kind);
+    }
+}
+
+TEST(Patterns, ButterflyConnectivityIsXorStructured)
+{
+    const auto p = SparsityPattern::butterfly(32);
+    for (std::size_t i = 0; i < 32; ++i) {
+        for (std::size_t j = 0; j < 32; ++j) {
+            const std::size_t x = i ^ j;
+            const bool expected = (i == j) || (x && !(x & (x - 1)));
+            EXPECT_EQ(p.at(i, j), expected)
+                << "(" << i << "," << j << ")";
+        }
+    }
+}
+
+TEST(Patterns, ButterflyDensityIsLogLinear)
+{
+    const auto p = SparsityPattern::butterfly(256);
+    // (log2(n) + 1) nonzeros per row.
+    EXPECT_EQ(p.rowNnz(0), 9u);
+    EXPECT_NEAR(p.density(), 9.0 / 256.0, 1e-9);
+}
+
+TEST(Patterns, SlidingWindowIsBanded)
+{
+    const auto p = SparsityPattern::slidingWindow(32, 2);
+    EXPECT_TRUE(p.at(5, 3));
+    EXPECT_TRUE(p.at(5, 7));
+    EXPECT_FALSE(p.at(5, 8));
+    EXPECT_FALSE(p.at(5, 30));
+    EXPECT_EQ(p.rowNnz(16), 5u);
+}
+
+TEST(Patterns, BlockWiseIsBlockDiagonal)
+{
+    const auto p = SparsityPattern::blockWise(16, 4);
+    EXPECT_TRUE(p.at(5, 4));
+    EXPECT_TRUE(p.at(5, 7));
+    EXPECT_FALSE(p.at(5, 8));
+    EXPECT_FALSE(p.at(5, 3));
+}
+
+TEST(Patterns, LowRankHasDenseLandmarks)
+{
+    const auto p = SparsityPattern::lowRank(32, 2);
+    // Landmark rows/columns at 0 and 16 are dense.
+    for (std::size_t j = 0; j < 32; ++j) {
+        EXPECT_TRUE(p.at(0, j));
+        EXPECT_TRUE(p.at(16, j));
+        EXPECT_TRUE(p.at(j, 0));
+        EXPECT_TRUE(p.at(j, 16));
+    }
+    EXPECT_FALSE(p.at(3, 5));
+}
+
+TEST(Patterns, RandomDensityApproximatesTarget)
+{
+    Rng rng(7);
+    const auto p = SparsityPattern::random(128, 0.1, rng);
+    EXPECT_NEAR(p.density(), 0.1, 0.02);
+}
+
+TEST(Access, ClassificationMatchesFigure4)
+{
+    EXPECT_EQ(accessPattern(PatternKind::LowRank),
+              AccessKind::SequentialRowColumn);
+    EXPECT_EQ(accessPattern(PatternKind::SlidingWindow),
+              AccessKind::RegularStride);
+    EXPECT_EQ(accessPattern(PatternKind::Butterfly),
+              AccessKind::RegularStride);
+    EXPECT_EQ(accessPattern(PatternKind::Random),
+              AccessKind::RandomRead);
+    EXPECT_EQ(accessPattern(PatternKind::BlockWise),
+              AccessKind::RegularStride);
+}
+
+TEST(Access, StructuredPatternsAreStrideRegular)
+{
+    Rng rng(9);
+    const double bfly = strideRegularity(
+        SparsityPattern::make(PatternKind::Butterfly, 128, rng));
+    const double window = strideRegularity(
+        SparsityPattern::make(PatternKind::SlidingWindow, 128, rng));
+    const double block = strideRegularity(
+        SparsityPattern::make(PatternKind::BlockWise, 128, rng));
+    const double random = strideRegularity(
+        SparsityPattern::make(PatternKind::Random, 128, rng));
+    EXPECT_GT(window, 0.9);
+    EXPECT_GT(block, 0.9);
+    // Butterfly rows have power-of-two gaps; the modal gap still
+    // covers a large share (structured), far above random.
+    EXPECT_GT(bfly, random);
+    EXPECT_LT(random, 0.5);
+}
+
+TEST(Access, RandomPatternSuffersBankConflicts)
+{
+    Rng rng(11);
+    const double random = bankConflictFactor(
+        SparsityPattern::make(PatternKind::Random, 256, rng), 8);
+    const double window = bankConflictFactor(
+        SparsityPattern::make(PatternKind::SlidingWindow, 256, rng), 8);
+    const double block = bankConflictFactor(
+        SparsityPattern::make(PatternKind::BlockWise, 256, rng), 8);
+    EXPECT_NEAR(window, 1.0, 0.1);
+    EXPECT_NEAR(block, 1.0, 0.1);
+    EXPECT_GT(random, 1.3);
+}
+
+TEST(InfoFlow, ButterflyIsGlobalAndLogHop)
+{
+    Rng rng(13);
+    for (std::size_t n : {16u, 64u, 256u}) {
+        const auto p = SparsityPattern::butterfly(n);
+        const auto flow = analyseInfoFlow(p);
+        EXPECT_TRUE(flow.global) << n;
+        // The hypercube diameter is exactly log2(n) but BFS counts
+        // reaching all coordinates; must be <= log2(n).
+        EXPECT_LE(flow.hops_to_full, log2Exact(n)) << n;
+        EXPECT_GE(flow.hops_to_full, 2u) << n;
+    }
+}
+
+TEST(InfoFlow, SlidingWindowIsLocalOnly)
+{
+    Rng rng(15);
+    const auto p =
+        SparsityPattern::make(PatternKind::SlidingWindow, 256, rng);
+    const auto flow = analyseInfoFlow(p);
+    EXPECT_TRUE(flow.local);
+    EXPECT_FALSE(flow.global); // needs ~n/window hops
+    EXPECT_GT(flow.hops_to_full, log2Exact(256));
+}
+
+TEST(InfoFlow, BlockWiseNeverMixesAcrossBlocks)
+{
+    const auto p = SparsityPattern::blockWise(64, 8);
+    const auto flow = analyseInfoFlow(p, 16);
+    EXPECT_FALSE(flow.global);
+    EXPECT_GT(flow.hops_to_full, 16u); // capped: unreachable
+}
+
+TEST(InfoFlow, LowRankIsGlobalButNotLocal)
+{
+    const auto p = SparsityPattern::lowRank(64, 3);
+    const auto flow = analyseInfoFlow(p);
+    EXPECT_TRUE(flow.global); // two hops through a landmark
+    EXPECT_LE(flow.hops_to_full, 2u);
+    EXPECT_FALSE(flow.local);
+}
+
+TEST(InfoFlow, ButterflyIsTheOnlyEfficientGlobalLocalPattern)
+{
+    // The punchline of Sec. III-A: butterfly is hardware-efficient
+    // AND captures both local and global information.
+    Rng rng(17);
+    int qualifying = 0;
+    PatternKind winner = PatternKind::Random;
+    for (auto kind : {PatternKind::LowRank, PatternKind::SlidingWindow,
+                      PatternKind::Butterfly, PatternKind::Random,
+                      PatternKind::BlockWise}) {
+        const auto rep = analysePattern(kind, 128, 8, rng);
+        if (rep.hw_efficient && rep.info.global) {
+            ++qualifying;
+            winner = kind;
+        }
+    }
+    EXPECT_EQ(qualifying, 1);
+    EXPECT_EQ(winner, PatternKind::Butterfly);
+}
+
+TEST(Variants, CatalogueMatchesTableII)
+{
+    const auto cat = variantCatalog();
+    ASSERT_GE(cat.size(), 10u);
+    // Only FNet, Kaleidoscope and FABNet use a single unified
+    // butterfly pattern; only FABNet applies it to both attention and
+    // FFN.
+    int unified_butterfly = 0;
+    int both_locations = 0;
+    for (const auto &v : cat) {
+        const bool butterfly_only =
+            v.patterns.size() == 1 &&
+            v.patterns[0] == PatternKind::Butterfly;
+        if (butterfly_only && v.unified_pattern)
+            ++unified_butterfly;
+        if (v.on_attention && v.on_ffn) {
+            ++both_locations;
+            EXPECT_EQ(v.model, "FABNet (this work)");
+        }
+    }
+    EXPECT_EQ(unified_butterfly, 3);
+    EXPECT_EQ(both_locations, 1);
+}
+
+TEST(Variants, MultiPatternVariantsExist)
+{
+    // Table II's observation: several variants need 2-3 combined
+    // patterns to recover accuracy.
+    const auto cat = variantCatalog();
+    int multi = 0;
+    for (const auto &v : cat)
+        if (v.patterns.size() >= 2)
+            ++multi;
+    EXPECT_GE(multi, 4);
+}
+
+TEST(Patterns, ReportIsInternallyConsistent)
+{
+    Rng rng(19);
+    const auto rep =
+        analysePattern(PatternKind::Butterfly, 64, 8, rng);
+    EXPECT_EQ(rep.kind, PatternKind::Butterfly);
+    EXPECT_GT(rep.density, 0.0);
+    EXPECT_LT(rep.density, 0.25);
+    EXPECT_TRUE(rep.hw_efficient);
+    EXPECT_TRUE(rep.info.global);
+}
+
+} // namespace
+} // namespace sparsity
+} // namespace fabnet

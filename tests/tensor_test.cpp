@@ -1,0 +1,247 @@
+/**
+ * @file tensor_test.cpp
+ * Unit tests for the dense tensor container and its numeric kernels.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace fabnet {
+namespace {
+
+TEST(Tensor, ZeroInitialisedAndShaped)
+{
+    Tensor t = Tensor::zeros(2, 3, 4);
+    EXPECT_EQ(t.rank(), 3u);
+    EXPECT_EQ(t.size(), 24u);
+    EXPECT_EQ(t.dim(0), 2u);
+    EXPECT_EQ(t.dim(1), 3u);
+    EXPECT_EQ(t.dim(2), 4u);
+    for (float v : t.raw())
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, ElementAccessRowMajor)
+{
+    Tensor t = Tensor::zeros(2, 3);
+    t.at(1, 2) = 5.0f;
+    EXPECT_EQ(t.raw()[1 * 3 + 2], 5.0f);
+    Tensor u = Tensor::zeros(2, 2, 2);
+    u.at(1, 0, 1) = 7.0f;
+    EXPECT_EQ(u.raw()[(1 * 2 + 0) * 2 + 1], 7.0f);
+}
+
+TEST(Tensor, FromMatrixAndEquality)
+{
+    Tensor a = Tensor::fromMatrix(2, 2, {1, 2, 3, 4});
+    Tensor b = Tensor::fromMatrix(2, 2, {1, 2, 3, 4});
+    EXPECT_TRUE(a == b);
+    b.at(0, 1) = 9.0f;
+    EXPECT_FALSE(a == b);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor a = Tensor::fromMatrix(2, 3, {1, 2, 3, 4, 5, 6});
+    Tensor b = a.reshaped({3, 2});
+    EXPECT_EQ(b.dim(0), 3u);
+    EXPECT_EQ(b.at(2, 1), 6.0f);
+    EXPECT_THROW(a.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, InvalidRankRejected)
+{
+    EXPECT_THROW(Tensor({1, 2, 3, 4}), std::invalid_argument);
+    EXPECT_THROW(Tensor(std::vector<std::size_t>{}),
+                 std::invalid_argument);
+}
+
+TEST(Ops, MatmulSmallKnown)
+{
+    Tensor a = Tensor::fromMatrix(2, 3, {1, 2, 3, 4, 5, 6});
+    Tensor b = Tensor::fromMatrix(3, 2, {7, 8, 9, 10, 11, 12});
+    Tensor c = ops::matmul(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Ops, MatmulIdentity)
+{
+    Rng rng(1);
+    Tensor a = rng.normalTensor({5, 5});
+    Tensor eye = Tensor::zeros(5, 5);
+    for (std::size_t i = 0; i < 5; ++i)
+        eye.at(i, i) = 1.0f;
+    EXPECT_TRUE(ops::allClose(ops::matmul(a, eye), a, 1e-6f));
+    EXPECT_TRUE(ops::allClose(ops::matmul(eye, a), a, 1e-6f));
+}
+
+TEST(Ops, MatmulTransposedMatchesExplicitTranspose)
+{
+    Rng rng(2);
+    Tensor a = rng.normalTensor({4, 6});
+    Tensor b = rng.normalTensor({5, 6});
+    Tensor direct = ops::matmulTransposed(a, b);
+    Tensor ref = ops::matmul(a, ops::transpose(b));
+    EXPECT_TRUE(ops::allClose(direct, ref, 1e-5f));
+}
+
+TEST(Ops, MatmulShapeMismatchThrows)
+{
+    Tensor a = Tensor::zeros(2, 3);
+    Tensor b = Tensor::zeros(4, 2);
+    EXPECT_THROW(ops::matmul(a, b), std::invalid_argument);
+}
+
+TEST(Ops, TransposeInvolution)
+{
+    Rng rng(3);
+    Tensor a = rng.normalTensor({3, 7});
+    EXPECT_TRUE(ops::allClose(ops::transpose(ops::transpose(a)), a));
+}
+
+TEST(Ops, ElementwiseArithmetic)
+{
+    Tensor a = Tensor::fromVector({1, 2, 3});
+    Tensor b = Tensor::fromVector({4, 5, 6});
+    EXPECT_TRUE(ops::allClose(ops::add(a, b),
+                              Tensor::fromVector({5, 7, 9})));
+    EXPECT_TRUE(ops::allClose(ops::sub(b, a),
+                              Tensor::fromVector({3, 3, 3})));
+    EXPECT_TRUE(ops::allClose(ops::mul(a, b),
+                              Tensor::fromVector({4, 10, 18})));
+    EXPECT_TRUE(ops::allClose(ops::scale(a, 2.0f),
+                              Tensor::fromVector({2, 4, 6})));
+}
+
+TEST(Ops, SoftmaxRowsSumToOneAndOrderPreserved)
+{
+    Rng rng(4);
+    Tensor a = rng.normalTensor({6, 10}, 3.0f);
+    Tensor s = ops::softmaxLastDim(a);
+    for (std::size_t r = 0; r < 6; ++r) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < 10; ++c) {
+            EXPECT_GT(s.at(r, c), 0.0f);
+            sum += s.at(r, c);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+    // Softmax is monotone: argmax preserved.
+    for (std::size_t r = 0; r < 6; ++r) {
+        std::size_t am_in = 0, am_out = 0;
+        for (std::size_t c = 1; c < 10; ++c) {
+            if (a.at(r, c) > a.at(r, am_in))
+                am_in = c;
+            if (s.at(r, c) > s.at(r, am_out))
+                am_out = c;
+        }
+        EXPECT_EQ(am_in, am_out);
+    }
+}
+
+TEST(Ops, SoftmaxNumericallyStableForLargeInputs)
+{
+    Tensor a = Tensor::fromMatrix(1, 3, {1000.0f, 1000.0f, 1000.0f});
+    Tensor s = ops::softmaxLastDim(a);
+    for (std::size_t c = 0; c < 3; ++c)
+        EXPECT_NEAR(s.at(0, c), 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(Ops, LayerNormZeroMeanUnitVar)
+{
+    Rng rng(5);
+    Tensor a = rng.normalTensor({4, 32}, 5.0f, 2.0f);
+    std::vector<float> gamma(32, 1.0f), beta(32, 0.0f);
+    Tensor n = ops::layerNormLastDim(a, gamma, beta);
+    for (std::size_t r = 0; r < 4; ++r) {
+        double mean = 0.0, var = 0.0;
+        for (std::size_t c = 0; c < 32; ++c)
+            mean += n.at(r, c);
+        mean /= 32.0;
+        for (std::size_t c = 0; c < 32; ++c)
+            var += (n.at(r, c) - mean) * (n.at(r, c) - mean);
+        var /= 32.0;
+        EXPECT_NEAR(mean, 0.0, 1e-4);
+        EXPECT_NEAR(var, 1.0, 1e-2);
+    }
+}
+
+TEST(Ops, LayerNormAffineApplied)
+{
+    Tensor a = Tensor::fromMatrix(1, 4, {1, 2, 3, 4});
+    std::vector<float> gamma(4, 2.0f), beta(4, 1.0f);
+    Tensor n = ops::layerNormLastDim(a, gamma, beta);
+    double mean = 0.0;
+    for (std::size_t c = 0; c < 4; ++c)
+        mean += n.at(0, c);
+    EXPECT_NEAR(mean / 4.0, 1.0, 1e-5); // beta shifts the mean
+}
+
+TEST(Ops, ReluAndGeluBasicShape)
+{
+    Tensor a = Tensor::fromVector({-2.0f, 0.0f, 2.0f});
+    Tensor r = ops::relu(a);
+    EXPECT_FLOAT_EQ(r.at(0), 0.0f);
+    EXPECT_FLOAT_EQ(r.at(1), 0.0f);
+    EXPECT_FLOAT_EQ(r.at(2), 2.0f);
+
+    Tensor g = ops::gelu(a);
+    EXPECT_NEAR(g.at(1), 0.0f, 1e-6f);
+    EXPECT_NEAR(g.at(2), 1.954f, 1e-2f); // gelu(2) ~ 1.954
+    EXPECT_NEAR(g.at(0), -0.0454f, 1e-2f);
+}
+
+TEST(Ops, Reductions)
+{
+    Tensor a = Tensor::fromVector({1, -2, 3});
+    EXPECT_DOUBLE_EQ(ops::sum(a), 2.0);
+    EXPECT_NEAR(ops::mean(a), 2.0 / 3.0, 1e-9);
+    EXPECT_FLOAT_EQ(ops::maxAbs(a), 3.0f);
+}
+
+TEST(Ops, AllCloseRespectsShapeAndTolerance)
+{
+    Tensor a = Tensor::fromVector({1.0f, 2.0f});
+    Tensor b = Tensor::fromVector({1.0f, 2.0001f});
+    EXPECT_TRUE(ops::allClose(a, b, 1e-3f));
+    EXPECT_FALSE(ops::allClose(a, b, 1e-6f));
+    Tensor c = Tensor::fromMatrix(1, 2, {1.0f, 2.0f});
+    EXPECT_FALSE(ops::allClose(a, c)); // different shape
+}
+
+/** Property sweep: (A*B)*C == A*(B*C) across random sizes. */
+class MatmulAssocTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>>
+{
+};
+
+TEST_P(MatmulAssocTest, Associativity)
+{
+    const auto [m, k, n, p] = GetParam();
+    Rng rng(m * 1000 + k * 100 + n * 10 + p);
+    Tensor a = rng.normalTensor({(std::size_t)m, (std::size_t)k});
+    Tensor b = rng.normalTensor({(std::size_t)k, (std::size_t)n});
+    Tensor c = rng.normalTensor({(std::size_t)n, (std::size_t)p});
+    Tensor left = ops::matmul(ops::matmul(a, b), c);
+    Tensor right = ops::matmul(a, ops::matmul(b, c));
+    EXPECT_LT(ops::maxAbsDiff(left, right),
+              1e-3f * std::max(1.0f, ops::maxAbs(left)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MatmulAssocTest,
+    ::testing::Values(std::make_tuple(2, 3, 4, 5),
+                      std::make_tuple(1, 8, 1, 8),
+                      std::make_tuple(7, 7, 7, 7),
+                      std::make_tuple(16, 4, 16, 2),
+                      std::make_tuple(3, 17, 5, 11)));
+
+} // namespace
+} // namespace fabnet

@@ -1,0 +1,163 @@
+/**
+ * @file throughput_quantize_test.cpp
+ * Batch throughput / roofline modelling and fp16 weight quantisation
+ * of trained models.
+ */
+#include <gtest/gtest.h>
+
+#include "data/lra.h"
+#include "model/builder.h"
+#include "nn/quantize.h"
+#include "sim/throughput.h"
+#include "tensor/ops.h"
+
+namespace fabnet {
+namespace {
+
+ModelConfig
+smallFabnet()
+{
+    ModelConfig c;
+    c.kind = ModelKind::FABNet;
+    c.d_hid = 64;
+    c.r_ffn = 4;
+    c.n_total = 2;
+    c.heads = 2;
+    return c;
+}
+
+sim::AcceleratorConfig
+smallHw()
+{
+    sim::AcceleratorConfig hw;
+    hw.p_be = 32;
+    hw.p_bu = 4;
+    hw.bw_gbps = 100.0;
+    return hw;
+}
+
+TEST(Throughput, BatchOneEqualsLatency)
+{
+    const auto cfg = smallFabnet();
+    const auto hw = smallHw();
+    const auto lat = sim::simulateModel(cfg, 256, hw);
+    const auto thr = sim::estimateThroughput(cfg, 256, hw, 1);
+    EXPECT_NEAR(thr.total_cycles, lat.total_cycles, 1.0);
+}
+
+TEST(Throughput, SteadyStateBeatsLatency)
+{
+    const auto cfg = smallFabnet();
+    const auto hw = smallHw();
+    const auto thr = sim::estimateThroughput(cfg, 256, hw, 8);
+    EXPECT_LT(thr.steady_state_cycles, thr.first_sample_cycles);
+    EXPECT_NEAR(thr.total_cycles,
+                thr.first_sample_cycles +
+                    7.0 * thr.steady_state_cycles,
+                1.0);
+}
+
+TEST(Throughput, ScalesLinearlyInBatch)
+{
+    const auto cfg = smallFabnet();
+    const auto hw = smallHw();
+    const auto t8 = sim::estimateThroughput(cfg, 256, hw, 8);
+    const auto t64 = sim::estimateThroughput(cfg, 256, hw, 64);
+    // Throughput improves with batch and approaches the steady state.
+    EXPECT_GT(t64.samples_per_second, t8.samples_per_second);
+    const double asymptote =
+        hw.freq_ghz * 1e9 / t64.steady_state_cycles;
+    EXPECT_NEAR(t64.samples_per_second, asymptote,
+                0.2 * asymptote);
+}
+
+TEST(Throughput, NoDoubleBufferNoOverlap)
+{
+    const auto cfg = smallFabnet();
+    auto hw = smallHw();
+    hw.double_buffer = false;
+    const auto thr = sim::estimateThroughput(cfg, 256, hw, 4);
+    EXPECT_NEAR(thr.steady_state_cycles, thr.first_sample_cycles, 1.0);
+}
+
+TEST(Roofline, UtilisationsBounded)
+{
+    const auto cfg = smallFabnet();
+    const auto hw = smallHw();
+    const auto rep = sim::simulateModel(cfg, 1024, hw);
+    const auto s = sim::summariseRoofline(cfg, 1024, hw, rep);
+    EXPECT_GT(s.achieved_gops, 0.0);
+    EXPECT_LT(s.compute_utilisation, 1.0);
+    EXPECT_GT(s.compute_utilisation, 0.0);
+    EXPECT_LE(s.bandwidth_utilisation, 1.0 + 1e-9);
+    EXPECT_GT(s.arithmetic_intensity, 0.0);
+}
+
+TEST(Roofline, LowBandwidthFlagsMemoryBound)
+{
+    const auto cfg = smallFabnet();
+    auto hw = smallHw();
+    hw.bw_gbps = 0.5;
+    const auto rep = sim::simulateModel(cfg, 1024, hw);
+    const auto s = sim::summariseRoofline(cfg, 1024, hw, rep);
+    EXPECT_TRUE(s.memory_bound);
+}
+
+TEST(Quantize, ErrorBoundedByHalfUlp)
+{
+    Rng rng(3);
+    ModelConfig cfg = smallFabnet();
+    cfg.vocab = 64;
+    cfg.classes = 2;
+    cfg.max_seq = 32;
+    auto model = buildModel(cfg, rng);
+    auto params = model->params();
+    const float pre = nn::maxQuantizationError(params);
+    EXPECT_GT(pre, 0.0f);
+    EXPECT_LT(pre, 1e-2f); // weights are O(1): half ulp ~ 5e-4
+
+    nn::quantizeParamsToHalf(params);
+    EXPECT_FLOAT_EQ(nn::maxQuantizationError(params), 0.0f);
+}
+
+TEST(Quantize, TrainedAccuracyPreservedInFp16)
+{
+    // The paper deploys at fp16: a trained model must keep its
+    // accuracy after weight quantisation.
+    Rng rng(11);
+    auto gen = data::makeLraGenerator("Text", 32);
+    auto train = gen->dataset(96, rng);
+    auto test = gen->dataset(64, rng);
+
+    ModelConfig cfg = smallFabnet();
+    cfg.d_hid = 32;
+    cfg.vocab = 256;
+    cfg.classes = 2;
+    cfg.max_seq = 32;
+    auto model = buildModel(cfg, rng);
+    const double acc_fp32 = trainClassifier(*model, train, test, 32,
+                                            3, 16, 2e-3f, rng);
+
+    nn::quantizeParamsToHalf(model->params());
+    const double acc_fp16 = model->evaluate(test, 32);
+    EXPECT_NEAR(acc_fp16, acc_fp32, 0.05);
+}
+
+TEST(Quantize, LogitsShiftIsSmall)
+{
+    Rng rng(13);
+    ModelConfig cfg = smallFabnet();
+    cfg.vocab = 64;
+    cfg.classes = 4;
+    cfg.max_seq = 16;
+    auto model = buildModel(cfg, rng);
+    std::vector<int> tokens(16, 7);
+    Tensor before = model->forward(tokens, 1, 16);
+    nn::quantizeParamsToHalf(model->params());
+    Tensor after = model->forward(tokens, 1, 16);
+    EXPECT_LT(ops::maxAbsDiff(before, after),
+              0.02f * std::max(1.0f, ops::maxAbs(before)));
+}
+
+} // namespace
+} // namespace fabnet
