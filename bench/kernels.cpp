@@ -14,11 +14,156 @@
 #include "butterfly/fft.h"
 #include "nn/attention.h"
 #include "nn/dense.h"
+#include "runtime/parallel.h"
 #include "sim/datapath.h"
 #include "tensor/ops.h"
 #include "tensor/rng.h"
 
 using namespace fabnet;
+
+// ---------------------------------------------------------------------
+// Engine-vs-seed pairs: every *Reference case is the seed scalar
+// kernel, the matching case without suffix is the parallel/blocked
+// engine path (thread count from FABNET_NUM_THREADS). The speedup
+// acceptance gate of the execution-engine PR reads these pairs from
+// BENCH_kernels.json.
+// ---------------------------------------------------------------------
+
+static void
+BM_MatmulReference(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(n);
+    Tensor a = rng.normalTensor({n, n});
+    Tensor b = rng.normalTensor({n, n});
+    for (auto _ : state) {
+        Tensor c = ops::reference::matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetComplexityN(static_cast<long>(n));
+}
+BENCHMARK(BM_MatmulReference)->Arg(128)->Arg(512)->Complexity();
+
+static void
+BM_MatmulParallel(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(n);
+    Tensor a = rng.normalTensor({n, n});
+    Tensor b = rng.normalTensor({n, n});
+    for (auto _ : state) {
+        Tensor c = ops::matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetComplexityN(static_cast<long>(n));
+    state.counters["threads"] =
+        static_cast<double>(runtime::numThreads());
+}
+BENCHMARK(BM_MatmulParallel)->Arg(128)->Arg(512)->Complexity();
+
+static void
+BM_MatmulTransposedReference(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(n);
+    Tensor a = rng.normalTensor({n, n});
+    Tensor b = rng.normalTensor({n, n});
+    for (auto _ : state) {
+        Tensor c = ops::reference::matmulTransposed(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+BENCHMARK(BM_MatmulTransposedReference)->Arg(512);
+
+static void
+BM_MatmulTransposedParallel(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(n);
+    Tensor a = rng.normalTensor({n, n});
+    Tensor b = rng.normalTensor({n, n});
+    for (auto _ : state) {
+        Tensor c = ops::matmulTransposed(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["threads"] =
+        static_cast<double>(runtime::numThreads());
+}
+BENCHMARK(BM_MatmulTransposedParallel)->Arg(512);
+
+static void
+BM_ButterflyBatchReference(benchmark::State &state)
+{
+    const std::size_t rows = static_cast<std::size_t>(state.range(0));
+    const std::size_t n = static_cast<std::size_t>(state.range(1));
+    ButterflyMatrix m(n);
+    Rng rng(n);
+    m.initRandomRotation(rng);
+    Tensor x = rng.normalTensor({rows, n});
+    for (auto _ : state) {
+        Tensor y = m.applyBatchReference(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_ButterflyBatchReference)
+    ->Args({64, 512})
+    ->Args({256, 512});
+
+static void
+BM_ButterflyBatchStageMajor(benchmark::State &state)
+{
+    const std::size_t rows = static_cast<std::size_t>(state.range(0));
+    const std::size_t n = static_cast<std::size_t>(state.range(1));
+    ButterflyMatrix m(n);
+    Rng rng(n);
+    m.initRandomRotation(rng);
+    Tensor x = rng.normalTensor({rows, n});
+    for (auto _ : state) {
+        Tensor y = m.applyBatch(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.counters["threads"] =
+        static_cast<double>(runtime::numThreads());
+}
+BENCHMARK(BM_ButterflyBatchStageMajor)
+    ->Args({64, 512})
+    ->Args({256, 512});
+
+static void
+BM_ButterflyLinearBatch(benchmark::State &state)
+{
+    const std::size_t rows = static_cast<std::size_t>(state.range(0));
+    ButterflyLinear lin(512, 512);
+    Rng rng(1);
+    lin.initRandomRotation(rng);
+    Tensor x = rng.normalTensor({rows, 512});
+    for (auto _ : state) {
+        Tensor y = lin.applyBatch(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.counters["threads"] =
+        static_cast<double>(runtime::numThreads());
+}
+BENCHMARK(BM_ButterflyLinearBatch)->Arg(64);
+
+static void
+BM_AttentionForwardReference(benchmark::State &state)
+{
+    const std::size_t seq = static_cast<std::size_t>(state.range(0));
+    const std::size_t d = 64;
+    Rng rng(5);
+    nn::MultiHeadAttention mha(
+        d, 2, std::make_unique<nn::Dense>(d, d, rng),
+        std::make_unique<nn::Dense>(d, d, rng),
+        std::make_unique<nn::Dense>(d, d, rng),
+        std::make_unique<nn::Dense>(d, d, rng));
+    Tensor x = rng.normalTensor({1, seq, d});
+    for (auto _ : state) {
+        Tensor y = mha.forwardReference(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_AttentionForwardReference)->Arg(128)->Arg(512);
 
 static void
 BM_FftInPlace(benchmark::State &state)

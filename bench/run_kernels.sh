@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build and run the kernel microbenchmarks, emitting BENCH_kernels.json
+# at the repo root so the perf trajectory is tracked PR over PR.
+#
+# Usage:
+#   bench/run_kernels.sh [extra google-benchmark flags...]
+#
+# Env:
+#   FABNET_NUM_THREADS  thread count for the parallel engine paths
+#                       (default: hardware concurrency)
+#   BUILD_DIR           cmake build directory (default: build)
+#   FILTER              --benchmark_filter regex (default: engine-vs-
+#                       seed pairs + butterfly/attention cases)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+FILTER=${FILTER:-'(Matmul|ButterflyBatch|ButterflyLinearBatch|AttentionForward)'}
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j --target bench_kernels >/dev/null
+
+"$BUILD_DIR"/bench_kernels \
+    --benchmark_filter="$FILTER" \
+    --benchmark_out=BENCH_kernels.json \
+    --benchmark_out_format=json \
+    "$@"
+
+echo "Wrote $(pwd)/BENCH_kernels.json"

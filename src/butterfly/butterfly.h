@@ -67,9 +67,18 @@ class ButterflyMatrix
 
     /**
      * y = W x for a single vector. @p in and @p out must hold size()
-     * floats and may not alias.
+     * floats and may not alias. Allocation-free in the steady state
+     * (one reusable workspace per thread); safe to call concurrently.
      */
     void apply(const float *in, float *out) const;
+
+    /**
+     * Stage-major batched apply: y[r] = W x[r] for @p rows contiguous
+     * vectors. Processes all rows of one stage before advancing so the
+     * stage's 2N weights stay cache-resident; zero heap allocations in
+     * the steady state. Bitwise identical to per-row apply().
+     */
+    void applyRows(const float *in, float *out, std::size_t rows) const;
 
     /**
      * Forward pass that also records the input of every stage for the
@@ -90,8 +99,25 @@ class ButterflyMatrix
     void backward(const float *cache, const float *grad_out,
                   float *grad_in, std::vector<float> &grad_weights) const;
 
-    /** Apply W to every row of a [rows, n] matrix. */
+    /**
+     * Apply W to every row of a [rows, n] matrix. Row-parallel over
+     * the stage-major applyRows kernel; results are bitwise identical
+     * at any thread count.
+     */
     Tensor applyBatch(const Tensor &x) const;
+
+    /**
+     * Seed single-vector apply (two heap allocations per call, scalar
+     * stage/pair loops) - the one copy of the seed kernel that every
+     * reference/bench baseline delegates to.
+     */
+    void applyReference(const float *in, float *out) const;
+
+    /**
+     * Seed per-row scalar batch path (applyReference per row), kept as
+     * the parity/bench baseline for the stage-major kernel.
+     */
+    Tensor applyBatchReference(const Tensor &x) const;
 
     /** Expand to the equivalent dense [n, n] matrix (for testing). */
     Tensor toDense() const;
@@ -148,11 +174,21 @@ class ButterflyLinear
     /** Orthogonal-ish init of all cores + zero bias. */
     void initRandomRotation(Rng &rng);
 
-    /** y = W x + b for one vector (in_ floats in, out_ floats out). */
+    /**
+     * y = W x + b for one vector (in_ floats in, out_ floats out).
+     * Allocation-free in the steady state (thread-local workspace).
+     */
     void apply(const float *in, float *out) const;
 
-    /** Apply to every row of a [rows, in] matrix -> [rows, out]. */
+    /**
+     * Apply to every row of a [rows, in] matrix -> [rows, out].
+     * Row-parallel, stage-major per core, zero steady-state heap
+     * allocations; bitwise identical to per-row apply().
+     */
     Tensor applyBatch(const Tensor &x) const;
+
+    /** Seed per-row batch path kept as parity/bench baseline. */
+    Tensor applyBatchReference(const Tensor &x) const;
 
     /** Trainable parameter count (cores + bias). */
     std::size_t numParams() const;

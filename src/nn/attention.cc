@@ -1,7 +1,14 @@
 #include "nn/attention.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
+#include <vector>
+
+#include "runtime/kernels.h"
+#include "runtime/parallel.h"
+#include "runtime/workspace.h"
 
 namespace fabnet {
 namespace nn {
@@ -41,6 +48,9 @@ rowPtr(Tensor &x, std::size_t b, std::size_t t_idx)
     return x.data() + (b * x.dim(1) + t_idx) * x.dim(2);
 }
 
+/** Workspace tag for the gathered head slices. */
+struct AttnWs;
+
 } // namespace
 
 Tensor
@@ -61,6 +71,98 @@ MultiHeadAttention::forward(const Tensor &x)
     attn_ = Tensor::zeros(b_, heads_ * t_, t_);
     Tensor ctx = Tensor::zeros(b_, t_, d_model_);
 
+    // One task per (batch, head): gather that head's Q/K/V slices into
+    // contiguous [t, dh] panels, then scores -> softmax -> context on
+    // the shared micro-kernels. Each task writes disjoint attn_ rows
+    // and a disjoint ctx column slice, so the parallel loop is
+    // deterministic at any thread count.
+    runtime::parallelFor(0, b_ * heads_, 1, [&](std::size_t task0,
+                                                std::size_t task1) {
+        for (std::size_t task = task0; task < task1; ++task) {
+            const std::size_t b = task / heads_;
+            const std::size_t h = task % heads_;
+            const std::size_t off = h * dh;
+
+            float *scratch = runtime::threadWorkspace<AttnWs>(t_ * (4 * dh + 1));
+            float *qh = scratch;
+            float *kht = qh + t_ * dh; // K head slice, transposed
+            float *vh = kht + t_ * dh;
+            float *ch = vh + t_ * dh;
+            float *srow = ch + t_ * dh;
+            // K is gathered transposed ([dh, t]) so the score loop
+            // below runs contiguously over keys.
+            for (std::size_t t_idx = 0; t_idx < t_; ++t_idx) {
+                std::memcpy(qh + t_idx * dh,
+                            rowPtr(q_, b, t_idx) + off,
+                            dh * sizeof(float));
+                std::memcpy(vh + t_idx * dh,
+                            rowPtr(v_, b, t_idx) + off,
+                            dh * sizeof(float));
+                const float *krow = rowPtr(k_, b, t_idx) + off;
+                for (std::size_t c = 0; c < dh; ++c)
+                    kht[c * t_ + t_idx] = krow[c];
+            }
+
+            for (std::size_t i = 0; i < t_; ++i) {
+                const std::size_t visible = causal_ ? i + 1 : t_;
+                // Scores q_i . k_j for the visible keys: axpy over the
+                // transposed K panel keeps the j loop contiguous while
+                // each score's reduction stays in c order (bitwise
+                // equal to the reference dot product).
+                const float *qi = qh + i * dh;
+                std::fill(srow, srow + visible, 0.0f);
+                for (std::size_t c = 0; c < dh; ++c) {
+                    const float qv = qi[c];
+                    const float *krow = kht + c * t_;
+                    for (std::size_t j = 0; j < visible; ++j)
+                        srow[j] = runtime::madd(qv, krow[j], srow[j]);
+                }
+                float mx = -1e30f;
+                for (std::size_t j = 0; j < visible; ++j) {
+                    srow[j] *= scale;
+                    mx = std::max(mx, srow[j]);
+                }
+                float denom = 0.0f;
+                for (std::size_t j = 0; j < visible; ++j) {
+                    srow[j] = std::exp(srow[j] - mx);
+                    denom += srow[j];
+                }
+                const float inv = 1.0f / denom;
+                float *arow =
+                    attn_.data() + (b * heads_ * t_ + h * t_ + i) * t_;
+                for (std::size_t j = 0; j < visible; ++j)
+                    arow[j] = srow[j] * inv;
+                // (masked tail stays at the tensor's zero init)
+                // Context row: ctx_i += sum_j a_ij * v_j.
+                runtime::gemmRowsIKJ(arow, vh, ch + i * dh, 0, 1,
+                                     visible, dh);
+            }
+
+            for (std::size_t i = 0; i < t_; ++i)
+                std::memcpy(rowPtr(ctx, b, i) + off, ch + i * dh,
+                            dh * sizeof(float));
+        }
+    });
+    return proj_o_->forward(ctx);
+}
+
+Tensor
+MultiHeadAttention::forwardReference(const Tensor &x)
+{
+    if (x.rank() != 3 || x.dim(2) != d_model_)
+        throw std::invalid_argument("MultiHeadAttention: [b,t,d] required");
+    b_ = x.dim(0);
+    t_ = x.dim(1);
+    const std::size_t dh = headDim();
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    q_ = proj_q_->forward(x);
+    k_ = proj_k_->forward(x);
+    v_ = proj_v_->forward(x);
+
+    attn_ = Tensor::zeros(b_, heads_ * t_, t_);
+    Tensor ctx = Tensor::zeros(b_, t_, d_model_);
+
     std::vector<float> row(t_);
     for (std::size_t b = 0; b < b_; ++b) {
         for (std::size_t h = 0; h < heads_; ++h) {
@@ -75,7 +177,7 @@ MultiHeadAttention::forward(const Tensor &x)
                     const float *kj = rowPtr(k_, b, j) + off;
                     float s = 0.0f;
                     for (std::size_t c = 0; c < dh; ++c)
-                        s += qi[c] * kj[c];
+                        s = runtime::madd(qi[c], kj[c], s);
                     row[j] = s * scale;
                     mx = std::max(mx, row[j]);
                 }
@@ -91,15 +193,13 @@ MultiHeadAttention::forward(const Tensor &x)
                     arow[j] = row[j] * inv;
                 for (std::size_t j = visible; j < t_; ++j)
                     arow[j] = 0.0f; // masked future positions
-                // Context: weighted sum of value head-slices.
+                // Context: weighted sum of visible value head-slices.
                 float *ci = rowPtr(ctx, b, i) + off;
-                for (std::size_t j = 0; j < t_; ++j) {
+                for (std::size_t j = 0; j < visible; ++j) {
                     const float a = arow[j];
-                    if (a == 0.0f)
-                        continue;
                     const float *vj = rowPtr(v_, b, j) + off;
                     for (std::size_t c = 0; c < dh; ++c)
-                        ci[c] += a * vj[c];
+                        ci[c] = runtime::madd(a, vj[c], ci[c]);
                 }
             }
         }

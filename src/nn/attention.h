@@ -39,7 +39,21 @@ class MultiHeadAttention : public Layer
 
     bool causal() const { return causal_; }
 
+    /**
+     * Parallel forward: per-(batch, head) tasks gather contiguous head
+     * slices and run the scores/softmax/context pipeline on the shared
+     * GEMM micro-kernels (runtime/kernels.h). Bitwise identical to
+     * forwardReference at any thread count.
+     */
     Tensor forward(const Tensor &x) override;
+
+    /**
+     * Seed scalar forward (5-deep nested loops), kept as the parity
+     * and bench baseline. Fills the same caches as forward(), so
+     * backward() works after either.
+     */
+    Tensor forwardReference(const Tensor &x);
+
     Tensor backward(const Tensor &grad_out) override;
     void collectParams(std::vector<ParamRef> &out) override;
 

@@ -1,7 +1,24 @@
 #include "nn/block.h"
 
+#include "runtime/parallel.h"
+
 namespace fabnet {
 namespace nn {
+
+namespace {
+
+/** Chunked parallel a += b for the residual shortcuts. */
+void
+addResidual(float *a, const float *b, std::size_t n)
+{
+    runtime::parallelFor(0, n, 1 << 14,
+                         [&](std::size_t i0, std::size_t i1) {
+                             for (std::size_t i = i0; i < i1; ++i)
+                                 a[i] += b[i];
+                         });
+}
+
+} // namespace
 
 FeedForward::FeedForward(std::unique_ptr<Layer> lin1,
                          std::unique_ptr<Layer> act,
@@ -42,17 +59,11 @@ Tensor
 EncoderBlock::forward(const Tensor &x)
 {
     Tensor a = mixer_->forward(x);
-    float *pa = a.data();
-    const float *px = x.data();
-    for (std::size_t i = 0; i < a.size(); ++i)
-        pa[i] += px[i]; // shortcut
+    addResidual(a.data(), x.data(), a.size()); // shortcut
     Tensor h = ln1_.forward(a);
 
     Tensor f = ffn_->forward(h);
-    float *pf = f.data();
-    const float *ph = h.data();
-    for (std::size_t i = 0; i < f.size(); ++i)
-        pf[i] += ph[i]; // shortcut
+    addResidual(f.data(), h.data(), f.size()); // shortcut
     return ln2_.forward(f);
 }
 
@@ -61,17 +72,11 @@ EncoderBlock::backward(const Tensor &grad_out)
 {
     Tensor g_hf = ln2_.backward(grad_out); // grad wrt (h + f)
     Tensor g_h = ffn_->backward(g_hf);
-    float *pgh = g_h.data();
-    const float *pghf = g_hf.data();
-    for (std::size_t i = 0; i < g_h.size(); ++i)
-        pgh[i] += pghf[i]; // residual path
+    addResidual(g_h.data(), g_hf.data(), g_h.size()); // residual path
 
     Tensor g_xa = ln1_.backward(g_h); // grad wrt (x + a)
     Tensor g_x = mixer_->backward(g_xa);
-    float *pgx = g_x.data();
-    const float *pgxa = g_xa.data();
-    for (std::size_t i = 0; i < g_x.size(); ++i)
-        pgx[i] += pgxa[i]; // residual path
+    addResidual(g_x.data(), g_xa.data(), g_x.size()); // residual path
     return g_x;
 }
 

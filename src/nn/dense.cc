@@ -4,10 +4,17 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "runtime/kernels.h"
+#include "runtime/parallel.h"
+#include "runtime/workspace.h"
+
 namespace fabnet {
 namespace nn {
 
 namespace {
+
+/** Workspace tag for the per-call W^T copy in Dense::forward. */
+struct DenseWtWs;
 
 /** Rows when the last dim is treated as features. */
 std::size_t
@@ -41,18 +48,39 @@ Dense::forward(const Tensor &x)
     Tensor y(out_shape);
 
     const float *px = x.data();
+    const float *pb = b_.data();
     float *py = y.data();
-    for (std::size_t r = 0; r < rows; ++r) {
-        const float *xr = px + r * in_;
-        float *yr = py + r * out_;
-        for (std::size_t o = 0; o < out_; ++o) {
-            const float *wr = &w_[o * in_];
-            float acc = b_[o];
-            for (std::size_t i = 0; i < in_; ++i)
-                acc += wr[i] * xr[i];
-            yr[o] = acc;
+    if (rows < runtime::kGemmTileM) {
+        // Too few rows to amortise a W^T copy (e.g. single-token
+        // inference): direct dot products, same k-order chain per
+        // output as the tiled path, so results are bitwise equal.
+        for (std::size_t r = 0; r < rows; ++r) {
+            const float *xr = px + r * in_;
+            float *yr = py + r * out_;
+            for (std::size_t o = 0; o < out_; ++o) {
+                const float *wr = &w_[o * in_];
+                float acc = pb[o];
+                for (std::size_t i = 0; i < in_; ++i)
+                    acc = runtime::madd(wr[i], xr[i], acc);
+                yr[o] = acc;
+            }
         }
+        return y;
     }
+    // y = x W^T + b: transpose W once per call (pure data movement),
+    // then run the register-tiled panel row-parallel with the bias
+    // folded into the accumulator init - same fp order per output as
+    // the original scalar loop. The transpose recurs per call because
+    // the optimizer mutates w_ in place through ParamRef, so the layer
+    // has no signal that weights are unchanged; at rows >= kGemmTileM
+    // the O(in*out) copy is a small fraction of the O(rows*in*out)
+    // GEMM it enables.
+    float *wt = runtime::threadWorkspace<DenseWtWs>(in_ * out_);
+    runtime::transposeInto(wt, w_.data(), out_, in_);
+    const float *pw = wt;
+    runtime::parallelFor(0, rows, 8, [&](std::size_t r0, std::size_t r1) {
+        runtime::gemmRowsIKJ(px, pw, py, r0, r1, in_, out_, pb);
+    });
     return y;
 }
 
@@ -119,13 +147,20 @@ ButterflyDense::forward(const Tensor &x)
     out_shape.back() = op_.outFeatures();
     Tensor y(out_shape);
 
+    // Rows are independent and write disjoint cache/output slices, so
+    // the training forward parallelises without touching backward.
     const std::size_t cache_per_row = op_.cacheSize();
     caches_.assign(rows_ * cache_per_row, 0.0f);
-    for (std::size_t r = 0; r < rows_; ++r) {
-        op_.forwardWithCache(x.data() + r * op_.inFeatures(),
-                             y.data() + r * op_.outFeatures(),
-                             caches_.data() + r * cache_per_row);
-    }
+    const float *px = x.data();
+    float *py = y.data();
+    float *pc = caches_.data();
+    runtime::parallelFor(0, rows_, 4, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            op_.forwardWithCache(px + r * op_.inFeatures(),
+                                 py + r * op_.outFeatures(),
+                                 pc + r * cache_per_row);
+        }
+    });
     return y;
 }
 

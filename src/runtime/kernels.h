@@ -1,0 +1,141 @@
+/**
+ * @file kernels.h
+ * Shared register-blocked GEMM micro-kernels. Every caller-facing
+ * parallel path (ops::matmul, ops::matmulTransposed via an explicit
+ * transpose, Dense::forward, attention) lowers onto the same panel so
+ * the performance work - and the bitwise behaviour - lives in exactly
+ * one place.
+ *
+ * The kernel preserves the floating-point accumulation order of the
+ * naive scalar loops per output element (k strictly increasing with a
+ * single accumulator chain per C[i][j]), so blocking changes neither
+ * results nor the determinism guarantee documented in parallel.h.
+ */
+#ifndef FABNET_RUNTIME_KERNELS_H
+#define FABNET_RUNTIME_KERNELS_H
+
+#include <cmath>
+#include <cstddef>
+#include <cstring>
+
+namespace fabnet {
+namespace runtime {
+
+/**
+ * Pinned multiply-add: a*b + c with an explicitly chosen contraction.
+ * Both the blocked kernels and the scalar reference paths accumulate
+ * through this helper, so the compiler cannot fuse one side and not
+ * the other - the root requirement behind the bitwise-parity
+ * guarantee. Uses the hardware fma when the target has one (single
+ * rounding, and vectorises to vfmadd), plain mul+add otherwise.
+ */
+inline float
+madd(float a, float b, float c)
+{
+#if defined(__FP_FAST_FMAF) || defined(FP_FAST_FMAF)
+    return std::fma(a, b, c);
+#else
+    return a * b + c;
+#endif
+}
+
+/** Column tile width held in registers by the GEMM micro-kernel. */
+constexpr std::size_t kGemmTileN = 32;
+/** Row tile height of the GEMM micro-kernel. */
+constexpr std::size_t kGemmTileM = 4;
+
+namespace detail {
+
+/**
+ * One register tile: C[i0..i0+mr) x [j0..j0+jn) = (bias|0) + A * B.
+ * mr <= kGemmTileM rows, jn <= kGemmTileN columns. The accumulators
+ * live in a fixed-size local array the whole k loop, so there is no
+ * C traffic (and no load/store rounding detour) inside the hot loop.
+ */
+inline void
+gemmTile(const float *a, const float *b, float *c, std::size_t i0,
+         std::size_t mr, std::size_t j0, std::size_t jn, std::size_t k,
+         std::size_t n, const float *bias)
+{
+    float acc[kGemmTileM][kGemmTileN];
+    for (std::size_t r = 0; r < mr; ++r) {
+        if (bias) {
+            for (std::size_t j = 0; j < jn; ++j)
+                acc[r][j] = bias[j0 + j];
+        } else {
+            for (std::size_t j = 0; j < jn; ++j)
+                acc[r][j] = 0.0f;
+        }
+    }
+    if (mr == kGemmTileM && jn == kGemmTileN) {
+        // Full tile: constant trip counts so the compiler keeps the
+        // 4x16 accumulator block in vector registers.
+        const float *a0 = a + (i0 + 0) * k;
+        const float *a1 = a + (i0 + 1) * k;
+        const float *a2 = a + (i0 + 2) * k;
+        const float *a3 = a + (i0 + 3) * k;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float *brow = b + kk * n + j0;
+            const float av0 = a0[kk];
+            const float av1 = a1[kk];
+            const float av2 = a2[kk];
+            const float av3 = a3[kk];
+            for (std::size_t j = 0; j < kGemmTileN; ++j) {
+                const float bv = brow[j];
+                acc[0][j] = madd(av0, bv, acc[0][j]);
+                acc[1][j] = madd(av1, bv, acc[1][j]);
+                acc[2][j] = madd(av2, bv, acc[2][j]);
+                acc[3][j] = madd(av3, bv, acc[3][j]);
+            }
+        }
+    } else {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float *brow = b + kk * n + j0;
+            for (std::size_t r = 0; r < mr; ++r) {
+                const float av = a[(i0 + r) * k + kk];
+                for (std::size_t j = 0; j < jn; ++j)
+                    acc[r][j] = madd(av, brow[j], acc[r][j]);
+            }
+        }
+    }
+    for (std::size_t r = 0; r < mr; ++r)
+        std::memcpy(c + (i0 + r) * n + j0, acc[r], jn * sizeof(float));
+}
+
+} // namespace detail
+
+/**
+ * C[r0..r1) = (bias|0) + A[r0..r1) * B for row-major A [m,k], B [k,n],
+ * C [m,n]; bias (length n, may be null) initialises each output row.
+ * OVERWRITES the C rows. Register-tiled kGemmTileM x kGemmTileN.
+ */
+inline void
+gemmRowsIKJ(const float *a, const float *b, float *c, std::size_t r0,
+            std::size_t r1, std::size_t k, std::size_t n,
+            const float *bias = nullptr)
+{
+    for (std::size_t i = r0; i < r1; i += kGemmTileM) {
+        const std::size_t mr = (i + kGemmTileM <= r1) ? kGemmTileM
+                                                      : r1 - i;
+        for (std::size_t j = 0; j < n; j += kGemmTileN) {
+            const std::size_t jn =
+                (j + kGemmTileN <= n) ? kGemmTileN : n - j;
+            detail::gemmTile(a, b, c, i, mr, j, jn, k, n, bias);
+        }
+    }
+}
+
+/** dst[j*rows + i] = src[i*cols + j]: row-major transpose copy. */
+inline void
+transposeInto(float *dst, const float *src, std::size_t rows,
+              std::size_t cols)
+{
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+            dst[j * rows + i] = src[i * cols + j];
+}
+
+} // namespace runtime
+} // namespace fabnet
+
+#endif // FABNET_RUNTIME_KERNELS_H

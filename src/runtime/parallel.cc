@@ -1,0 +1,242 @@
+#include "runtime/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <semaphore>
+#include <thread>
+#include <vector>
+
+namespace fabnet {
+namespace runtime {
+
+namespace {
+
+/** True while the current thread is executing parallelFor chunks. */
+thread_local bool in_parallel_region = false;
+
+std::size_t
+defaultThreads()
+{
+    if (const char *env = std::getenv("FABNET_NUM_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+/**
+ * Persistent pool. Each worker sleeps on its own semaphore, so a
+ * region wakes exactly as many helpers as it has chunks to spare -
+ * small fan-outs do not pay for idle workers. The region is a chunk
+ * queue drained through an atomic cursor; the calling thread
+ * participates, so a pool of size T has T-1 spawned workers.
+ */
+class ThreadPool
+{
+  public:
+    static ThreadPool &
+    instance()
+    {
+        static ThreadPool pool;
+        return pool;
+    }
+
+    std::size_t threads() const
+    {
+        return threads_.load(std::memory_order_relaxed);
+    }
+
+    void
+    resize(std::size_t n)
+    {
+        if (n == 0)
+            n = defaultThreads();
+        std::lock_guard<std::mutex> resize_lock(resize_mutex_);
+        if (n == threads_)
+            return;
+        stopWorkers();
+        threads_ = n;
+        startWorkers();
+    }
+
+    void
+    run(std::size_t begin, std::size_t end, std::size_t grain,
+        const std::function<void(std::size_t, std::size_t)> &body)
+    {
+        // One region at a time; a second application thread arriving
+        // while the pool is busy (or resizing) runs its region inline
+        // instead of sleeping on the lock - same results, and N
+        // request threads keep N-way progress.
+        std::unique_lock<std::mutex> resize_lock(resize_mutex_,
+                                                 std::try_to_lock);
+        if (!resize_lock.owns_lock()) {
+            for (std::size_t b = begin; b < end; b += grain)
+                body(b, std::min(b + grain, end));
+            return;
+        }
+
+        region_body_ = &body;
+        region_end_ = end;
+        region_grain_ = grain;
+        region_cursor_.store(begin, std::memory_order_relaxed);
+        region_error_ = nullptr;
+
+        const std::size_t chunks = (end - begin + grain - 1) / grain;
+        const std::size_t helpers =
+            std::min(workers_.size(), chunks > 0 ? chunks - 1 : 0);
+        pending_.store(helpers, std::memory_order_release);
+        for (std::size_t i = 0; i < helpers; ++i)
+            workers_[i]->wake.release();
+
+        drainChunks();
+
+        // Wait for the woken helpers to finish their claimed chunks.
+        if (helpers > 0) {
+            std::unique_lock<std::mutex> lk(done_mutex_);
+            done_cv_.wait(lk, [this] {
+                return pending_.load(std::memory_order_acquire) == 0;
+            });
+        }
+        region_body_ = nullptr;
+        if (region_error_)
+            std::rethrow_exception(region_error_);
+    }
+
+  private:
+    struct Worker
+    {
+        std::binary_semaphore wake{0};
+        std::thread thread;
+    };
+
+    ThreadPool() : threads_(defaultThreads()) { startWorkers(); }
+
+    ~ThreadPool() { stopWorkers(); }
+
+    void
+    startWorkers()
+    {
+        stop_ = false;
+        const std::size_t helpers = threads_ > 0 ? threads_ - 1 : 0;
+        workers_.reserve(helpers);
+        for (std::size_t i = 0; i < helpers; ++i) {
+            workers_.push_back(std::make_unique<Worker>());
+            workers_.back()->thread =
+                std::thread([this, i] { workerLoop(i); });
+        }
+    }
+
+    void
+    stopWorkers()
+    {
+        stop_ = true;
+        for (auto &w : workers_)
+            w->wake.release();
+        for (auto &w : workers_)
+            w->thread.join();
+        workers_.clear();
+    }
+
+    void
+    workerLoop(std::size_t index)
+    {
+        for (;;) {
+            workers_[index]->wake.acquire();
+            if (stop_)
+                return;
+            drainChunks();
+            if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> lk(done_mutex_);
+                done_cv_.notify_all();
+            }
+        }
+    }
+
+    void
+    drainChunks()
+    {
+        const auto *body = region_body_;
+        if (!body)
+            return;
+        in_parallel_region = true;
+        for (;;) {
+            const std::size_t chunk_begin = region_cursor_.fetch_add(
+                region_grain_, std::memory_order_relaxed);
+            if (chunk_begin >= region_end_)
+                break;
+            const std::size_t chunk_end =
+                std::min(chunk_begin + region_grain_, region_end_);
+            try {
+                (*body)(chunk_begin, chunk_end);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(error_mutex_);
+                if (!region_error_)
+                    region_error_ = std::current_exception();
+            }
+        }
+        in_parallel_region = false;
+    }
+
+    // Relaxed-atomic: read unlocked on the parallelFor fast path while
+    // setNumThreads writes it under resize_mutex_.
+    std::atomic<std::size_t> threads_{1};
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::atomic<bool> stop_{false};
+
+    std::mutex resize_mutex_; // serialises run()/resize()
+
+    std::mutex done_mutex_;
+    std::condition_variable done_cv_;
+    std::atomic<std::size_t> pending_{0};
+
+    const std::function<void(std::size_t, std::size_t)> *region_body_ =
+        nullptr;
+    std::size_t region_end_ = 0, region_grain_ = 1;
+    std::atomic<std::size_t> region_cursor_{0};
+    std::mutex error_mutex_;
+    std::exception_ptr region_error_;
+};
+
+} // namespace
+
+std::size_t
+numThreads()
+{
+    return ThreadPool::instance().threads();
+}
+
+void
+setNumThreads(std::size_t n)
+{
+    ThreadPool::instance().resize(n);
+}
+
+void
+parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+            const std::function<void(std::size_t, std::size_t)> &body)
+{
+    if (begin >= end)
+        return;
+    if (grain == 0)
+        grain = 1;
+    ThreadPool &pool = ThreadPool::instance();
+    // Serial fast path: one thread, a nested region, or a range that
+    // fits in a single chunk - no synchronisation, identical results.
+    if (pool.threads() == 1 || in_parallel_region ||
+        end - begin <= grain) {
+        for (std::size_t b = begin; b < end; b += grain)
+            body(b, std::min(b + grain, end));
+        return;
+    }
+    pool.run(begin, end, grain, body);
+}
+
+} // namespace runtime
+} // namespace fabnet

@@ -1,0 +1,64 @@
+/**
+ * @file parallel.h
+ * Shared parallel runtime: a persistent thread pool plus a
+ * deterministic parallelFor that every host-side hot path (GEMM,
+ * batched butterfly, attention) is built on.
+ *
+ * ## Thread count
+ * The pool size is read once from the FABNET_NUM_THREADS environment
+ * variable (falling back to std::thread::hardware_concurrency) and can
+ * be changed at runtime with setNumThreads(). A value of 1 runs every
+ * parallelFor inline on the calling thread with zero synchronisation
+ * overhead.
+ *
+ * ## Determinism guarantee
+ * parallelFor(begin, end, grain, body) partitions [begin, end) into
+ * fixed chunks of at most `grain` indices. Chunks are claimed
+ * dynamically by workers, but every index is executed exactly once and
+ * the body for one index always performs the same floating-point
+ * operations in the same order regardless of which thread runs it.
+ * All kernels in this codebase additionally write disjoint outputs per
+ * index (rows of C, rows of a butterfly batch, (batch, head) slices of
+ * attention) and never reduce across indices inside parallelFor.
+ * Together this makes every parallel kernel produce bitwise-identical
+ * results at ANY thread count, including 1 - the property the parity
+ * tests in tests/parallel_kernels_test.cpp pin down.
+ *
+ * Nested parallelFor calls (a body that itself calls parallelFor) run
+ * the inner loop serially on the calling worker, so composition is
+ * safe and still deterministic.
+ */
+#ifndef FABNET_RUNTIME_PARALLEL_H
+#define FABNET_RUNTIME_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace fabnet {
+namespace runtime {
+
+/** Current pool size (>= 1). */
+std::size_t numThreads();
+
+/**
+ * Resize the pool. @p n == 0 re-reads FABNET_NUM_THREADS / hardware
+ * concurrency. Safe to call between parallel regions (not from inside
+ * a parallelFor body).
+ */
+void setNumThreads(std::size_t n);
+
+/**
+ * Execute body(chunk_begin, chunk_end) over a partition of
+ * [begin, end) in parallel. @p grain is the maximum chunk size (also
+ * the unit of work distribution); pass the natural "row" granularity
+ * of the kernel. Runs inline when the range is small or the pool has
+ * one thread. Exceptions thrown by the body are rethrown on the
+ * calling thread.
+ */
+void parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)> &body);
+
+} // namespace runtime
+} // namespace fabnet
+
+#endif // FABNET_RUNTIME_PARALLEL_H

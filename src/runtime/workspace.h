@@ -1,0 +1,39 @@
+/**
+ * @file workspace.h
+ * Grow-only per-thread scratch buffers for the parallel kernels.
+ *
+ * Each distinct Tag type gets its own thread_local vector, so two
+ * kernels that are live at the same time on one thread (e.g. a
+ * butterfly core running inside ButterflyLinear's padding loop) use
+ * disjoint storage. Buffers grow monotonically and are reused for the
+ * life of the thread: after the largest shape has been seen once, the
+ * hot paths perform zero heap allocations.
+ *
+ * Known tradeoff: the peak-size buffer is retained until the thread
+ * exits (no shrink path). Long-lived request threads touching very
+ * large shapes once will pin that scratch; a shrink/cap policy is a
+ * ROADMAP follow-on.
+ */
+#ifndef FABNET_RUNTIME_WORKSPACE_H
+#define FABNET_RUNTIME_WORKSPACE_H
+
+#include <cstddef>
+#include <vector>
+
+namespace fabnet {
+namespace runtime {
+
+template <class Tag>
+inline float *
+threadWorkspace(std::size_t floats)
+{
+    thread_local std::vector<float> ws;
+    if (ws.size() < floats)
+        ws.resize(floats);
+    return ws.data();
+}
+
+} // namespace runtime
+} // namespace fabnet
+
+#endif // FABNET_RUNTIME_WORKSPACE_H

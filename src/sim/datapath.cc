@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "butterfly/fft.h"
+#include "runtime/parallel.h"
 
 namespace fabnet {
 namespace sim {
@@ -225,6 +226,40 @@ FunctionalButterflyEngine::runButterflyLinear(
         out[i] = cur[i].toFloat();
     if (stats)
         *stats = rs;
+    return out;
+}
+
+Tensor
+FunctionalButterflyEngine::runButterflyLinearBatch(
+    const ButterflyMatrix &matrix, const Tensor &input,
+    RunStats *stats) const
+{
+    const std::size_t n = matrix.size();
+    if (input.rank() != 2 || input.dim(1) != n)
+        throw std::invalid_argument(
+            "runButterflyLinearBatch: [rows, n] required");
+    const std::size_t rows = input.dim(0);
+    Tensor out = Tensor::zeros(rows, n);
+    std::vector<RunStats> row_stats(rows);
+
+    runtime::parallelFor(0, rows, 1, [&](std::size_t r0, std::size_t r1) {
+        std::vector<float> row(n);
+        for (std::size_t r = r0; r < r1; ++r) {
+            std::copy_n(input.data() + r * n, n, row.begin());
+            const auto y =
+                runButterflyLinear(matrix, row, &row_stats[r]);
+            std::copy_n(y.begin(), n, out.data() + r * n);
+        }
+    });
+
+    if (stats) {
+        RunStats total;
+        for (const RunStats &rs : row_stats) {
+            total.cycles += rs.cycles;
+            total.butterfly_ops += rs.butterfly_ops;
+        }
+        *stats = total;
+    }
     return out;
 }
 

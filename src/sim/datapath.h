@@ -174,6 +174,17 @@ class FunctionalButterflyEngine
                                           RunStats *stats = nullptr) const;
 
     /**
+     * Batched cross-validation entry: run every row of @p input
+     * ([rows, n]) through the fp16 datapath. Rows execute in parallel
+     * (each models an independent engine invocation); @p stats
+     * aggregates cycles/ops over all rows. This is what the hardware
+     * model is validated against ButterflyMatrix::applyBatch with.
+     */
+    Tensor runButterflyLinearBatch(const ButterflyMatrix &matrix,
+                                   const Tensor &input,
+                                   RunStats *stats = nullptr) const;
+
+    /**
      * Execute an N-point FFT (with bit-reversal input permutation, as
      * the FFT's butterfly factors require); fp16 datapath.
      */

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/kernels.h"
+#include "runtime/parallel.h"
+#include "runtime/workspace.h"
+
 namespace fabnet {
 namespace ops {
 
@@ -27,7 +31,16 @@ requireSameShape(const Tensor &a, const Tensor &b, const char *what)
                                     b.shapeString());
 }
 
+/** Rows per parallel chunk for the GEMM paths (multiple of the 4-row
+ *  register panel in runtime/kernels.h). */
+constexpr std::size_t kGemmGrain = 8;
+
+/** Workspace tag for matmulTransposed's per-call B^T copy. */
+struct MatmulTWs;
+
 } // namespace
+
+namespace reference {
 
 Tensor
 matmul(const Tensor &a, const Tensor &b)
@@ -46,12 +59,10 @@ matmul(const Tensor &a, const Tensor &b)
     for (std::size_t i = 0; i < m; ++i) {
         for (std::size_t kk = 0; kk < k; ++kk) {
             const float av = pa[i * k + kk];
-            if (av == 0.0f)
-                continue;
             const float *brow = pb + kk * n;
             float *crow = pc + i * n;
             for (std::size_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
+                crow[j] = runtime::madd(av, brow[j], crow[j]);
         }
     }
     return c;
@@ -76,10 +87,59 @@ matmulTransposed(const Tensor &a, const Tensor &b)
             const float *brow = pb + j * k;
             float acc = 0.0f;
             for (std::size_t kk = 0; kk < k; ++kk)
-                acc += arow[kk] * brow[kk];
+                acc = runtime::madd(arow[kk], brow[kk], acc);
             pc[i * n + j] = acc;
         }
     }
+    return c;
+}
+
+} // namespace reference
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    requireRank2(a, "matmul");
+    requireRank2(b, "matmul");
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    if (b.dim(0) != k)
+        throw std::invalid_argument("matmul: inner dimension mismatch");
+
+    Tensor c = Tensor::zeros(m, n);
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    runtime::parallelFor(0, m, kGemmGrain,
+                         [&](std::size_t r0, std::size_t r1) {
+                             runtime::gemmRowsIKJ(pa, pb, pc, r0, r1, k,
+                                                  n);
+                         });
+    return c;
+}
+
+Tensor
+matmulTransposed(const Tensor &a, const Tensor &b)
+{
+    requireRank2(a, "matmulTransposed");
+    requireRank2(b, "matmulTransposed");
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+    if (b.dim(1) != k)
+        throw std::invalid_argument("matmulTransposed: dimension mismatch");
+
+    Tensor c = Tensor::zeros(m, n);
+    const float *pa = a.data();
+    float *pc = c.data();
+    // Physically transpose B once (pure data movement, no arithmetic)
+    // so the register-tiled panel kernel runs on contiguous columns;
+    // per-output accumulation order is unchanged, so results stay
+    // bitwise identical to the scalar dot-product reference.
+    float *bt = runtime::threadWorkspace<MatmulTWs>(k * n);
+    runtime::transposeInto(bt, b.data(), n, k);
+    runtime::parallelFor(0, m, kGemmGrain,
+                         [&](std::size_t r0, std::size_t r1) {
+                             runtime::gemmRowsIKJ(pa, bt, pc, r0, r1, k,
+                                                  n);
+                         });
     return c;
 }
 
@@ -159,20 +219,22 @@ softmaxLastDim(const Tensor &a)
     const std::size_t rows = a.size() / d;
     Tensor out = a;
     float *p = out.data();
-    for (std::size_t r = 0; r < rows; ++r) {
-        float *row = p + r * d;
-        float mx = row[0];
-        for (std::size_t j = 1; j < d; ++j)
-            mx = std::max(mx, row[j]);
-        float denom = 0.0f;
-        for (std::size_t j = 0; j < d; ++j) {
-            row[j] = std::exp(row[j] - mx);
-            denom += row[j];
+    runtime::parallelFor(0, rows, 16, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            float *row = p + r * d;
+            float mx = row[0];
+            for (std::size_t j = 1; j < d; ++j)
+                mx = std::max(mx, row[j]);
+            float denom = 0.0f;
+            for (std::size_t j = 0; j < d; ++j) {
+                row[j] = std::exp(row[j] - mx);
+                denom += row[j];
+            }
+            const float inv = 1.0f / denom;
+            for (std::size_t j = 0; j < d; ++j)
+                row[j] *= inv;
         }
-        const float inv = 1.0f / denom;
-        for (std::size_t j = 0; j < d; ++j)
-            row[j] *= inv;
-    }
+    });
     return out;
 }
 
@@ -186,22 +248,26 @@ layerNormLastDim(const Tensor &a, const std::vector<float> &gamma,
     const std::size_t rows = a.size() / d;
     Tensor out = a;
     float *p = out.data();
-    for (std::size_t r = 0; r < rows; ++r) {
-        float *row = p + r * d;
-        float mean = 0.0f;
-        for (std::size_t j = 0; j < d; ++j)
-            mean += row[j];
-        mean /= static_cast<float>(d);
-        float var = 0.0f;
-        for (std::size_t j = 0; j < d; ++j) {
-            const float c = row[j] - mean;
-            var += c * c;
+    const float *pg = gamma.data();
+    const float *pb = beta.data();
+    runtime::parallelFor(0, rows, 16, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            float *row = p + r * d;
+            float mean = 0.0f;
+            for (std::size_t j = 0; j < d; ++j)
+                mean += row[j];
+            mean /= static_cast<float>(d);
+            float var = 0.0f;
+            for (std::size_t j = 0; j < d; ++j) {
+                const float c = row[j] - mean;
+                var += c * c;
+            }
+            var /= static_cast<float>(d);
+            const float inv_std = 1.0f / std::sqrt(var + eps);
+            for (std::size_t j = 0; j < d; ++j)
+                row[j] = (row[j] - mean) * inv_std * pg[j] + pb[j];
         }
-        var /= static_cast<float>(d);
-        const float inv_std = 1.0f / std::sqrt(var + eps);
-        for (std::size_t j = 0; j < d; ++j)
-            row[j] = (row[j] - mean) * inv_std * gamma[j] + beta[j];
-    }
+    });
     return out;
 }
 

@@ -17,11 +17,33 @@
 namespace fabnet {
 namespace ops {
 
-/** C = A * B for rank-2 tensors; A is [m,k], B is [k,n]. */
+/**
+ * C = A * B for rank-2 tensors; A is [m,k], B is [k,n].
+ * Register-blocked and row-parallel (see runtime/parallel.h); bitwise
+ * identical to reference::matmul at any thread count.
+ */
 Tensor matmul(const Tensor &a, const Tensor &b);
 
-/** C = A * B^T for rank-2 tensors; A is [m,k], B is [n,k]. */
+/**
+ * C = A * B^T for rank-2 tensors; A is [m,k], B is [n,k].
+ * Multi-accumulator and row-parallel; bitwise identical to
+ * reference::matmulTransposed at any thread count.
+ */
 Tensor matmulTransposed(const Tensor &a, const Tensor &b);
+
+namespace reference {
+
+/**
+ * Single-threaded scalar i-k-j GEMM - the seed kernel, kept as the
+ * ground truth the blocked/parallel path is parity-tested and
+ * benchmarked against.
+ */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/** Single-threaded scalar dot-product GEMM against B^T (seed kernel). */
+Tensor matmulTransposed(const Tensor &a, const Tensor &b);
+
+} // namespace reference
 
 /** Transpose of a rank-2 tensor. */
 Tensor transpose(const Tensor &a);

@@ -1,0 +1,296 @@
+/**
+ * @file parallel_kernels_test.cpp
+ * Bitwise parity of the parallel/blocked hot-path kernels against the
+ * retained reference scalar paths, across odd shapes (non-power-of-two
+ * m/n/k, fewer rows than threads) and thread counts {1, 4, 8}.
+ *
+ * "Bitwise" is literal: the runtime's determinism guarantee (see
+ * runtime/parallel.h) says results are identical at any thread count,
+ * so every comparison here is exact float equality, not tolerance.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "butterfly/butterfly.h"
+#include "nn/attention.h"
+#include "nn/dense.h"
+#include "runtime/parallel.h"
+#include "sim/datapath.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace fabnet {
+namespace {
+
+const std::size_t kThreadCounts[] = {1, 4, 8};
+
+::testing::AssertionResult
+bitwiseEqual(const Tensor &a, const Tensor &b)
+{
+    if (a.shape() != b.shape())
+        return ::testing::AssertionFailure()
+               << "shape mismatch " << a.shapeString() << " vs "
+               << b.shapeString();
+    if (std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) != 0) {
+        return ::testing::AssertionFailure()
+               << "payload differs (maxAbsDiff="
+               << ops::maxAbsDiff(a, b) << ")";
+    }
+    return ::testing::AssertionSuccess();
+}
+
+class ParallelKernelsTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { runtime::setNumThreads(0); }
+};
+
+TEST_F(ParallelKernelsTest, MatmulParityOddShapes)
+{
+    Rng rng(7);
+    // (m, k, n) including non-powers-of-two and rows < threads.
+    const std::size_t shapes[][3] = {{1, 1, 1},    {3, 5, 7},
+                                     {7, 3, 129},  {129, 65, 33},
+                                     {2, 257, 19}, {64, 64, 64}};
+    for (const auto &s : shapes) {
+        Tensor a = rng.normalTensor({s[0], s[1]});
+        Tensor b = rng.normalTensor({s[1], s[2]});
+        const Tensor want = ops::reference::matmul(a, b);
+        for (std::size_t threads : kThreadCounts) {
+            runtime::setNumThreads(threads);
+            EXPECT_TRUE(bitwiseEqual(ops::matmul(a, b), want))
+                << "matmul " << s[0] << "x" << s[1] << "x" << s[2]
+                << " at " << threads << " threads";
+        }
+    }
+}
+
+TEST_F(ParallelKernelsTest, MatmulTransposedParityOddShapes)
+{
+    Rng rng(11);
+    const std::size_t shapes[][3] = {{1, 1, 1},   {3, 5, 7},
+                                     {7, 3, 129}, {129, 65, 33},
+                                     {2, 257, 19}};
+    for (const auto &s : shapes) {
+        Tensor a = rng.normalTensor({s[0], s[1]});
+        Tensor b = rng.normalTensor({s[2], s[1]}); // [n, k]
+        const Tensor want = ops::reference::matmulTransposed(a, b);
+        for (std::size_t threads : kThreadCounts) {
+            runtime::setNumThreads(threads);
+            EXPECT_TRUE(
+                bitwiseEqual(ops::matmulTransposed(a, b), want))
+                << "matmulT " << s[0] << "x" << s[1] << "x" << s[2]
+                << " at " << threads << " threads";
+        }
+    }
+}
+
+TEST_F(ParallelKernelsTest, ButterflyMatrixBatchParity)
+{
+    for (std::size_t n : {4u, 32u, 128u}) {
+        ButterflyMatrix m(n);
+        Rng rng(n);
+        m.initRandomRotation(rng);
+        // Rows below, at, and above the stage-major block size, and
+        // fewer rows than threads.
+        for (std::size_t rows : {1u, 3u, 16u, 37u}) {
+            Tensor x = rng.normalTensor({rows, n});
+            const Tensor want = m.applyBatchReference(x);
+            for (std::size_t threads : kThreadCounts) {
+                runtime::setNumThreads(threads);
+                EXPECT_TRUE(bitwiseEqual(m.applyBatch(x), want))
+                    << "n=" << n << " rows=" << rows << " threads="
+                    << threads;
+            }
+        }
+    }
+}
+
+TEST_F(ParallelKernelsTest, ButterflySingleVectorMatchesBatch)
+{
+    // The workspace-based single-vector apply must agree with both
+    // batch paths.
+    const std::size_t n = 64;
+    ButterflyMatrix m(n);
+    Rng rng(3);
+    m.initRandomRotation(rng);
+    Tensor x = rng.normalTensor({5, n});
+    const Tensor batch = m.applyBatch(x);
+    std::vector<float> y(n);
+    for (std::size_t r = 0; r < 5; ++r) {
+        m.apply(x.data() + r * n, y.data());
+        EXPECT_EQ(0, std::memcmp(y.data(), batch.data() + r * n,
+                                 n * sizeof(float)))
+            << "row " << r;
+    }
+}
+
+TEST_F(ParallelKernelsTest, ButterflyLinearBatchParity)
+{
+    Rng rng(21);
+    // (in, out) covering pad, truncate and multi-core expand paths.
+    const std::size_t shapes[][2] = {{24, 24}, {32, 96}, {48, 17}};
+    for (const auto &s : shapes) {
+        ButterflyLinear lin(s[0], s[1]);
+        lin.initRandomRotation(rng);
+        for (float &b : lin.bias())
+            b = rng.normal();
+        for (std::size_t rows : {1u, 7u, 33u}) {
+            Tensor x = rng.normalTensor({rows, s[0]});
+            const Tensor want = lin.applyBatchReference(x);
+            for (std::size_t threads : kThreadCounts) {
+                runtime::setNumThreads(threads);
+                EXPECT_TRUE(bitwiseEqual(lin.applyBatch(x), want))
+                    << "in=" << s[0] << " out=" << s[1]
+                    << " rows=" << rows << " threads=" << threads;
+            }
+        }
+    }
+}
+
+TEST_F(ParallelKernelsTest, AttentionForwardParity)
+{
+    // Odd t, heads > 1, batch > 1; causal and bidirectional.
+    for (bool causal : {false, true}) {
+        for (std::size_t threads : kThreadCounts) {
+            runtime::setNumThreads(threads);
+            // Two modules built from identically-seeded rng streams so
+            // their projection weights match bit for bit.
+            auto mk = [causal](Rng &rng) {
+                const std::size_t d = 12;
+                return std::make_unique<nn::MultiHeadAttention>(
+                    d, 3, std::make_unique<nn::Dense>(d, d, rng),
+                    std::make_unique<nn::Dense>(d, d, rng),
+                    std::make_unique<nn::Dense>(d, d, rng),
+                    std::make_unique<nn::Dense>(d, d, rng), causal);
+            };
+            Rng data_rng(5);
+            Tensor x = data_rng.normalTensor({2, 7, 12});
+            Rng rng_fast(17), rng_ref(17);
+            auto fast = mk(rng_fast);
+            auto ref = mk(rng_ref);
+            const Tensor got = fast->forward(x);
+            const Tensor want = ref->forwardReference(x);
+            EXPECT_TRUE(bitwiseEqual(got, want))
+                << "causal=" << causal << " threads=" << threads;
+        }
+    }
+}
+
+TEST_F(ParallelKernelsTest, AttentionThreadCountInvariance)
+{
+    Rng data_rng(9);
+    Tensor x = data_rng.normalTensor({2, 13, 16});
+    Tensor first;
+    for (std::size_t threads : kThreadCounts) {
+        runtime::setNumThreads(threads);
+        Rng rng(31);
+        nn::MultiHeadAttention mha(
+            16, 4, std::make_unique<nn::Dense>(16, 16, rng),
+            std::make_unique<nn::Dense>(16, 16, rng),
+            std::make_unique<nn::Dense>(16, 16, rng),
+            std::make_unique<nn::Dense>(16, 16, rng));
+        Tensor y = mha.forward(x);
+        if (first.size() == 0)
+            first = y;
+        else
+            EXPECT_TRUE(bitwiseEqual(y, first))
+                << "threads=" << threads;
+    }
+}
+
+TEST_F(ParallelKernelsTest, DenseForwardThreadCountInvariance)
+{
+    Rng data_rng(2);
+    Tensor x = data_rng.normalTensor({3, 11, 24});
+    Tensor first;
+    for (std::size_t threads : kThreadCounts) {
+        runtime::setNumThreads(threads);
+        Rng rng(13);
+        nn::Dense dense(24, 37, rng);
+        Tensor y = dense.forward(x);
+        if (first.size() == 0)
+            first = y;
+        else
+            EXPECT_TRUE(bitwiseEqual(y, first))
+                << "threads=" << threads;
+    }
+}
+
+TEST_F(ParallelKernelsTest, SimBatchCrossValidation)
+{
+    // The functional fp16 engine batch entry must track the fp32
+    // software applyBatch within half precision, row for row.
+    const std::size_t n = 64, rows = 9;
+    ButterflyMatrix m(n);
+    Rng rng(41);
+    m.initRandomRotation(rng);
+    Tensor x = rng.normalTensor({rows, n});
+
+    const Tensor sw = m.applyBatch(x);
+    sim::FunctionalButterflyEngine engine(4);
+    sim::FunctionalButterflyEngine::RunStats stats;
+    for (std::size_t threads : kThreadCounts) {
+        runtime::setNumThreads(threads);
+        const Tensor hw = engine.runButterflyLinearBatch(m, x, &stats);
+        EXPECT_EQ(stats.butterfly_ops,
+                  rows * m.numStages() * (n / 2));
+        EXPECT_LE(ops::maxAbsDiff(sw, hw), 0.15f)
+            << "threads=" << threads;
+    }
+}
+
+TEST_F(ParallelKernelsTest, ParallelForCoversRangeOnce)
+{
+    for (std::size_t threads : kThreadCounts) {
+        runtime::setNumThreads(threads);
+        EXPECT_EQ(runtime::numThreads(), threads);
+        std::vector<int> hits(1003, 0);
+        runtime::parallelFor(0, hits.size(), 17,
+                             [&](std::size_t b, std::size_t e) {
+                                 for (std::size_t i = b; i < e; ++i)
+                                     ++hits[i];
+                             });
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            ASSERT_EQ(hits[i], 1) << "index " << i;
+    }
+}
+
+TEST_F(ParallelKernelsTest, ConcurrentCallersStayCorrect)
+{
+    // Two application threads using the pool at once: the second
+    // region runs inline while the first owns the pool; both must
+    // still be bitwise correct.
+    runtime::setNumThreads(4);
+    Rng rng(55);
+    Tensor a = rng.normalTensor({96, 64});
+    Tensor b = rng.normalTensor({64, 80});
+    const Tensor want = ops::reference::matmul(a, b);
+    for (int round = 0; round < 10; ++round) {
+        Tensor r1, r2;
+        std::thread t1([&] { r1 = ops::matmul(a, b); });
+        std::thread t2([&] { r2 = ops::matmul(a, b); });
+        t1.join();
+        t2.join();
+        ASSERT_TRUE(bitwiseEqual(r1, want)) << "round " << round;
+        ASSERT_TRUE(bitwiseEqual(r2, want)) << "round " << round;
+    }
+}
+
+TEST_F(ParallelKernelsTest, ParallelForPropagatesExceptions)
+{
+    runtime::setNumThreads(4);
+    EXPECT_THROW(
+        runtime::parallelFor(0, 100, 1,
+                             [](std::size_t b, std::size_t) {
+                                 if (b == 57)
+                                     throw std::runtime_error("boom");
+                             }),
+        std::runtime_error);
+}
+
+} // namespace
+} // namespace fabnet
