@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attention_engine_test.dir/tests/attention_engine_test.cpp.o"
+  "CMakeFiles/attention_engine_test.dir/tests/attention_engine_test.cpp.o.d"
+  "attention_engine_test"
+  "attention_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attention_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_sparsity_analysis.dir/bench/fig04_sparsity_analysis.cpp.o"
+  "CMakeFiles/bench_fig04_sparsity_analysis.dir/bench/fig04_sparsity_analysis.cpp.o.d"
+  "bench_fig04_sparsity_analysis"
+  "bench_fig04_sparsity_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_sparsity_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

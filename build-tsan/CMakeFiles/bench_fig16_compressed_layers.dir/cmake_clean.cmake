@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_compressed_layers.dir/bench/fig16_compressed_layers.cpp.o"
+  "CMakeFiles/bench_fig16_compressed_layers.dir/bench/fig16_compressed_layers.cpp.o.d"
+  "bench_fig16_compressed_layers"
+  "bench_fig16_compressed_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_compressed_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_codesign.dir/bench/fig18_codesign.cpp.o"
+  "CMakeFiles/bench_fig18_codesign.dir/bench/fig18_codesign.cpp.o.d"
+  "bench_fig18_codesign"
+  "bench_fig18_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

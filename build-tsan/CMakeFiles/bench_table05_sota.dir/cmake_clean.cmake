@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table05_sota.dir/bench/table05_sota.cpp.o"
+  "CMakeFiles/bench_table05_sota.dir/bench/table05_sota.cpp.o.d"
+  "bench_table05_sota"
+  "bench_table05_sota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table05_sota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table07_resources.dir/bench/table07_resources.cpp.o"
+  "CMakeFiles/bench_table07_resources.dir/bench/table07_resources.cpp.o.d"
+  "bench_table07_resources"
+  "bench_table07_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table07_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/butterfly_grad_test.dir/tests/butterfly_grad_test.cpp.o"
+  "CMakeFiles/butterfly_grad_test.dir/tests/butterfly_grad_test.cpp.o.d"
+  "butterfly_grad_test"
+  "butterfly_grad_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/butterfly_grad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/butterfly_test.dir/tests/butterfly_test.cpp.o"
+  "CMakeFiles/butterfly_test.dir/tests/butterfly_test.cpp.o.d"
+  "butterfly_test"
+  "butterfly_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/butterfly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoder_test.dir/tests/decoder_test.cpp.o"
+  "CMakeFiles/decoder_test.dir/tests/decoder_test.cpp.o.d"
+  "decoder_test"
+  "decoder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

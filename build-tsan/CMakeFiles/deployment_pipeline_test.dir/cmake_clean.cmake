@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_pipeline_test.dir/tests/deployment_pipeline_test.cpp.o"
+  "CMakeFiles/deployment_pipeline_test.dir/tests/deployment_pipeline_test.cpp.o.d"
+  "deployment_pipeline_test"
+  "deployment_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_accelerator_explorer.dir/examples/accelerator_explorer.cpp.o"
+  "CMakeFiles/example_accelerator_explorer.dir/examples/accelerator_explorer.cpp.o.d"
+  "example_accelerator_explorer"
+  "example_accelerator_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_accelerator_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

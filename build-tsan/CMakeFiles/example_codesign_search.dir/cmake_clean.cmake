@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_codesign_search.dir/examples/codesign_search.cpp.o"
+  "CMakeFiles/example_codesign_search.dir/examples/codesign_search.cpp.o.d"
+  "example_codesign_search"
+  "example_codesign_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_codesign_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_deploy_pipeline.dir/examples/deploy_pipeline.cpp.o"
+  "CMakeFiles/example_deploy_pipeline.dir/examples/deploy_pipeline.cpp.o.d"
+  "example_deploy_pipeline"
+  "example_deploy_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_deploy_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lra_listops_train.dir/examples/lra_listops_train.cpp.o"
+  "CMakeFiles/example_lra_listops_train.dir/examples/lra_listops_train.cpp.o.d"
+  "example_lra_listops_train"
+  "example_lra_listops_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lra_listops_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

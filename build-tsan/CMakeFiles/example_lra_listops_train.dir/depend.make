@@ -1,0 +1,2 @@
+# Empty dependencies file for example_lra_listops_train.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/butterfly/butterfly.cc" "CMakeFiles/fabnet.dir/src/butterfly/butterfly.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/butterfly/butterfly.cc.o.d"
+  "/root/repo/src/butterfly/fft.cc" "CMakeFiles/fabnet.dir/src/butterfly/fft.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/butterfly/fft.cc.o.d"
+  "/root/repo/src/codesign/codesign.cc" "CMakeFiles/fabnet.dir/src/codesign/codesign.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/codesign/codesign.cc.o.d"
+  "/root/repo/src/comparators/devices.cc" "CMakeFiles/fabnet.dir/src/comparators/devices.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/comparators/devices.cc.o.d"
+  "/root/repo/src/comparators/sota.cc" "CMakeFiles/fabnet.dir/src/comparators/sota.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/comparators/sota.cc.o.d"
+  "/root/repo/src/data/listops.cc" "CMakeFiles/fabnet.dir/src/data/listops.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/data/listops.cc.o.d"
+  "/root/repo/src/data/lra.cc" "CMakeFiles/fabnet.dir/src/data/lra.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/data/lra.cc.o.d"
+  "/root/repo/src/data/task.cc" "CMakeFiles/fabnet.dir/src/data/task.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/data/task.cc.o.d"
+  "/root/repo/src/data/text_tasks.cc" "CMakeFiles/fabnet.dir/src/data/text_tasks.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/data/text_tasks.cc.o.d"
+  "/root/repo/src/data/vision_tasks.cc" "CMakeFiles/fabnet.dir/src/data/vision_tasks.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/data/vision_tasks.cc.o.d"
+  "/root/repo/src/model/builder.cc" "CMakeFiles/fabnet.dir/src/model/builder.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/model/builder.cc.o.d"
+  "/root/repo/src/model/classifier.cc" "CMakeFiles/fabnet.dir/src/model/classifier.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/model/classifier.cc.o.d"
+  "/root/repo/src/model/config.cc" "CMakeFiles/fabnet.dir/src/model/config.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/model/config.cc.o.d"
+  "/root/repo/src/model/flops.cc" "CMakeFiles/fabnet.dir/src/model/flops.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/model/flops.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "CMakeFiles/fabnet.dir/src/nn/attention.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/nn/attention.cc.o.d"
+  "/root/repo/src/nn/basic_layers.cc" "CMakeFiles/fabnet.dir/src/nn/basic_layers.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/nn/basic_layers.cc.o.d"
+  "/root/repo/src/nn/block.cc" "CMakeFiles/fabnet.dir/src/nn/block.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/nn/block.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "CMakeFiles/fabnet.dir/src/nn/dense.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/nn/dense.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "CMakeFiles/fabnet.dir/src/nn/embedding.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/nn/embedding.cc.o.d"
+  "/root/repo/src/nn/gradcheck.cc" "CMakeFiles/fabnet.dir/src/nn/gradcheck.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/nn/gradcheck.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "CMakeFiles/fabnet.dir/src/nn/optimizer.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "CMakeFiles/fabnet.dir/src/nn/serialize.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/nn/serialize.cc.o.d"
+  "/root/repo/src/runtime/parallel.cc" "CMakeFiles/fabnet.dir/src/runtime/parallel.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/runtime/parallel.cc.o.d"
+  "/root/repo/src/sim/accelerator.cc" "CMakeFiles/fabnet.dir/src/sim/accelerator.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/sim/accelerator.cc.o.d"
+  "/root/repo/src/sim/attention_engine.cc" "CMakeFiles/fabnet.dir/src/sim/attention_engine.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/sim/attention_engine.cc.o.d"
+  "/root/repo/src/sim/baseline.cc" "CMakeFiles/fabnet.dir/src/sim/baseline.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/sim/baseline.cc.o.d"
+  "/root/repo/src/sim/buffers.cc" "CMakeFiles/fabnet.dir/src/sim/buffers.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/sim/buffers.cc.o.d"
+  "/root/repo/src/sim/datapath.cc" "CMakeFiles/fabnet.dir/src/sim/datapath.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/sim/datapath.cc.o.d"
+  "/root/repo/src/sim/postp.cc" "CMakeFiles/fabnet.dir/src/sim/postp.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/sim/postp.cc.o.d"
+  "/root/repo/src/sim/power.cc" "CMakeFiles/fabnet.dir/src/sim/power.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/sim/power.cc.o.d"
+  "/root/repo/src/sim/report_export.cc" "CMakeFiles/fabnet.dir/src/sim/report_export.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/sim/report_export.cc.o.d"
+  "/root/repo/src/sim/resource.cc" "CMakeFiles/fabnet.dir/src/sim/resource.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/sim/resource.cc.o.d"
+  "/root/repo/src/sim/throughput.cc" "CMakeFiles/fabnet.dir/src/sim/throughput.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/sim/throughput.cc.o.d"
+  "/root/repo/src/sparsity/patterns.cc" "CMakeFiles/fabnet.dir/src/sparsity/patterns.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/sparsity/patterns.cc.o.d"
+  "/root/repo/src/tensor/half.cc" "CMakeFiles/fabnet.dir/src/tensor/half.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/tensor/half.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "CMakeFiles/fabnet.dir/src/tensor/ops.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "CMakeFiles/fabnet.dir/src/tensor/tensor.cc.o" "gcc" "CMakeFiles/fabnet.dir/src/tensor/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

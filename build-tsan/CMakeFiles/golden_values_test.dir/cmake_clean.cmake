@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_values_test.dir/tests/golden_values_test.cpp.o"
+  "CMakeFiles/golden_values_test.dir/tests/golden_values_test.cpp.o.d"
+  "golden_values_test"
+  "golden_values_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_values_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/half_test.dir/tests/half_test.cpp.o"
+  "CMakeFiles/half_test.dir/tests/half_test.cpp.o.d"
+  "half_test"
+  "half_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/half_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

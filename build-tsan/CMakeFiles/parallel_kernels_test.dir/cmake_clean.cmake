@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_kernels_test.dir/tests/parallel_kernels_test.cpp.o"
+  "CMakeFiles/parallel_kernels_test.dir/tests/parallel_kernels_test.cpp.o.d"
+  "parallel_kernels_test"
+  "parallel_kernels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postp_test.dir/tests/postp_test.cpp.o"
+  "CMakeFiles/postp_test.dir/tests/postp_test.cpp.o.d"
+  "postp_test"
+  "postp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

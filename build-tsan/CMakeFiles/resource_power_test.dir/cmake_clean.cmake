@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_power_test.dir/tests/resource_power_test.cpp.o"
+  "CMakeFiles/resource_power_test.dir/tests/resource_power_test.cpp.o.d"
+  "resource_power_test"
+  "resource_power_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

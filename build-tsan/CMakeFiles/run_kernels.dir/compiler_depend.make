@@ -1,0 +1,2 @@
+# Empty custom commands generated dependencies file for run_kernels.
+# This may be replaced when dependencies are built.

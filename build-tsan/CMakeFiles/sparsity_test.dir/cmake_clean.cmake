@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsity_test.dir/tests/sparsity_test.cpp.o"
+  "CMakeFiles/sparsity_test.dir/tests/sparsity_test.cpp.o.d"
+  "sparsity_test"
+  "sparsity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

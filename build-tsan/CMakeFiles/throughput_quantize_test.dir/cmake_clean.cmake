@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_quantize_test.dir/tests/throughput_quantize_test.cpp.o"
+  "CMakeFiles/throughput_quantize_test.dir/tests/throughput_quantize_test.cpp.o.d"
+  "throughput_quantize_test"
+  "throughput_quantize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_quantize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
