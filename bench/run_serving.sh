@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build and run the serving-throughput bench, emitting
+# BENCH_serving.json at the repo root - the request-level companion of
+# bench/run_kernels.sh (see docs/BENCHMARKS.md).
+#
+# Usage:
+#   bench/run_serving.sh [--requests N]
+#
+# Env:
+#   FABNET_NUM_THREADS  thread count for both serving and the serial
+#                       baseline (default: hardware concurrency)
+#   BUILD_DIR           cmake build directory (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j --target bench_serving >/dev/null
+
+"$BUILD_DIR"/bench_serving --json BENCH_serving.json "$@"
+
+echo "Wrote $(pwd)/BENCH_serving.json"

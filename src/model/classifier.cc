@@ -51,6 +51,33 @@ SequenceClassifier::forward(const std::vector<int> &tokens,
     return head_.forward(x);
 }
 
+Tensor
+SequenceClassifier::forwardBatch(const std::vector<int> &tokens,
+                                 std::size_t batch, std::size_t seq,
+                                 const std::vector<std::size_t> &lens)
+{
+    if (lens.size() != batch)
+        throw std::invalid_argument(
+            "SequenceClassifier::forwardBatch: lens size != batch");
+    for (std::size_t L : lens)
+        if (L == 0 || L > seq)
+            throw std::invalid_argument(
+                "SequenceClassifier::forwardBatch: len out of [1, seq]");
+    Tensor x = embedding_.forward(tokens, batch, seq);
+    for (auto &blk : blocks_)
+        x = blk->forwardMasked(x, lens);
+    return head_.forwardMasked(x, lens);
+}
+
+bool
+SequenceClassifier::supportsMaskedBatch() const
+{
+    for (const auto &blk : blocks_)
+        if (!blk->supportsMasking())
+            return false;
+    return true;
+}
+
 float
 SequenceClassifier::trainBatch(const Batch &batch, nn::Adam &opt,
                                float clip_norm)

@@ -57,6 +57,31 @@ class SequenceClassifier
                    std::size_t seq);
 
     /**
+     * Inference logits for a right-padded batch of mixed-length
+     * sequences: @p tokens is flat [batch * seq] with sequence b
+     * occupying the first lens[b] slots of its row and pad tokens
+     * after. Attention mixers mask padded keys and the pooled head
+     * averages over the real prefix only, so for attention-mixer
+     * models each logits row is bitwise identical to
+     * forward(sequence_b, 1, lens[b]) - the property the serving
+     * engine (serve/serving.h) and tests/serving_test.cpp rely on.
+     * Fourier mixers have no masked form (see nn/layer.h); their
+     * padded rows mix in, and reproducibility then only holds against
+     * same-padded-length inference. Inference-only: do not call
+     * trainBatch-style backward passes after it.
+     */
+    Tensor forwardBatch(const std::vector<int> &tokens, std::size_t batch,
+                        std::size_t seq,
+                        const std::vector<std::size_t> &lens);
+
+    /**
+     * True when every block honours the padding mask exactly
+     * (nn::Layer::supportsMasking over the actual layers, not the
+     * config), i.e. forwardBatch results are independent of padding.
+     */
+    bool supportsMaskedBatch() const;
+
+    /**
      * One optimisation step on a batch.
      * @return the batch cross-entropy loss.
      */

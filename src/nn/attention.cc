@@ -56,6 +56,27 @@ struct AttnWs;
 Tensor
 MultiHeadAttention::forward(const Tensor &x)
 {
+    return forwardImpl(x, nullptr);
+}
+
+Tensor
+MultiHeadAttention::forwardMasked(const Tensor &x,
+                                  const std::vector<std::size_t> &lens)
+{
+    if (lens.size() != x.dim(0))
+        throw std::invalid_argument(
+            "MultiHeadAttention::forwardMasked: lens size != batch");
+    for (std::size_t L : lens)
+        if (L == 0 || L > x.dim(1))
+            throw std::invalid_argument(
+                "MultiHeadAttention::forwardMasked: len out of [1, t]");
+    return forwardImpl(x, &lens);
+}
+
+Tensor
+MultiHeadAttention::forwardImpl(const Tensor &x,
+                                const std::vector<std::size_t> *lens)
+{
     if (x.rank() != 3 || x.dim(2) != d_model_)
         throw std::invalid_argument("MultiHeadAttention: [b,t,d] required");
     b_ = x.dim(0);
@@ -82,6 +103,11 @@ MultiHeadAttention::forward(const Tensor &x)
             const std::size_t b = task / heads_;
             const std::size_t h = task % heads_;
             const std::size_t off = h * dh;
+            // Keys/values past the real prefix are padding: masked out
+            // of scores, softmax and context entirely, so each real
+            // query row runs the exact op sequence of an unpadded
+            // length-`valid` forward.
+            const std::size_t valid = lens ? (*lens)[b] : t_;
 
             float *scratch = runtime::threadWorkspace<AttnWs>(t_ * (4 * dh + 1));
             float *qh = scratch;
@@ -104,7 +130,8 @@ MultiHeadAttention::forward(const Tensor &x)
             }
 
             for (std::size_t i = 0; i < t_; ++i) {
-                const std::size_t visible = causal_ ? i + 1 : t_;
+                const std::size_t visible =
+                    causal_ ? std::min(i + 1, valid) : valid;
                 // Scores q_i . k_j for the visible keys: axpy over the
                 // transposed K panel keeps the j loop contiguous while
                 // each score's reduction stays in c order (bitwise

@@ -48,6 +48,20 @@ class MultiHeadAttention : public Layer
     Tensor forward(const Tensor &x) override;
 
     /**
+     * Length-masked forward for right-padded batches: sequence b
+     * attends only over its first lens[b] key/value rows and the
+     * softmax normalises over that prefix, so every real query row
+     * performs exactly the floating-point ops of an unpadded length-
+     * lens[b] run - bitwise identical logits, which is what the
+     * serving engine's parity tests pin down. Padded query rows
+     * attend over the same real prefix (finite, deterministic) and
+     * are discarded downstream by the masked pooling head.
+     * Inference-only: backward() after this is undefined.
+     */
+    Tensor forwardMasked(const Tensor &x,
+                         const std::vector<std::size_t> &lens) override;
+
+    /**
      * Seed scalar forward (5-deep nested loops), kept as the parity
      * and bench baseline. Fills the same caches as forward(), so
      * backward() works after either.
@@ -61,6 +75,10 @@ class MultiHeadAttention : public Layer
     std::size_t headDim() const { return d_model_ / heads_; }
 
   private:
+    /** Shared body of forward/forwardMasked; null lens = all rows real. */
+    Tensor forwardImpl(const Tensor &x,
+                       const std::vector<std::size_t> *lens);
+
     std::size_t d_model_, heads_;
     bool causal_ = false;
     std::unique_ptr<Layer> proj_q_, proj_k_, proj_v_, proj_o_;

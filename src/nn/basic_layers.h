@@ -63,6 +63,9 @@ class FourierMix : public Layer
   public:
     Tensor forward(const Tensor &x) override;
     Tensor backward(const Tensor &grad_out) override;
+
+    /** The sequence-dim FFT is global: no masked form exists. */
+    bool supportsMasking() const override { return false; }
 };
 
 } // namespace nn

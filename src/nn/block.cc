@@ -58,7 +58,23 @@ EncoderBlock::EncoderBlock(std::size_t d_model,
 Tensor
 EncoderBlock::forward(const Tensor &x)
 {
-    Tensor a = mixer_->forward(x);
+    return forwardImpl(x, nullptr);
+}
+
+Tensor
+EncoderBlock::forwardMasked(const Tensor &x,
+                            const std::vector<std::size_t> &lens)
+{
+    return forwardImpl(x, &lens);
+}
+
+Tensor
+EncoderBlock::forwardImpl(const Tensor &x,
+                          const std::vector<std::size_t> *lens)
+{
+    // Only the mixer sees the mask; residual adds, layer norms and the
+    // FFN are row-wise and padding-safe.
+    Tensor a = lens ? mixer_->forwardMasked(x, *lens) : mixer_->forward(x);
     addResidual(a.data(), x.data(), a.size()); // shortcut
     Tensor h = ln1_.forward(a);
 

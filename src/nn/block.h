@@ -33,6 +33,12 @@ class FeedForward : public Layer
     Tensor backward(const Tensor &grad_out) override;
     void collectParams(std::vector<ParamRef> &out) override;
 
+    bool supportsMasking() const override
+    {
+        return lin1_->supportsMasking() && act_->supportsMasking() &&
+               lin2_->supportsMasking();
+    }
+
   private:
     std::unique_ptr<Layer> lin1_, act_, lin2_;
 };
@@ -45,10 +51,29 @@ class EncoderBlock : public Layer
                  std::unique_ptr<Layer> ffn);
 
     Tensor forward(const Tensor &x) override;
+
+    /**
+     * Masked variant for right-padded serving batches: the mixer gets
+     * the per-sequence real lengths (attention masks padded keys; see
+     * layer.h), while the residual adds, layer norms and FFN operate
+     * row-wise and need no masking. Inference-only.
+     */
+    Tensor forwardMasked(const Tensor &x,
+                         const std::vector<std::size_t> &lens) override;
+
     Tensor backward(const Tensor &grad_out) override;
     void collectParams(std::vector<ParamRef> &out) override;
 
+    bool supportsMasking() const override
+    {
+        return mixer_->supportsMasking() && ffn_->supportsMasking();
+    }
+
   private:
+    /** Shared body of forward/forwardMasked; null lens = unmasked. */
+    Tensor forwardImpl(const Tensor &x,
+                       const std::vector<std::size_t> *lens);
+
     std::unique_ptr<Layer> mixer_, ffn_;
     LayerNorm ln1_, ln2_;
 };

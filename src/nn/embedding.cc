@@ -84,6 +84,24 @@ MeanPoolClassifier::MeanPoolClassifier(std::size_t d_model,
 }
 
 Tensor
+MeanPoolClassifier::projectPooled() const
+{
+    Tensor logits = Tensor::zeros(batch_, classes_);
+    for (std::size_t b = 0; b < batch_; ++b) {
+        const float *pool = cached_pooled_.data() + b * d_;
+        float *lr = logits.data() + b * classes_;
+        for (std::size_t c = 0; c < classes_; ++c) {
+            const float *wr = &w_[c * d_];
+            float acc = b_[c];
+            for (std::size_t j = 0; j < d_; ++j)
+                acc += wr[j] * pool[j];
+            lr[c] = acc;
+        }
+    }
+    return logits;
+}
+
+Tensor
 MeanPoolClassifier::forward(const Tensor &x)
 {
     if (x.rank() != 3 || x.dim(2) != d_)
@@ -102,19 +120,40 @@ MeanPoolClassifier::forward(const Tensor &x)
         }
     }
 
-    Tensor logits = Tensor::zeros(batch_, classes_);
+    return projectPooled();
+}
+
+Tensor
+MeanPoolClassifier::forwardMasked(const Tensor &x,
+                                  const std::vector<std::size_t> &lens)
+{
+    if (x.rank() != 3 || x.dim(2) != d_)
+        throw std::invalid_argument("MeanPoolClassifier: [b,t,d] required");
+    if (lens.size() != x.dim(0))
+        throw std::invalid_argument(
+            "MeanPoolClassifier::forwardMasked: lens size != batch");
+    batch_ = x.dim(0);
+    t_ = x.dim(1);
+
+    // Same accumulation order as forward(), with the sum and the
+    // divisor restricted to the real prefix: bitwise equal to pooling
+    // an unpadded length-lens[b] input.
+    cached_pooled_ = Tensor::zeros(batch_, d_);
     for (std::size_t b = 0; b < batch_; ++b) {
-        const float *pool = cached_pooled_.data() + b * d_;
-        float *lr = logits.data() + b * classes_;
-        for (std::size_t c = 0; c < classes_; ++c) {
-            const float *wr = &w_[c * d_];
-            float acc = b_[c];
+        const std::size_t valid = lens[b];
+        if (valid == 0 || valid > t_)
+            throw std::invalid_argument(
+                "MeanPoolClassifier::forwardMasked: len out of [1, t]");
+        const float inv = 1.0f / static_cast<float>(valid);
+        float *pool = cached_pooled_.data() + b * d_;
+        for (std::size_t t = 0; t < valid; ++t) {
+            const float *row = x.data() + (b * t_ + t) * d_;
             for (std::size_t j = 0; j < d_; ++j)
-                acc += wr[j] * pool[j];
-            lr[c] = acc;
+                pool[j] += row[j] * inv;
         }
     }
-    return logits;
+
+    return projectPooled();
 }
 
 Tensor

@@ -50,12 +50,25 @@ class MeanPoolClassifier
     /** [b, t, d] -> logits [b, classes]. */
     Tensor forward(const Tensor &x);
 
+    /**
+     * Masked pooling for right-padded batches: sequence b is averaged
+     * over its first lens[b] rows only (divided by lens[b], not t), so
+     * the pooled vector - and the logits row - match an unpadded
+     * length-lens[b] forward bit for bit. Inference-only: does not
+     * fill the backward() caches coherently.
+     */
+    Tensor forwardMasked(const Tensor &x,
+                         const std::vector<std::size_t> &lens);
+
     /** dL/dlogits [b, classes] -> dL/dx [b, t, d]. */
     Tensor backward(const Tensor &grad_logits);
 
     void collectParams(std::vector<ParamRef> &out);
 
   private:
+    /** cached_pooled_ -> logits [b, classes] (shared by both forwards). */
+    Tensor projectPooled() const;
+
     std::size_t d_, classes_;
     std::vector<float> w_, b_;
     std::vector<float> gw_, gb_;

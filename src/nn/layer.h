@@ -39,6 +39,39 @@ class Layer
     virtual Tensor forward(const Tensor &x) = 0;
 
     /**
+     * Inference-only forward over a right-padded batch: @p lens[b] is
+     * the number of real (non-pad) rows of sequence b; rows beyond it
+     * are padding. The default forwards unchanged, which is exact for
+     * every layer that treats sequence rows independently (linears,
+     * activations, LayerNorm, FFN) - padding can never bleed into real
+     * rows there. Layers that mix across the sequence override this:
+     * MultiHeadAttention restricts keys/values and the softmax to the
+     * real prefix, which makes each real row's arithmetic identical to
+     * an unpadded run (the serving engine's bitwise guarantee).
+     * FourierMix has no masked form (the FFT is global over the padded
+     * length), so serving it is only reproducible against inference at
+     * the same padded length. Does not update backward() caches
+     * coherently for masked rows; do not train through this path.
+     */
+    virtual Tensor forwardMasked(const Tensor &x,
+                                 const std::vector<std::size_t> &lens)
+    {
+        (void)lens;
+        return forward(x);
+    }
+
+    /**
+     * Whether forwardMasked() honours the padding mask exactly: true
+     * for row-wise layers (the default is exact for them) and for
+     * layers that implement masking; false for layers that mix across
+     * the sequence without a masked form (FourierMix). Composite
+     * layers forward the query to their children. The serving engine
+     * uses this to refuse models whose served results would depend on
+     * padding.
+     */
+    virtual bool supportsMasking() const { return true; }
+
+    /**
      * Backward pass: given dL/d(output) returns dL/d(input) and
      * accumulates (+=) parameter gradients.
      */

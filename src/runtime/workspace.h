@@ -1,36 +1,100 @@
 /**
  * @file workspace.h
- * Grow-only per-thread scratch buffers for the parallel kernels.
+ * Per-thread scratch buffers for the parallel kernels, with a
+ * grow/cap/shrink lifecycle.
  *
  * Each distinct Tag type gets its own thread_local vector, so two
  * kernels that are live at the same time on one thread (e.g. a
  * butterfly core running inside ButterflyLinear's padding loop) use
- * disjoint storage. Buffers grow monotonically and are reused for the
+ * disjoint storage. Buffers grow on demand and are reused for the
  * life of the thread: after the largest shape has been seen once, the
  * hot paths perform zero heap allocations.
  *
- * Known tradeoff: the peak-size buffer is retained until the thread
- * exits (no shrink path). Long-lived request threads touching very
- * large shapes once will pin that scratch; a shrink/cap policy is a
- * ROADMAP follow-on.
+ * ## Cap/shrink policy
+ * By default buffers are grow-only, which is right for short-lived
+ * batch jobs but wrong for long-lived serving threads: one oversized
+ * request would pin peak-size scratch forever. setWorkspaceCapBytes()
+ * installs a process-wide retention cap: whenever a thread re-enters
+ * threadWorkspace() with a request that fits under the cap but its
+ * retained buffer has grown past it, the buffer is released and
+ * re-allocated at the requested size. Requests larger than the cap are
+ * always honoured (correctness over policy) - the oversized buffer is
+ * simply released again on the next under-cap request. A cap of 0
+ * restores the grow-only behaviour. The serving engine
+ * (serve/serving.h) installs the cap from ServingConfig for the
+ * duration of its lifetime.
  */
 #ifndef FABNET_RUNTIME_WORKSPACE_H
 #define FABNET_RUNTIME_WORKSPACE_H
 
+#include <atomic>
 #include <cstddef>
 #include <vector>
 
 namespace fabnet {
 namespace runtime {
 
+namespace detail {
+
+inline std::atomic<std::size_t> g_workspace_cap_bytes{0};
+
+template <class Tag>
+inline std::vector<float> &
+workspaceStorage()
+{
+    thread_local std::vector<float> ws;
+    return ws;
+}
+
+} // namespace detail
+
+/**
+ * Install a process-wide retention cap (bytes) on per-(thread, tag)
+ * scratch buffers. 0 = unlimited (grow-only). Takes effect lazily the
+ * next time each thread calls threadWorkspace().
+ */
+inline void
+setWorkspaceCapBytes(std::size_t bytes)
+{
+    detail::g_workspace_cap_bytes.store(bytes, std::memory_order_relaxed);
+}
+
+/** Current retention cap in bytes (0 = unlimited). */
+inline std::size_t
+workspaceCapBytes()
+{
+    return detail::g_workspace_cap_bytes.load(std::memory_order_relaxed);
+}
+
+/**
+ * Scratch buffer of at least @p floats floats for the calling thread
+ * and @p Tag. The pointer stays valid until the next call with the
+ * same Tag on this thread.
+ */
 template <class Tag>
 inline float *
 threadWorkspace(std::size_t floats)
 {
-    thread_local std::vector<float> ws;
+    std::vector<float> &ws = detail::workspaceStorage<Tag>();
+    const std::size_t cap_floats =
+        workspaceCapBytes() / sizeof(float);
+    if (cap_floats != 0 && floats <= cap_floats &&
+        ws.capacity() > cap_floats) {
+        // Retained scratch exceeds the cap while the live request fits
+        // under it: release and start over at the requested size.
+        std::vector<float>().swap(ws);
+    }
     if (ws.size() < floats)
         ws.resize(floats);
     return ws.data();
+}
+
+/** Bytes currently retained by this thread's Tag buffer (for tests). */
+template <class Tag>
+inline std::size_t
+threadWorkspaceCapacityBytes()
+{
+    return detail::workspaceStorage<Tag>().capacity() * sizeof(float);
 }
 
 } // namespace runtime

@@ -1,0 +1,117 @@
+#include "serve/batcher.h"
+
+#include <stdexcept>
+
+namespace fabnet {
+namespace serve {
+
+RequestBatcher::RequestBatcher(std::size_t max_batch,
+                               std::size_t granularity,
+                               std::size_t max_seq)
+    : max_batch_(max_batch), granularity_(granularity), max_seq_(max_seq)
+{
+    if (max_batch_ == 0 || granularity_ == 0 || max_seq_ == 0)
+        throw std::invalid_argument(
+            "RequestBatcher: max_batch, granularity and max_seq must be "
+            ">= 1");
+}
+
+std::size_t
+RequestBatcher::bucketLen(std::size_t len) const
+{
+    if (len == 0)
+        throw std::invalid_argument("RequestBatcher: empty request");
+    if (len > max_seq_)
+        throw std::invalid_argument(
+            "RequestBatcher: request longer than max_seq");
+    const std::size_t rounded =
+        ((len + granularity_ - 1) / granularity_) * granularity_;
+    return rounded < max_seq_ ? rounded : max_seq_;
+}
+
+void
+RequestBatcher::push(std::uint64_t id, std::size_t len,
+                     Clock::time_point now)
+{
+    buckets_[bucketLen(len)].push_back({id, now});
+    ++pending_;
+}
+
+BatchGroup
+RequestBatcher::popFrom(
+    std::map<std::size_t, std::deque<Entry>>::iterator it,
+    FlushReason reason)
+{
+    BatchGroup g;
+    g.padded_len = it->first;
+    g.reason = reason;
+    std::deque<Entry> &q = it->second;
+    const std::size_t take =
+        q.size() < max_batch_ ? q.size() : max_batch_;
+    g.ids.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+        g.ids.push_back(q.front().id);
+        q.pop_front();
+    }
+    pending_ -= take;
+    if (q.empty())
+        buckets_.erase(it);
+    return g;
+}
+
+std::optional<BatchGroup>
+RequestBatcher::popReady(Clock::time_point now, Clock::duration max_wait)
+{
+    // Full buckets first (the map iterates in ascending padded length,
+    // which is the documented tie-break).
+    for (auto it = buckets_.begin(); it != buckets_.end(); ++it)
+        if (it->second.size() >= max_batch_)
+            return popFrom(it, FlushReason::Full);
+    // Then timed-out buckets: oldest head wins, smallest length ties.
+    auto best = buckets_.end();
+    for (auto it = buckets_.begin(); it != buckets_.end(); ++it) {
+        if (now - it->second.front().enqueued < max_wait)
+            continue;
+        if (best == buckets_.end() ||
+            it->second.front().enqueued < best->second.front().enqueued)
+            best = it;
+    }
+    if (best != buckets_.end())
+        return popFrom(best, FlushReason::Timeout);
+    return std::nullopt;
+}
+
+std::optional<BatchGroup>
+RequestBatcher::drain()
+{
+    if (buckets_.empty())
+        return std::nullopt;
+    return popFrom(buckets_.begin(), FlushReason::Drain);
+}
+
+std::optional<BatchGroup>
+RequestBatcher::drainBelow(std::uint64_t id_watermark)
+{
+    // Ids are pushed in increasing order, so each bucket's head holds
+    // its minimum id: head >= watermark means the whole bucket is
+    // post-watermark traffic.
+    for (auto it = buckets_.begin(); it != buckets_.end(); ++it)
+        if (it->second.front().id < id_watermark)
+            return popFrom(it, FlushReason::Drain);
+    return std::nullopt;
+}
+
+std::optional<RequestBatcher::Clock::time_point>
+RequestBatcher::oldestEnqueue() const
+{
+    std::optional<Clock::time_point> oldest;
+    for (const auto &kv : buckets_) {
+        const Clock::time_point head = kv.second.front().enqueued;
+        if (!oldest || head < *oldest)
+            oldest = head;
+    }
+    return oldest;
+}
+
+} // namespace serve
+} // namespace fabnet

@@ -1,0 +1,122 @@
+/**
+ * @file batcher.h
+ * Length-bucketed request batching policy, factored out of the
+ * serving engine so it is pure and unit-testable without threads.
+ *
+ * Requests are grouped by *padded length*: the request length rounded
+ * up to the next multiple of bucket_granularity (clamped to max_seq).
+ * Batching only ever pairs requests that share a padded length, so a
+ * batch wastes at most granularity-1 pad positions per row - the
+ * software analogue of the paper's aim of keeping the butterfly/
+ * attention datapath saturated instead of burning cycles on padding.
+ *
+ * A bucket becomes ready when it holds max_batch requests (full
+ * flush) or when its oldest request has waited max_wait (timeout
+ * flush); drain() empties everything regardless, for shutdown and
+ * explicit ServingEngine::flush(). Within a bucket requests pop FIFO,
+ * and when several buckets are ready the smallest padded length wins,
+ * so grouping is deterministic given the submission order.
+ */
+#ifndef FABNET_SERVE_BATCHER_H
+#define FABNET_SERVE_BATCHER_H
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace fabnet {
+namespace serve {
+
+/** Why a bucket was flushed into a group. */
+enum class FlushReason {
+    Full,    ///< bucket reached max_batch
+    Timeout, ///< oldest request waited max_wait
+    Drain    ///< explicit flush / shutdown
+};
+
+/** Batch assembled by the policy: request ids sharing a padded length. */
+struct BatchGroup
+{
+    std::size_t padded_len = 0;        ///< common padded sequence length
+    std::vector<std::uint64_t> ids;    ///< FIFO within the bucket
+    FlushReason reason = FlushReason::Full;
+};
+
+/** Pure length-bucketing policy; all time comes in as arguments. */
+class RequestBatcher
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /**
+     * @param max_batch    flush threshold and maximum group size (>=1)
+     * @param granularity  padded lengths are multiples of this (>=1)
+     * @param max_seq      longest padded length accepted
+     */
+    RequestBatcher(std::size_t max_batch, std::size_t granularity,
+                   std::size_t max_seq);
+
+    /**
+     * Padded length for a request of @p len tokens: rounded up to the
+     * next multiple of the granularity, clamped to max_seq. Throws
+     * std::invalid_argument when len is 0 or exceeds max_seq.
+     */
+    std::size_t bucketLen(std::size_t len) const;
+
+    /** Enqueue a request (by id) of @p len tokens at time @p now. */
+    void push(std::uint64_t id, std::size_t len, Clock::time_point now);
+
+    /**
+     * Pop the next ready group: a full bucket, or - once @p now has
+     * passed some bucket head's enqueue time by @p max_wait - the
+     * bucket with the oldest head. Smallest padded length breaks ties.
+     * nullopt when nothing is ready.
+     */
+    std::optional<BatchGroup> popReady(Clock::time_point now,
+                                       Clock::duration max_wait);
+
+    /** Pop any non-empty bucket (smallest padded length first). */
+    std::optional<BatchGroup> drain();
+
+    /**
+     * Pop a bucket whose oldest request has id < @p id_watermark
+     * (smallest padded length first). Lets a flusher drain only the
+     * requests it is waiting for, so concurrent submitters neither
+     * starve the flush nor get their fresh requests flushed in
+     * degenerate batches. Requests pushed after the watermark ride
+     * along when they share a qualifying bucket. nullopt when every
+     * bucket head is at or past the watermark.
+     */
+    std::optional<BatchGroup> drainBelow(std::uint64_t id_watermark);
+
+    /**
+     * Earliest enqueue time over all queued requests - the dispatcher
+     * sleeps until this + max_wait. nullopt when empty.
+     */
+    std::optional<Clock::time_point> oldestEnqueue() const;
+
+    bool empty() const { return pending_ == 0; }
+    std::size_t size() const { return pending_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t id;
+        Clock::time_point enqueued;
+    };
+
+    BatchGroup popFrom(std::map<std::size_t, std::deque<Entry>>::iterator it,
+                       FlushReason reason);
+
+    std::size_t max_batch_, granularity_, max_seq_;
+    std::map<std::size_t, std::deque<Entry>> buckets_; ///< padded len -> FIFO
+    std::size_t pending_ = 0;
+};
+
+} // namespace serve
+} // namespace fabnet
+
+#endif // FABNET_SERVE_BATCHER_H

@@ -1,0 +1,268 @@
+#include "serve/serving.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/workspace.h"
+
+namespace fabnet {
+namespace serve {
+
+namespace {
+
+/**
+ * Process-wide registry of engine-installed workspace caps. With
+ * overlapping engine lifetimes the tightest active cap wins (safe for
+ * all of them - a tighter cap only trades reallocation for footprint),
+ * and the pre-existing policy is restored only when the last engine
+ * goes away.
+ */
+class WorkspaceCapRegistry
+{
+  public:
+    void install(std::size_t cap)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (caps_.empty())
+            baseline_ = runtime::workspaceCapBytes();
+        caps_.insert(cap);
+        runtime::setWorkspaceCapBytes(*caps_.begin());
+    }
+    void remove(std::size_t cap)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        caps_.erase(caps_.find(cap));
+        runtime::setWorkspaceCapBytes(caps_.empty() ? baseline_
+                                                    : *caps_.begin());
+    }
+
+  private:
+    std::mutex mu_;
+    std::multiset<std::size_t> caps_;
+    std::size_t baseline_ = 0;
+};
+
+WorkspaceCapRegistry g_cap_registry;
+
+} // namespace
+
+ServingEngine::ServingEngine(SequenceClassifier &model, ServingConfig cfg)
+    : model_(model), cfg_(cfg),
+      batcher_(cfg.max_batch, cfg.bucket_granularity,
+               model.config().max_seq)
+{
+    if (cfg_.pad_token < 0 ||
+        static_cast<std::size_t>(cfg_.pad_token) >= model_.config().vocab)
+        throw std::invalid_argument(
+            "ServingEngine: pad_token outside the model vocabulary");
+    // With granularity 1 buckets are padding-free, so even layers
+    // without a masked form serve deterministically.
+    if (!model_.supportsMaskedBatch() && cfg_.bucket_granularity > 1 &&
+        !cfg_.allow_unmasked_mixers)
+        throw std::invalid_argument(
+            "ServingEngine: model has blocks without a masked form "
+            "(Fourier mixers) - served logits would depend on the "
+            "padded length a request happens to be bucketed at. Use "
+            "bucket_granularity == 1 (padding-free buckets), or set "
+            "ServingConfig::allow_unmasked_mixers to serve anyway, "
+            "forfeiting per-request determinism.");
+    if (cfg_.workspace_cap_bytes != 0) {
+        g_cap_registry.install(cfg_.workspace_cap_bytes);
+        ws_cap_installed_ = true;
+    }
+    dispatcher_ = std::thread([this] { dispatchLoop(); });
+}
+
+ServingEngine::~ServingEngine()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+        work_cv_.notify_all();
+    }
+    dispatcher_.join();
+    // Unblock any flush() stuck across shutdown (user error, but do
+    // not deadlock them).
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        idle_cv_.notify_all();
+    }
+    if (ws_cap_installed_)
+        g_cap_registry.remove(cfg_.workspace_cap_bytes);
+}
+
+std::future<std::vector<float>>
+ServingEngine::submit(std::vector<int> tokens)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_)
+        throw std::runtime_error("ServingEngine: already shut down");
+    const std::uint64_t id = next_id_++;
+    // Validates the length (throws before anything is queued).
+    batcher_.push(id, tokens.size(), RequestBatcher::Clock::now());
+    outstanding_.insert(id);
+    Pending &p = pending_[id];
+    p.tokens = std::move(tokens);
+    std::future<std::vector<float>> fut = p.promise.get_future();
+    ++stats_.requests;
+    work_cv_.notify_all();
+    return fut;
+}
+
+std::vector<std::vector<float>>
+ServingEngine::serveAll(const std::vector<std::vector<int>> &requests)
+{
+    std::vector<std::future<std::vector<float>>> futs;
+    futs.reserve(requests.size());
+    for (const auto &r : requests)
+        futs.push_back(submit(r));
+    flush();
+    std::vector<std::vector<float>> out;
+    out.reserve(futs.size());
+    for (auto &f : futs)
+        out.push_back(f.get());
+    return out;
+}
+
+void
+ServingEngine::flush()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    // Watermark: wait for the requests submitted before this call
+    // only, so concurrent submitters cannot starve a flusher.
+    const std::uint64_t watermark = next_id_;
+    const auto served_to_watermark = [this, watermark] {
+        return outstanding_.empty() ||
+               *outstanding_.begin() >= watermark;
+    };
+    if (served_to_watermark())
+        return;
+    ++flush_waiters_;
+    flush_watermark_ = std::max(flush_watermark_, watermark);
+    work_cv_.notify_all();
+    idle_cv_.wait(lk, [&] { return served_to_watermark() || stop_; });
+    if (--flush_waiters_ == 0)
+        flush_watermark_ = 0;
+}
+
+std::size_t
+ServingEngine::bucketLen(std::size_t len) const
+{
+    return batcher_.bucketLen(len);
+}
+
+ServingStats
+ServingEngine::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+bool
+ServingEngine::runGroup(const BatchGroup &group, std::vector<Pending> reqs)
+{
+    const std::size_t bsz = reqs.size();
+    const std::size_t seq = group.padded_len;
+    std::vector<int> tokens(bsz * seq, cfg_.pad_token);
+    std::vector<std::size_t> lens(bsz);
+    for (std::size_t i = 0; i < bsz; ++i) {
+        lens[i] = reqs[i].tokens.size();
+        std::copy(reqs[i].tokens.begin(), reqs[i].tokens.end(),
+                  tokens.begin() + i * seq);
+    }
+    // Build every result before fulfilling any promise, so the catch
+    // below never touches an already-satisfied promise (set_exception
+    // on one throws future_error out of the dispatcher).
+    std::vector<std::vector<float>> outs;
+    try {
+        const Tensor logits = model_.forwardBatch(tokens, bsz, seq, lens);
+        const std::size_t classes = logits.dim(1);
+        outs.reserve(bsz);
+        for (std::size_t i = 0; i < bsz; ++i) {
+            const float *row = logits.data() + i * classes;
+            outs.emplace_back(row, row + classes);
+        }
+    } catch (...) {
+        // A bad request (e.g. token id outside the vocab) fails its
+        // whole batch; surface the error on every affected future
+        // instead of killing the dispatcher.
+        for (std::size_t i = 0; i < bsz; ++i)
+            reqs[i].promise.set_exception(std::current_exception());
+        return false;
+    }
+    for (std::size_t i = 0; i < bsz; ++i)
+        reqs[i].promise.set_value(std::move(outs[i]));
+    return true;
+}
+
+void
+ServingEngine::dispatchLoop()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        std::optional<BatchGroup> group;
+        // While flushers wait, drain the buckets holding their
+        // pre-watermark requests; post-watermark traffic keeps normal
+        // full/timeout batching (and cannot starve the flusher, since
+        // its buckets no longer compete for the drain).
+        if (stop_)
+            group = batcher_.drain();
+        else if (flush_waiters_ > 0)
+            group = batcher_.drainBelow(flush_watermark_);
+        if (!group)
+            group = batcher_.popReady(RequestBatcher::Clock::now(),
+                                      cfg_.max_wait);
+        if (!group) {
+            if (stop_)
+                break; // queue drained
+            auto oldest = batcher_.oldestEnqueue();
+            if (oldest)
+                work_cv_.wait_until(lk, *oldest + cfg_.max_wait);
+            else
+                work_cv_.wait(lk);
+            continue;
+        }
+
+        std::vector<Pending> reqs;
+        reqs.reserve(group->ids.size());
+        for (std::uint64_t id : group->ids) {
+            auto it = pending_.find(id);
+            reqs.push_back(std::move(it->second));
+            pending_.erase(it);
+        }
+        ++stats_.batches;
+        switch (group->reason) {
+          case FlushReason::Full:
+            ++stats_.flushed_full;
+            break;
+          case FlushReason::Timeout:
+            ++stats_.flushed_timeout;
+            break;
+          case FlushReason::Drain:
+            ++stats_.flushed_drain;
+            break;
+        }
+        std::size_t real_tokens = 0;
+        for (const Pending &p : reqs)
+            real_tokens += p.tokens.size();
+
+        lk.unlock(); // serve outside the lock so submit() never blocks
+        const bool ok = runGroup(*group, std::move(reqs));
+        lk.lock();
+
+        if (ok) {
+            stats_.completed += group->ids.size();
+            stats_.real_tokens += real_tokens;
+            stats_.padded_tokens += group->ids.size() * group->padded_len;
+        } else {
+            stats_.failed += group->ids.size();
+        }
+        for (std::uint64_t id : group->ids)
+            outstanding_.erase(id);
+        idle_cv_.notify_all(); // flush() waiters check their watermark
+    }
+}
+
+} // namespace serve
+} // namespace fabnet

@@ -1,0 +1,186 @@
+/**
+ * @file serving.h
+ * Request-level batched serving front end over the parallel runtime.
+ *
+ * ServingEngine turns the kernel library into a traffic-serving
+ * system: callers submit single token sequences and get a future for
+ * that sequence's logits; behind the scenes requests are bucketed by
+ * padded length (serve/batcher.h), grouped into batches of up to
+ * max_batch, and dispatched through SequenceClassifier::forwardBatch -
+ * one model invocation whose row count keeps the PR-1 thread pool
+ * (runtime/parallel.h) saturated, amortising weight traffic across
+ * requests exactly as the paper's accelerator amortises it across a
+ * sequence.
+ *
+ * ## Threading model
+ * One dispatcher thread owns the model (the layer caches make
+ * concurrent forward calls on one model unsafe); intra-batch
+ * parallelism comes from the kernels' parallelFor, so the pool - not
+ * the request count - sets the concurrency. submit() is safe from any
+ * number of client threads. The engine must be the model's only user
+ * while it is alive.
+ *
+ * ## Determinism
+ * For attention-mixer models every served logits row is bitwise
+ * identical to forward(request, 1, len) run serially, at any thread
+ * count and under any batch composition: padded keys are masked out of
+ * attention, padded rows out of the pooled head, and every kernel is
+ * per-row order-preserving (see model/classifier.h::forwardBatch and
+ * tests/serving_test.cpp).
+ *
+ * ## Workspace lifecycle
+ * Long-lived serving threads would otherwise retain peak-size kernel
+ * scratch forever; the engine installs ServingConfig::
+ * workspace_cap_bytes as the runtime's workspace retention cap
+ * (runtime/workspace.h) for its lifetime and restores the previous
+ * policy on destruction.
+ */
+#ifndef FABNET_SERVE_SERVING_H
+#define FABNET_SERVE_SERVING_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "model/classifier.h"
+#include "serve/batcher.h"
+
+namespace fabnet {
+namespace serve {
+
+/** Batching/flush policy knobs. */
+struct ServingConfig
+{
+    /** Flush a bucket as soon as it holds this many requests. */
+    std::size_t max_batch = 8;
+    /** Padded lengths are multiples of this (1 = exact-length only). */
+    std::size_t bucket_granularity = 16;
+    /** Flush a non-full bucket once its oldest request waited this. */
+    std::chrono::microseconds max_wait{1000};
+    /** Token id used for padding (must be a valid vocab id). */
+    int pad_token = 0;
+    /**
+     * Retention cap installed on the runtime's per-thread kernel
+     * scratch while the engine lives (0 = leave the policy as-is).
+     */
+    std::size_t workspace_cap_bytes = 4u << 20;
+    /**
+     * Layers without a masked form (Fourier mixers: FNet / FABNet
+     * FBfly blocks) produce served logits that depend on the padded
+     * length a request is bucketed at. The constructor rejects such
+     * models (queried via SequenceClassifier::supportsMaskedBatch)
+     * unless buckets are padding-free (bucket_granularity == 1, where
+     * determinism holds anyway) or this flag explicitly forfeits the
+     * per-request determinism guarantee.
+     */
+    bool allow_unmasked_mixers = false;
+};
+
+/** Counters for observing the batching behaviour. */
+struct ServingStats
+{
+    std::size_t requests = 0;        ///< accepted by submit()
+    std::size_t completed = 0;       ///< futures fulfilled with logits
+    std::size_t failed = 0;          ///< futures failed with an exception
+    std::size_t batches = 0;         ///< model invocations
+    std::size_t flushed_full = 0;    ///< batches from a full bucket
+    std::size_t flushed_timeout = 0; ///< batches from max_wait expiry
+    std::size_t flushed_drain = 0;   ///< batches from flush()/shutdown
+    std::size_t real_tokens = 0;     ///< sum of request lengths served
+    std::size_t padded_tokens = 0;   ///< sum of batch * padded_len
+
+    /** Mean requests per model invocation (failed batches included). */
+    double avgBatch() const
+    {
+        return batches
+                   ? static_cast<double>(completed + failed) / batches
+                   : 0.0;
+    }
+    /** Fraction of served positions that were padding. */
+    double padOverhead() const
+    {
+        return padded_tokens
+                   ? 1.0 - static_cast<double>(real_tokens) / padded_tokens
+                   : 0.0;
+    }
+};
+
+/** Batched request-level front end over a SequenceClassifier. */
+class ServingEngine
+{
+  public:
+    explicit ServingEngine(SequenceClassifier &model,
+                           ServingConfig cfg = {});
+    ~ServingEngine();
+
+    ServingEngine(const ServingEngine &) = delete;
+    ServingEngine &operator=(const ServingEngine &) = delete;
+
+    /**
+     * Enqueue one sequence; the future resolves to its logits (length
+     * = model classes, padding already stripped). Throws
+     * std::invalid_argument for empty or over-long sequences and
+     * std::runtime_error after shutdown began.
+     */
+    std::future<std::vector<float>> submit(std::vector<int> tokens);
+
+    /**
+     * Serve a whole request set synchronously through the batching
+     * path: submits everything, flushes, and returns the logits in
+     * request order.
+     */
+    std::vector<std::vector<float>>
+    serveAll(const std::vector<std::vector<int>> &requests);
+
+    /**
+     * Block until every request submitted before this call has been
+     * served (fulfilled or failed). Requests submitted concurrently by
+     * other threads may or may not be included.
+     */
+    void flush();
+
+    /** Padded length a request of @p len tokens would be served at. */
+    std::size_t bucketLen(std::size_t len) const;
+
+    ServingStats stats() const;
+
+  private:
+    struct Pending
+    {
+        std::vector<int> tokens;
+        std::promise<std::vector<float>> promise;
+    };
+
+    void dispatchLoop();
+    /** @return true when the batch succeeded (futures fulfilled). */
+    bool runGroup(const BatchGroup &group, std::vector<Pending> reqs);
+
+    SequenceClassifier &model_;
+    ServingConfig cfg_;
+    bool ws_cap_installed_ = false;
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_; ///< wakes the dispatcher
+    std::condition_variable idle_cv_; ///< wakes flush() waiters
+    RequestBatcher batcher_;
+    std::unordered_map<std::uint64_t, Pending> pending_;
+    std::set<std::uint64_t> outstanding_; ///< submitted, not yet served
+    std::uint64_t next_id_ = 0;
+    bool stop_ = false;
+    int flush_waiters_ = 0;
+    std::uint64_t flush_watermark_ = 0; ///< max watermark of waiters
+    ServingStats stats_;
+
+    std::thread dispatcher_; ///< last member: starts fully-initialised
+};
+
+} // namespace serve
+} // namespace fabnet
+
+#endif // FABNET_SERVE_SERVING_H

@@ -1,0 +1,428 @@
+/**
+ * @file serving_test.cpp
+ * The serving front end's correctness contract:
+ *   - bucketing/grouping policy (serve/batcher.h) is deterministic,
+ *   - batched serving of mixed-length request sets produces logits
+ *     bitwise identical to serial single-request inference, at thread
+ *     counts {1, 4, 8}, including odd lengths that straddle bucket
+ *     boundaries, for both Dense and Butterfly attention models,
+ *   - results are invariant to the batch composition (max_batch /
+ *     granularity choices),
+ *   - the workspace cap/shrink policy releases over-cap scratch.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "model/builder.h"
+#include "runtime/parallel.h"
+#include "runtime/workspace.h"
+#include "serve/batcher.h"
+#include "serve/serving.h"
+#include "tensor/rng.h"
+
+namespace fabnet {
+namespace {
+
+using serve::BatchGroup;
+using serve::FlushReason;
+using serve::RequestBatcher;
+using serve::ServingConfig;
+using serve::ServingEngine;
+
+const std::size_t kThreadCounts[] = {1, 4, 8};
+
+ModelConfig
+tinyCfg(ModelKind kind)
+{
+    ModelConfig cfg;
+    cfg.kind = kind;
+    cfg.vocab = 32;
+    cfg.max_seq = 64;
+    cfg.d_hid = 16;
+    cfg.r_ffn = 2;
+    cfg.n_total = 2;
+    // FABNet with every block ABfly: attention with butterfly
+    // projections, the masked-serving-compatible configuration.
+    cfg.n_abfly = kind == ModelKind::FABNet ? 2 : 0;
+    cfg.heads = 2;
+    cfg.classes = 4;
+    return cfg;
+}
+
+/** Random token sequences of the given lengths. */
+std::vector<std::vector<int>>
+makeRequests(const std::vector<std::size_t> &lens, std::size_t vocab,
+             unsigned seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<int>> reqs;
+    reqs.reserve(lens.size());
+    for (std::size_t len : lens) {
+        std::vector<int> toks(len);
+        for (int &t : toks)
+            t = rng.randint(1, static_cast<int>(vocab) - 1);
+        reqs.push_back(std::move(toks));
+    }
+    return reqs;
+}
+
+/** Serial baseline: one unpadded forward per request. */
+std::vector<std::vector<float>>
+serveSerial(SequenceClassifier &model,
+            const std::vector<std::vector<int>> &reqs)
+{
+    std::vector<std::vector<float>> out;
+    out.reserve(reqs.size());
+    for (const auto &r : reqs) {
+        const Tensor logits = model.forward(r, 1, r.size());
+        out.emplace_back(logits.data(), logits.data() + logits.size());
+    }
+    return out;
+}
+
+::testing::AssertionResult
+bitwiseEqual(const std::vector<std::vector<float>> &a,
+             const std::vector<std::vector<float>> &b)
+{
+    if (a.size() != b.size())
+        return ::testing::AssertionFailure() << "request count differs";
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].size() != b[i].size())
+            return ::testing::AssertionFailure()
+                   << "logit count differs at request " << i;
+        if (std::memcmp(a[i].data(), b[i].data(),
+                        a[i].size() * sizeof(float)) != 0)
+            return ::testing::AssertionFailure()
+                   << "logits differ at request " << i;
+    }
+    return ::testing::AssertionSuccess();
+}
+
+// Odd lengths straddling the granularity-16 bucket boundaries: below,
+// at, and above multiples, plus the extremes.
+const std::vector<std::size_t> kMixedLens = {1,  3,  15, 16, 17, 23,
+                                             31, 32, 33, 47, 5,  64,
+                                             63, 2,  16, 49};
+
+class ServingTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        runtime::setNumThreads(0);
+        runtime::setWorkspaceCapBytes(0);
+    }
+};
+
+// ------------------------------------------------------------ policy
+
+TEST_F(ServingTest, BucketLenRoundsUpAndClamps)
+{
+    RequestBatcher b(8, 16, 64);
+    EXPECT_EQ(b.bucketLen(1), 16u);
+    EXPECT_EQ(b.bucketLen(15), 16u);
+    EXPECT_EQ(b.bucketLen(16), 16u);
+    EXPECT_EQ(b.bucketLen(17), 32u);
+    EXPECT_EQ(b.bucketLen(33), 48u);
+    EXPECT_EQ(b.bucketLen(63), 64u);
+    EXPECT_EQ(b.bucketLen(64), 64u);
+    EXPECT_THROW(b.bucketLen(0), std::invalid_argument);
+    EXPECT_THROW(b.bucketLen(65), std::invalid_argument);
+
+    // Granularity that does not divide max_seq clamps the top bucket.
+    RequestBatcher c(8, 24, 60);
+    EXPECT_EQ(c.bucketLen(25), 48u);
+    EXPECT_EQ(c.bucketLen(49), 60u);
+}
+
+TEST_F(ServingTest, FullBucketsFlushFifoAndInOrder)
+{
+    RequestBatcher b(4, 16, 64);
+    const auto t0 = RequestBatcher::Clock::now();
+    // 5 requests in the 16-bucket, 4 in the 32-bucket.
+    for (std::uint64_t id = 0; id < 5; ++id)
+        b.push(id, 10, t0);
+    for (std::uint64_t id = 10; id < 14; ++id)
+        b.push(id, 20, t0);
+    ASSERT_EQ(b.size(), 9u);
+
+    auto g1 = b.popReady(t0, std::chrono::seconds(1));
+    ASSERT_TRUE(g1.has_value());
+    EXPECT_EQ(g1->padded_len, 16u); // smallest full bucket first
+    EXPECT_EQ(g1->reason, FlushReason::Full);
+    EXPECT_EQ(g1->ids, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+
+    auto g2 = b.popReady(t0, std::chrono::seconds(1));
+    ASSERT_TRUE(g2.has_value());
+    EXPECT_EQ(g2->padded_len, 32u);
+    EXPECT_EQ(g2->ids, (std::vector<std::uint64_t>{10, 11, 12, 13}));
+
+    // The leftover request is not ready until max_wait passes...
+    EXPECT_FALSE(
+        b.popReady(t0, std::chrono::seconds(1)).has_value());
+    // ...then flushes as a timeout group.
+    auto g3 = b.popReady(t0 + std::chrono::seconds(2),
+                         std::chrono::seconds(1));
+    ASSERT_TRUE(g3.has_value());
+    EXPECT_EQ(g3->reason, FlushReason::Timeout);
+    EXPECT_EQ(g3->ids, (std::vector<std::uint64_t>{4}));
+    EXPECT_TRUE(b.empty());
+}
+
+TEST_F(ServingTest, TimeoutPicksOldestHeadAcrossBuckets)
+{
+    RequestBatcher b(8, 16, 64);
+    const auto t0 = RequestBatcher::Clock::now();
+    b.push(1, 20, t0 + std::chrono::milliseconds(5));
+    b.push(2, 10, t0); // older head, larger id, different bucket
+    auto g = b.popReady(t0 + std::chrono::seconds(1),
+                        std::chrono::milliseconds(1));
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(g->ids, (std::vector<std::uint64_t>{2}));
+    auto drained = b.drain();
+    ASSERT_TRUE(drained.has_value());
+    EXPECT_EQ(drained->reason, FlushReason::Drain);
+    EXPECT_EQ(drained->ids, (std::vector<std::uint64_t>{1}));
+}
+
+// ------------------------------------------- bitwise serving parity
+
+TEST_F(ServingTest, MixedLengthsBitwiseMatchSerialAcrossThreadCounts)
+{
+    for (ModelKind kind : {ModelKind::Transformer, ModelKind::FABNet}) {
+        const ModelConfig cfg = tinyCfg(kind);
+        Rng rng(123);
+        auto model = buildModel(cfg, rng);
+        const auto reqs = makeRequests(kMixedLens, cfg.vocab, 7);
+        const auto want = serveSerial(*model, reqs);
+
+        for (std::size_t threads : kThreadCounts) {
+            runtime::setNumThreads(threads);
+            ServingConfig sc;
+            sc.max_batch = 8;
+            sc.bucket_granularity = 16;
+            // Long max_wait: only full/drain flushes, so the batch
+            // count below is deterministic.
+            sc.max_wait = std::chrono::seconds(5);
+            ServingEngine engine(*model, sc);
+            const auto got = engine.serveAll(reqs);
+            EXPECT_TRUE(bitwiseEqual(got, want))
+                << "kind=" << static_cast<int>(kind)
+                << " threads=" << threads;
+            const auto st = engine.stats();
+            EXPECT_EQ(st.requests, reqs.size());
+            EXPECT_EQ(st.completed, reqs.size());
+            EXPECT_LT(st.batches, reqs.size()); // actually batched
+        }
+    }
+}
+
+TEST_F(ServingTest, ResultsInvariantToBatchComposition)
+{
+    const ModelConfig cfg = tinyCfg(ModelKind::Transformer);
+    Rng rng(5);
+    auto model = buildModel(cfg, rng);
+    const auto reqs = makeRequests(kMixedLens, cfg.vocab, 11);
+    const auto want = serveSerial(*model, reqs);
+
+    const std::size_t combos[][2] = {// {max_batch, granularity}
+                                     {1, 16}, {4, 8}, {8, 16},
+                                     {16, 32}, {3, 1}};
+    for (const auto &c : combos) {
+        ServingConfig sc;
+        sc.max_batch = c[0];
+        sc.bucket_granularity = c[1];
+        ServingEngine engine(*model, sc);
+        EXPECT_TRUE(bitwiseEqual(engine.serveAll(reqs), want))
+            << "max_batch=" << c[0] << " granularity=" << c[1];
+    }
+}
+
+TEST_F(ServingTest, CausalModelServesBitwiseToo)
+{
+    // Right-padding composes with the causal mask (visible =
+    // min(i+1, len)), so decoder-style models serve exactly as well.
+    ModelConfig cfg = tinyCfg(ModelKind::Transformer);
+    cfg.causal = true;
+    Rng rng(31);
+    auto model = buildModel(cfg, rng);
+    const auto reqs = makeRequests(kMixedLens, cfg.vocab, 13);
+    const auto want = serveSerial(*model, reqs);
+    ServingEngine engine(*model, ServingConfig{});
+    EXPECT_TRUE(bitwiseEqual(engine.serveAll(reqs), want));
+}
+
+// --------------------------------------------------- async behaviour
+
+TEST_F(ServingTest, TimeoutFlushServesWithoutExplicitFlush)
+{
+    const ModelConfig cfg = tinyCfg(ModelKind::Transformer);
+    Rng rng(17);
+    auto model = buildModel(cfg, rng);
+    ServingConfig sc;
+    sc.max_batch = 64; // never fills: only max_wait can flush
+    sc.max_wait = std::chrono::microseconds(500);
+    ServingEngine engine(*model, sc);
+    auto reqs = makeRequests({9, 12, 30}, cfg.vocab, 3);
+    std::vector<std::future<std::vector<float>>> futs;
+    for (auto &r : reqs)
+        futs.push_back(engine.submit(std::move(r)));
+    for (auto &f : futs) {
+        ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+                  std::future_status::ready);
+        EXPECT_EQ(f.get().size(), cfg.classes);
+    }
+    const auto st = engine.stats();
+    EXPECT_EQ(st.completed, 3u);
+    EXPECT_GE(st.flushed_timeout, 1u);
+}
+
+TEST_F(ServingTest, InvalidRequestsRejectedOrFailTheirFuture)
+{
+    const ModelConfig cfg = tinyCfg(ModelKind::Transformer);
+    Rng rng(19);
+    auto model = buildModel(cfg, rng);
+    ServingEngine engine(*model, ServingConfig{});
+
+    EXPECT_THROW(engine.submit({}), std::invalid_argument);
+    EXPECT_THROW(
+        engine.submit(std::vector<int>(cfg.max_seq + 1, 1)),
+        std::invalid_argument);
+
+    // An out-of-vocab token is only detectable inside the model; it
+    // must fail the future, not kill the dispatcher.
+    auto bad = engine.submit({1, 2, static_cast<int>(cfg.vocab) + 5});
+    engine.flush();
+    EXPECT_THROW(bad.get(), std::out_of_range);
+
+    auto good = engine.submit({1, 2, 3});
+    engine.flush();
+    EXPECT_EQ(good.get().size(), cfg.classes);
+
+    const auto st = engine.stats();
+    EXPECT_EQ(st.failed, 1u);
+    EXPECT_EQ(st.completed, 1u);
+    EXPECT_EQ(st.requests, 2u);
+}
+
+TEST_F(ServingTest, RejectsFourierModelsUnlessOptedIn)
+{
+    // FourierMix has no masked form: its served logits would depend on
+    // the padded length a request is bucketed at, so the engine
+    // refuses such models unless determinism is explicitly forfeited.
+    ModelConfig cfg = tinyCfg(ModelKind::Transformer);
+    cfg.kind = ModelKind::FNet;
+    Rng rng(41);
+    auto model = buildModel(cfg, rng);
+    EXPECT_THROW(ServingEngine(*model, ServingConfig{}),
+                 std::invalid_argument);
+
+    {
+        ServingConfig sc;
+        sc.allow_unmasked_mixers = true;
+        ServingEngine engine(*model, sc);
+        const auto out =
+            engine.serveAll(makeRequests({8, 16}, cfg.vocab, 3));
+        ASSERT_EQ(out.size(), 2u);
+        EXPECT_EQ(out[0].size(), cfg.classes);
+    }
+
+    // Padding-free buckets (granularity 1) are deterministic even for
+    // Fourier mixers, so no opt-in is needed there.
+    ServingConfig exact;
+    exact.bucket_granularity = 1;
+    ServingEngine engine(*model, exact);
+    const auto out = engine.serveAll(makeRequests({8, 8, 16}, cfg.vocab, 5));
+    ASSERT_EQ(out.size(), 3u);
+}
+
+TEST_F(ServingTest, StatsTrackPaddingOverhead)
+{
+    const ModelConfig cfg = tinyCfg(ModelKind::Transformer);
+    Rng rng(23);
+    auto model = buildModel(cfg, rng);
+    ServingConfig sc;
+    sc.bucket_granularity = 16;
+    ServingEngine engine(*model, sc);
+    engine.serveAll(makeRequests({10, 16, 20}, cfg.vocab, 29));
+    const auto st = engine.stats();
+    EXPECT_EQ(st.real_tokens, 46u);   // 10 + 16 + 20
+    EXPECT_EQ(st.padded_tokens, 64u); // 16 + 16 + 32
+    EXPECT_GT(st.padOverhead(), 0.0);
+    EXPECT_LT(st.padOverhead(), 1.0);
+    EXPECT_GE(st.avgBatch(), 1.0);
+}
+
+// ------------------------------------------------ workspace policy
+
+struct ShrinkTestWs; // private tag: no kernel shares this buffer
+
+TEST_F(ServingTest, WorkspaceCapShrinksRetainedScratch)
+{
+    using namespace fabnet::runtime;
+    setWorkspaceCapBytes(0);
+    const std::size_t big = 1u << 20; // 4 MiB of floats
+    threadWorkspace<ShrinkTestWs>(big);
+    EXPECT_GE(threadWorkspaceCapacityBytes<ShrinkTestWs>(),
+              big * sizeof(float));
+
+    // Grow-only without a cap.
+    threadWorkspace<ShrinkTestWs>(64);
+    EXPECT_GE(threadWorkspaceCapacityBytes<ShrinkTestWs>(),
+              big * sizeof(float));
+
+    // With a cap, the next under-cap request releases the retention.
+    setWorkspaceCapBytes(64 << 10);
+    threadWorkspace<ShrinkTestWs>(64);
+    EXPECT_LE(threadWorkspaceCapacityBytes<ShrinkTestWs>(), 64u << 10);
+
+    // Over-cap requests are still honoured (correctness over policy)..
+    float *p = threadWorkspace<ShrinkTestWs>(big);
+    ASSERT_NE(p, nullptr);
+    EXPECT_GE(threadWorkspaceCapacityBytes<ShrinkTestWs>(),
+              big * sizeof(float));
+    // ..and released again on the next under-cap request.
+    threadWorkspace<ShrinkTestWs>(128);
+    EXPECT_LE(threadWorkspaceCapacityBytes<ShrinkTestWs>(), 64u << 10);
+}
+
+TEST_F(ServingTest, EngineInstallsAndRestoresWorkspaceCap)
+{
+    using namespace fabnet::runtime;
+    setWorkspaceCapBytes(0);
+    const ModelConfig cfg = tinyCfg(ModelKind::Transformer);
+    Rng rng(37);
+    auto model = buildModel(cfg, rng);
+    {
+        ServingConfig sc;
+        sc.workspace_cap_bytes = 1u << 20;
+        ServingEngine engine(*model, sc);
+        EXPECT_EQ(workspaceCapBytes(), 1u << 20);
+    }
+    EXPECT_EQ(workspaceCapBytes(), 0u);
+
+    // Overlapping engine lifetimes: the tightest active cap wins, and
+    // destroying one engine must not clobber the other's policy.
+    {
+        ServingConfig a;
+        a.workspace_cap_bytes = 4u << 20;
+        auto e1 = std::make_unique<ServingEngine>(*model, a);
+        EXPECT_EQ(workspaceCapBytes(), 4u << 20);
+        ServingConfig b;
+        b.workspace_cap_bytes = 2u << 20;
+        Rng rng2(38);
+        auto model2 = buildModel(cfg, rng2);
+        ServingEngine e2(*model2, b);
+        EXPECT_EQ(workspaceCapBytes(), 2u << 20);
+        e1.reset();
+        EXPECT_EQ(workspaceCapBytes(), 2u << 20);
+    }
+    EXPECT_EQ(workspaceCapBytes(), 0u);
+}
+
+} // namespace
+} // namespace fabnet
