@@ -12,11 +12,13 @@
 
 #include "butterfly/butterfly.h"
 #include "butterfly/fft.h"
+#include "butterfly/qbutterfly.h"
 #include "nn/attention.h"
 #include "nn/dense.h"
 #include "runtime/parallel.h"
 #include "sim/datapath.h"
 #include "tensor/ops.h"
+#include "tensor/quant.h"
 #include "tensor/rng.h"
 
 using namespace fabnet;
@@ -56,10 +58,48 @@ BM_MatmulParallel(benchmark::State &state)
         benchmark::DoNotOptimize(c.data());
     }
     state.SetComplexityN(static_cast<long>(n));
-    state.counters["threads"] =
+    state.counters["pool_threads"] =
         static_cast<double>(runtime::numThreads());
 }
 BENCHMARK(BM_MatmulParallel)->Arg(128)->Arg(512)->Complexity();
+
+// fp32-vs-quantized pairs: BM_MatmulParallel is the fp32 side; the
+// int8/fp16 cases run the END-TO-END dynamic op (quantise activations
+// + panel + dequantise) on the same shapes, so the recorded ratio is
+// the honest deployable speedup, not just the inner loop's.
+
+static void
+BM_MatmulInt8(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(n);
+    Tensor a = rng.normalTensor({n, n});
+    Tensor b = rng.normalTensor({n, n});
+    for (auto _ : state) {
+        Tensor c = ops::matmulInt8(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetComplexityN(static_cast<long>(n));
+    state.counters["pool_threads"] =
+        static_cast<double>(runtime::numThreads());
+}
+BENCHMARK(BM_MatmulInt8)->Arg(128)->Arg(512)->Complexity();
+
+static void
+BM_MatmulF16(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(n);
+    Tensor a = rng.normalTensor({n, n});
+    Tensor b = rng.normalTensor({n, n});
+    for (auto _ : state) {
+        Tensor c = ops::matmulF16(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["pool_threads"] =
+        static_cast<double>(runtime::numThreads());
+}
+BENCHMARK(BM_MatmulF16)->Arg(512);
 
 static void
 BM_MatmulTransposedReference(benchmark::State &state)
@@ -86,7 +126,7 @@ BM_MatmulTransposedParallel(benchmark::State &state)
         Tensor c = ops::matmulTransposed(a, b);
         benchmark::DoNotOptimize(c.data());
     }
-    state.counters["threads"] =
+    state.counters["pool_threads"] =
         static_cast<double>(runtime::numThreads());
 }
 BENCHMARK(BM_MatmulTransposedParallel)->Arg(512);
@@ -122,12 +162,50 @@ BM_ButterflyBatchStageMajor(benchmark::State &state)
         Tensor y = m.applyBatch(x);
         benchmark::DoNotOptimize(y.data());
     }
-    state.counters["threads"] =
+    state.counters["pool_threads"] =
         static_cast<double>(runtime::numThreads());
 }
 BENCHMARK(BM_ButterflyBatchStageMajor)
     ->Args({64, 512})
     ->Args({256, 512});
+
+static void
+BM_ButterflyBatchInt8(benchmark::State &state)
+{
+    const std::size_t rows = static_cast<std::size_t>(state.range(0));
+    const std::size_t n = static_cast<std::size_t>(state.range(1));
+    ButterflyMatrix m(n);
+    Rng rng(n);
+    m.initRandomRotation(rng);
+    QuantizedButterflyMatrix qm(m, QuantKind::Int8);
+    Tensor x = rng.normalTensor({rows, n});
+    for (auto _ : state) {
+        Tensor y = qm.applyBatch(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.counters["pool_threads"] =
+        static_cast<double>(runtime::numThreads());
+}
+BENCHMARK(BM_ButterflyBatchInt8)->Args({64, 512});
+
+static void
+BM_ButterflyBatchF16(benchmark::State &state)
+{
+    const std::size_t rows = static_cast<std::size_t>(state.range(0));
+    const std::size_t n = static_cast<std::size_t>(state.range(1));
+    ButterflyMatrix m(n);
+    Rng rng(n);
+    m.initRandomRotation(rng);
+    QuantizedButterflyMatrix qm(m, QuantKind::Fp16);
+    Tensor x = rng.normalTensor({rows, n});
+    for (auto _ : state) {
+        Tensor y = qm.applyBatch(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.counters["pool_threads"] =
+        static_cast<double>(runtime::numThreads());
+}
+BENCHMARK(BM_ButterflyBatchF16)->Args({64, 512});
 
 static void
 BM_ButterflyLinearBatch(benchmark::State &state)
@@ -141,7 +219,7 @@ BM_ButterflyLinearBatch(benchmark::State &state)
         Tensor y = lin.applyBatch(x);
         benchmark::DoNotOptimize(y.data());
     }
-    state.counters["threads"] =
+    state.counters["pool_threads"] =
         static_cast<double>(runtime::numThreads());
 }
 BENCHMARK(BM_ButterflyLinearBatch)->Arg(64);

@@ -1,0 +1,545 @@
+#include "butterfly/qbutterfly.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+#include "runtime/kernels.h"
+#include "runtime/parallel.h"
+#include "runtime/workspace.h"
+
+namespace fabnet {
+
+namespace {
+
+/** Rows per stage-major block and parallel grain (see butterfly.cc). */
+constexpr std::size_t kQBatchRows = 16;
+
+/** Workspace tags; distinct element types get distinct storage. */
+struct QMatI8Ws;    ///< int8 activations
+struct QMatI32Ws;   ///< int32 stage outputs
+struct QMatScaleWs; ///< per-row scales
+struct QMatF16Ws;   ///< fp16-representable float activations
+struct QLinWs;      ///< ButterflyLinear padding / core output floats
+
+/**
+ * The one requantisation scale-update expression. Every int8 path
+ * (scalar reference, workspace apply, stage-major batch) must call
+ * this identically or exact parity breaks: two rounded multiplies,
+ * in this association.
+ */
+inline float
+int8StageScale(float scale, float w_scale, std::int32_t m)
+{
+    return (scale * w_scale) *
+           (static_cast<float>(m) / static_cast<float>(runtime::kInt8Max));
+}
+
+/** Requantise one int32 stage output with factor f = 127/m. Stage
+ *  outputs are <= 2*127^2, exactly representable in float, so this is
+ *  the pinned quantizeInt8 semantics applied to the widened value. */
+inline std::int8_t
+requantInt8(std::int32_t y, float f)
+{
+    return runtime::quantizeInt8(static_cast<float>(y), f);
+}
+
+/** One fp16 butterfly pair output: fp32 multiply-add, binary16 round. */
+inline float
+f16PairOut(float w0, float x1, float w1, float x2)
+{
+    return roundToHalf(runtime::madd(w0, x1, w1 * x2));
+}
+
+/** Bias epilogue shared by every QuantizedButterflyLinear path. */
+inline float
+biasEpilogue(QuantKind kind, float v, float b)
+{
+    return kind == QuantKind::Fp16 ? roundToHalf(v + b) : v + b;
+}
+
+// The 512-bit lane helpers below hard-code one vector per block row.
+static_assert(kQBatchRows == 16,
+              "qbutterfly lane helpers assume 16-row blocks");
+
+#if defined(__AVX512F__) && defined(__FP_FAST_FMAF)
+/**
+ * 16-lane fp16 pair op: fmadd + hardware binary16 round - the exact
+ * vector form of f16PairOut (madd is std::fma here, and vcvtps2ph
+ * matches the software rounding bit for bit on finite values), so the
+ * vectorised block path stays bitwise equal to the scalar reference.
+ */
+inline void
+f16PairSweepLanes16(float *x1, float *x2, float w0, float w1, float w2,
+                    float w3)
+{
+    const __m512 a = _mm512_loadu_ps(x1);
+    const __m512 b = _mm512_loadu_ps(x2);
+    const __m512 y1 = _mm512_fmadd_ps(
+        _mm512_set1_ps(w0), a, _mm512_mul_ps(_mm512_set1_ps(w1), b));
+    const __m512 y2 = _mm512_fmadd_ps(
+        _mm512_set1_ps(w2), a, _mm512_mul_ps(_mm512_set1_ps(w3), b));
+    constexpr int rne = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+    _mm512_storeu_ps(x1,
+                     _mm512_cvtph_ps(_mm512_cvtps_ph(y1, rne)));
+    _mm512_storeu_ps(x2,
+                     _mm512_cvtph_ps(_mm512_cvtps_ph(y2, rne)));
+}
+#define FABNET_QBFLY_F16_LANES 1
+#endif
+
+} // namespace
+
+QuantizedButterflyMatrix::QuantizedButterflyMatrix(
+    const ButterflyMatrix &m, QuantKind kind)
+    : n_(m.size()), stages_(m.numStages()), kind_(kind)
+{
+    const std::vector<float> &w = m.weights();
+    if (kind_ == QuantKind::Fp16) {
+        wh_.resize(w.size());
+        for (std::size_t i = 0; i < w.size(); ++i)
+            wh_[i] = roundToHalf(w[i]);
+        return;
+    }
+    wq_.resize(w.size());
+    wscale_.resize(stages_);
+    const std::size_t per_stage = (n_ / 2) * 4;
+    for (std::size_t s = 0; s < stages_; ++s) {
+        const float *ws = w.data() + s * per_stage;
+        wscale_[s] =
+            runtime::int8Scale(runtime::maxAbsRow(ws, per_stage));
+        runtime::quantizeInt8Row(ws, wq_.data() + s * per_stage,
+                                 per_stage, wscale_[s]);
+    }
+}
+
+// --------------------------------------------------------- int8 rows
+
+namespace {
+
+/**
+ * int8 stages over one row held in @p q (int8[n]) with scratch
+ * @p y (int32[n]); returns the final activation scale. The float
+ * expressions here are THE contract - the batched path below runs the
+ * same ones per row.
+ */
+float
+int8StagesRow(const std::int8_t *wq, const float *wscale, std::size_t n,
+              std::size_t stages, float scale, std::int8_t *q,
+              std::int32_t *y)
+{
+    for (std::size_t s = 0; s < stages; ++s) {
+        const std::int8_t *ws = wq + s * (n / 2) * 4;
+        const std::size_t h = std::size_t{1} << s;
+        const std::int8_t *wp = ws;
+        for (std::size_t base = 0; base < n; base += 2 * h) {
+            for (std::size_t j = 0; j < h; ++j, wp += 4) {
+                const std::size_t i1 = base + j;
+                const std::size_t i2 = i1 + h;
+                const std::int32_t x1 = q[i1], x2 = q[i2];
+                y[i1] = wp[0] * x1 + wp[1] * x2;
+                y[i2] = wp[2] * x1 + wp[3] * x2;
+            }
+        }
+        std::int32_t m = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::int32_t a = y[i] < 0 ? -y[i] : y[i];
+            if (a > m)
+                m = a;
+        }
+        if (m == 0) {
+            std::memset(q, 0, n);
+            continue; // scale unchanged; row is exactly zero now
+        }
+        const float f = static_cast<float>(runtime::kInt8Max) /
+                        static_cast<float>(m);
+        for (std::size_t i = 0; i < n; ++i)
+            q[i] = requantInt8(y[i], f);
+        scale = int8StageScale(scale, wscale[s], m);
+    }
+    return scale;
+}
+
+} // namespace
+
+void
+QuantizedButterflyMatrix::applyReference(const float *in,
+                                         float *out) const
+{
+    if (kind_ == QuantKind::Fp16) {
+        std::vector<float> buf(n_);
+        for (std::size_t i = 0; i < n_; ++i)
+            buf[i] = roundToHalf(in[i]);
+        for (std::size_t s = 0; s < stages_; ++s) {
+            const float *ws = wh_.data() + s * (n_ / 2) * 4;
+            for (std::size_t p = 0; p < n_ / 2; ++p) {
+                std::size_t i1, i2;
+                ButterflyMatrix::pairIndices(s, p, i1, i2);
+                const float x1 = buf[i1], x2 = buf[i2];
+                const float *w = ws + p * 4;
+                // In-place is safe: a pair only touches its own lanes.
+                buf[i1] = f16PairOut(w[0], x1, w[1], x2);
+                buf[i2] = f16PairOut(w[2], x1, w[3], x2);
+            }
+        }
+        std::memcpy(out, buf.data(), n_ * sizeof(float));
+        return;
+    }
+
+    const float m_in = runtime::maxAbsRow(in, n_);
+    if (m_in == 0.0f) {
+        std::memset(out, 0, n_ * sizeof(float));
+        return;
+    }
+    float scale = runtime::int8Scale(m_in);
+    std::vector<std::int8_t> q(n_);
+    std::vector<std::int32_t> y(n_);
+    runtime::quantizeInt8Row(in, q.data(), n_, scale);
+    scale = int8StagesRow(wq_.data(), wscale_.data(), n_, stages_, scale,
+                          q.data(), y.data());
+    for (std::size_t i = 0; i < n_; ++i)
+        out[i] = static_cast<float>(q[i]) * scale;
+}
+
+void
+QuantizedButterflyMatrix::apply(const float *in, float *out) const
+{
+    if (kind_ == QuantKind::Fp16) {
+        float *buf = runtime::threadWorkspace<QMatF16Ws>(n_);
+        for (std::size_t i = 0; i < n_; ++i)
+            buf[i] = roundToHalf(in[i]);
+        for (std::size_t s = 0; s < stages_; ++s) {
+            const float *ws = wh_.data() + s * (n_ / 2) * 4;
+            for (std::size_t p = 0; p < n_ / 2; ++p) {
+                std::size_t i1, i2;
+                ButterflyMatrix::pairIndices(s, p, i1, i2);
+                const float x1 = buf[i1], x2 = buf[i2];
+                const float *w = ws + p * 4;
+                buf[i1] = f16PairOut(w[0], x1, w[1], x2);
+                buf[i2] = f16PairOut(w[2], x1, w[3], x2);
+            }
+        }
+        std::memcpy(out, buf, n_ * sizeof(float));
+        return;
+    }
+
+    const float m_in = runtime::maxAbsRow(in, n_);
+    if (m_in == 0.0f) {
+        std::memset(out, 0, n_ * sizeof(float));
+        return;
+    }
+    float scale = runtime::int8Scale(m_in);
+    std::int8_t *q =
+        runtime::threadWorkspaceAs<QMatI8Ws, std::int8_t>(n_);
+    std::int32_t *y =
+        runtime::threadWorkspaceAs<QMatI32Ws, std::int32_t>(n_);
+    runtime::quantizeInt8Row(in, q, n_, scale);
+    scale = int8StagesRow(wq_.data(), wscale_.data(), n_, stages_, scale,
+                          q, y);
+    for (std::size_t i = 0; i < n_; ++i)
+        out[i] = static_cast<float>(q[i]) * scale;
+}
+
+void
+QuantizedButterflyMatrix::applyRows(const float *in, float *out,
+                                    std::size_t rows) const
+{
+    for (std::size_t r0 = 0; r0 < rows; r0 += kQBatchRows) {
+        const std::size_t nb = std::min(kQBatchRows, rows - r0);
+        if (kind_ == QuantKind::Fp16) {
+            // Transposed [n, nb] block, operands rounded on load; each
+            // pair op is the same f16PairOut expression as the scalar
+            // path, so results match it bitwise.
+            float *buf =
+                runtime::threadWorkspace<QMatF16Ws>(n_ * kQBatchRows);
+            for (std::size_t i = 0; i < n_; ++i) {
+                const float *src = in + r0 * n_ + i;
+                float *dst = buf + i * nb;
+                for (std::size_t r = 0; r < nb; ++r)
+                    dst[r] = roundToHalf(src[r * n_]);
+            }
+            for (std::size_t s = 0; s < stages_; ++s) {
+                const float *wp = wh_.data() + s * (n_ / 2) * 4;
+                const std::size_t h = std::size_t{1} << s;
+                for (std::size_t base = 0; base < n_; base += 2 * h) {
+                    for (std::size_t j = 0; j < h; ++j, wp += 4) {
+                        float *x1 = buf + (base + j) * nb;
+                        float *x2 = x1 + h * nb;
+                        const float w0 = wp[0], w1 = wp[1];
+                        const float w2 = wp[2], w3 = wp[3];
+#if defined(FABNET_QBFLY_F16_LANES)
+                        if (nb == kQBatchRows) {
+                            f16PairSweepLanes16(x1, x2, w0, w1, w2,
+                                                w3);
+                            continue;
+                        }
+#endif
+                        for (std::size_t r = 0; r < nb; ++r) {
+                            const float a = x1[r], b = x2[r];
+                            x1[r] = f16PairOut(w0, a, w1, b);
+                            x2[r] = f16PairOut(w2, a, w3, b);
+                        }
+                    }
+                }
+            }
+            for (std::size_t r = 0; r < nb; ++r) {
+                const float *src = buf + r;
+                float *dst = out + (r0 + r) * n_;
+                for (std::size_t i = 0; i < n_; ++i)
+                    dst[i] = src[i * nb];
+            }
+            continue;
+        }
+
+        // int8: transposed int8 block + int32 stage buffer + per-row
+        // scales. Integer stage ops are exact in any order; the float
+        // quantise/requantise expressions run per row exactly as in
+        // int8StagesRow.
+        std::int8_t *q = runtime::threadWorkspaceAs<QMatI8Ws,
+                                                    std::int8_t>(
+            n_ * kQBatchRows);
+        std::int32_t *y = runtime::threadWorkspaceAs<QMatI32Ws,
+                                                     std::int32_t>(
+            n_ * kQBatchRows);
+        float *scale = runtime::threadWorkspace<QMatScaleWs>(kQBatchRows);
+
+        for (std::size_t r = 0; r < nb; ++r) {
+            const float *row = in + (r0 + r) * n_;
+            const float m_in = runtime::maxAbsRow(row, n_);
+            if (m_in == 0.0f) {
+                scale[r] = 0.0f; // dequantises to exact zeros below
+                for (std::size_t i = 0; i < n_; ++i)
+                    q[i * nb + r] = 0;
+                continue;
+            }
+            scale[r] = runtime::int8Scale(m_in);
+            const float inv = 1.0f / scale[r];
+            for (std::size_t i = 0; i < n_; ++i)
+                q[i * nb + r] = runtime::quantizeInt8(row[i], inv);
+        }
+
+        for (std::size_t s = 0; s < stages_; ++s) {
+            const std::int8_t *wp = wq_.data() + s * (n_ / 2) * 4;
+            const std::size_t h = std::size_t{1} << s;
+            const std::int8_t *w = wp;
+            for (std::size_t base = 0; base < n_; base += 2 * h) {
+                for (std::size_t j = 0; j < h; ++j, w += 4) {
+                    std::int8_t *x1 = q + (base + j) * nb;
+                    std::int8_t *x2 = x1 + h * nb;
+                    std::int32_t *y1 = y + (base + j) * nb;
+                    std::int32_t *y2 = y1 + h * nb;
+                    const std::int32_t w0 = w[0], w1 = w[1];
+                    const std::int32_t w2 = w[2], w3 = w[3];
+                    for (std::size_t r = 0; r < nb; ++r) {
+                        const std::int32_t a = x1[r], b = x2[r];
+                        y1[r] = w0 * a + w1 * b;
+                        y2[r] = w2 * a + w3 * b;
+                    }
+                }
+            }
+#if defined(__AVX512F__)
+            if (nb == kQBatchRows) {
+                // Lane-parallel requantisation: the per-row max and
+                // the round/clamp run vertically over contiguous
+                // 16-lane vectors. Same product rounding, RNE
+                // conversion and clamp as requantInt8; a zero-max
+                // lane gets factor 0.0, which maps its (all-zero)
+                // int32s to exact zeros like the scalar path.
+                __m512i vm = _mm512_setzero_si512();
+                for (std::size_t i = 0; i < n_; ++i)
+                    vm = _mm512_max_epi32(
+                        vm, _mm512_abs_epi32(_mm512_loadu_si512(
+                                y + i * nb)));
+                alignas(64) std::int32_t m[kQBatchRows];
+                alignas(64) float f[kQBatchRows];
+                _mm512_store_si512(m, vm);
+                for (std::size_t r = 0; r < nb; ++r)
+                    f[r] = m[r] != 0
+                               ? static_cast<float>(runtime::kInt8Max) /
+                                     static_cast<float>(m[r])
+                               : 0.0f;
+                const __m512 vf = _mm512_load_ps(f);
+                const __m512i lo =
+                    _mm512_set1_epi32(-runtime::kInt8Max);
+                const __m512i hi =
+                    _mm512_set1_epi32(runtime::kInt8Max);
+                for (std::size_t i = 0; i < n_; ++i) {
+                    const __m512 p = _mm512_mul_ps(
+                        _mm512_cvtepi32_ps(
+                            _mm512_loadu_si512(y + i * nb)),
+                        vf);
+                    __m512i r32 = _mm512_cvtps_epi32(p);
+                    r32 = _mm512_min_epi32(
+                        _mm512_max_epi32(r32, lo), hi);
+                    _mm_storeu_si128(
+                        reinterpret_cast<__m128i *>(q + i * nb),
+                        _mm512_cvtsepi32_epi8(r32));
+                }
+                for (std::size_t r = 0; r < nb; ++r)
+                    if (m[r] != 0)
+                        scale[r] = int8StageScale(scale[r],
+                                                  wscale_[s], m[r]);
+                continue;
+            }
+#endif
+            for (std::size_t r = 0; r < nb; ++r) {
+                std::int32_t m = 0;
+                for (std::size_t i = 0; i < n_; ++i) {
+                    const std::int32_t v = y[i * nb + r];
+                    const std::int32_t a = v < 0 ? -v : v;
+                    if (a > m)
+                        m = a;
+                }
+                if (m == 0) {
+                    for (std::size_t i = 0; i < n_; ++i)
+                        q[i * nb + r] = 0;
+                    continue;
+                }
+                const float f = static_cast<float>(runtime::kInt8Max) /
+                                static_cast<float>(m);
+                for (std::size_t i = 0; i < n_; ++i)
+                    q[i * nb + r] = requantInt8(y[i * nb + r], f);
+                scale[r] = int8StageScale(scale[r], wscale_[s], m);
+            }
+        }
+
+        for (std::size_t r = 0; r < nb; ++r) {
+            float *dst = out + (r0 + r) * n_;
+            for (std::size_t i = 0; i < n_; ++i)
+                dst[i] = static_cast<float>(q[i * nb + r]) * scale[r];
+        }
+    }
+}
+
+Tensor
+QuantizedButterflyMatrix::applyBatch(const Tensor &x) const
+{
+    if (x.rank() != 2 || x.dim(1) != n_)
+        throw std::invalid_argument(
+            "QuantizedButterflyMatrix::applyBatch: [rows, n] required");
+    const std::size_t rows = x.dim(0);
+    Tensor y = Tensor::zeros(rows, n_);
+    const float *px = x.data();
+    float *py = y.data();
+    runtime::parallelFor(0, rows, kQBatchRows,
+                         [&](std::size_t r0, std::size_t r1) {
+                             applyRows(px + r0 * n_, py + r0 * n_,
+                                       r1 - r0);
+                         });
+    return y;
+}
+
+Tensor
+QuantizedButterflyMatrix::applyBatchReference(const Tensor &x) const
+{
+    if (x.rank() != 2 || x.dim(1) != n_)
+        throw std::invalid_argument(
+            "QuantizedButterflyMatrix::applyBatchReference: [rows, n] "
+            "required");
+    Tensor y = Tensor::zeros(x.dim(0), n_);
+    for (std::size_t r = 0; r < x.dim(0); ++r)
+        applyReference(x.data() + r * n_, y.data() + r * n_);
+    return y;
+}
+
+// ------------------------------------------- QuantizedButterflyLinear
+
+QuantizedButterflyLinear::QuantizedButterflyLinear(
+    const ButterflyLinear &lin, QuantKind kind)
+    : in_(lin.inFeatures()), out_(lin.outFeatures()),
+      core_n_(lin.coreSize()), kind_(kind), bias_(lin.bias())
+{
+    cores_.reserve(lin.numCores());
+    for (std::size_t c = 0; c < lin.numCores(); ++c)
+        cores_.emplace_back(lin.core(c), kind);
+    if (kind_ == QuantKind::Fp16)
+        for (float &b : bias_)
+            b = roundToHalf(b);
+}
+
+void
+QuantizedButterflyLinear::apply(const float *in, float *out) const
+{
+    float *scratch = runtime::threadWorkspace<QLinWs>(2 * core_n_);
+    float *padded = scratch;
+    float *core_out = scratch + core_n_;
+    std::fill(padded, padded + core_n_, 0.0f);
+    std::memcpy(padded, in, in_ * sizeof(float));
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        cores_[c].apply(padded, core_out);
+        const std::size_t base = c * core_n_;
+        const std::size_t take = std::min(core_n_, out_ - base);
+        for (std::size_t j = 0; j < take; ++j)
+            out[base + j] =
+                biasEpilogue(kind_, core_out[j], bias_[base + j]);
+    }
+}
+
+Tensor
+QuantizedButterflyLinear::applyBatch(const Tensor &x) const
+{
+    if (x.rank() != 2 || x.dim(1) != in_)
+        throw std::invalid_argument(
+            "QuantizedButterflyLinear::applyBatch: [rows, in] required");
+    const std::size_t rows = x.dim(0);
+    Tensor y = Tensor::zeros(rows, out_);
+    const float *px = x.data();
+    float *py = y.data();
+    runtime::parallelFor(0, rows, kQBatchRows, [&](std::size_t r0,
+                                                   std::size_t r1) {
+        const std::size_t nb = r1 - r0;
+        float *scratch =
+            runtime::threadWorkspace<QLinWs>(2 * kQBatchRows * core_n_);
+        float *padded = scratch;
+        float *core_out = scratch + nb * core_n_;
+        std::fill(padded, padded + nb * core_n_, 0.0f);
+        for (std::size_t r = 0; r < nb; ++r)
+            std::memcpy(padded + r * core_n_, px + (r0 + r) * in_,
+                        in_ * sizeof(float));
+        for (std::size_t c = 0; c < cores_.size(); ++c) {
+            cores_[c].applyRows(padded, core_out, nb);
+            const std::size_t base = c * core_n_;
+            const std::size_t take = std::min(core_n_, out_ - base);
+            for (std::size_t r = 0; r < nb; ++r) {
+                const float *src = core_out + r * core_n_;
+                float *dst = py + (r0 + r) * out_ + base;
+                for (std::size_t j = 0; j < take; ++j)
+                    dst[j] = biasEpilogue(kind_, src[j],
+                                          bias_[base + j]);
+            }
+        }
+    });
+    return y;
+}
+
+Tensor
+QuantizedButterflyLinear::applyBatchReference(const Tensor &x) const
+{
+    if (x.rank() != 2 || x.dim(1) != in_)
+        throw std::invalid_argument(
+            "QuantizedButterflyLinear::applyBatchReference: [rows, in] "
+            "required");
+    Tensor y = Tensor::zeros(x.dim(0), out_);
+    for (std::size_t r = 0; r < x.dim(0); ++r) {
+        std::vector<float> padded(core_n_, 0.0f);
+        std::memcpy(padded.data(), x.data() + r * in_,
+                    in_ * sizeof(float));
+        std::vector<float> core_out(core_n_);
+        float *out = y.data() + r * out_;
+        for (std::size_t c = 0; c < cores_.size(); ++c) {
+            cores_[c].applyReference(padded.data(), core_out.data());
+            const std::size_t base = c * core_n_;
+            const std::size_t take = std::min(core_n_, out_ - base);
+            for (std::size_t j = 0; j < take; ++j)
+                out[base + j] = biasEpilogue(kind_, core_out[j],
+                                             bias_[base + j]);
+        }
+    }
+    return y;
+}
+
+} // namespace fabnet

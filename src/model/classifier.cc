@@ -69,6 +69,15 @@ SequenceClassifier::forwardBatch(const std::vector<int> &tokens,
     return head_.forwardMasked(x, lens);
 }
 
+std::size_t
+SequenceClassifier::quantizeLinears(QuantKind kind)
+{
+    std::size_t replaced = 0;
+    for (auto &blk : blocks_)
+        replaced += blk->quantizeLinears(kind);
+    return replaced;
+}
+
 bool
 SequenceClassifier::supportsMaskedBatch() const
 {

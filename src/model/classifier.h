@@ -82,6 +82,23 @@ class SequenceClassifier
     bool supportsMaskedBatch() const;
 
     /**
+     * Replace every linear inside the encoder blocks (attention
+     * projections, FFN linears - dense or butterfly) with its
+     * inference-only quantized form (nn::QuantizedDense /
+     * nn::QuantizedButterflyDense). Embedding, layer norms, the
+     * attention core and the pooled head stay fp32, mirroring the
+     * paper's split between the reduced-precision engines and the
+     * fp32 host glue. Returns the number of layers replaced. The
+     * model must not be trained afterwards (backward throws); forward,
+     * forwardBatch, evaluate and serving keep working, and the
+     * quantized layers are row-wise so supportsMaskedBatch() - and
+     * with it the serving engine's determinism guarantee - is
+     * unaffected. Usually reached through QuantizedSequenceClassifier
+     * (model/quantized.h).
+     */
+    std::size_t quantizeLinears(QuantKind kind);
+
+    /**
      * One optimisation step on a batch.
      * @return the batch cross-entropy loss.
      */

@@ -311,5 +311,14 @@ MultiHeadAttention::collectParams(std::vector<ParamRef> &out)
     proj_o_->collectParams(out);
 }
 
+std::size_t
+MultiHeadAttention::quantizeLinears(QuantKind kind)
+{
+    return quantizeChildLayer(proj_q_, kind) +
+           quantizeChildLayer(proj_k_, kind) +
+           quantizeChildLayer(proj_v_, kind) +
+           quantizeChildLayer(proj_o_, kind);
+}
+
 } // namespace nn
 } // namespace fabnet

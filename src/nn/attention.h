@@ -71,6 +71,13 @@ class MultiHeadAttention : public Layer
     Tensor backward(const Tensor &grad_out) override;
     void collectParams(std::vector<ParamRef> &out) override;
 
+    /**
+     * Swap the Q/K/V/output projections for their quantized forms (the
+     * attention core - scores, softmax, context - stays fp32, as in
+     * the paper's post-processing path). Inference-only afterwards.
+     */
+    std::size_t quantizeLinears(QuantKind kind) override;
+
     std::size_t heads() const { return heads_; }
     std::size_t headDim() const { return d_model_ / heads_; }
 

@@ -47,6 +47,14 @@ FeedForward::collectParams(std::vector<ParamRef> &out)
     lin2_->collectParams(out);
 }
 
+std::size_t
+FeedForward::quantizeLinears(QuantKind kind)
+{
+    return quantizeChildLayer(lin1_, kind) +
+           quantizeChildLayer(act_, kind) +
+           quantizeChildLayer(lin2_, kind);
+}
+
 EncoderBlock::EncoderBlock(std::size_t d_model,
                            std::unique_ptr<Layer> mixer,
                            std::unique_ptr<Layer> ffn)
@@ -103,6 +111,13 @@ EncoderBlock::collectParams(std::vector<ParamRef> &out)
     ffn_->collectParams(out);
     ln1_.collectParams(out);
     ln2_.collectParams(out);
+}
+
+std::size_t
+EncoderBlock::quantizeLinears(QuantKind kind)
+{
+    return quantizeChildLayer(mixer_, kind) +
+           quantizeChildLayer(ffn_, kind);
 }
 
 } // namespace nn

@@ -32,6 +32,7 @@ class FeedForward : public Layer
     Tensor forward(const Tensor &x) override;
     Tensor backward(const Tensor &grad_out) override;
     void collectParams(std::vector<ParamRef> &out) override;
+    std::size_t quantizeLinears(QuantKind kind) override;
 
     bool supportsMasking() const override
     {
@@ -63,6 +64,9 @@ class EncoderBlock : public Layer
 
     Tensor backward(const Tensor &grad_out) override;
     void collectParams(std::vector<ParamRef> &out) override;
+
+    /** Quantize the mixer's and FFN's linears; LayerNorms stay fp32. */
+    std::size_t quantizeLinears(QuantKind kind) override;
 
     bool supportsMasking() const override
     {

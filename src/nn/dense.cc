@@ -16,6 +16,11 @@ namespace {
 /** Workspace tag for the per-call W^T copy in Dense::forward. */
 struct DenseWtWs;
 
+/** Workspace tags for QuantizedDense's per-call activation scratch. */
+struct QDenseAqWs;    ///< int8 activations
+struct QDenseScaleWs; ///< per-row activation scales
+struct QDenseAhWs;    ///< fp16-rounded activation floats
+
 /** Rows when the last dim is treated as features. */
 std::size_t
 rowCount(const Tensor &x)
@@ -124,6 +129,110 @@ Dense::collectParams(std::vector<ParamRef> &out)
     out.push_back({&b_, &gb_});
 }
 
+std::unique_ptr<Layer>
+Dense::quantizedReplacement(QuantKind kind) const
+{
+    return std::make_unique<QuantizedDense>(*this, kind);
+}
+
+QuantizedDense::QuantizedDense(const Dense &dense, QuantKind kind)
+    : in_(dense.inFeatures()), out_(dense.outFeatures()), kind_(kind)
+{
+    const std::vector<float> &w = dense.weight(); // [out, in]
+    if (kind_ == QuantKind::Fp16) {
+        // Round through binary16 and hold one shared widened [in, out]
+        // panel: the GEMM consumes fp16-representable fp32 values, so
+        // building the panel once at construction beats both per-call
+        // rebuilds and retaining the raw binary16 bits nothing reads.
+        std::vector<std::uint16_t> w16(w.size());
+        runtime::floatToHalfBitsRow(w.data(), w16.data(), w.size());
+        wt_h_.resize(w.size());
+        for (std::size_t o = 0; o < out_; ++o)
+            for (std::size_t i = 0; i < in_; ++i)
+                wt_h_[i * out_ + o] = halfBitsToFloat(w16[o * in_ + i]);
+        bias_h_.resize(out_);
+        for (std::size_t o = 0; o < out_; ++o)
+            bias_h_[o] = roundToHalf(dense.bias()[o]);
+        return;
+    }
+    // int8: quantise each output feature's row, transpose to [in, out]
+    // and pack pairs once - the panel consumes it with zero per-call
+    // weight prep (the fp32 layer re-transposes every forward).
+    bias_ = dense.bias();
+    wscale_.resize(out_);
+    std::vector<std::int8_t> wq(w.size());
+    for (std::size_t o = 0; o < out_; ++o) {
+        const float *row = w.data() + o * in_;
+        wscale_[o] =
+            runtime::int8Scale(runtime::maxAbsRow(row, in_));
+        runtime::quantizeInt8Row(row, wq.data() + o * in_, in_,
+                                 wscale_[o]);
+    }
+    std::vector<std::int8_t> wqt(w.size());
+    runtime::transposeInto(wqt.data(), wq.data(), out_, in_);
+    bp_.resize(((in_ + 1) / 2) * out_ * 2);
+    runtime::packInt8PairsB(wqt.data(), bp_.data(), in_, out_);
+}
+
+Tensor
+QuantizedDense::forward(const Tensor &x)
+{
+    if (x.shape().back() != in_)
+        throw std::invalid_argument(
+            "QuantizedDense::forward: feature mismatch");
+    const std::size_t rows = rowCount(x);
+
+    std::vector<std::size_t> out_shape = x.shape();
+    out_shape.back() = out_;
+    Tensor y(out_shape);
+    const float *px = x.data();
+    float *py = y.data();
+
+    if (kind_ == QuantKind::Fp16) {
+        float *ah = runtime::threadWorkspace<QDenseAhWs>(rows * in_);
+        std::memcpy(ah, px, rows * in_ * sizeof(float));
+        runtime::roundRowToHalf(ah, rows * in_);
+        const float *wt = wt_h_.data();
+        const float *pb = bias_h_.data();
+        runtime::parallelFor(0, rows, 8,
+                             [&](std::size_t r0, std::size_t r1) {
+                                 runtime::gemmRowsF16(ah, wt, py, r0, r1,
+                                                      in_, out_, pb);
+                             });
+        return y;
+    }
+
+    std::int8_t *aq =
+        runtime::threadWorkspaceAs<QDenseAqWs, std::int8_t>(rows * in_);
+    float *sa = runtime::threadWorkspace<QDenseScaleWs>(rows);
+    runtime::parallelFor(0, rows, 16,
+                         [&](std::size_t r0, std::size_t r1) {
+                             for (std::size_t r = r0; r < r1; ++r) {
+                                 const float *row = px + r * in_;
+                                 sa[r] = runtime::int8Scale(
+                                     runtime::maxAbsRow(row, in_));
+                                 runtime::quantizeInt8Row(
+                                     row, aq + r * in_, in_, sa[r]);
+                             }
+                         });
+    const std::int16_t *bp = bp_.data();
+    const float *sb = wscale_.data();
+    const float *pb = bias_.data();
+    runtime::parallelFor(0, rows, 8,
+                         [&](std::size_t r0, std::size_t r1) {
+                             runtime::gemmRowsInt8(aq, bp, py, r0, r1,
+                                                   in_, out_, sa, sb,
+                                                   pb);
+                         });
+    return y;
+}
+
+Tensor
+QuantizedDense::backward(const Tensor &)
+{
+    throw std::logic_error("QuantizedDense is inference-only");
+}
+
 ButterflyDense::ButterflyDense(std::size_t in_features,
                                std::size_t out_features, Rng &rng)
     : op_(in_features, out_features), grad_bias_(out_features, 0.0f)
@@ -189,6 +298,39 @@ ButterflyDense::collectParams(std::vector<ParamRef> &out)
     for (std::size_t c = 0; c < op_.numCores(); ++c)
         out.push_back({&op_.core(c).weights(), &grad_cores_[c]});
     out.push_back({&op_.bias(), &grad_bias_});
+}
+
+std::unique_ptr<Layer>
+ButterflyDense::quantizedReplacement(QuantKind kind) const
+{
+    return std::make_unique<QuantizedButterflyDense>(*this, kind);
+}
+
+QuantizedButterflyDense::QuantizedButterflyDense(
+    const ButterflyDense &dense, QuantKind kind)
+    : op_(dense.op(), kind)
+{
+}
+
+Tensor
+QuantizedButterflyDense::forward(const Tensor &x)
+{
+    if (x.shape().back() != op_.inFeatures())
+        throw std::invalid_argument(
+            "QuantizedButterflyDense::forward: feature mismatch");
+    const std::size_t rows = x.size() / op_.inFeatures();
+    std::vector<std::size_t> out_shape = x.shape();
+    out_shape.back() = op_.outFeatures();
+    const Tensor y =
+        op_.applyBatch(x.reshaped({rows, op_.inFeatures()}));
+    return y.reshaped(out_shape);
+}
+
+Tensor
+QuantizedButterflyDense::backward(const Tensor &)
+{
+    throw std::logic_error(
+        "QuantizedButterflyDense is inference-only");
 }
 
 } // namespace nn

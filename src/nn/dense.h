@@ -8,9 +8,11 @@
 #ifndef FABNET_NN_DENSE_H
 #define FABNET_NN_DENSE_H
 
+#include <cstdint>
 #include <vector>
 
 #include "butterfly/butterfly.h"
+#include "butterfly/qbutterfly.h"
 #include "nn/layer.h"
 #include "tensor/rng.h"
 
@@ -26,12 +28,16 @@ class Dense : public Layer
     Tensor forward(const Tensor &x) override;
     Tensor backward(const Tensor &grad_out) override;
     void collectParams(std::vector<ParamRef> &out) override;
+    std::unique_ptr<Layer> quantizedReplacement(QuantKind kind) const
+        override;
 
     std::size_t inFeatures() const { return in_; }
     std::size_t outFeatures() const { return out_; }
 
     std::vector<float> &weight() { return w_; }
     std::vector<float> &bias() { return b_; }
+    const std::vector<float> &weight() const { return w_; }
+    const std::vector<float> &bias() const { return b_; }
 
   private:
     std::size_t in_, out_;
@@ -53,6 +59,8 @@ class ButterflyDense : public Layer
     Tensor forward(const Tensor &x) override;
     Tensor backward(const Tensor &grad_out) override;
     void collectParams(std::vector<ParamRef> &out) override;
+    std::unique_ptr<Layer> quantizedReplacement(QuantKind kind) const
+        override;
 
     const ButterflyLinear &op() const { return op_; }
     ButterflyLinear &op() { return op_; }
@@ -64,6 +72,69 @@ class ButterflyDense : public Layer
     std::vector<float> caches_; // per-row activation caches
     std::vector<std::size_t> in_shape_;
     std::size_t rows_ = 0;
+};
+
+/**
+ * Inference-only reduced-precision Dense, built from a trained Dense.
+ *
+ * int8: weights quantised per output feature at construction
+ * (symmetric, runtime/kernels.h semantics) and held pre-packed for the
+ * int8 GEMM panel - unlike fp32 Dense there is no per-call weight
+ * prep. Activations are quantised dynamically per row; accumulation is
+ * exact int32; outputs dequantise to fp32 with the fp32 bias added as
+ * a separate rounded op.
+ *
+ * fp16: weights and bias rounded through binary16 at construction and
+ * held as one shared widened/transposed fp32 panel; activations are
+ * rounded through binary16 per call, accumulation runs in fp32 and
+ * outputs round through binary16 (gemmRowsF16).
+ *
+ * Both modes are bitwise thread-count-invariant; int8 additionally
+ * matches the scalar reference GEMM exactly. backward() throws -
+ * quantized layers do not train.
+ */
+class QuantizedDense : public Layer
+{
+  public:
+    QuantizedDense(const Dense &dense, QuantKind kind);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+    QuantKind kind() const { return kind_; }
+    std::size_t inFeatures() const { return in_; }
+    std::size_t outFeatures() const { return out_; }
+
+    /** Per-output-feature int8 weight scales (empty in fp16 mode). */
+    const std::vector<float> &weightScales() const { return wscale_; }
+
+  private:
+    std::size_t in_, out_;
+    QuantKind kind_;
+    // int8 mode: W^T quantised and packed for gemmRowsInt8.
+    std::vector<std::int16_t> bp_;
+    std::vector<float> wscale_;
+    std::vector<float> bias_;
+    // fp16 mode: binary16-rounded weights, widened once to fp32.
+    std::vector<float> wt_h_;   ///< [in, out] fp16-representable floats
+    std::vector<float> bias_h_; ///< fp16-representable floats
+};
+
+/** Inference-only quantized butterfly linear layer (drop-in for
+ *  ButterflyDense; same int8/fp16 contracts via qbutterfly.h). */
+class QuantizedButterflyDense : public Layer
+{
+  public:
+    QuantizedButterflyDense(const ButterflyDense &dense, QuantKind kind);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+    QuantKind kind() const { return op_.kind(); }
+    const QuantizedButterflyLinear &op() const { return op_; }
+
+  private:
+    QuantizedButterflyLinear op_;
 };
 
 } // namespace nn

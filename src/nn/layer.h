@@ -12,8 +12,10 @@
 #ifndef FABNET_NN_LAYER_H
 #define FABNET_NN_LAYER_H
 
+#include <memory>
 #include <vector>
 
+#include "tensor/quant.h"
 #include "tensor/tensor.h"
 
 namespace fabnet {
@@ -83,6 +85,34 @@ class Layer
         (void)out;
     }
 
+    /**
+     * Inference-only reduced-precision replacement for this layer, or
+     * null for layers that keep computing in fp32. Overridden by the
+     * linears (Dense -> QuantizedDense, ButterflyDense ->
+     * QuantizedButterflyDense) - the projections/FFNs are where the
+     * weights and the multiply-accumulate work live, exactly the parts
+     * the paper's datapath runs in reduced precision. Row-wise glue
+     * (LayerNorm, activations, softmax, residuals) stays fp32.
+     */
+    virtual std::unique_ptr<Layer> quantizedReplacement(QuantKind kind) const
+    {
+        (void)kind;
+        return nullptr;
+    }
+
+    /**
+     * Recursively swap every child linear for its quantized
+     * replacement (composite layers override: attention projections,
+     * FFN linears, encoder-block children). Returns the number of
+     * layers replaced. After this the layer is inference-only:
+     * backward() on a replaced child throws.
+     */
+    virtual std::size_t quantizeLinears(QuantKind kind)
+    {
+        (void)kind;
+        return 0;
+    }
+
     /** Number of trainable scalars. */
     std::size_t numParams()
     {
@@ -101,6 +131,21 @@ zeroGrads(const std::vector<ParamRef> &params)
 {
     for (const auto &p : params)
         std::fill(p.grad->begin(), p.grad->end(), 0.0f);
+}
+
+/**
+ * Quantize one owned child: replace it outright when it offers a
+ * quantized form, otherwise recurse into its own children. Composite
+ * layers call this on each child from their quantizeLinears override.
+ */
+inline std::size_t
+quantizeChildLayer(std::unique_ptr<Layer> &child, QuantKind kind)
+{
+    if (auto q = child->quantizedReplacement(kind)) {
+        child = std::move(q);
+        return 1;
+    }
+    return child->quantizeLinears(kind);
 }
 
 } // namespace nn

@@ -1,16 +1,31 @@
 /**
  * @file quantize.h
- * fp16 weight quantisation. The accelerator stores all weights and
- * activations as 16-bit floats (Sec. VI-A); quantising a trained
- * model's parameters through Half and re-evaluating bounds the
- * deployment-time accuracy impact.
+ * Model-level quantisation semantics: fp16 weight rounding (the
+ * accelerator stores all weights and activations as 16-bit floats,
+ * Sec. VI-A) and the symmetric saturating int8 scheme the int8 runtime
+ * kernels compute in.
+ *
+ * The int8 helpers here delegate to the same runtime/kernels.h
+ * primitives the GEMM/butterfly kernels use, so the round-trip and
+ * saturation behaviour the golden tests pin down
+ * (tests/quantize_golden_test.cpp) is, by construction, the behaviour
+ * of every int8 datapath in the repo:
+ *
+ *   scale        = max|x| / 127          (1.0 when all-zero)
+ *   q            = clamp(rne(x * (1/scale)), -127, 127)
+ *   dequant(q)   = q * scale
+ *   |x - dq|     <= scale/2 (+1 ulp) for in-range x; out-of-range x
+ *                  saturates to +/-127 * scale (never -128: the grid
+ *                  is symmetric, negation is exact)
  */
 #ifndef FABNET_NN_QUANTIZE_H
 #define FABNET_NN_QUANTIZE_H
 
+#include <cstdint>
 #include <vector>
 
 #include "nn/layer.h"
+#include "runtime/kernels.h"
 #include "tensor/half.h"
 
 namespace fabnet {
@@ -33,6 +48,48 @@ maxQuantizationError(const std::vector<ParamRef> &params)
     for (const auto &p : params)
         for (float w : *p.value)
             m = std::max(m, std::abs(w - roundToHalf(w)));
+    return m;
+}
+
+/** A vector quantised to int8 with one shared symmetric scale. */
+struct Int8Vector
+{
+    std::vector<std::int8_t> q;
+    float scale = 1.0f;
+};
+
+/** Symmetric per-tensor int8 quantisation of @p values. */
+inline Int8Vector
+quantizeInt8(const std::vector<float> &values)
+{
+    Int8Vector out;
+    out.q.resize(values.size());
+    out.scale = runtime::int8Scale(
+        runtime::maxAbsRow(values.data(), values.size()));
+    runtime::quantizeInt8Row(values.data(), out.q.data(), values.size(),
+                             out.scale);
+    return out;
+}
+
+/** Dequantise back to fp32. */
+inline std::vector<float>
+dequantizeInt8(const Int8Vector &v)
+{
+    std::vector<float> out(v.q.size());
+    for (std::size_t i = 0; i < v.q.size(); ++i)
+        out[i] = static_cast<float>(v.q[i]) * v.scale;
+    return out;
+}
+
+/** Largest absolute int8 round-trip error over @p values (dry run). */
+inline float
+maxInt8QuantizationError(const std::vector<float> &values)
+{
+    const Int8Vector v = quantizeInt8(values);
+    float m = 0.0f;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        m = std::max(m, std::abs(values[i] -
+                                 static_cast<float>(v.q[i]) * v.scale));
     return m;
 }
 

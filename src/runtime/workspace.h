@@ -38,11 +38,11 @@ namespace detail {
 
 inline std::atomic<std::size_t> g_workspace_cap_bytes{0};
 
-template <class Tag>
-inline std::vector<float> &
+template <class Tag, class T>
+inline std::vector<T> &
 workspaceStorage()
 {
-    thread_local std::vector<float> ws;
+    thread_local std::vector<T> ws;
     return ws;
 }
 
@@ -67,6 +67,31 @@ workspaceCapBytes()
 }
 
 /**
+ * Typed scratch buffer of at least @p count elements of @p T for the
+ * calling thread and @p Tag. The pointer stays valid until the next
+ * call with the same (Tag, T) on this thread. The quantized kernels
+ * use std::int8_t / std::int32_t / std::uint16_t element types; each
+ * (Tag, T) pair owns disjoint storage and the retention cap applies
+ * per buffer in bytes.
+ */
+template <class Tag, class T>
+inline T *
+threadWorkspaceAs(std::size_t count)
+{
+    std::vector<T> &ws = detail::workspaceStorage<Tag, T>();
+    const std::size_t cap_elems = workspaceCapBytes() / sizeof(T);
+    if (cap_elems != 0 && count <= cap_elems &&
+        ws.capacity() > cap_elems) {
+        // Retained scratch exceeds the cap while the live request fits
+        // under it: release and start over at the requested size.
+        std::vector<T>().swap(ws);
+    }
+    if (ws.size() < count)
+        ws.resize(count);
+    return ws.data();
+}
+
+/**
  * Scratch buffer of at least @p floats floats for the calling thread
  * and @p Tag. The pointer stays valid until the next call with the
  * same Tag on this thread.
@@ -75,26 +100,15 @@ template <class Tag>
 inline float *
 threadWorkspace(std::size_t floats)
 {
-    std::vector<float> &ws = detail::workspaceStorage<Tag>();
-    const std::size_t cap_floats =
-        workspaceCapBytes() / sizeof(float);
-    if (cap_floats != 0 && floats <= cap_floats &&
-        ws.capacity() > cap_floats) {
-        // Retained scratch exceeds the cap while the live request fits
-        // under it: release and start over at the requested size.
-        std::vector<float>().swap(ws);
-    }
-    if (ws.size() < floats)
-        ws.resize(floats);
-    return ws.data();
+    return threadWorkspaceAs<Tag, float>(floats);
 }
 
-/** Bytes currently retained by this thread's Tag buffer (for tests). */
-template <class Tag>
+/** Bytes currently retained by this thread's (Tag, T) buffer (tests). */
+template <class Tag, class T = float>
 inline std::size_t
 threadWorkspaceCapacityBytes()
 {
-    return detail::workspaceStorage<Tag>().capacity() * sizeof(float);
+    return detail::workspaceStorage<Tag, T>().capacity() * sizeof(T);
 }
 
 } // namespace runtime

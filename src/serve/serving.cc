@@ -159,7 +159,7 @@ ServingEngine::stats() const
     return stats_;
 }
 
-bool
+void
 ServingEngine::runGroup(const BatchGroup &group, std::vector<Pending> reqs)
 {
     const std::size_t bsz = reqs.size();
@@ -186,14 +186,29 @@ ServingEngine::runGroup(const BatchGroup &group, std::vector<Pending> reqs)
     } catch (...) {
         // A bad request (e.g. token id outside the vocab) fails its
         // whole batch; surface the error on every affected future
-        // instead of killing the dispatcher.
+        // instead of killing the dispatcher. As above, count the
+        // failures before the futures become ready.
+        {
+            std::lock_guard<std::mutex> guard(mu_);
+            stats_.failed += bsz;
+        }
         for (std::size_t i = 0; i < bsz; ++i)
             reqs[i].promise.set_exception(std::current_exception());
-        return false;
+        return;
+    }
+    // Publish the batch's outcome counters BEFORE fulfilling any
+    // promise: a client thread that wakes from future.get() and
+    // immediately calls stats() must already see this batch counted
+    // (tests/serving_test.cpp relies on it).
+    {
+        std::lock_guard<std::mutex> guard(mu_);
+        stats_.completed += bsz;
+        for (const Pending &p : reqs)
+            stats_.real_tokens += p.tokens.size();
+        stats_.padded_tokens += bsz * seq;
     }
     for (std::size_t i = 0; i < bsz; ++i)
         reqs[i].promise.set_value(std::move(outs[i]));
-    return true;
 }
 
 void
@@ -243,21 +258,10 @@ ServingEngine::dispatchLoop()
             ++stats_.flushed_drain;
             break;
         }
-        std::size_t real_tokens = 0;
-        for (const Pending &p : reqs)
-            real_tokens += p.tokens.size();
-
         lk.unlock(); // serve outside the lock so submit() never blocks
-        const bool ok = runGroup(*group, std::move(reqs));
+        runGroup(*group, std::move(reqs)); // counts completed/failed
         lk.lock();
 
-        if (ok) {
-            stats_.completed += group->ids.size();
-            stats_.real_tokens += real_tokens;
-            stats_.padded_tokens += group->ids.size() * group->padded_len;
-        } else {
-            stats_.failed += group->ids.size();
-        }
         for (std::uint64_t id : group->ids)
             outstanding_.erase(id);
         idle_cv_.notify_all(); // flush() waiters check their watermark

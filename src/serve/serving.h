@@ -158,8 +158,12 @@ class ServingEngine
     };
 
     void dispatchLoop();
-    /** @return true when the batch succeeded (futures fulfilled). */
-    bool runGroup(const BatchGroup &group, std::vector<Pending> reqs);
+    /**
+     * Serve one assembled group: counts completed/failed (and token
+     * stats) under the lock BEFORE fulfilling the futures, so stats()
+     * read after a future resolves always includes the batch.
+     */
+    void runGroup(const BatchGroup &group, std::vector<Pending> reqs);
 
     SequenceClassifier &model_;
     ServingConfig cfg_;

@@ -6,7 +6,10 @@
  * point ("We use 16-bit half-precision floating-point in our hardware
  * designs", Sec. VI-A). The functional datapath model in src/sim runs
  * on this type so that its numerics match what the RTL would produce,
- * and the cross-validation tests bound the fp16-vs-fp32 error.
+ * and the cross-validation tests bound the fp16-vs-fp32 error. The
+ * fp16 runtime kernels (runtime/kernels.h, butterfly/qbutterfly.h)
+ * round through these conversions in their inner loops, which is why
+ * both directions are inline.
  *
  * Conversion uses round-to-nearest-even, handles subnormals, infinities
  * and NaN. Arithmetic is performed by converting to float, computing,
@@ -22,10 +25,99 @@
 namespace fabnet {
 
 /** Convert a float to IEEE binary16 bits (round-to-nearest-even). */
-std::uint16_t floatToHalfBits(float f);
+inline std::uint16_t
+floatToHalfBits(float f)
+{
+    std::uint32_t x;
+    std::memcpy(&x, &f, sizeof(x));
+
+    const std::uint32_t sign = (x >> 16) & 0x8000u;
+    std::uint32_t exp = (x >> 23) & 0xFFu;
+    std::uint32_t mant = x & 0x7FFFFFu;
+
+    if (exp == 0xFFu) {
+        // Inf / NaN. Preserve a quiet-NaN payload bit.
+        const std::uint16_t nan_mant = mant ? 0x0200u : 0u;
+        return static_cast<std::uint16_t>(sign | 0x7C00u | nan_mant);
+    }
+
+    // Re-bias the exponent from 127 to 15.
+    int e = static_cast<int>(exp) - 127 + 15;
+
+    if (e >= 0x1F) {
+        // Overflow -> infinity.
+        return static_cast<std::uint16_t>(sign | 0x7C00u);
+    }
+
+    if (e <= 0) {
+        // Subnormal half (or zero). The implicit leading 1 becomes
+        // explicit, then the mantissa shifts right by 1-e extra places.
+        if (e < -10)
+            return static_cast<std::uint16_t>(sign); // underflow to 0
+        mant |= 0x800000u;
+        const int shift = 14 - e; // 24-bit mantissa down to 10 bits
+        std::uint32_t half_mant = mant >> shift;
+        // Round to nearest even.
+        const std::uint32_t rem = mant & ((1u << shift) - 1u);
+        const std::uint32_t halfway = 1u << (shift - 1);
+        if (rem > halfway || (rem == halfway && (half_mant & 1u)))
+            ++half_mant;
+        return static_cast<std::uint16_t>(sign | half_mant);
+    }
+
+    // Normal half. Keep top 10 mantissa bits, round to nearest even.
+    std::uint32_t half_mant = mant >> 13;
+    const std::uint32_t rem = mant & 0x1FFFu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1u))) {
+        ++half_mant;
+        if (half_mant == 0x400u) { // mantissa overflow -> bump exponent
+            half_mant = 0;
+            ++e;
+            if (e >= 0x1F)
+                return static_cast<std::uint16_t>(sign | 0x7C00u);
+        }
+    }
+    return static_cast<std::uint16_t>(
+        sign | (static_cast<std::uint32_t>(e) << 10) | half_mant);
+}
 
 /** Convert IEEE binary16 bits to float (exact). */
-float halfBitsToFloat(std::uint16_t h);
+inline float
+halfBitsToFloat(std::uint16_t h)
+{
+    const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u)
+                               << 16;
+    const std::uint32_t exp = (h >> 10) & 0x1Fu;
+    std::uint32_t mant = h & 0x3FFu;
+
+    std::uint32_t out;
+    if (exp == 0) {
+        if (mant == 0) {
+            out = sign; // +/- zero
+        } else {
+            // Subnormal: normalise.
+            int e = -1;
+            std::uint32_t m = mant;
+            do {
+                ++e;
+                m <<= 1;
+            } while ((m & 0x400u) == 0);
+            mant = m & 0x3FFu;
+            const std::uint32_t fexp =
+                static_cast<std::uint32_t>(127 - 15 - e);
+            out = sign | (fexp << 23) | (mant << 13);
+        }
+    } else if (exp == 0x1Fu) {
+        out = sign | 0x7F800000u | (mant << 13); // Inf / NaN
+    } else {
+        const std::uint32_t fexp = exp - 15 + 127;
+        out = sign | (fexp << 23) | (mant << 13);
+    }
+
+    float f;
+    std::memcpy(&f, &out, sizeof(f));
+    return f;
+}
 
 /** Value-semantic half-precision float. */
 class Half

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <stdexcept>
+#include <vector>
 
 #include "runtime/kernels.h"
 #include "runtime/parallel.h"
@@ -37,6 +40,60 @@ constexpr std::size_t kGemmGrain = 8;
 
 /** Workspace tag for matmulTransposed's per-call B^T copy. */
 struct MatmulTWs;
+
+/** Workspace tags for the quantised GEMM entry points. */
+struct MatmulI8Ws;  ///< int8 operands (A then B, one int8 buffer)
+struct MatmulI8PWs; ///< packed int16 B pairs
+struct MatmulI8SWs; ///< per-row/per-column scales (floats)
+struct MatmulF16Ws; ///< fp16-rounded operand copies
+
+void
+checkMatmulShapes(const Tensor &a, const Tensor &b, const char *what)
+{
+    requireRank2(a, what);
+    requireRank2(b, what);
+    if (b.dim(0) != a.dim(1))
+        throw std::invalid_argument(std::string(what) +
+                                    ": inner dimension mismatch");
+}
+
+/**
+ * Quantise GEMM operands the one canonical way: A per row, B per
+ * column, scales from the row/column max-abs through
+ * runtime::int8Scale. Both the panel path and the scalar reference
+ * quantise through this helper, so their int8 operands are identical
+ * by construction.
+ */
+void
+quantizeGemmOperandsInt8(const Tensor &a, const Tensor &b,
+                         std::int8_t *aq, std::int8_t *bq, float *sa,
+                         float *sb)
+{
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    const float *pa = a.data();
+    const float *pb = b.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        sa[i] = runtime::int8Scale(runtime::maxAbsRow(pa + i * k, k));
+        runtime::quantizeInt8Row(pa + i * k, aq + i * k, k, sa[i]);
+    }
+    for (std::size_t j = 0; j < n; ++j)
+        sb[j] = 0.0f;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const float *brow = pb + kk * n;
+        for (std::size_t j = 0; j < n; ++j)
+            sb[j] = std::max(sb[j], std::fabs(brow[j]));
+    }
+    for (std::size_t j = 0; j < n; ++j)
+        sb[j] = runtime::int8Scale(sb[j]);
+    // Row-major sweep with per-column inverse scales keeps the writes
+    // contiguous (a column-major loop is ~4x slower at 512^2).
+    std::vector<float> inv(n);
+    for (std::size_t j = 0; j < n; ++j)
+        inv[j] = 1.0f / sb[j];
+    for (std::size_t kk = 0; kk < k; ++kk)
+        runtime::quantizeInt8RowPerCol(pb + kk * n, bq + kk * n, n,
+                                       inv.data());
+}
 
 } // namespace
 
@@ -94,6 +151,46 @@ matmulTransposed(const Tensor &a, const Tensor &b)
     return c;
 }
 
+Tensor
+matmulInt8(const Tensor &a, const Tensor &b)
+{
+    checkMatmulShapes(a, b, "matmulInt8");
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+
+    std::vector<std::int8_t> aq(m * k), bq(k * n);
+    std::vector<float> sa(m), sb(n);
+    quantizeGemmOperandsInt8(a, b, aq.data(), bq.data(), sa.data(),
+                             sb.data());
+
+    Tensor c = Tensor::zeros(m, n);
+    float *pc = c.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            std::int32_t acc = 0;
+            for (std::size_t kk = 0; kk < k; ++kk)
+                acc += static_cast<std::int32_t>(aq[i * k + kk]) *
+                       static_cast<std::int32_t>(bq[kk * n + j]);
+            pc[i * n + j] = runtime::dequantInt8(acc, sa[i], sb[j]);
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulF16(const Tensor &a, const Tensor &b)
+{
+    checkMatmulShapes(a, b, "matmulF16");
+    Tensor ar = a;
+    Tensor br = b;
+    runtime::roundRowToHalf(ar.data(), ar.size());
+    runtime::roundRowToHalf(br.data(), br.size());
+    Tensor c = matmul(ar, br); // scalar seed ikj chain
+    const std::size_t n = c.dim(1);
+    for (std::size_t r = 0; r < c.dim(0); ++r)
+        runtime::roundRowToHalf(c.data() + r * n, n);
+    return c;
+}
+
 } // namespace reference
 
 Tensor
@@ -138,6 +235,62 @@ matmulTransposed(const Tensor &a, const Tensor &b)
     runtime::parallelFor(0, m, kGemmGrain,
                          [&](std::size_t r0, std::size_t r1) {
                              runtime::gemmRowsIKJ(pa, bt, pc, r0, r1, k,
+                                                  n);
+                         });
+    return c;
+}
+
+Tensor
+matmulInt8(const Tensor &a, const Tensor &b)
+{
+    checkMatmulShapes(a, b, "matmulInt8");
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+
+    std::int8_t *q8 = runtime::threadWorkspaceAs<MatmulI8Ws, std::int8_t>(
+        m * k + k * n);
+    std::int8_t *aq = q8;
+    std::int8_t *bq = q8 + m * k;
+    float *scales =
+        runtime::threadWorkspace<MatmulI8SWs>(m + n);
+    float *sa = scales;
+    float *sb = scales + m;
+    quantizeGemmOperandsInt8(a, b, aq, bq, sa, sb);
+
+    std::int16_t *bp =
+        runtime::threadWorkspaceAs<MatmulI8PWs, std::int16_t>(
+            ((k + 1) / 2) * n * 2);
+    runtime::packInt8PairsB(bq, bp, k, n);
+
+    Tensor c = Tensor::zeros(m, n);
+    float *pc = c.data();
+    runtime::parallelFor(0, m, kGemmGrain,
+                         [&](std::size_t r0, std::size_t r1) {
+                             runtime::gemmRowsInt8(aq, bp, pc, r0, r1,
+                                                   k, n, sa, sb);
+                         });
+    return c;
+}
+
+Tensor
+matmulF16(const Tensor &a, const Tensor &b)
+{
+    checkMatmulShapes(a, b, "matmulF16");
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+
+    float *rounded =
+        runtime::threadWorkspace<MatmulF16Ws>(m * k + k * n);
+    float *aw = rounded;
+    float *bw = rounded + m * k;
+    std::memcpy(aw, a.data(), m * k * sizeof(float));
+    std::memcpy(bw, b.data(), k * n * sizeof(float));
+    runtime::roundRowToHalf(aw, m * k);
+    runtime::roundRowToHalf(bw, k * n);
+
+    Tensor c = Tensor::zeros(m, n);
+    float *pc = c.data();
+    runtime::parallelFor(0, m, kGemmGrain,
+                         [&](std::size_t r0, std::size_t r1) {
+                             runtime::gemmRowsF16(aw, bw, pc, r0, r1, k,
                                                   n);
                          });
     return c;

@@ -31,6 +31,24 @@ Tensor matmul(const Tensor &a, const Tensor &b);
  */
 Tensor matmulTransposed(const Tensor &a, const Tensor &b);
 
+/**
+ * Dynamically quantised int8 GEMM: A is quantised per row, B per
+ * column (symmetric, saturating - see runtime/kernels.h), the product
+ * accumulates in exact int32 on the register-tiled int8 panel, and
+ * each output dequantises as acc * (a_scale[i] * b_scale[j]). Returns
+ * fp32. Row-parallel; results are *identical* (integer-exact) to
+ * reference::matmulInt8 at any thread count.
+ */
+Tensor matmulInt8(const Tensor &a, const Tensor &b);
+
+/**
+ * fp16 GEMM: operands rounded through binary16, fp32 accumulation on
+ * the register-tiled panel, outputs rounded through binary16 (still
+ * returned as a float tensor). Bitwise identical to
+ * reference::matmulF16 at any thread count.
+ */
+Tensor matmulF16(const Tensor &a, const Tensor &b);
+
 namespace reference {
 
 /**
@@ -42,6 +60,16 @@ Tensor matmul(const Tensor &a, const Tensor &b);
 
 /** Single-threaded scalar dot-product GEMM against B^T (seed kernel). */
 Tensor matmulTransposed(const Tensor &a, const Tensor &b);
+
+/**
+ * Scalar ground truth of matmulInt8: same quantisation helpers, naive
+ * int32 triple loop, same dequantisation expression. The parity tests
+ * require exact equality with the panel kernel.
+ */
+Tensor matmulInt8(const Tensor &a, const Tensor &b);
+
+/** Scalar ground truth of matmulF16 (same rounding points). */
+Tensor matmulF16(const Tensor &a, const Tensor &b);
 
 } // namespace reference
 

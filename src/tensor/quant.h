@@ -1,0 +1,36 @@
+/**
+ * @file quant.h
+ * Reduced-precision datapath selector shared by every quantized
+ * surface (runtime kernels, quantized butterfly, quantized nn layers,
+ * the model-level quantizer). Lives at the tensor layer because both
+ * the butterfly and nn layers need it without depending on each other.
+ *
+ * - Int8: symmetric saturating int8 operands ([-127, 127], see
+ *   runtime/kernels.h), exact int32 accumulation, fp32 dequantised
+ *   outputs. Activations are quantised dynamically per row; weights
+ *   statically per output feature (GEMM) or per stage (butterfly).
+ * - Fp16: IEEE binary16 operand storage (tensor/half.h), fp32
+ *   accumulation, outputs rounded through binary16 - the numeric
+ *   contract of the paper's 16-bit FPGA datapath (Sec. VI-A).
+ */
+#ifndef FABNET_TENSOR_QUANT_H
+#define FABNET_TENSOR_QUANT_H
+
+namespace fabnet {
+
+/** Which reduced-precision datapath a quantized layer computes in. */
+enum class QuantKind {
+    Int8, ///< int8 operands, int32 accumulation, fp32 dequant
+    Fp16  ///< binary16 operands/results, fp32 accumulation
+};
+
+/** Human-readable name ("int8" / "fp16") for logs and benches. */
+inline const char *
+quantKindName(QuantKind kind)
+{
+    return kind == QuantKind::Int8 ? "int8" : "fp16";
+}
+
+} // namespace fabnet
+
+#endif // FABNET_TENSOR_QUANT_H

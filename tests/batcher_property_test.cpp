@@ -1,0 +1,201 @@
+/**
+ * @file batcher_property_test.cpp
+ * RequestBatcher edge cases and randomized properties not covered by
+ * serving_test.cpp's policy tests: degenerate max_batch, draining
+ * empty queues, requests longer than the largest bucket, the
+ * timeout-vs-full flush race, and a seeded random push/pop sweep that
+ * checks the structural invariants (every id pops exactly once, FIFO
+ * within a bucket, group sizes bounded, size() accounting).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "tensor/rng.h"
+
+namespace fabnet {
+namespace {
+
+using serve::BatchGroup;
+using serve::FlushReason;
+using serve::RequestBatcher;
+using Clock = RequestBatcher::Clock;
+
+TEST(BatcherProperty, MaxBatchOneFlushesEveryPushAsItsOwnGroup)
+{
+    RequestBatcher b(1, 16, 64);
+    const auto t0 = Clock::now();
+    for (std::uint64_t id = 0; id < 5; ++id)
+        b.push(id, 10 + id, t0);
+    // Every pop is a full flush of exactly one request, FIFO.
+    for (std::uint64_t id = 0; id < 5; ++id) {
+        auto g = b.popReady(t0, std::chrono::seconds(1));
+        ASSERT_TRUE(g.has_value()) << "pop " << id;
+        EXPECT_EQ(g->reason, FlushReason::Full);
+        EXPECT_EQ(g->ids, (std::vector<std::uint64_t>{id}));
+    }
+    EXPECT_TRUE(b.empty());
+}
+
+TEST(BatcherProperty, DrainOnEmptyQueueIsANoOp)
+{
+    RequestBatcher b(4, 16, 64);
+    EXPECT_FALSE(b.drain().has_value());
+    EXPECT_FALSE(b.drainBelow(1000).has_value());
+    EXPECT_FALSE(b.popReady(Clock::now(), std::chrono::microseconds(0))
+                     .has_value());
+    EXPECT_FALSE(b.oldestEnqueue().has_value());
+    EXPECT_TRUE(b.empty());
+    EXPECT_EQ(b.size(), 0u);
+
+    // Drain-to-empty then drain again: still a no-op.
+    b.push(1, 8, Clock::now());
+    ASSERT_TRUE(b.drain().has_value());
+    EXPECT_FALSE(b.drain().has_value());
+}
+
+TEST(BatcherProperty, RequestLongerThanLargestBucket)
+{
+    // The largest bucket is max_seq itself. Anything longer is
+    // rejected up front - it could never be served - while lengths
+    // between the last granularity multiple and max_seq clamp into
+    // the max_seq bucket.
+    RequestBatcher b(4, 48, 64); // buckets: 48, 64 (clamped)
+    EXPECT_EQ(b.bucketLen(48), 48u);
+    EXPECT_EQ(b.bucketLen(49), 64u); // would round to 96 -> clamped
+    EXPECT_EQ(b.bucketLen(64), 64u);
+    EXPECT_THROW(b.bucketLen(65), std::invalid_argument);
+    EXPECT_THROW(b.push(1, 65, Clock::now()), std::invalid_argument);
+    EXPECT_THROW(b.bucketLen(0), std::invalid_argument);
+
+    // Granularity larger than max_seq: exactly one bucket exists and
+    // every valid length lands in it.
+    RequestBatcher c(4, 100, 64);
+    EXPECT_EQ(c.bucketLen(1), 64u);
+    EXPECT_EQ(c.bucketLen(64), 64u);
+    const auto t0 = Clock::now();
+    c.push(7, 3, t0);
+    c.push(8, 64, t0);
+    auto g = c.popReady(t0 + std::chrono::seconds(2),
+                        std::chrono::seconds(1));
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(g->padded_len, 64u);
+    EXPECT_EQ(g->ids, (std::vector<std::uint64_t>{7, 8}));
+}
+
+TEST(BatcherProperty, FullFlushWinsTheRaceAgainstTimeout)
+{
+    // Bucket 16 holds one long-overdue request; bucket 32 just went
+    // full. popReady must hand out the full bucket first (capacity
+    // wins the race), then the timed-out one.
+    RequestBatcher b(2, 16, 64);
+    const auto t0 = Clock::now();
+    b.push(1, 10, t0); // bucket 16, will time out
+    b.push(2, 20, t0 + std::chrono::milliseconds(50));
+    b.push(3, 20, t0 + std::chrono::milliseconds(50)); // fills 32
+    const auto now = t0 + std::chrono::seconds(10);
+
+    auto g1 = b.popReady(now, std::chrono::milliseconds(1));
+    ASSERT_TRUE(g1.has_value());
+    EXPECT_EQ(g1->reason, FlushReason::Full);
+    EXPECT_EQ(g1->padded_len, 32u);
+
+    auto g2 = b.popReady(now, std::chrono::milliseconds(1));
+    ASSERT_TRUE(g2.has_value());
+    EXPECT_EQ(g2->reason, FlushReason::Timeout);
+    EXPECT_EQ(g2->ids, (std::vector<std::uint64_t>{1}));
+}
+
+TEST(BatcherProperty, FullAndTimedOutBucketReportsFull)
+{
+    // A bucket can be both full and past max_wait; the flush reason
+    // must say Full (the stats distinguish capacity from latency
+    // flushes, and capacity is what actually triggered service).
+    RequestBatcher b(2, 16, 64);
+    const auto t0 = Clock::now();
+    b.push(1, 10, t0);
+    b.push(2, 12, t0);
+    auto g = b.popReady(t0 + std::chrono::seconds(10),
+                        std::chrono::milliseconds(1));
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(g->reason, FlushReason::Full);
+    EXPECT_EQ(g->ids, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(BatcherProperty, RandomizedPushPopInvariants)
+{
+    // Seeded random interleaving of pushes, ready-pops and drains.
+    // Invariants: every pushed id pops exactly once; within a bucket
+    // ids pop in FIFO order; no group exceeds max_batch; every group
+    // is homogeneous in padded length; size() matches the ledger.
+    Rng rng(4242);
+    for (int round = 0; round < 20; ++round) {
+        const std::size_t max_batch =
+            static_cast<std::size_t>(rng.randint(1, 6));
+        const std::size_t granularity =
+            static_cast<std::size_t>(rng.randint(1, 24));
+        const std::size_t max_seq =
+            static_cast<std::size_t>(rng.randint(8, 96));
+        RequestBatcher b(max_batch, granularity, max_seq);
+
+        const auto t0 = Clock::now();
+        std::map<std::size_t, std::vector<std::uint64_t>> fifo;
+        std::set<std::uint64_t> pushed, popped;
+        std::uint64_t next_id = 0;
+        std::size_t in_queue = 0;
+
+        auto check_group = [&](const BatchGroup &g) {
+            ASSERT_GE(g.ids.size(), 1u);
+            ASSERT_LE(g.ids.size(), max_batch);
+            auto &q = fifo[g.padded_len];
+            ASSERT_GE(q.size(), g.ids.size());
+            for (std::size_t i = 0; i < g.ids.size(); ++i) {
+                EXPECT_EQ(g.ids[i], q[i]) << "FIFO violated";
+                EXPECT_TRUE(popped.insert(g.ids[i]).second)
+                    << "id popped twice";
+            }
+            q.erase(q.begin(),
+                    q.begin() + static_cast<long>(g.ids.size()));
+            in_queue -= g.ids.size();
+        };
+
+        for (int step = 0; step < 200; ++step) {
+            const int action = rng.randint(0, 99);
+            if (action < 60) {
+                const std::size_t len = static_cast<std::size_t>(
+                    rng.randint(1, static_cast<int>(max_seq)));
+                const auto now =
+                    t0 + std::chrono::microseconds(rng.randint(0, 500));
+                b.push(next_id, len, now);
+                fifo[b.bucketLen(len)].push_back(next_id);
+                pushed.insert(next_id);
+                ++next_id;
+                ++in_queue;
+            } else if (action < 85) {
+                // Far-future "now": anything queued is flushable.
+                auto g = b.popReady(t0 + std::chrono::seconds(60),
+                                    std::chrono::milliseconds(1));
+                if (g)
+                    check_group(*g);
+            } else {
+                auto g = b.drain();
+                if (g)
+                    check_group(*g);
+            }
+            ASSERT_EQ(b.size(), in_queue);
+            ASSERT_EQ(b.empty(), in_queue == 0);
+        }
+        while (auto g = b.drain())
+            check_group(*g);
+        EXPECT_EQ(popped, pushed);
+        EXPECT_TRUE(b.empty());
+    }
+}
+
+} // namespace
+} // namespace fabnet

@@ -7,6 +7,9 @@
  * "Bitwise" is literal: the runtime's determinism guarantee (see
  * runtime/parallel.h) says results are identical at any thread count,
  * so every comparison here is exact float equality, not tolerance.
+ * The sweep/equality machinery is the shared harness in test_util.h;
+ * quant_kernels_test.cpp runs the same discipline over the int8/fp16
+ * kernels.
  */
 #include <gtest/gtest.h>
 
@@ -21,70 +24,45 @@
 #include "sim/datapath.h"
 #include "tensor/ops.h"
 #include "tensor/rng.h"
+#include "test_util.h"
 
 namespace fabnet {
 namespace {
 
-const std::size_t kThreadCounts[] = {1, 4, 8};
+using testutil::bitwiseEqual;
+using testutil::forEachThreadCount;
+using testutil::kThreadCounts;
 
-::testing::AssertionResult
-bitwiseEqual(const Tensor &a, const Tensor &b)
-{
-    if (a.shape() != b.shape())
-        return ::testing::AssertionFailure()
-               << "shape mismatch " << a.shapeString() << " vs "
-               << b.shapeString();
-    if (std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) != 0) {
-        return ::testing::AssertionFailure()
-               << "payload differs (maxAbsDiff="
-               << ops::maxAbsDiff(a, b) << ")";
-    }
-    return ::testing::AssertionSuccess();
-}
-
-class ParallelKernelsTest : public ::testing::Test
-{
-  protected:
-    void TearDown() override { runtime::setNumThreads(0); }
-};
+using ParallelKernelsTest = testutil::RuntimeFixture;
 
 TEST_F(ParallelKernelsTest, MatmulParityOddShapes)
 {
     Rng rng(7);
-    // (m, k, n) including non-powers-of-two and rows < threads.
-    const std::size_t shapes[][3] = {{1, 1, 1},    {3, 5, 7},
-                                     {7, 3, 129},  {129, 65, 33},
-                                     {2, 257, 19}, {64, 64, 64}};
-    for (const auto &s : shapes) {
-        Tensor a = rng.normalTensor({s[0], s[1]});
-        Tensor b = rng.normalTensor({s[1], s[2]});
+    for (const auto &s : testutil::gemmShapeSweep(101)) {
+        Tensor a = rng.normalTensor({s.m, s.k});
+        Tensor b = rng.normalTensor({s.k, s.n});
         const Tensor want = ops::reference::matmul(a, b);
-        for (std::size_t threads : kThreadCounts) {
-            runtime::setNumThreads(threads);
+        forEachThreadCount([&](std::size_t threads) {
             EXPECT_TRUE(bitwiseEqual(ops::matmul(a, b), want))
-                << "matmul " << s[0] << "x" << s[1] << "x" << s[2]
+                << "matmul " << s.m << "x" << s.k << "x" << s.n
                 << " at " << threads << " threads";
-        }
+        });
     }
 }
 
 TEST_F(ParallelKernelsTest, MatmulTransposedParityOddShapes)
 {
     Rng rng(11);
-    const std::size_t shapes[][3] = {{1, 1, 1},   {3, 5, 7},
-                                     {7, 3, 129}, {129, 65, 33},
-                                     {2, 257, 19}};
-    for (const auto &s : shapes) {
-        Tensor a = rng.normalTensor({s[0], s[1]});
-        Tensor b = rng.normalTensor({s[2], s[1]}); // [n, k]
+    for (const auto &s : testutil::gemmShapeSweep(103)) {
+        Tensor a = rng.normalTensor({s.m, s.k});
+        Tensor b = rng.normalTensor({s.n, s.k}); // [n, k]
         const Tensor want = ops::reference::matmulTransposed(a, b);
-        for (std::size_t threads : kThreadCounts) {
-            runtime::setNumThreads(threads);
+        forEachThreadCount([&](std::size_t threads) {
             EXPECT_TRUE(
                 bitwiseEqual(ops::matmulTransposed(a, b), want))
-                << "matmulT " << s[0] << "x" << s[1] << "x" << s[2]
+                << "matmulT " << s.m << "x" << s.k << "x" << s.n
                 << " at " << threads << " threads";
-        }
+        });
     }
 }
 
@@ -96,15 +74,14 @@ TEST_F(ParallelKernelsTest, ButterflyMatrixBatchParity)
         m.initRandomRotation(rng);
         // Rows below, at, and above the stage-major block size, and
         // fewer rows than threads.
-        for (std::size_t rows : {1u, 3u, 16u, 37u}) {
+        for (std::size_t rows : testutil::rowSweep(n)) {
             Tensor x = rng.normalTensor({rows, n});
             const Tensor want = m.applyBatchReference(x);
-            for (std::size_t threads : kThreadCounts) {
-                runtime::setNumThreads(threads);
+            forEachThreadCount([&](std::size_t threads) {
                 EXPECT_TRUE(bitwiseEqual(m.applyBatch(x), want))
-                    << "n=" << n << " rows=" << rows << " threads="
-                    << threads;
-            }
+                    << "n=" << n << " rows=" << rows
+                    << " threads=" << threads;
+            });
         }
     }
 }
@@ -141,12 +118,11 @@ TEST_F(ParallelKernelsTest, ButterflyLinearBatchParity)
         for (std::size_t rows : {1u, 7u, 33u}) {
             Tensor x = rng.normalTensor({rows, s[0]});
             const Tensor want = lin.applyBatchReference(x);
-            for (std::size_t threads : kThreadCounts) {
-                runtime::setNumThreads(threads);
+            forEachThreadCount([&](std::size_t threads) {
                 EXPECT_TRUE(bitwiseEqual(lin.applyBatch(x), want))
                     << "in=" << s[0] << " out=" << s[1]
                     << " rows=" << rows << " threads=" << threads;
-            }
+            });
         }
     }
 }
@@ -155,8 +131,7 @@ TEST_F(ParallelKernelsTest, AttentionForwardParity)
 {
     // Odd t, heads > 1, batch > 1; causal and bidirectional.
     for (bool causal : {false, true}) {
-        for (std::size_t threads : kThreadCounts) {
-            runtime::setNumThreads(threads);
+        forEachThreadCount([&](std::size_t threads) {
             // Two modules built from identically-seeded rng streams so
             // their projection weights match bit for bit.
             auto mk = [causal](Rng &rng) {
@@ -176,7 +151,7 @@ TEST_F(ParallelKernelsTest, AttentionForwardParity)
             const Tensor want = ref->forwardReference(x);
             EXPECT_TRUE(bitwiseEqual(got, want))
                 << "causal=" << causal << " threads=" << threads;
-        }
+        });
     }
 }
 
@@ -185,8 +160,7 @@ TEST_F(ParallelKernelsTest, AttentionThreadCountInvariance)
     Rng data_rng(9);
     Tensor x = data_rng.normalTensor({2, 13, 16});
     Tensor first;
-    for (std::size_t threads : kThreadCounts) {
-        runtime::setNumThreads(threads);
+    forEachThreadCount([&](std::size_t threads) {
         Rng rng(31);
         nn::MultiHeadAttention mha(
             16, 4, std::make_unique<nn::Dense>(16, 16, rng),
@@ -199,7 +173,7 @@ TEST_F(ParallelKernelsTest, AttentionThreadCountInvariance)
         else
             EXPECT_TRUE(bitwiseEqual(y, first))
                 << "threads=" << threads;
-    }
+    });
 }
 
 TEST_F(ParallelKernelsTest, DenseForwardThreadCountInvariance)
@@ -207,8 +181,7 @@ TEST_F(ParallelKernelsTest, DenseForwardThreadCountInvariance)
     Rng data_rng(2);
     Tensor x = data_rng.normalTensor({3, 11, 24});
     Tensor first;
-    for (std::size_t threads : kThreadCounts) {
-        runtime::setNumThreads(threads);
+    forEachThreadCount([&](std::size_t threads) {
         Rng rng(13);
         nn::Dense dense(24, 37, rng);
         Tensor y = dense.forward(x);
@@ -217,7 +190,7 @@ TEST_F(ParallelKernelsTest, DenseForwardThreadCountInvariance)
         else
             EXPECT_TRUE(bitwiseEqual(y, first))
                 << "threads=" << threads;
-    }
+    });
 }
 
 TEST_F(ParallelKernelsTest, SimBatchCrossValidation)
@@ -233,20 +206,17 @@ TEST_F(ParallelKernelsTest, SimBatchCrossValidation)
     const Tensor sw = m.applyBatch(x);
     sim::FunctionalButterflyEngine engine(4);
     sim::FunctionalButterflyEngine::RunStats stats;
-    for (std::size_t threads : kThreadCounts) {
-        runtime::setNumThreads(threads);
+    forEachThreadCount([&](std::size_t threads) {
         const Tensor hw = engine.runButterflyLinearBatch(m, x, &stats);
-        EXPECT_EQ(stats.butterfly_ops,
-                  rows * m.numStages() * (n / 2));
-        EXPECT_LE(ops::maxAbsDiff(sw, hw), 0.15f)
+        EXPECT_EQ(stats.butterfly_ops, rows * m.numStages() * (n / 2));
+        EXPECT_TRUE(testutil::maxAbsDiffWithin(sw, hw, 0.15f))
             << "threads=" << threads;
-    }
+    });
 }
 
 TEST_F(ParallelKernelsTest, ParallelForCoversRangeOnce)
 {
-    for (std::size_t threads : kThreadCounts) {
-        runtime::setNumThreads(threads);
+    forEachThreadCount([&](std::size_t threads) {
         EXPECT_EQ(runtime::numThreads(), threads);
         std::vector<int> hits(1003, 0);
         runtime::parallelFor(0, hits.size(), 17,
@@ -256,7 +226,7 @@ TEST_F(ParallelKernelsTest, ParallelForCoversRangeOnce)
                              });
         for (std::size_t i = 0; i < hits.size(); ++i)
             ASSERT_EQ(hits[i], 1) << "index " << i;
-    }
+    });
 }
 
 TEST_F(ParallelKernelsTest, ConcurrentCallersStayCorrect)

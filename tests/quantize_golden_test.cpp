@@ -1,0 +1,166 @@
+/**
+ * @file quantize_golden_test.cpp
+ * Golden-value pins for the quantisation semantics in nn/quantize.h
+ * (which delegate to runtime/kernels.h - these constants therefore pin
+ * every int8/fp16 datapath in the repo, kernels included).
+ *
+ * The fp16 constants share their ulp arithmetic with the tolerance
+ * expectations of throughput_quantize_test.cpp: weights of magnitude
+ * O(1) sit in [1, 2) where the binary16 ulp is 2^-10, so the largest
+ * rounding error is 2^-11 ~ 4.9e-4 - the "half ulp ~ 5e-4" that test
+ * bounds with 1e-2 headroom.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "nn/quantize.h"
+#include "runtime/kernels.h"
+#include "tensor/half.h"
+
+namespace fabnet {
+namespace {
+
+// ------------------------------------------------------------- int8
+
+TEST(Int8Golden, ScaleFromMaxAbs)
+{
+    // scale = max|x| / 127, with the all-zero vector mapping to 1.0
+    // so dequantisation stays well-defined.
+    EXPECT_FLOAT_EQ(runtime::int8Scale(127.0f), 1.0f);
+    EXPECT_FLOAT_EQ(runtime::int8Scale(1.0f), 1.0f / 127.0f);
+    EXPECT_FLOAT_EQ(runtime::int8Scale(0.0f), 1.0f);
+}
+
+TEST(Int8Golden, RoundToNearestEvenAtTheGrid)
+{
+    // scale 0.5 -> inv_scale 2: 0.26 -> 0.52 -> 1; the two exact
+    // midpoints 0.25 -> 0.5 and 0.75 -> 1.5 round to the EVEN
+    // neighbour (0 and 2), pinning round-to-nearest-even.
+    const float inv = 2.0f;
+    EXPECT_EQ(runtime::quantizeInt8(0.26f, inv), 1);
+    EXPECT_EQ(runtime::quantizeInt8(0.25f, inv), 0);
+    EXPECT_EQ(runtime::quantizeInt8(0.75f, inv), 2);
+    EXPECT_EQ(runtime::quantizeInt8(-0.75f, inv), -2);
+    EXPECT_EQ(runtime::quantizeInt8(0.0f, inv), 0);
+}
+
+TEST(Int8Golden, SaturationIsSymmetricAtPlusMinus127)
+{
+    // Out-of-range values clamp to +/-127; -128 is never produced, so
+    // negation of any quantised value is exact.
+    const float inv = 2.0f;
+    EXPECT_EQ(runtime::quantizeInt8(100.0f, inv), 127);
+    EXPECT_EQ(runtime::quantizeInt8(-100.0f, inv), -127);
+    EXPECT_EQ(runtime::quantizeInt8(63.5f, inv), 127);  // exactly 127
+    EXPECT_EQ(runtime::quantizeInt8(-63.5f, inv), -127);
+    EXPECT_EQ(runtime::quantizeInt8(1e9f, 1.0f), 127);
+    EXPECT_EQ(runtime::quantizeInt8(-1e9f, 1.0f), -127);
+}
+
+TEST(Int8Golden, VectorRoundTripHandComputed)
+{
+    // maxabs 1.0 -> scale 1/127; q = rne(x * 127).
+    const std::vector<float> values = {1.0f, -0.5f, 0.25f, 0.1f, 0.0f};
+    const nn::Int8Vector v = nn::quantizeInt8(values);
+    EXPECT_FLOAT_EQ(v.scale, 1.0f / 127.0f);
+    // -0.5*127 = -63.5 is a midpoint -> -64 (even); 0.25*127 = 31.75
+    // -> 32; 0.1*127 = 12.7 -> 13.
+    const std::vector<std::int8_t> expect_q = {127, -64, 32, 13, 0};
+    EXPECT_EQ(v.q, expect_q);
+
+    const std::vector<float> back = nn::dequantizeInt8(v);
+    EXPECT_FLOAT_EQ(back[0], 1.0f);
+    EXPECT_FLOAT_EQ(back[1], -64.0f / 127.0f);
+    EXPECT_FLOAT_EQ(back[2], 32.0f / 127.0f);
+    EXPECT_FLOAT_EQ(back[3], 13.0f / 127.0f);
+    EXPECT_FLOAT_EQ(back[4], 0.0f);
+
+    // Round-trip error is bounded by scale/2 for in-range values.
+    EXPECT_LE(nn::maxInt8QuantizationError(values),
+              0.5f * v.scale + 1e-7f);
+}
+
+TEST(Int8Golden, AllZeroVectorIsExact)
+{
+    const std::vector<float> zeros(16, 0.0f);
+    EXPECT_FLOAT_EQ(nn::maxInt8QuantizationError(zeros), 0.0f);
+    const nn::Int8Vector v = nn::quantizeInt8(zeros);
+    EXPECT_FLOAT_EQ(v.scale, 1.0f);
+    for (std::int8_t q : v.q)
+        EXPECT_EQ(q, 0);
+}
+
+TEST(Int8Golden, DequantAccumulatorExpression)
+{
+    // dequantInt8 = madd(acc, a_scale * b_scale, bias): pinned so the
+    // GEMM epilogue, the scalar reference and any test-side
+    // re-derivation agree bit for bit.
+    EXPECT_FLOAT_EQ(runtime::dequantInt8(254, 0.5f, 0.25f), 31.75f);
+    EXPECT_FLOAT_EQ(runtime::dequantInt8(254, 0.5f, 0.25f, 1.0f),
+                    runtime::madd(254.0f, 0.125f, 1.0f));
+    EXPECT_FLOAT_EQ(runtime::dequantInt8(0, 0.5f, 0.25f), 0.0f);
+}
+
+// ------------------------------------------------------------- fp16
+
+TEST(HalfGolden, BitPatterns)
+{
+    EXPECT_EQ(floatToHalfBits(0.0f), 0x0000);
+    EXPECT_EQ(floatToHalfBits(-0.0f), 0x8000);
+    EXPECT_EQ(floatToHalfBits(1.0f), 0x3C00);
+    EXPECT_EQ(floatToHalfBits(-2.0f), 0xC000);
+    EXPECT_EQ(floatToHalfBits(65504.0f), 0x7BFF); // largest finite
+    EXPECT_FLOAT_EQ(halfBitsToFloat(0x3C01), 1.0009765625f);
+}
+
+TEST(HalfGolden, RoundToNearestEvenAtOne)
+{
+    // ulp at 1.0 is 2^-10 = 0.0009765625; the midpoint between 1.0
+    // and the next half is 1.00048828125.
+    EXPECT_FLOAT_EQ(roundToHalf(1.0004f), 1.0f);
+    EXPECT_FLOAT_EQ(roundToHalf(1.0005f), 1.0009765625f);
+    EXPECT_FLOAT_EQ(roundToHalf(0.1f), 0.0999755859375f);
+    // Half-ulp bound for O(1) weights - the constant behind the
+    // "pre < 1e-2" expectation in throughput_quantize_test.cpp.
+    const float half_ulp_at_one = 0.00048828125f;
+    for (float x : {1.1f, 1.3f, 1.7f, 1.999f})
+        EXPECT_LE(std::fabs(x - roundToHalf(x)),
+                  half_ulp_at_one + 1e-7f)
+            << x;
+}
+
+TEST(HalfGolden, OverflowAndSubnormals)
+{
+    EXPECT_TRUE(std::isinf(roundToHalf(65520.0f))); // midpoint -> inf
+    EXPECT_FLOAT_EQ(roundToHalf(65505.0f), 65504.0f);
+    EXPECT_TRUE(std::isinf(roundToHalf(1e6f)));
+    // Smallest subnormal half is 2^-24.
+    EXPECT_FLOAT_EQ(halfBitsToFloat(0x0001), 5.9604644775390625e-8f);
+    EXPECT_FLOAT_EQ(roundToHalf(6e-8f), 5.9604644775390625e-8f);
+    EXPECT_FLOAT_EQ(roundToHalf(2e-8f), 0.0f); // below half the step
+    EXPECT_TRUE(std::isnan(
+        roundToHalf(std::numeric_limits<float>::quiet_NaN())));
+}
+
+TEST(HalfGolden, RowHelpersMatchScalar)
+{
+    const std::vector<float> xs = {0.1f, -1.0005f, 65520.0f, 2e-8f};
+    std::vector<std::uint16_t> bits(xs.size());
+    std::vector<float> widened(xs.size()), rounded = xs;
+    runtime::floatToHalfBitsRow(xs.data(), bits.data(), xs.size());
+    runtime::halfBitsToFloatRow(bits.data(), widened.data(), xs.size());
+    runtime::roundRowToHalf(rounded.data(), xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        EXPECT_EQ(bits[i], floatToHalfBits(xs[i])) << i;
+        if (!std::isnan(widened[i])) {
+            EXPECT_FLOAT_EQ(widened[i], roundToHalf(xs[i])) << i;
+            EXPECT_FLOAT_EQ(rounded[i], roundToHalf(xs[i])) << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace fabnet

@@ -13,7 +13,6 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
-#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -23,6 +22,7 @@
 #include "serve/batcher.h"
 #include "serve/serving.h"
 #include "tensor/rng.h"
+#include "test_util.h"
 
 namespace fabnet {
 namespace {
@@ -32,8 +32,10 @@ using serve::FlushReason;
 using serve::RequestBatcher;
 using serve::ServingConfig;
 using serve::ServingEngine;
-
-const std::size_t kThreadCounts[] = {1, 4, 8};
+using testutil::bitwiseEqual;
+using testutil::kThreadCounts;
+using testutil::makeRequests;
+using testutil::serveSerial;
 
 ModelConfig
 tinyCfg(ModelKind kind)
@@ -53,70 +55,11 @@ tinyCfg(ModelKind kind)
     return cfg;
 }
 
-/** Random token sequences of the given lengths. */
-std::vector<std::vector<int>>
-makeRequests(const std::vector<std::size_t> &lens, std::size_t vocab,
-             unsigned seed)
-{
-    Rng rng(seed);
-    std::vector<std::vector<int>> reqs;
-    reqs.reserve(lens.size());
-    for (std::size_t len : lens) {
-        std::vector<int> toks(len);
-        for (int &t : toks)
-            t = rng.randint(1, static_cast<int>(vocab) - 1);
-        reqs.push_back(std::move(toks));
-    }
-    return reqs;
-}
+// Odd lengths straddling the granularity-16 bucket boundaries (shared
+// harness: below, at, and above multiples, plus the extremes).
+const std::vector<std::size_t> kMixedLens = testutil::mixedLens();
 
-/** Serial baseline: one unpadded forward per request. */
-std::vector<std::vector<float>>
-serveSerial(SequenceClassifier &model,
-            const std::vector<std::vector<int>> &reqs)
-{
-    std::vector<std::vector<float>> out;
-    out.reserve(reqs.size());
-    for (const auto &r : reqs) {
-        const Tensor logits = model.forward(r, 1, r.size());
-        out.emplace_back(logits.data(), logits.data() + logits.size());
-    }
-    return out;
-}
-
-::testing::AssertionResult
-bitwiseEqual(const std::vector<std::vector<float>> &a,
-             const std::vector<std::vector<float>> &b)
-{
-    if (a.size() != b.size())
-        return ::testing::AssertionFailure() << "request count differs";
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        if (a[i].size() != b[i].size())
-            return ::testing::AssertionFailure()
-                   << "logit count differs at request " << i;
-        if (std::memcmp(a[i].data(), b[i].data(),
-                        a[i].size() * sizeof(float)) != 0)
-            return ::testing::AssertionFailure()
-                   << "logits differ at request " << i;
-    }
-    return ::testing::AssertionSuccess();
-}
-
-// Odd lengths straddling the granularity-16 bucket boundaries: below,
-// at, and above multiples, plus the extremes.
-const std::vector<std::size_t> kMixedLens = {1,  3,  15, 16, 17, 23,
-                                             31, 32, 33, 47, 5,  64,
-                                             63, 2,  16, 49};
-
-class ServingTest : public ::testing::Test
-{
-  protected:
-    void TearDown() override
-    {
-        runtime::setNumThreads(0);
-        runtime::setWorkspaceCapBytes(0);
-    }
-};
+using ServingTest = testutil::RuntimeFixture;
 
 // ------------------------------------------------------------ policy
 

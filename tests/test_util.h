@@ -1,0 +1,198 @@
+/**
+ * @file test_util.h
+ * Shared randomized kernel-parity test harness.
+ *
+ * The runtime's core guarantee (runtime/parallel.h) is that every
+ * parallel/blocked/quantized kernel is bitwise identical to its scalar
+ * reference at any thread count. The suites that pin this down
+ * (parallel_kernels_test, serving_test, quant_kernels_test) all need
+ * the same machinery: exact-equality assertions, thread-count sweeps
+ * with pool cleanup, seeded shape sweeps that include odd and
+ * non-power-of-two sizes, and serial-serving baselines. It lives here
+ * once so a new kernel's parity suite is a page, not a file of
+ * re-derived helpers.
+ */
+#ifndef FABNET_TESTS_TEST_UTIL_H
+#define FABNET_TESTS_TEST_UTIL_H
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "model/classifier.h"
+#include "runtime/parallel.h"
+#include "runtime/workspace.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace fabnet {
+namespace testutil {
+
+/** The canonical thread sweep: inline, under-, and over-subscribed. */
+inline constexpr std::size_t kThreadCounts[] = {1, 4, 8};
+
+/**
+ * Fixture that restores the global runtime knobs (pool size from
+ * FABNET_NUM_THREADS, grow-only workspace policy) after each test, so
+ * thread sweeps and cap experiments cannot leak into later suites.
+ */
+class RuntimeFixture : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        runtime::setNumThreads(0);
+        runtime::setWorkspaceCapBytes(0);
+    }
+};
+
+/** Run @p body once per kThreadCounts entry with the pool resized. */
+template <class F>
+inline void
+forEachThreadCount(F &&body)
+{
+    for (std::size_t threads : kThreadCounts) {
+        runtime::setNumThreads(threads);
+        body(threads);
+    }
+}
+
+/** Exact float equality, reported with the max-abs-diff on failure. */
+inline ::testing::AssertionResult
+bitwiseEqual(const Tensor &a, const Tensor &b)
+{
+    if (a.shape() != b.shape())
+        return ::testing::AssertionFailure()
+               << "shape mismatch " << a.shapeString() << " vs "
+               << b.shapeString();
+    if (std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) != 0) {
+        return ::testing::AssertionFailure()
+               << "payload differs (maxAbsDiff=" << ops::maxAbsDiff(a, b)
+               << ")";
+    }
+    return ::testing::AssertionSuccess();
+}
+
+/** Exact equality over per-request logit vectors (serving parity). */
+inline ::testing::AssertionResult
+bitwiseEqual(const std::vector<std::vector<float>> &a,
+             const std::vector<std::vector<float>> &b)
+{
+    if (a.size() != b.size())
+        return ::testing::AssertionFailure() << "request count differs";
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].size() != b[i].size())
+            return ::testing::AssertionFailure()
+                   << "logit count differs at request " << i;
+        if (std::memcmp(a[i].data(), b[i].data(),
+                        a[i].size() * sizeof(float)) != 0)
+            return ::testing::AssertionFailure()
+                   << "logits differ at request " << i;
+    }
+    return ::testing::AssertionSuccess();
+}
+
+/** Tolerance check, reported with the actual max-abs-diff. */
+inline ::testing::AssertionResult
+maxAbsDiffWithin(const Tensor &a, const Tensor &b, float tol)
+{
+    if (a.shape() != b.shape())
+        return ::testing::AssertionFailure()
+               << "shape mismatch " << a.shapeString() << " vs "
+               << b.shapeString();
+    const float d = ops::maxAbsDiff(a, b);
+    if (d > tol)
+        return ::testing::AssertionFailure()
+               << "maxAbsDiff " << d << " > tol " << tol;
+    return ::testing::AssertionSuccess();
+}
+
+/** One GEMM problem size. */
+struct GemmShape
+{
+    std::size_t m, k, n;
+};
+
+/**
+ * Seeded GEMM shape sweep: fixed corners covering the degenerate
+ * (1x1x1), odd/non-power-of-two, fewer-rows-than-threads and
+ * register-tile-aligned cases, plus @p extra random draws with every
+ * dimension uniform in [1, 160] (so partial 4x32 tiles, odd k pairing
+ * and sub-grain row counts all get exercised with fresh shapes).
+ */
+inline std::vector<GemmShape>
+gemmShapeSweep(unsigned seed, std::size_t extra = 4)
+{
+    std::vector<GemmShape> shapes = {
+        {1, 1, 1},    {3, 5, 7},    {7, 3, 129}, {129, 65, 33},
+        {2, 257, 19}, {64, 64, 64}, {5, 31, 32}, {4, 32, 96},
+    };
+    Rng rng(seed);
+    for (std::size_t i = 0; i < extra; ++i)
+        shapes.push_back({static_cast<std::size_t>(rng.randint(1, 160)),
+                          static_cast<std::size_t>(rng.randint(1, 160)),
+                          static_cast<std::size_t>(rng.randint(1, 160))});
+    return shapes;
+}
+
+/**
+ * Row-count sweep for batched row-kernels (butterfly): below, at and
+ * above the 16-row stage-major block, plus @p extra random draws.
+ */
+inline std::vector<std::size_t>
+rowSweep(unsigned seed, std::size_t extra = 2)
+{
+    std::vector<std::size_t> rows = {1, 3, 16, 37};
+    Rng rng(seed);
+    for (std::size_t i = 0; i < extra; ++i)
+        rows.push_back(static_cast<std::size_t>(rng.randint(1, 64)));
+    return rows;
+}
+
+/** Random token sequences of the given lengths (serving tests). */
+inline std::vector<std::vector<int>>
+makeRequests(const std::vector<std::size_t> &lens, std::size_t vocab,
+             unsigned seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<int>> reqs;
+    reqs.reserve(lens.size());
+    for (std::size_t len : lens) {
+        std::vector<int> toks(len);
+        for (int &t : toks)
+            t = rng.randint(1, static_cast<int>(vocab) - 1);
+        reqs.push_back(std::move(toks));
+    }
+    return reqs;
+}
+
+/** Serial serving baseline: one unpadded forward per request. */
+inline std::vector<std::vector<float>>
+serveSerial(SequenceClassifier &model,
+            const std::vector<std::vector<int>> &reqs)
+{
+    std::vector<std::vector<float>> out;
+    out.reserve(reqs.size());
+    for (const auto &r : reqs) {
+        const Tensor logits = model.forward(r, 1, r.size());
+        out.emplace_back(logits.data(), logits.data() + logits.size());
+    }
+    return out;
+}
+
+/**
+ * Odd request lengths straddling granularity-16 bucket boundaries:
+ * below, at, and above multiples, plus the extremes (max_seq 64).
+ */
+inline std::vector<std::size_t>
+mixedLens()
+{
+    return {1, 3, 15, 16, 17, 23, 31, 32, 33, 47, 5, 64, 63, 2, 16, 49};
+}
+
+} // namespace testutil
+} // namespace fabnet
+
+#endif // FABNET_TESTS_TEST_UTIL_H
