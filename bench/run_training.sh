@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Build and run the training-step bench, emitting BENCH_training.json
+# at the repo root - the backward-pass companion of
+# bench/run_kernels.sh and bench/run_serving.sh (see
+# docs/BENCHMARKS.md).
+#
+# Usage:
+#   bench/run_training.sh [--steps N]
+#
+# Env:
+#   BUILD_DIR  cmake build directory (default: build)
+#
+# Build-type guard (same policy as run_kernels.sh): step timings from
+# a non-Release build are garbage, so fresh build dirs are configured
+# Release explicitly, an existing dir is configured as-is and the
+# script refuses on mismatch rather than silently rewriting a
+# developer's Debug cache, and the verified build type is stamped into
+# the JSON.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+else
+    cmake -B "$BUILD_DIR" -S . >/dev/null
+fi
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt")
+if [ "$build_type" != "Release" ]; then
+    echo "error: $BUILD_DIR is configured as '${build_type:-<unset>}'," \
+         "not Release - refusing to record training-step numbers." \
+         "Reconfigure with -DCMAKE_BUILD_TYPE=Release or point" \
+         "BUILD_DIR at a Release build." >&2
+    exit 1
+fi
+cmake --build "$BUILD_DIR" -j --target bench_training >/dev/null
+
+"$BUILD_DIR"/bench_training --json BENCH_training.json \
+    --build-type Release "$@"
+
+if ! grep -q '"repo_build_type": "Release"' BENCH_training.json; then
+    echo "error: BENCH_training.json is missing the verified" \
+         "repo_build_type=Release stamp" >&2
+    exit 1
+fi
+
+echo "Wrote $(pwd)/BENCH_training.json (repo_build_type=Release)"

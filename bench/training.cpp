@@ -1,0 +1,202 @@
+/**
+ * @file training.cpp
+ * Serial-vs-parallel training step time - the backward-pass companion
+ * of bench/kernels.cpp (forward) and bench/serving.cpp (requests).
+ * The acceptance gate of the training PR reads the speedup_vs_serial
+ * figures from BENCH_training.json (written when --json PATH is
+ * given): a full optimisation step (forward, parallel backward,
+ * deterministic clip norm, Adam) at 1/4/8 threads against the seed
+ * serial backward (trainBatchReference at 1 thread).
+ *
+ * The model is the paper's all-ABfly FABNet (butterfly attention
+ * projections + butterfly FFN) at fine-tuning scale: batch 8 x seq
+ * 128 rows of d=128, the regime the ROADMAP's "parallel training
+ * backward" item targets. Both sides compute bitwise-identical
+ * gradients (ctest -L grad-parity), so this measures pure scheduling,
+ * not numerics.
+ *
+ * Usage:  bench_training [--json PATH] [--steps N]
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "model/builder.h"
+#include "nn/optimizer.h"
+#include "runtime/parallel.h"
+#include "tensor/rng.h"
+
+using namespace fabnet;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct CaseResult
+{
+    std::string name;
+    std::size_t threads = 1;
+    double step_ms = 0.0;
+    double speedup = 1.0;
+};
+
+ModelConfig
+benchCfg()
+{
+    ModelConfig cfg;
+    cfg.kind = ModelKind::FABNet;
+    cfg.vocab = 256;
+    cfg.max_seq = 128;
+    cfg.d_hid = 128;
+    cfg.r_ffn = 2;
+    cfg.n_total = 2;
+    cfg.n_abfly = 2; // all-ABfly: butterfly attention + butterfly FFN
+    cfg.heads = 4;
+    cfg.classes = 10;
+    return cfg;
+}
+
+Batch
+makeTrainBatch(const ModelConfig &cfg, std::size_t bsz, std::size_t seq,
+               Rng &rng)
+{
+    Batch b;
+    b.batch = bsz;
+    b.seq = seq;
+    b.tokens.resize(bsz * seq);
+    b.labels.resize(bsz);
+    for (int &t : b.tokens)
+        t = rng.randint(1, static_cast<int>(cfg.vocab) - 1);
+    for (int &l : b.labels)
+        l = rng.randint(0, static_cast<int>(cfg.classes) - 1);
+    return b;
+}
+
+/**
+ * Mean step time over @p steps optimisation steps on a freshly built
+ * model (fresh Adam state, same seeds, so every case times identical
+ * numerical work).
+ */
+double
+timeSteps(const ModelConfig &cfg, const Batch &batch, std::size_t steps,
+          bool reference)
+{
+    Rng rng(42);
+    auto model = buildModel(cfg, rng);
+    nn::Adam opt(model->params(), 1e-3f);
+
+    // Warmup: thread-pool spin-up, workspace growth, cache residency.
+    for (int i = 0; i < 2; ++i) {
+        if (reference)
+            model->trainBatchReference(batch, opt);
+        else
+            model->trainBatch(batch, opt);
+    }
+
+    const auto t0 = Clock::now();
+    for (std::size_t s = 0; s < steps; ++s) {
+        float loss;
+        if (reference)
+            loss = model->trainBatchReference(batch, opt);
+        else
+            loss = model->trainBatch(batch, opt);
+        asm volatile("" ::"r"(&loss) : "memory");
+    }
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return 1e3 * secs / static_cast<double>(steps);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    std::string build_type = "unverified";
+    std::size_t steps = 10;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+        else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc)
+            steps = static_cast<std::size_t>(std::atol(argv[++i]));
+        else if (std::strcmp(argv[i], "--build-type") == 0 &&
+                 i + 1 < argc)
+            build_type = argv[++i]; // verified by run_training.sh
+    }
+    if (steps == 0)
+        steps = 1;
+
+    const ModelConfig cfg = benchCfg();
+    Rng data_rng(7);
+    const Batch batch = makeTrainBatch(cfg, 8, 128, data_rng);
+
+    const unsigned cores = std::thread::hardware_concurrency();
+    bench::header("Training step: parallel backward vs seed serial "
+                  "backward");
+    std::printf("model fabnet_abfly d=%zu seq=%zu batch=%zu  steps=%zu  "
+                "cores=%u\n",
+                cfg.d_hid, batch.seq, batch.batch, steps, cores);
+    if (cores < 4)
+        std::printf("NOTE: <4 hardware cores - the multi-thread cases "
+                    "oversubscribe and measure scheduling overhead, not "
+                    "the parallel win (see docs/BENCHMARKS.md).\n");
+
+    std::vector<CaseResult> cases;
+    runtime::setNumThreads(1);
+    CaseResult serial;
+    serial.name = "reference_serial";
+    serial.threads = 1;
+    serial.step_ms = timeSteps(cfg, batch, steps, true);
+    cases.push_back(serial);
+
+    for (const std::size_t threads : {1u, 4u, 8u}) {
+        runtime::setNumThreads(threads);
+        CaseResult r;
+        r.name = "parallel_" + std::to_string(threads) + "t";
+        r.threads = threads;
+        r.step_ms = timeSteps(cfg, batch, steps, false);
+        r.speedup = serial.step_ms / r.step_ms;
+        cases.push_back(r);
+    }
+
+    std::printf("%-20s %8s %12s %9s\n", "case", "threads", "step ms",
+                "speedup");
+    for (const auto &c : cases)
+        std::printf("%-20s %8zu %12.2f %8.2fx\n", c.name.c_str(),
+                    c.threads, c.step_ms, c.speedup);
+
+    if (!json_path.empty()) {
+        FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 1;
+        }
+        std::fprintf(f,
+                     "{\n  \"bench\": \"training\",\n"
+                     "  \"model\": \"fabnet_abfly_d%zu\",\n"
+                     "  \"batch\": %zu,\n  \"seq\": %zu,\n"
+                     "  \"steps\": %zu,\n  \"cores\": %u,\n"
+                     "  \"repo_build_type\": \"%s\",\n"
+                     "  \"cases\": [\n",
+                     cfg.d_hid, batch.batch, batch.seq, steps, cores,
+                     build_type.c_str());
+        for (std::size_t i = 0; i < cases.size(); ++i) {
+            const auto &c = cases[i];
+            std::fprintf(
+                f,
+                "    {\"name\": \"%s\", \"threads\": %zu, "
+                "\"step_ms\": %.3f, \"speedup_vs_serial\": %.3f}%s\n",
+                c.name.c_str(), c.threads, c.step_ms, c.speedup,
+                i + 1 < cases.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("Wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -7,6 +7,7 @@
 
 #include "runtime/kernels.h"
 #include "runtime/parallel.h"
+#include "runtime/reduce.h"
 #include "runtime/workspace.h"
 
 namespace fabnet {
@@ -28,6 +29,12 @@ constexpr std::size_t kBatchRows = 16;
  *  they need disjoint per-thread scratch. */
 struct MatrixWs;
 struct LinearWs;
+/** Per-thread padded-gradient buffer of the batched backward. */
+struct LinearGradWs;
+
+/** Parallel grain of the owner-parallel weight-gradient sweep:
+ *  (stage, pair) blocks this wide per task. */
+constexpr std::size_t kWeightGradGrain = 64;
 
 /**
  * One butterfly stage over a transposed [n, NB] block, in place: pair
@@ -244,16 +251,95 @@ ButterflyMatrix::backward(const float *cache, const float *grad_out,
             const float g1 = g[i1], g2 = g[i2];
             const float x1 = x[i1], x2 = x[i2];
             const float *w = ws + p * 4;
-            gprev[i1] = w[0] * g1 + w[2] * g2;
-            gprev[i2] = w[1] * g1 + w[3] * g2;
-            gw[p * 4 + 0] += g1 * x1;
-            gw[p * 4 + 1] += g1 * x2;
-            gw[p * 4 + 2] += g2 * x1;
-            gw[p * 4 + 3] += g2 * x2;
+            gprev[i1] = runtime::madd(w[0], g1, w[2] * g2);
+            gprev[i2] = runtime::madd(w[1], g1, w[3] * g2);
+            gw[p * 4 + 0] = runtime::madd(g1, x1, gw[p * 4 + 0]);
+            gw[p * 4 + 1] = runtime::madd(g1, x2, gw[p * 4 + 1]);
+            gw[p * 4 + 2] = runtime::madd(g2, x1, gw[p * 4 + 2]);
+            gw[p * 4 + 3] = runtime::madd(g2, x2, gw[p * 4 + 3]);
         }
         std::swap(g, gprev);
     }
     std::memcpy(grad_in, g.data(), n_ * sizeof(float));
+}
+
+void
+ButterflyMatrix::backwardRecord(float *gcache) const
+{
+    // Same per-pair expressions as backward(), with the g/gprev swap
+    // replaced by writing each stage level in place: pairs partition
+    // the indices, so every level element is written exactly once and
+    // the recorded levels equal backward()'s intermediate g vectors
+    // bit for bit.
+    for (std::size_t si = stages_; si-- > 0;) {
+        const float *ws = &weights_[si * (n_ / 2) * 4];
+        const float *g = gcache + (si + 1) * n_;
+        float *gprev = gcache + si * n_;
+        for (std::size_t p = 0; p < n_ / 2; ++p) {
+            std::size_t i1, i2;
+            pairIndices(si, p, i1, i2);
+            const float g1 = g[i1], g2 = g[i2];
+            const float *w = ws + p * 4;
+            gprev[i1] = runtime::madd(w[0], g1, w[2] * g2);
+            gprev[i2] = runtime::madd(w[1], g1, w[3] * g2);
+        }
+    }
+}
+
+void
+ButterflyMatrix::accumulateWeightGradRows(
+    const float *caches, const float *gcaches, std::size_t rows,
+    std::size_t cache_stride, std::size_t gcache_stride,
+    std::vector<float> &grad_weights) const
+{
+    if (grad_weights.size() != weights_.size())
+        throw std::invalid_argument(
+            "accumulateWeightGradRows: grad_weights size mismatch");
+
+    const std::size_t half = n_ / 2;
+    // Owner-parallel (runtime/reduce.h): task owns the flat (stage,
+    // pair) range [f0, f1) of grad_weights outright; rows stay outer
+    // so each row's cache/trajectory is streamed once per task and
+    // every weight element accumulates its rows in ascending order -
+    // the reference backward()'s exact chain. The grain scales with
+    // the pool (ownerGrain): the chunk count multiplies how often the
+    // trajectories are re-streamed, so a serial pool gets one chunk.
+    runtime::parallelFor(
+        0, stages_ * half,
+        runtime::ownerGrain(stages_ * half, kWeightGradGrain),
+        [&](std::size_t f0, std::size_t f1) {
+            for (std::size_t r = 0; r < rows; ++r) {
+                const float *cache = caches + r * cache_stride;
+                const float *gcache = gcaches + r * gcache_stride;
+                // Walk the range stage segment by stage segment so
+                // the pair indices are pure shifts/masks (h = 2^s),
+                // not a div/mod per weight block.
+                std::size_t f = f0;
+                while (f < f1) {
+                    const std::size_t s = f / half;
+                    const std::size_t p0 = f - s * half;
+                    const std::size_t pend =
+                        std::min(half, p0 + (f1 - f));
+                    const std::size_t h = std::size_t{1} << s;
+                    const float *x = cache + s * n_;
+                    const float *g = gcache + (s + 1) * n_;
+                    float *gws = &grad_weights[s * half * 4];
+                    for (std::size_t p = p0; p < pend; ++p) {
+                        const std::size_t i1 =
+                            ((p >> s) << (s + 1)) + (p & (h - 1));
+                        const std::size_t i2 = i1 + h;
+                        const float g1 = g[i1], g2 = g[i2];
+                        const float x1 = x[i1], x2 = x[i2];
+                        float *gw = gws + p * 4;
+                        gw[0] = runtime::madd(g1, x1, gw[0]);
+                        gw[1] = runtime::madd(g1, x2, gw[1]);
+                        gw[2] = runtime::madd(g2, x1, gw[2]);
+                        gw[3] = runtime::madd(g2, x2, gw[3]);
+                    }
+                    f += pend - p0;
+                }
+            }
+        });
 }
 
 Tensor
@@ -502,6 +588,79 @@ ButterflyLinear::backward(const float *cache, const float *grad_out,
             g_padded[j] += g_core_in[j];
     }
     std::memcpy(grad_in, g_padded.data(), in_ * sizeof(float));
+}
+
+std::size_t
+ButterflyLinear::gradCacheSize() const
+{
+    // One full gradient trajectory per core (backwardRecord layout).
+    return cores_.size() * (cores_[0].numStages() + 1) * core_n_;
+}
+
+void
+ButterflyLinear::backwardBatch(const float *caches, float *gcaches,
+                               const float *grad_out, float *grad_in,
+                               std::size_t rows,
+                               std::vector<std::vector<float>> &grad_cores,
+                               std::vector<float> &grad_bias) const
+{
+    if (grad_cores.size() != cores_.size())
+        throw std::invalid_argument(
+            "backwardBatch: grad_cores count mismatch");
+    if (grad_bias.size() != out_)
+        throw std::invalid_argument(
+            "backwardBatch: grad_bias size mismatch");
+
+    const std::size_t stages = cores_[0].numStages();
+    const std::size_t per_core = (stages + 1) * core_n_;
+    const std::size_t cache_stride = cacheSize();
+    const std::size_t gcache_stride = gradCacheSize();
+
+    // Pass 1 - row-parallel: record each row's per-core gradient
+    // trajectory and write its dL/dx row. All writes are disjoint per
+    // row; the padded-gradient accumulator is a per-thread workspace.
+    runtime::parallelFor(0, rows, 4, [&](std::size_t r0, std::size_t r1) {
+        float *g_padded = runtime::threadWorkspace<LinearGradWs>(core_n_);
+        for (std::size_t r = r0; r < r1; ++r) {
+            const float *gout = grad_out + r * out_;
+            float *gc_row = gcaches + r * gcache_stride;
+            std::fill(g_padded, g_padded + core_n_, 0.0f);
+            for (std::size_t c = 0; c < cores_.size(); ++c) {
+                float *core_g = gc_row + c * per_core;
+                float *glast = core_g + stages * core_n_;
+                const std::size_t base = c * core_n_;
+                const std::size_t take = std::min(core_n_, out_ - base);
+                std::fill(glast, glast + core_n_, 0.0f);
+                for (std::size_t j = 0; j < take; ++j)
+                    glast[j] = gout[base + j];
+                cores_[c].backwardRecord(core_g);
+                for (std::size_t j = 0; j < core_n_; ++j)
+                    g_padded[j] += core_g[j];
+            }
+            std::memcpy(grad_in + r * in_, g_padded,
+                        in_ * sizeof(float));
+        }
+    });
+
+    // Pass 2 - owner-parallel bias accumulation: task owns the output
+    // range [j0, j1) of grad_bias, rows accumulate in ascending order
+    // (the reference chain).
+    runtime::parallelFor(0, out_, runtime::ownerGrain(out_, 16),
+                         [&](std::size_t j0, std::size_t j1) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            const float *gout = grad_out + r * out_;
+            for (std::size_t j = j0; j < j1; ++j)
+                grad_bias[j] += gout[j];
+        }
+    });
+
+    // Pass 3 - per core, owner-parallel weight-gradient accumulation
+    // over (stage, pair) blocks.
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        cores_[c].accumulateWeightGradRows(
+            caches + core_n_ + c * per_core, gcaches + c * per_core,
+            rows, cache_stride, gcache_stride, grad_cores[c]);
+    }
 }
 
 FftAsButterfly::FftAsButterfly(std::size_t n)

@@ -100,6 +100,35 @@ class ButterflyMatrix
                   float *grad_in, std::vector<float> &grad_weights) const;
 
     /**
+     * Backward for one vector WITHOUT weight-gradient accumulation,
+     * recording the whole gradient trajectory instead: @p gcache holds
+     * (numStages()+1) * size() floats, level s (gcache[s*N .. s*N+N))
+     * being dL/d(input of stage s). The caller fills the top level
+     * (numStages()) with dL/dy before the call; on return level 0 is
+     * dL/dx and every level is bitwise identical to the corresponding
+     * intermediate g vector of backward(). The split lets the batched
+     * backward parallelise rows (this, disjoint trajectories) apart
+     * from weights (accumulateWeightGradRows, disjoint weight blocks)
+     * with no cross-thread gradient reduction - see runtime/reduce.h.
+     */
+    void backwardRecord(float *gcache) const;
+
+    /**
+     * Accumulate (+=) weight gradients for @p rows vectors whose
+     * forward caches / gradient trajectories live @p cache_stride /
+     * @p gcache_stride floats apart (forwardWithCache layout and
+     * backwardRecord layout respectively). Owner-parallel over
+     * (stage, pair) weight blocks; each element's reduction runs in
+     * ascending-row order, so the result is bitwise identical to
+     * calling backward() row by row at any thread count.
+     */
+    void accumulateWeightGradRows(const float *caches,
+                                  const float *gcaches, std::size_t rows,
+                                  std::size_t cache_stride,
+                                  std::size_t gcache_stride,
+                                  std::vector<float> &grad_weights) const;
+
+    /**
      * Apply W to every row of a [rows, n] matrix. Row-parallel over
      * the stage-major applyRows kernel; results are bitwise identical
      * at any thread count.
@@ -210,6 +239,34 @@ class ButterflyLinear
                   float *grad_in,
                   std::vector<std::vector<float>> &grad_cores,
                   std::vector<float> &grad_bias) const;
+
+    /** Floats of gradient-trajectory scratch per vector
+     *  (backwardBatch's @p gcaches row stride). */
+    std::size_t gradCacheSize() const;
+
+    /**
+     * Batched parallel backward over @p rows vectors, bitwise
+     * identical to per-row backward() at any thread count:
+     *  1. row-parallel: per-row stage-gradient trajectories
+     *     (ButterflyMatrix::backwardRecord into @p gcaches) and
+     *     dL/dx rows - disjoint writes;
+     *  2. owner-parallel bias accumulation over output elements;
+     *  3. per core, owner-parallel weight accumulation over (stage,
+     *     pair) blocks (accumulateWeightGradRows);
+     * each gradient element's reduction stays in ascending-row order
+     * (the reference order), which is what makes the parallel path
+     * bitwise exact - see runtime/reduce.h.
+     *
+     * @param caches   rows * cacheSize() floats from forwardWithCache
+     * @param gcaches  rows * gradCacheSize() floats of scratch
+     * @param grad_out rows * outFeatures() floats, dL/dy
+     * @param grad_in  rows * inFeatures() floats, receives dL/dx
+     */
+    void backwardBatch(const float *caches, float *gcaches,
+                       const float *grad_out, float *grad_in,
+                       std::size_t rows,
+                       std::vector<std::vector<float>> &grad_cores,
+                       std::vector<float> &grad_bias) const;
 
   private:
     std::size_t in_ = 0;

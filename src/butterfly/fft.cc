@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "runtime/parallel.h"
+
 namespace fabnet {
 
 bool
@@ -166,8 +168,16 @@ fourierMix2D(const Tensor &x)
         throw std::invalid_argument(
             "fourierMix2D: seq and hidden must be powers of two");
     Tensor y = Tensor::zeros(b, t, d);
-    for (std::size_t i = 0; i < b; ++i)
-        mix2dSlice(x.data() + i * t * d, y.data() + i * t * d, t, d);
+    // Batch slices are independent and write disjoint output slices,
+    // so the parallel loop is bitwise identical at any thread count -
+    // this covers both FourierMix::forward and (via the adjoint)
+    // FourierMix::backward in FNet/FBfly training.
+    const float *px = x.data();
+    float *py = y.data();
+    runtime::parallelFor(0, b, 1, [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i)
+            mix2dSlice(px + i * t * d, py + i * t * d, t, d);
+    });
     return y;
 }
 

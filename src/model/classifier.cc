@@ -91,15 +91,37 @@ float
 SequenceClassifier::trainBatch(const Batch &batch, nn::Adam &opt,
                                float clip_norm)
 {
+    return trainBatchImpl(batch, opt, clip_norm, false);
+}
+
+float
+SequenceClassifier::trainBatchReference(const Batch &batch, nn::Adam &opt,
+                                        float clip_norm)
+{
+    return trainBatchImpl(batch, opt, clip_norm, true);
+}
+
+float
+SequenceClassifier::trainBatchImpl(const Batch &batch, nn::Adam &opt,
+                                   float clip_norm,
+                                   bool reference_backward)
+{
     Tensor logits = forward(batch.tokens, batch.batch, batch.seq);
     Tensor grad_logits;
     const float loss =
         nn::softmaxCrossEntropy(logits, batch.labels, grad_logits);
 
-    Tensor g = head_.backward(grad_logits);
-    for (std::size_t i = blocks_.size(); i-- > 0;)
-        g = blocks_[i]->backward(g);
-    embedding_.backward(g);
+    if (reference_backward) {
+        Tensor g = head_.backwardReference(grad_logits);
+        for (std::size_t i = blocks_.size(); i-- > 0;)
+            g = blocks_[i]->backwardReference(g);
+        embedding_.backwardReference(g);
+    } else {
+        Tensor g = head_.backward(grad_logits);
+        for (std::size_t i = blocks_.size(); i-- > 0;)
+            g = blocks_[i]->backward(g);
+        embedding_.backward(g);
+    }
 
     auto ps = params();
     if (clip_norm > 0.0f)

@@ -99,11 +99,24 @@ class SequenceClassifier
     std::size_t quantizeLinears(QuantKind kind);
 
     /**
-     * One optimisation step on a batch.
+     * One optimisation step on a batch: forward, softmax
+     * cross-entropy, parallel backward through the head / encoder
+     * blocks / embedding, deterministic gradient clipping and the
+     * optimizer update. Bitwise identical to trainBatchReference at
+     * any thread count (the grad-parity and training-convergence
+     * tests pin this down).
      * @return the batch cross-entropy loss.
      */
     float trainBatch(const Batch &batch, nn::Adam &opt,
                      float clip_norm = 1.0f);
+
+    /**
+     * Same step driven through every layer's backwardReference (the
+     * seed serial backward) - the parity and bench baseline for
+     * trainBatch.
+     */
+    float trainBatchReference(const Batch &batch, nn::Adam &opt,
+                              float clip_norm = 1.0f);
 
     /** Classification accuracy over a dataset (batched internally). */
     double evaluate(const std::vector<Example> &data, std::size_t seq,
@@ -117,6 +130,10 @@ class SequenceClassifier
     const ModelConfig &config() const { return cfg_; }
 
   private:
+    /** Shared body of trainBatch/trainBatchReference. */
+    float trainBatchImpl(const Batch &batch, nn::Adam &opt,
+                         float clip_norm, bool reference_backward);
+
     ModelConfig cfg_;
     nn::Embedding embedding_;
     std::vector<std::unique_ptr<nn::EncoderBlock>> blocks_;

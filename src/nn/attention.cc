@@ -50,6 +50,8 @@ rowPtr(Tensor &x, std::size_t b, std::size_t t_idx)
 
 /** Workspace tag for the gathered head slices. */
 struct AttnWs;
+/** Workspace tag for the backward pass's gathered/accumulator panels. */
+struct AttnGradWs;
 
 } // namespace
 
@@ -246,6 +248,125 @@ MultiHeadAttention::backward(const Tensor &grad_out)
     Tensor gk = Tensor::zeros(b_, t_, d_model_);
     Tensor gv = Tensor::zeros(b_, t_, d_model_);
 
+    // One task per (batch, head), mirroring the forward: gather the
+    // head's Q/K/V and dL/dcontext slices into contiguous panels, run
+    // the seed per-head loops (identical per-element expressions and
+    // ascending-i accumulation chains), collect dL/dq, dL/dk and
+    // dL/dv in per-thread panels and copy them to the task's disjoint
+    // head slice. No gradient element is ever touched by two tasks,
+    // so no cross-thread reduction is needed (runtime/reduce.h) and
+    // the result is bitwise identical to backwardReference at any
+    // thread count.
+    runtime::parallelFor(0, b_ * heads_, 1, [&](std::size_t task0,
+                                                std::size_t task1) {
+        for (std::size_t task = task0; task < task1; ++task) {
+            const std::size_t b = task / heads_;
+            const std::size_t h = task % heads_;
+            const std::size_t off = h * dh;
+
+            float *scratch = runtime::threadWorkspace<AttnGradWs>(
+                t_ * (7 * dh + 2));
+            float *qh = scratch;
+            float *kh = qh + t_ * dh;
+            float *vh = kh + t_ * dh;
+            float *gch = vh + t_ * dh;
+            float *lgq = gch + t_ * dh; // dL/dq panel, [t, dh]
+            float *lgk = lgq + t_ * dh;
+            float *lgv = lgk + t_ * dh;
+            float *ga = lgv + t_ * dh; // dL/dattn for one query row
+            float *gs = ga + t_;       // dL/dscore (pre-softmax)
+
+            for (std::size_t t_idx = 0; t_idx < t_; ++t_idx) {
+                std::memcpy(qh + t_idx * dh,
+                            rowPtr(q_, b, t_idx) + off,
+                            dh * sizeof(float));
+                std::memcpy(kh + t_idx * dh,
+                            rowPtr(k_, b, t_idx) + off,
+                            dh * sizeof(float));
+                std::memcpy(vh + t_idx * dh,
+                            rowPtr(v_, b, t_idx) + off,
+                            dh * sizeof(float));
+                std::memcpy(gch + t_idx * dh,
+                            rowPtr(g_ctx, b, t_idx) + off,
+                            dh * sizeof(float));
+            }
+            std::fill(lgq, lgq + 3 * t_ * dh, 0.0f);
+
+            for (std::size_t i = 0; i < t_; ++i) {
+                const float *gci = gch + i * dh;
+                const float *arow =
+                    attn_.data() + (b * heads_ * t_ + h * t_ + i) * t_;
+                // dL/da_ij = g_ctx_i . v_j ; also accumulate dL/dv_j.
+                for (std::size_t j = 0; j < t_; ++j) {
+                    const float *vj = vh + j * dh;
+                    float acc = 0.0f;
+                    for (std::size_t c = 0; c < dh; ++c)
+                        acc = runtime::madd(gci[c], vj[c], acc);
+                    ga[j] = acc;
+                    float *gvj = lgv + j * dh;
+                    const float a = arow[j];
+                    for (std::size_t c = 0; c < dh; ++c)
+                        gvj[c] = runtime::madd(a, gci[c], gvj[c]);
+                }
+                // Softmax backward: gs_j = a_j * (ga_j - sum_k ga_k a_k).
+                float dot = 0.0f;
+                for (std::size_t j = 0; j < t_; ++j)
+                    dot = runtime::madd(ga[j], arow[j], dot);
+                for (std::size_t j = 0; j < t_; ++j)
+                    gs[j] = arow[j] * (ga[j] - dot);
+                // Score backward into q_i and k_j.
+                const float *qi = qh + i * dh;
+                float *gqi = lgq + i * dh;
+                for (std::size_t j = 0; j < t_; ++j) {
+                    const float g = gs[j] * scale;
+                    if (g == 0.0f)
+                        continue;
+                    const float *kj = kh + j * dh;
+                    float *gkj = lgk + j * dh;
+                    for (std::size_t c = 0; c < dh; ++c) {
+                        gqi[c] = runtime::madd(g, kj[c], gqi[c]);
+                        gkj[c] = runtime::madd(g, qi[c], gkj[c]);
+                    }
+                }
+            }
+
+            for (std::size_t t_idx = 0; t_idx < t_; ++t_idx) {
+                std::memcpy(rowPtr(gq, b, t_idx) + off,
+                            lgq + t_idx * dh, dh * sizeof(float));
+                std::memcpy(rowPtr(gk, b, t_idx) + off,
+                            lgk + t_idx * dh, dh * sizeof(float));
+                std::memcpy(rowPtr(gv, b, t_idx) + off,
+                            lgv + t_idx * dh, dh * sizeof(float));
+            }
+        }
+    });
+
+    Tensor gx = proj_q_->backward(gq);
+    Tensor gxk = proj_k_->backward(gk);
+    Tensor gxv = proj_v_->backward(gv);
+    float *p = gx.data();
+    const float *pk = gxk.data();
+    const float *pv = gxv.data();
+    runtime::parallelFor(0, gx.size(), 1 << 14,
+                         [&](std::size_t i0, std::size_t i1) {
+                             for (std::size_t i = i0; i < i1; ++i)
+                                 p[i] += pk[i] + pv[i];
+                         });
+    return gx;
+}
+
+Tensor
+MultiHeadAttention::backwardReference(const Tensor &grad_out)
+{
+    const std::size_t dh = headDim();
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    Tensor g_ctx = proj_o_->backwardReference(grad_out);
+
+    Tensor gq = Tensor::zeros(b_, t_, d_model_);
+    Tensor gk = Tensor::zeros(b_, t_, d_model_);
+    Tensor gv = Tensor::zeros(b_, t_, d_model_);
+
     std::vector<float> ga(t_); // dL/dattn for one query row
     std::vector<float> gs(t_); // dL/dscore (pre-softmax)
     for (std::size_t b = 0; b < b_; ++b) {
@@ -260,17 +381,17 @@ MultiHeadAttention::backward(const Tensor &grad_out)
                     const float *vj = rowPtr(v_, b, j) + off;
                     float acc = 0.0f;
                     for (std::size_t c = 0; c < dh; ++c)
-                        acc += gci[c] * vj[c];
+                        acc = runtime::madd(gci[c], vj[c], acc);
                     ga[j] = acc;
                     float *gvj = rowPtr(gv, b, j) + off;
                     const float a = arow[j];
                     for (std::size_t c = 0; c < dh; ++c)
-                        gvj[c] += a * gci[c];
+                        gvj[c] = runtime::madd(a, gci[c], gvj[c]);
                 }
                 // Softmax backward: gs_j = a_j * (ga_j - sum_k ga_k a_k).
                 float dot = 0.0f;
                 for (std::size_t j = 0; j < t_; ++j)
-                    dot += ga[j] * arow[j];
+                    dot = runtime::madd(ga[j], arow[j], dot);
                 for (std::size_t j = 0; j < t_; ++j)
                     gs[j] = arow[j] * (ga[j] - dot);
                 // Score backward into q_i and k_j.
@@ -283,17 +404,17 @@ MultiHeadAttention::backward(const Tensor &grad_out)
                     const float *kj = rowPtr(k_, b, j) + off;
                     float *gkj = rowPtr(gk, b, j) + off;
                     for (std::size_t c = 0; c < dh; ++c) {
-                        gqi[c] += g * kj[c];
-                        gkj[c] += g * qi[c];
+                        gqi[c] = runtime::madd(g, kj[c], gqi[c]);
+                        gkj[c] = runtime::madd(g, qi[c], gkj[c]);
                     }
                 }
             }
         }
     }
 
-    Tensor gx = proj_q_->backward(gq);
-    Tensor gxk = proj_k_->backward(gk);
-    Tensor gxv = proj_v_->backward(gv);
+    Tensor gx = proj_q_->backwardReference(gq);
+    Tensor gxk = proj_k_->backwardReference(gk);
+    Tensor gxv = proj_v_->backwardReference(gv);
     float *p = gx.data();
     const float *pk = gxk.data();
     const float *pv = gxv.data();

@@ -68,7 +68,25 @@ class MultiHeadAttention : public Layer
      */
     Tensor forwardReference(const Tensor &x);
 
+    /**
+     * Parallel backward: one task per (batch, head) gathers that
+     * head's Q/K/V/dL-dcontext slices into contiguous panels and runs
+     * the seed per-head loops on them, accumulating dL/dq, dL/dk and
+     * dL/dv into per-thread panels that are copied to disjoint head
+     * slices - no cross-thread gradient reduction (runtime/reduce.h).
+     * Bitwise identical to backwardReference at any thread count; the
+     * projection backwards run through the projections' own parallel
+     * paths.
+     */
     Tensor backward(const Tensor &grad_out) override;
+
+    /**
+     * Seed scalar backward (the PR-1 serial loops), kept as the
+     * parity/bench baseline; recurses through the projections'
+     * backwardReference.
+     */
+    Tensor backwardReference(const Tensor &grad_out) override;
+
     void collectParams(std::vector<ParamRef> &out) override;
 
     /**

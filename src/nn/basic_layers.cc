@@ -4,6 +4,9 @@
 #include <stdexcept>
 
 #include "butterfly/fft.h"
+#include "runtime/kernels.h"
+#include "runtime/parallel.h"
+#include "runtime/reduce.h"
 
 namespace fabnet {
 namespace nn {
@@ -60,6 +63,56 @@ LayerNorm::backward(const Tensor &grad_out)
     float *pgx = gx.data();
     const float inv_d = 1.0f / static_cast<float>(dim_);
 
+    // dL/dx: rows are independent; each row's two j-sweeps run in the
+    // reference's order (the per-row sums are ascending-j chains).
+    runtime::parallelFor(0, rows, 4, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            const float *gr = pg + r * dim_;
+            const float *xh = pxh + r * dim_;
+            float sum_gxh = 0.0f, sum_gxh_xh = 0.0f;
+            for (std::size_t j = 0; j < dim_; ++j) {
+                const float gxh = gamma_[j] * gr[j];
+                sum_gxh += gxh;
+                sum_gxh_xh = runtime::madd(gxh, xh[j], sum_gxh_xh);
+            }
+            const float inv = inv_std_[r];
+            for (std::size_t j = 0; j < dim_; ++j) {
+                const float gxh = gamma_[j] * gr[j];
+                pgx[r * dim_ + j] =
+                    inv * (gxh - inv_d * sum_gxh -
+                           xh[j] * inv_d * sum_gxh_xh);
+            }
+        }
+    });
+
+    // dL/dgamma, dL/dbeta: owner-parallel over columns (see
+    // runtime/reduce.h) - each task owns the column range [j0, j1)
+    // and accumulates the rows in ascending order, the reference's
+    // exact chain per element.
+    runtime::parallelFor(0, dim_, runtime::ownerGrain(dim_, 16),
+                         [&](std::size_t j0, std::size_t j1) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            const float *gr = pg + r * dim_;
+            const float *xh = pxh + r * dim_;
+            for (std::size_t j = j0; j < j1; ++j) {
+                ggamma_[j] = runtime::madd(gr[j], xh[j], ggamma_[j]);
+                gbeta_[j] += gr[j];
+            }
+        }
+    });
+    return gx;
+}
+
+Tensor
+LayerNorm::backwardReference(const Tensor &grad_out)
+{
+    const std::size_t rows = grad_out.size() / dim_;
+    Tensor gx(grad_out.shape());
+    const float *pg = grad_out.data();
+    const float *pxh = cached_xhat_.data();
+    float *pgx = gx.data();
+    const float inv_d = 1.0f / static_cast<float>(dim_);
+
     for (std::size_t r = 0; r < rows; ++r) {
         const float *gr = pg + r * dim_;
         const float *xh = pxh + r * dim_;
@@ -69,8 +122,8 @@ LayerNorm::backward(const Tensor &grad_out)
         for (std::size_t j = 0; j < dim_; ++j) {
             const float gxh = gamma_[j] * gr[j];
             sum_gxh += gxh;
-            sum_gxh_xh += gxh * xh[j];
-            ggamma_[j] += gr[j] * xh[j];
+            sum_gxh_xh = runtime::madd(gxh, xh[j], sum_gxh_xh);
+            ggamma_[j] = runtime::madd(gr[j], xh[j], ggamma_[j]);
             gbeta_[j] += gr[j];
         }
         const float inv = inv_std_[r];
@@ -106,8 +159,13 @@ Relu::backward(const Tensor &grad_out)
     Tensor gx = grad_out;
     const float *px = cached_input_.data();
     float *pg = gx.data();
-    for (std::size_t i = 0; i < gx.size(); ++i)
-        pg[i] = px[i] > 0.0f ? pg[i] : 0.0f;
+    // Elementwise, no cross-element reduction: chunked parallelism is
+    // trivially bitwise identical to the serial loop.
+    runtime::parallelFor(0, gx.size(), 1 << 14,
+                         [&](std::size_t i0, std::size_t i1) {
+                             for (std::size_t i = i0; i < i1; ++i)
+                                 pg[i] = px[i] > 0.0f ? pg[i] : 0.0f;
+                         });
     return gx;
 }
 
@@ -131,15 +189,19 @@ Gelu::backward(const Tensor &grad_out)
     const float *px = cached_input_.data();
     float *pg = gx.data();
     constexpr float k = 0.7978845608028654f;
-    for (std::size_t i = 0; i < gx.size(); ++i) {
-        const float x = px[i];
-        const float inner = k * (x + 0.044715f * x * x * x);
-        const float t = std::tanh(inner);
-        const float dinner = k * (1.0f + 3.0f * 0.044715f * x * x);
-        const float dgelu =
-            0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
-        pg[i] *= dgelu;
-    }
+    // Elementwise (see Relu::backward).
+    runtime::parallelFor(0, gx.size(), 1 << 13, [&](std::size_t i0,
+                                                    std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+            const float x = px[i];
+            const float inner = k * (x + 0.044715f * x * x * x);
+            const float t = std::tanh(inner);
+            const float dinner = k * (1.0f + 3.0f * 0.044715f * x * x);
+            const float dgelu =
+                0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+            pg[i] *= dgelu;
+        }
+    });
     return gx;
 }
 

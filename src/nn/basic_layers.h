@@ -19,7 +19,19 @@ class LayerNorm : public Layer
     explicit LayerNorm(std::size_t dim, float eps = 1e-5f);
 
     Tensor forward(const Tensor &x) override;
+
+    /**
+     * Parallel backward: dL/dx row-parallel (per-row sums recomputed
+     * in the reference's j order), dL/dgamma and dL/dbeta
+     * owner-parallel over columns with ascending-row accumulation
+     * (runtime/reduce.h). Bitwise identical to backwardReference at
+     * any thread count.
+     */
     Tensor backward(const Tensor &grad_out) override;
+
+    /** Seed serial backward (single row-outer loop), parity baseline. */
+    Tensor backwardReference(const Tensor &grad_out) override;
+
     void collectParams(std::vector<ParamRef> &out) override;
 
   private:

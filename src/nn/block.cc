@@ -39,6 +39,13 @@ FeedForward::backward(const Tensor &grad_out)
     return lin1_->backward(act_->backward(lin2_->backward(grad_out)));
 }
 
+Tensor
+FeedForward::backwardReference(const Tensor &grad_out)
+{
+    return lin1_->backwardReference(
+        act_->backwardReference(lin2_->backwardReference(grad_out)));
+}
+
 void
 FeedForward::collectParams(std::vector<ParamRef> &out)
 {
@@ -101,6 +108,19 @@ EncoderBlock::backward(const Tensor &grad_out)
     Tensor g_xa = ln1_.backward(g_h); // grad wrt (x + a)
     Tensor g_x = mixer_->backward(g_xa);
     addResidual(g_x.data(), g_xa.data(), g_x.size()); // residual path
+    return g_x;
+}
+
+Tensor
+EncoderBlock::backwardReference(const Tensor &grad_out)
+{
+    Tensor g_hf = ln2_.backwardReference(grad_out);
+    Tensor g_h = ffn_->backwardReference(g_hf);
+    addResidual(g_h.data(), g_hf.data(), g_h.size());
+
+    Tensor g_xa = ln1_.backwardReference(g_h);
+    Tensor g_x = mixer_->backwardReference(g_xa);
+    addResidual(g_x.data(), g_xa.data(), g_x.size());
     return g_x;
 }
 

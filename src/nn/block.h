@@ -31,6 +31,10 @@ class FeedForward : public Layer
 
     Tensor forward(const Tensor &x) override;
     Tensor backward(const Tensor &grad_out) override;
+
+    /** Chains the children's backwardReference paths. */
+    Tensor backwardReference(const Tensor &grad_out) override;
+
     void collectParams(std::vector<ParamRef> &out) override;
     std::size_t quantizeLinears(QuantKind kind) override;
 
@@ -63,6 +67,16 @@ class EncoderBlock : public Layer
                          const std::vector<std::size_t> &lens) override;
 
     Tensor backward(const Tensor &grad_out) override;
+
+    /**
+     * Seed serial backward through the whole block: layer norms,
+     * mixer and FFN all take their backwardReference paths (residual
+     * adds stay as in backward - they are elementwise and bitwise
+     * order-free). The block-level grad-parity tests compare this
+     * against backward().
+     */
+    Tensor backwardReference(const Tensor &grad_out) override;
+
     void collectParams(std::vector<ParamRef> &out) override;
 
     /** Quantize the mixer's and FFN's linears; LayerNorms stay fp32. */

@@ -6,6 +6,7 @@
 
 #include "runtime/kernels.h"
 #include "runtime/parallel.h"
+#include "runtime/reduce.h"
 #include "runtime/workspace.h"
 
 namespace fabnet {
@@ -102,6 +103,61 @@ Dense::backward(const Tensor &grad_out)
     const float *px = x.data();
     float *pgx = gx.data();
 
+    // dL/dx: rows are independent and each row's o-loop runs in the
+    // reference's ascending order, so row-parallelism is free.
+    runtime::parallelFor(0, rows, 8, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            const float *gr = pg + r * out_;
+            float *gxr = pgx + r * in_;
+            for (std::size_t o = 0; o < out_; ++o) {
+                const float g = gr[o];
+                if (g == 0.0f)
+                    continue;
+                const float *wr = &w_[o * in_];
+                for (std::size_t i = 0; i < in_; ++i)
+                    gxr[i] = runtime::madd(g, wr[i], gxr[i]);
+            }
+        }
+    });
+
+    // dL/dW, dL/db: owner-parallel over output features (see
+    // runtime/reduce.h) - each task owns the feature range [o0, o1)
+    // of gw_/gb_ outright and accumulates the rows in the reference's
+    // ascending order, so every gradient element keeps its exact
+    // serial chain. Rows stay outer so x is streamed row-major once
+    // per task.
+    runtime::parallelFor(0, out_, runtime::ownerGrain(out_, 8),
+                         [&](std::size_t o0, std::size_t o1) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            const float *gr = pg + r * out_;
+            const float *xr = px + r * in_;
+            for (std::size_t o = o0; o < o1; ++o) {
+                const float g = gr[o];
+                if (g == 0.0f)
+                    continue;
+                gb_[o] += g;
+                float *gwr = &gw_[o * in_];
+                for (std::size_t i = 0; i < in_; ++i)
+                    gwr[i] = runtime::madd(g, xr[i], gwr[i]);
+            }
+        }
+    });
+    return gx;
+}
+
+Tensor
+Dense::backwardReference(const Tensor &grad_out)
+{
+    const Tensor &x = cached_input_;
+    const std::size_t rows = rowCount(x);
+    if (grad_out.shape().back() != out_ || rowCount(grad_out) != rows)
+        throw std::invalid_argument("Dense::backward: shape mismatch");
+
+    Tensor gx(x.shape());
+    const float *pg = grad_out.data();
+    const float *px = x.data();
+    float *pgx = gx.data();
+
     for (std::size_t r = 0; r < rows; ++r) {
         const float *gr = pg + r * out_;
         const float *xr = px + r * in_;
@@ -114,8 +170,8 @@ Dense::backward(const Tensor &grad_out)
             float *gwr = &gw_[o * in_];
             const float *wr = &w_[o * in_];
             for (std::size_t i = 0; i < in_; ++i) {
-                gwr[i] += g * xr[i];
-                gxr[i] += g * wr[i];
+                gwr[i] = runtime::madd(g, xr[i], gwr[i]);
+                gxr[i] = runtime::madd(g, wr[i], gxr[i]);
             }
         }
     }
@@ -275,6 +331,23 @@ ButterflyDense::forward(const Tensor &x)
 
 Tensor
 ButterflyDense::backward(const Tensor &grad_out)
+{
+    if (grad_out.shape().back() != op_.outFeatures() ||
+        grad_out.size() / op_.outFeatures() != rows_)
+        throw std::invalid_argument(
+            "ButterflyDense::backward: shape mismatch");
+
+    Tensor gx(in_shape_);
+    // Trajectory scratch is a member so the steady state allocates
+    // nothing; fully overwritten by backwardBatch's pass 1.
+    gcaches_.resize(rows_ * op_.gradCacheSize());
+    op_.backwardBatch(caches_.data(), gcaches_.data(), grad_out.data(),
+                      gx.data(), rows_, grad_cores_, grad_bias_);
+    return gx;
+}
+
+Tensor
+ButterflyDense::backwardReference(const Tensor &grad_out)
 {
     if (grad_out.shape().back() != op_.outFeatures() ||
         grad_out.size() / op_.outFeatures() != rows_)

@@ -26,7 +26,18 @@ class Dense : public Layer
     Dense(std::size_t in_features, std::size_t out_features, Rng &rng);
 
     Tensor forward(const Tensor &x) override;
+
+    /**
+     * Parallel backward: dL/dx row-parallel (disjoint rows), dL/dW and
+     * dL/db owner-parallel over output features with the row reduction
+     * kept in ascending order (runtime/reduce.h). Bitwise identical to
+     * backwardReference at any thread count.
+     */
     Tensor backward(const Tensor &grad_out) override;
+
+    /** Seed serial backward (row-outer scalar loops), parity baseline. */
+    Tensor backwardReference(const Tensor &grad_out) override;
+
     void collectParams(std::vector<ParamRef> &out) override;
     std::unique_ptr<Layer> quantizedReplacement(QuantKind kind) const
         override;
@@ -57,7 +68,19 @@ class ButterflyDense : public Layer
                    Rng &rng);
 
     Tensor forward(const Tensor &x) override;
+
+    /**
+     * Parallel backward (ButterflyLinear::backwardBatch): a row-
+     * parallel pass records per-row stage-gradient trajectories and
+     * writes dL/dx, then bias/core-weight grads are owner-parallelised
+     * with ascending-row reductions. Bitwise identical to
+     * backwardReference at any thread count.
+     */
     Tensor backward(const Tensor &grad_out) override;
+
+    /** Seed serial backward (per-row ButterflyLinear::backward). */
+    Tensor backwardReference(const Tensor &grad_out) override;
+
     void collectParams(std::vector<ParamRef> &out) override;
     std::unique_ptr<Layer> quantizedReplacement(QuantKind kind) const
         override;
@@ -69,7 +92,8 @@ class ButterflyDense : public Layer
     ButterflyLinear op_;
     std::vector<std::vector<float>> grad_cores_;
     std::vector<float> grad_bias_;
-    std::vector<float> caches_; // per-row activation caches
+    std::vector<float> caches_;  // per-row activation caches
+    std::vector<float> gcaches_; // per-row stage-gradient trajectories
     std::vector<std::size_t> in_shape_;
     std::size_t rows_ = 0;
 };

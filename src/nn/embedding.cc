@@ -3,6 +3,11 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/kernels.h"
+#include "runtime/parallel.h"
+#include "runtime/reduce.h"
+#include "runtime/workspace.h"
+
 namespace fabnet {
 namespace nn {
 
@@ -50,6 +55,31 @@ Embedding::forward(const std::vector<int> &tokens, std::size_t batch,
 
 void
 Embedding::backward(const Tensor &grad_out)
+{
+    const float *pg = grad_out.data();
+    // Owner-parallel over hidden columns: task [j0, j1) owns those
+    // columns of gtok_ AND gpos_, walking (b, t) in the reference's
+    // ascending order, so the token scatter-add never races and every
+    // element keeps its serial accumulation chain.
+    runtime::parallelFor(0, d_, runtime::ownerGrain(d_, 16),
+                         [&](std::size_t j0, std::size_t j1) {
+        for (std::size_t b = 0; b < b_; ++b) {
+            for (std::size_t t = 0; t < t_; ++t) {
+                const int id = cached_tokens_[b * t_ + t];
+                float *gt = &gtok_[static_cast<std::size_t>(id) * d_];
+                float *gp = &gpos_[t * d_];
+                const float *row = pg + (b * t_ + t) * d_;
+                for (std::size_t j = j0; j < j1; ++j) {
+                    gt[j] += row[j];
+                    gp[j] += row[j];
+                }
+            }
+        }
+    });
+}
+
+void
+Embedding::backwardReference(const Tensor &grad_out)
 {
     const float *pg = grad_out.data();
     for (std::size_t b = 0; b < b_; ++b) {
@@ -156,8 +186,65 @@ MeanPoolClassifier::forwardMasked(const Tensor &x,
     return projectPooled();
 }
 
+namespace {
+
+/** Workspace tag for the per-thread pooled-gradient buffer. */
+struct PoolGradWs;
+
+} // namespace
+
 Tensor
 MeanPoolClassifier::backward(const Tensor &grad_logits)
+{
+    Tensor gx = Tensor::zeros(batch_, t_, d_);
+    const float inv_t = 1.0f / static_cast<float>(t_);
+    const float *pgl = grad_logits.data();
+    float *pgx = gx.data();
+
+    // dL/dx: batch elements are independent; the per-batch pooled
+    // gradient is recomputed in the reference's ascending-c order
+    // into a per-thread buffer.
+    runtime::parallelFor(0, batch_, 1, [&](std::size_t b0,
+                                           std::size_t b1) {
+        float *gpool = runtime::threadWorkspace<PoolGradWs>(d_);
+        for (std::size_t b = b0; b < b1; ++b) {
+            const float *gl = pgl + b * classes_;
+            std::fill(gpool, gpool + d_, 0.0f);
+            for (std::size_t c = 0; c < classes_; ++c) {
+                const float g = gl[c];
+                const float *wr = &w_[c * d_];
+                for (std::size_t j = 0; j < d_; ++j)
+                    gpool[j] = runtime::madd(g, wr[j], gpool[j]);
+            }
+            for (std::size_t t = 0; t < t_; ++t) {
+                float *row = pgx + (b * t_ + t) * d_;
+                for (std::size_t j = 0; j < d_; ++j)
+                    row[j] = gpool[j] * inv_t;
+            }
+        }
+    });
+
+    // dL/dW, dL/db: owner-parallel over classes, batch ascending
+    // (runtime/reduce.h).
+    runtime::parallelFor(0, classes_, 1, [&](std::size_t c0,
+                                             std::size_t c1) {
+        for (std::size_t b = 0; b < batch_; ++b) {
+            const float *gl = pgl + b * classes_;
+            const float *pool = cached_pooled_.data() + b * d_;
+            for (std::size_t c = c0; c < c1; ++c) {
+                const float g = gl[c];
+                gb_[c] += g;
+                float *gwr = &gw_[c * d_];
+                for (std::size_t j = 0; j < d_; ++j)
+                    gwr[j] = runtime::madd(g, pool[j], gwr[j]);
+            }
+        }
+    });
+    return gx;
+}
+
+Tensor
+MeanPoolClassifier::backwardReference(const Tensor &grad_logits)
 {
     Tensor gx = Tensor::zeros(batch_, t_, d_);
     const float inv_t = 1.0f / static_cast<float>(t_);
@@ -172,8 +259,8 @@ MeanPoolClassifier::backward(const Tensor &grad_logits)
             float *gwr = &gw_[c * d_];
             const float *wr = &w_[c * d_];
             for (std::size_t j = 0; j < d_; ++j) {
-                gwr[j] += g * pool[j];
-                gpool[j] += g * wr[j];
+                gwr[j] = runtime::madd(g, pool[j], gwr[j]);
+                gpool[j] = runtime::madd(g, wr[j], gpool[j]);
             }
         }
         for (std::size_t t = 0; t < t_; ++t) {

@@ -25,8 +25,18 @@ class Embedding
     Tensor forward(const std::vector<int> &tokens, std::size_t batch,
                    std::size_t seq);
 
-    /** Accumulate gradients into the embedding tables. */
+    /**
+     * Accumulate gradients into the embedding tables. The token-table
+     * update is a scatter-add (one token id can appear in many rows),
+     * so the parallel path is owner-parallel over hidden columns
+     * (runtime/reduce.h): each task owns a column range of BOTH tables
+     * and walks the positions in ascending order - bitwise identical
+     * to backwardReference at any thread count.
+     */
     void backward(const Tensor &grad_out);
+
+    /** Seed serial backward (position-outer loops), parity baseline. */
+    void backwardReference(const Tensor &grad_out);
 
     void collectParams(std::vector<ParamRef> &out);
 
@@ -60,8 +70,16 @@ class MeanPoolClassifier
     Tensor forwardMasked(const Tensor &x,
                          const std::vector<std::size_t> &lens);
 
-    /** dL/dlogits [b, classes] -> dL/dx [b, t, d]. */
+    /**
+     * dL/dlogits [b, classes] -> dL/dx [b, t, d]. Parallel: dL/dx
+     * rows per batch element (disjoint), classifier dL/dW and dL/db
+     * owner-parallel over classes with ascending-batch accumulation.
+     * Bitwise identical to backwardReference at any thread count.
+     */
     Tensor backward(const Tensor &grad_logits);
+
+    /** Seed serial backward, parity baseline. */
+    Tensor backwardReference(const Tensor &grad_logits);
 
     void collectParams(std::vector<ParamRef> &out);
 

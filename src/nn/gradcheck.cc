@@ -49,6 +49,30 @@ updateErrors(GradCheckResult &res, float analytic, float numeric,
 
 } // namespace
 
+std::vector<GradSweepShape>
+gradSweepShapes(unsigned seed, std::size_t extra)
+{
+    std::vector<GradSweepShape> shapes = {
+        {1, 1, 2, 2},   // degenerate
+        {2, 3, 6, 10},  // pads to core 8, two butterfly cores
+        {1, 5, 7, 7},   // odd square
+        {3, 2, 16, 16}, // exact power of two
+        {2, 4, 12, 5},  // truncated output
+    };
+    std::mt19937 gen(seed);
+    std::uniform_int_distribution<std::size_t> b(1, 3), t(1, 9),
+        f(2, 40);
+    for (std::size_t i = 0; i < extra; ++i)
+        shapes.push_back({b(gen), t(gen), f(gen), f(gen)});
+    return shapes;
+}
+
+Tensor
+makeGradCheckInput(const GradSweepShape &s, unsigned seed)
+{
+    return makeProbe({s.batch, s.seq, s.features}, seed);
+}
+
 GradCheckResult
 checkInputGrad(Layer &layer, const Tensor &x, unsigned seed, float eps,
                float tol)

@@ -7,6 +7,7 @@
 #define FABNET_NN_GRADCHECK_H
 
 #include <functional>
+#include <vector>
 
 #include "nn/layer.h"
 
@@ -20,6 +21,29 @@ struct GradCheckResult
     float max_abs_error = 0.0f;
     bool passed = false;
 };
+
+/**
+ * One randomized gradcheck problem: a [batch, seq, features] input
+ * for a layer mapping features -> out_features (layers that preserve
+ * the feature count ignore out_features).
+ */
+struct GradSweepShape
+{
+    std::size_t batch, seq, features, out_features;
+};
+
+/**
+ * Seeded shape sweep for randomized layer gradchecks: fixed corners
+ * covering the degenerate (1x1), odd, non-power-of-two and
+ * pad-to-next-pow2 cases, plus @p extra random draws (batch 1..3,
+ * seq 1..9, features/out 2..40). The grad suites iterate this instead
+ * of hand-picked fixed shapes so every run exercises fresh odd sizes.
+ */
+std::vector<GradSweepShape> gradSweepShapes(unsigned seed,
+                                            std::size_t extra = 3);
+
+/** Deterministic N(0,1) input tensor for a sweep entry. */
+Tensor makeGradCheckInput(const GradSweepShape &s, unsigned seed);
 
 /**
  * Check dL/d(input) of @p layer at @p x against central differences,

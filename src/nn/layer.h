@@ -75,9 +75,26 @@ class Layer
 
     /**
      * Backward pass: given dL/d(output) returns dL/d(input) and
-     * accumulates (+=) parameter gradients.
+     * accumulates (+=) parameter gradients. Parallel (see
+     * runtime/reduce.h for the determinism scheme) and bitwise
+     * identical to backwardReference() at any thread count.
      */
     virtual Tensor backward(const Tensor &grad_out) = 0;
+
+    /**
+     * Seed serial backward, kept as the parity/bench baseline for the
+     * parallel backward(). Same contract (returns dL/d(input),
+     * accumulates parameter grads); layers whose fast backward
+     * reorders work override this with the original serial loops.
+     * Elementwise layers, where the parallel path trivially preserves
+     * the serial arithmetic, keep this default. Composite layers
+     * override it to recurse through their children's reference
+     * paths.
+     */
+    virtual Tensor backwardReference(const Tensor &grad_out)
+    {
+        return backward(grad_out);
+    }
 
     /** Append this layer's parameters to @p out. */
     virtual void collectParams(std::vector<ParamRef> &out)

@@ -53,7 +53,12 @@ class Adam
     std::vector<std::vector<float>> m_, v_;
 };
 
-/** Global gradient-norm clipping; returns the pre-clip norm. */
+/**
+ * Global gradient-norm clipping; returns the pre-clip norm. The norm
+ * is computed with the deterministic chunked tree reduction
+ * (runtime/reduce.h) and the scaling sweep is elementwise-parallel,
+ * so the clipped gradients are bitwise identical at any thread count.
+ */
 float clipGradNorm(const std::vector<ParamRef> &params, float max_norm);
 
 } // namespace nn

@@ -1,0 +1,149 @@
+/**
+ * @file reduce.h
+ * Deterministic reductions for the parallel training backward.
+ *
+ * The backward pass has two kinds of reductions, and they need two
+ * different tools to stay bitwise thread-count-invariant:
+ *
+ * 1. **Parameter-gradient accumulation** (dL/dW += per-row
+ *    contributions). Here the parity contract is the strongest in the
+ *    codebase: the fast path must be bitwise identical to the seed
+ *    serial backward (`backwardReference`), whose accumulation order
+ *    is "rows in ascending order". Post-hoc combination of per-thread
+ *    partial buffers can never reproduce that order exactly (float
+ *    addition is not associative), so the backward kernels do NOT
+ *    reduce across threads at all: they are *owner-parallelised*.
+ *    Each parallelFor task owns a disjoint slice of the gradient
+ *    (a range of output features, butterfly weight pairs, LayerNorm
+ *    columns, embedding columns) and walks the rows in the same
+ *    ascending order the serial reference uses, so every gradient
+ *    element keeps its exact serial accumulation chain. Per-thread
+ *    buffers (runtime/workspace.h) hold the row-local scratch -
+ *    gathered attention head panels, butterfly stage-gradient
+ *    trajectories - never cross-thread partial sums.
+ *
+ * 2. **Associativity-tolerant scalars** - the global gradient norm in
+ *    the optimizer's clip step, where no seed-order contract exists
+ *    but the result must still be identical at any thread count
+ *    (the training convergence tests pin loss curves across thread
+ *    counts). These use the helpers below: the input is split into
+ *    FIXED-SIZE chunks (shape depends only on the element count,
+ *    never on the thread count), each chunk is summed serially in
+ *    index order into its own partial slot, and the slots are folded
+ *    by a fixed-shape pairwise tree. Any thread may compute any slot;
+ *    the combine order is a pure function of the slot count.
+ */
+#ifndef FABNET_RUNTIME_REDUCE_H
+#define FABNET_RUNTIME_REDUCE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/parallel.h"
+
+namespace fabnet {
+namespace runtime {
+
+/**
+ * Elements per partial-sum slot of the deterministic chunked
+ * reductions. Fixed (never derived from the thread count) so the
+ * reduction shape - and therefore the result - is a pure function of
+ * the input length.
+ */
+constexpr std::size_t kReduceChunk = 4096;
+
+/**
+ * Grain for the owner-parallel gradient sweeps: ~4 chunks per pool
+ * thread (dynamic-claiming load balance), one single chunk on a
+ * 1-thread pool, floored at @p min_grain elements.
+ *
+ * Unlike the fixed-shape reductions below, this MAY depend on the
+ * thread count: owner-parallel accumulation is partition-invariant
+ * (every gradient element's chain is the full ascending row order no
+ * matter which task owns it), so the chunking changes scheduling and
+ * memory traffic, never results. And the traffic matters: each chunk
+ * streams the whole row range, so the chunk count is a read
+ * multiplier on the activations - a serial sweep should be ONE chunk
+ * (reference-equal traffic), a T-thread sweep ~4T.
+ */
+inline std::size_t
+ownerGrain(std::size_t total, std::size_t min_grain = 1)
+{
+    const std::size_t threads = numThreads();
+    if (threads <= 1 || total == 0)
+        return total == 0 ? 1 : total;
+    const std::size_t chunks = threads * 4;
+    const std::size_t grain = (total + chunks - 1) / chunks;
+    return std::max(grain, min_grain);
+}
+
+/** Number of partial slots a deterministic reduction of @p n uses. */
+inline std::size_t
+reduceSlots(std::size_t n)
+{
+    return (n + kReduceChunk - 1) / kReduceChunk;
+}
+
+/**
+ * Fold @p n partials in place with a fixed-shape pairwise tree:
+ * level by level, slot i takes p[2i] + p[2i+1] (an odd tail slot is
+ * carried up unchanged). The association depends only on @p n, so the
+ * result is identical no matter which threads produced the partials.
+ * Returns p[0]; @p p is clobbered.
+ */
+template <class T>
+inline T
+treeReduce(T *p, std::size_t n)
+{
+    if (n == 0)
+        return T{};
+    while (n > 1) {
+        const std::size_t pairs = n / 2;
+        for (std::size_t i = 0; i < pairs; ++i)
+            p[i] = p[2 * i] + p[2 * i + 1];
+        if (n % 2 != 0) {
+            p[pairs] = p[n - 1];
+            n = pairs + 1;
+        } else {
+            n = pairs;
+        }
+    }
+    return p[0];
+}
+
+/**
+ * Deterministic sum of squares of @p x (the grad-norm building block):
+ * fixed kReduceChunk chunks summed serially in index order into double
+ * partials - computed in parallel, slot per chunk - then tree-folded.
+ * Bitwise identical at any thread count; for n <= kReduceChunk it
+ * degenerates to the plain serial double accumulation.
+ */
+inline double
+deterministicSumSquares(const float *x, std::size_t n)
+{
+    const std::size_t slots = reduceSlots(n);
+    if (slots <= 1) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            acc += static_cast<double>(x[i]) * x[i];
+        return acc;
+    }
+    std::vector<double> partials(slots, 0.0);
+    double *p = partials.data();
+    parallelFor(0, slots, 1, [&](std::size_t s0, std::size_t s1) {
+        for (std::size_t s = s0; s < s1; ++s) {
+            const std::size_t b = s * kReduceChunk;
+            const std::size_t e = std::min(b + kReduceChunk, n);
+            double acc = 0.0;
+            for (std::size_t i = b; i < e; ++i)
+                acc += static_cast<double>(x[i]) * x[i];
+            p[s] = acc;
+        }
+    });
+    return treeReduce(p, slots);
+}
+
+} // namespace runtime
+} // namespace fabnet
+
+#endif // FABNET_RUNTIME_REDUCE_H

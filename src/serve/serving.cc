@@ -93,11 +93,8 @@ ServingEngine::~ServingEngine()
 }
 
 std::future<std::vector<float>>
-ServingEngine::submit(std::vector<int> tokens)
+ServingEngine::enqueueLocked(std::vector<int> tokens)
 {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (stop_)
-        throw std::runtime_error("ServingEngine: already shut down");
     const std::uint64_t id = next_id_++;
     // Validates the length (throws before anything is queued).
     batcher_.push(id, tokens.size(), RequestBatcher::Clock::now());
@@ -106,6 +103,17 @@ ServingEngine::submit(std::vector<int> tokens)
     p.tokens = std::move(tokens);
     std::future<std::vector<float>> fut = p.promise.get_future();
     ++stats_.requests;
+    return fut;
+}
+
+std::future<std::vector<float>>
+ServingEngine::submit(std::vector<int> tokens)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_)
+        throw std::runtime_error("ServingEngine: already shut down");
+    std::future<std::vector<float>> fut =
+        enqueueLocked(std::move(tokens));
     work_cv_.notify_all();
     return fut;
 }
@@ -115,9 +123,81 @@ ServingEngine::serveAll(const std::vector<std::vector<int>> &requests)
 {
     std::vector<std::future<std::vector<float>>> futs;
     futs.reserve(requests.size());
-    for (const auto &r : requests)
-        futs.push_back(submit(r));
-    flush();
+    std::uint64_t watermark = 0;
+    {
+        // Bulk enqueue WITHOUT waking the dispatcher: the calling
+        // thread is about to run the groups itself, so the handoff
+        // would only add a wakeup and a context switch per batch.
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stop_)
+            throw std::runtime_error("ServingEngine: already shut down");
+        try {
+            for (const auto &r : requests)
+                futs.push_back(enqueueLocked(r));
+        } catch (...) {
+            // A bad request length mid-set: hand the already-enqueued
+            // prefix to the dispatcher (as submit() would have) and
+            // surface the error.
+            work_cv_.notify_all();
+            throw;
+        }
+        watermark = next_id_;
+        // Same critical section as the enqueue: the dispatcher can
+        // never observe the requests without also observing the
+        // inline server, so it parks instead of stealing groups.
+        ++inline_active_;
+    }
+
+    // Inline bulk dispatch: claim and run groups on this thread until
+    // everything submitted above is served. Ready (full) buckets pop
+    // with their normal flush reason first, then the leftovers drain -
+    // the same grouping the dispatcher would produce.
+    try {
+        for (;;) {
+            std::unique_lock<std::mutex> lk(mu_);
+            const auto served_to_watermark = [this, watermark] {
+                return outstanding_.empty() ||
+                       *outstanding_.begin() >= watermark;
+            };
+            std::optional<BatchGroup> group =
+                batcher_.popReady(RequestBatcher::Clock::now(),
+                                  cfg_.max_wait);
+            if (!group)
+                group = batcher_.drainBelow(watermark);
+            if (!group) {
+                if (served_to_watermark())
+                    break;
+                // The rest is in flight on another server (a
+                // concurrent serveAll, a flush-draining dispatcher);
+                // wait like flush() does.
+                idle_cv_.wait(lk, [&] {
+                    return served_to_watermark() || stop_;
+                });
+                if (stop_)
+                    break; // shutdown drain will fulfil the futures
+                continue;
+            }
+            std::vector<Pending> reqs = claimGroupLocked(*group);
+            ++stats_.inline_batches;
+            lk.unlock(); // serve outside the lock, like the dispatcher
+            runGroup(*group, std::move(reqs));
+            lk.lock();
+            finishGroupLocked(*group);
+        }
+    } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        --inline_active_;
+        work_cv_.notify_all();
+        throw;
+    }
+    {
+        // Hand whatever post-watermark traffic accumulated back to
+        // the dispatcher.
+        std::lock_guard<std::mutex> lk(mu_);
+        --inline_active_;
+        work_cv_.notify_all();
+    }
+
     std::vector<std::vector<float>> out;
     out.reserve(futs.size());
     for (auto &f : futs)
@@ -176,6 +256,9 @@ ServingEngine::runGroup(const BatchGroup &group, std::vector<Pending> reqs)
     // on one throws future_error out of the dispatcher).
     std::vector<std::vector<float>> outs;
     try {
+        // The model is single-user (layer caches); the dispatcher and
+        // inline serveAll() callers serialise here.
+        std::lock_guard<std::mutex> model_lock(model_mu_);
         const Tensor logits = model_.forwardBatch(tokens, bsz, seq, lens);
         const std::size_t classes = logits.dim(1);
         outs.reserve(bsz);
@@ -223,7 +306,14 @@ ServingEngine::dispatchLoop()
         // its buckets no longer compete for the drain).
         if (stop_)
             group = batcher_.drain();
-        else if (flush_waiters_ > 0)
+        else if (inline_active_ > 0 && flush_waiters_ == 0) {
+            // Inline serveAll() servers own the queue: parking here
+            // avoids stealing their groups (and serialising on the
+            // model mutex behind them). They notify work_cv_ on exit
+            // for whatever traffic remains.
+            work_cv_.wait(lk);
+            continue;
+        } else if (flush_waiters_ > 0)
             group = batcher_.drainBelow(flush_watermark_);
         if (!group)
             group = batcher_.popReady(RequestBatcher::Clock::now(),
@@ -239,33 +329,45 @@ ServingEngine::dispatchLoop()
             continue;
         }
 
-        std::vector<Pending> reqs;
-        reqs.reserve(group->ids.size());
-        for (std::uint64_t id : group->ids) {
-            auto it = pending_.find(id);
-            reqs.push_back(std::move(it->second));
-            pending_.erase(it);
-        }
-        ++stats_.batches;
-        switch (group->reason) {
-          case FlushReason::Full:
-            ++stats_.flushed_full;
-            break;
-          case FlushReason::Timeout:
-            ++stats_.flushed_timeout;
-            break;
-          case FlushReason::Drain:
-            ++stats_.flushed_drain;
-            break;
-        }
+        std::vector<Pending> reqs = claimGroupLocked(*group);
         lk.unlock(); // serve outside the lock so submit() never blocks
         runGroup(*group, std::move(reqs)); // counts completed/failed
         lk.lock();
-
-        for (std::uint64_t id : group->ids)
-            outstanding_.erase(id);
-        idle_cv_.notify_all(); // flush() waiters check their watermark
+        finishGroupLocked(*group);
     }
+}
+
+std::vector<ServingEngine::Pending>
+ServingEngine::claimGroupLocked(const BatchGroup &group)
+{
+    std::vector<Pending> reqs;
+    reqs.reserve(group.ids.size());
+    for (std::uint64_t id : group.ids) {
+        auto it = pending_.find(id);
+        reqs.push_back(std::move(it->second));
+        pending_.erase(it);
+    }
+    ++stats_.batches;
+    switch (group.reason) {
+      case FlushReason::Full:
+        ++stats_.flushed_full;
+        break;
+      case FlushReason::Timeout:
+        ++stats_.flushed_timeout;
+        break;
+      case FlushReason::Drain:
+        ++stats_.flushed_drain;
+        break;
+    }
+    return reqs;
+}
+
+void
+ServingEngine::finishGroupLocked(const BatchGroup &group)
+{
+    for (std::uint64_t id : group.ids)
+        outstanding_.erase(id);
+    idle_cv_.notify_all(); // flush()/serveAll() waiters re-check
 }
 
 } // namespace serve

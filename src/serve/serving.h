@@ -13,8 +13,11 @@
  * sequence.
  *
  * ## Threading model
- * One dispatcher thread owns the model (the layer caches make
- * concurrent forward calls on one model unsafe); intra-batch
+ * A dispatcher thread serves submit() traffic, and serveAll() callers
+ * run their own drain groups inline (inline bulk dispatch - no
+ * per-batch handoff for the synchronous path); all model invocations
+ * are serialised on an internal mutex because the layer caches make
+ * concurrent forward calls on one model unsafe. Intra-batch
  * parallelism comes from the kernels' parallelFor, so the pool - not
  * the request count - sets the concurrency. submit() is safe from any
  * number of client threads. The engine must be the model's only user
@@ -92,6 +95,9 @@ struct ServingStats
     std::size_t flushed_full = 0;    ///< batches from a full bucket
     std::size_t flushed_timeout = 0; ///< batches from max_wait expiry
     std::size_t flushed_drain = 0;   ///< batches from flush()/shutdown
+    /** Batches run on a serveAll() caller's thread instead of the
+     *  dispatcher (inline bulk dispatch). Subset of `batches`. */
+    std::size_t inline_batches = 0;
     std::size_t real_tokens = 0;     ///< sum of request lengths served
     std::size_t padded_tokens = 0;   ///< sum of batch * padded_len
 
@@ -132,8 +138,18 @@ class ServingEngine
 
     /**
      * Serve a whole request set synchronously through the batching
-     * path: submits everything, flushes, and returns the logits in
-     * request order.
+     * path and return the logits in request order.
+     *
+     * Inline bulk dispatch: the calling thread enqueues everything in
+     * one critical section (without waking the dispatcher), then
+     * claims and runs the ready/drain groups itself - the same
+     * grouping, model invocation and stats accounting as the
+     * dispatcher path, minus the per-batch handoff and context
+     * switch that dominated the synchronous path on 1-core boxes
+     * (ServingStats::inline_batches counts these). Any group a
+     * concurrently-awake dispatcher claims first is simply waited
+     * for; logits are identical either way. Safe from multiple
+     * threads: model invocations are serialised internally.
      */
     std::vector<std::vector<float>>
     serveAll(const std::vector<std::vector<int>> &requests);
@@ -161,11 +177,22 @@ class ServingEngine
     /**
      * Serve one assembled group: counts completed/failed (and token
      * stats) under the lock BEFORE fulfilling the futures, so stats()
-     * read after a future resolves always includes the batch.
+     * read after a future resolves always includes the batch. The
+     * model invocation itself is serialised on model_mu_ (the layer
+     * caches make the model single-user), so the dispatcher and
+     * inline serveAll() callers can both run groups.
      */
     void runGroup(const BatchGroup &group, std::vector<Pending> reqs);
 
+    /** Enqueue one request (mu_ held); returns its logits future. */
+    std::future<std::vector<float>> enqueueLocked(std::vector<int> tokens);
+    /** Take a group's pending requests + count the batch (mu_ held). */
+    std::vector<Pending> claimGroupLocked(const BatchGroup &group);
+    /** Post-runGroup bookkeeping: outstanding_ and waiters (mu_ held). */
+    void finishGroupLocked(const BatchGroup &group);
+
     SequenceClassifier &model_;
+    std::mutex model_mu_; ///< serialises forwardBatch invocations
     ServingConfig cfg_;
     bool ws_cap_installed_ = false;
 
@@ -177,6 +204,14 @@ class ServingEngine
     std::set<std::uint64_t> outstanding_; ///< submitted, not yet served
     std::uint64_t next_id_ = 0;
     bool stop_ = false;
+    /**
+     * Number of serveAll() calls currently draining inline. While
+     * positive (and no flush() is waiting) the dispatcher parks
+     * instead of competing for groups: the inline callers pop ready
+     * and drain groups themselves, and wake the dispatcher on exit
+     * for whatever traffic remains.
+     */
+    int inline_active_ = 0;
     int flush_waiters_ = 0;
     std::uint64_t flush_watermark_ = 0; ///< max watermark of waiters
     ServingStats stats_;

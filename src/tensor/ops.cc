@@ -9,6 +9,7 @@
 
 #include "runtime/kernels.h"
 #include "runtime/parallel.h"
+#include "runtime/reduce.h"
 #include "runtime/workspace.h"
 
 namespace fabnet {
@@ -152,6 +153,41 @@ matmulTransposed(const Tensor &a, const Tensor &b)
 }
 
 Tensor
+matmulGradA(const Tensor &grad_c, const Tensor &b)
+{
+    // dL/dA = gC * B^T is exactly the A*B^T dot-product kernel with
+    // gC as the left operand; delegate so the seed chain order lives
+    // in one place.
+    return matmulTransposed(grad_c, b);
+}
+
+Tensor
+matmulGradB(const Tensor &a, const Tensor &grad_c)
+{
+    requireRank2(a, "matmulGradB");
+    requireRank2(grad_c, "matmulGradB");
+    const std::size_t m = a.dim(0), k = a.dim(1), n = grad_c.dim(1);
+    if (grad_c.dim(0) != m)
+        throw std::invalid_argument("matmulGradB: row count mismatch");
+
+    Tensor c = Tensor::zeros(k, n);
+    const float *pa = a.data();
+    const float *pg = grad_c.data();
+    float *pc = c.data();
+    // dB[i][j] = sum_r A[r][i] * gC[r][j], r strictly ascending.
+    for (std::size_t i = 0; i < k; ++i) {
+        float *crow = pc + i * n;
+        for (std::size_t r = 0; r < m; ++r) {
+            const float av = pa[r * k + i];
+            const float *grow = pg + r * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] = runtime::madd(av, grow[j], crow[j]);
+        }
+    }
+    return c;
+}
+
+Tensor
 matmulInt8(const Tensor &a, const Tensor &b)
 {
     checkMatmulShapes(a, b, "matmulInt8");
@@ -237,6 +273,48 @@ matmulTransposed(const Tensor &a, const Tensor &b)
                              runtime::gemmRowsIKJ(pa, bt, pc, r0, r1, k,
                                                   n);
                          });
+    return c;
+}
+
+Tensor
+matmulGradA(const Tensor &grad_c, const Tensor &b)
+{
+    // Same delegation as the reference: gC [m,n] * (B [k,n])^T is the
+    // A*B^T panel with matching shapes and the identical ascending-n
+    // per-element chain.
+    return matmulTransposed(grad_c, b);
+}
+
+Tensor
+matmulGradB(const Tensor &a, const Tensor &grad_c)
+{
+    requireRank2(a, "matmulGradB");
+    requireRank2(grad_c, "matmulGradB");
+    const std::size_t m = a.dim(0), k = a.dim(1), n = grad_c.dim(1);
+    if (grad_c.dim(0) != m)
+        throw std::invalid_argument("matmulGradB: row count mismatch");
+
+    Tensor c = Tensor::zeros(k, n);
+    const float *pa = a.data();
+    const float *pg = grad_c.data();
+    float *pc = c.data();
+    // Owner-parallel over dB rows (runtime/reduce.h): each task owns
+    // the disjoint row range [i0, i1) of dL/dB and accumulates the m
+    // contributions in the reference's ascending-r order, walking gC
+    // row-major per r so the inner loop stays contiguous.
+    runtime::parallelFor(0, k, runtime::ownerGrain(k, kGemmGrain),
+                         [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t r = 0; r < m; ++r) {
+            const float *arow = pa + r * k;
+            const float *grow = pg + r * n;
+            for (std::size_t i = i0; i < i1; ++i) {
+                const float av = arow[i];
+                float *crow = pc + i * n;
+                for (std::size_t j = 0; j < n; ++j)
+                    crow[j] = runtime::madd(av, grow[j], crow[j]);
+            }
+        }
+    });
     return c;
 }
 

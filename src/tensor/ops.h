@@ -32,6 +32,26 @@ Tensor matmul(const Tensor &a, const Tensor &b);
 Tensor matmulTransposed(const Tensor &a, const Tensor &b);
 
 /**
+ * GEMM backward, input side: dL/dA = dL/dC * B^T for C = A * B with
+ * A [m,k], B [k,n], grad_c [m,n]. Row-parallel with the per-element
+ * reduction kept in ascending-n order; bitwise identical to
+ * reference::matmulGradA at any thread count. (Lowered onto the
+ * matmulTransposed panel - the shapes line up exactly.)
+ */
+Tensor matmulGradA(const Tensor &grad_c, const Tensor &b);
+
+/**
+ * GEMM backward, weight side: dL/dB = A^T * dL/dC for C = A * B with
+ * A [m,k], grad_c [m,n]. Parallel over the k output rows (each task
+ * OWNS a disjoint row range of dL/dB - see runtime/reduce.h for why
+ * gradient accumulation is owner-parallelised rather than reduced
+ * across threads); every element's reduction runs in ascending-m
+ * order, so results are bitwise identical to reference::matmulGradB
+ * at any thread count.
+ */
+Tensor matmulGradB(const Tensor &a, const Tensor &grad_c);
+
+/**
  * Dynamically quantised int8 GEMM: A is quantised per row, B per
  * column (symmetric, saturating - see runtime/kernels.h), the product
  * accumulates in exact int32 on the register-tiled int8 panel, and
@@ -60,6 +80,12 @@ Tensor matmul(const Tensor &a, const Tensor &b);
 
 /** Single-threaded scalar dot-product GEMM against B^T (seed kernel). */
 Tensor matmulTransposed(const Tensor &a, const Tensor &b);
+
+/** Scalar ground truth of matmulGradA (same reduction order). */
+Tensor matmulGradA(const Tensor &grad_c, const Tensor &b);
+
+/** Scalar ground truth of matmulGradB (ascending-m accumulation). */
+Tensor matmulGradB(const Tensor &a, const Tensor &grad_c);
 
 /**
  * Scalar ground truth of matmulInt8: same quantisation helpers, naive

@@ -1,0 +1,414 @@
+/**
+ * @file backward_parity_test.cpp
+ * The training backward's parity contract (the grad-parity ctest
+ * gate): every parallel backward path - GEMM grads, Dense, butterfly,
+ * LayerNorm, attention, encoder blocks, embedding, pooled head and
+ * the full train step - is BITWISE identical to its seed serial
+ * `backwardReference` at thread counts {1, 4, 8}, over seeded shape
+ * sweeps that include odd and non-power-of-two sizes. Built on the
+ * shared harness in test_util.h; see runtime/reduce.h for why the
+ * fast paths can meet an exact-equality bar at all (owner-parallel
+ * gradient accumulation, never cross-thread reduction).
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "model/builder.h"
+#include "nn/attention.h"
+#include "nn/basic_layers.h"
+#include "nn/block.h"
+#include "nn/dense.h"
+#include "nn/embedding.h"
+#include "nn/gradcheck.h"
+#include "nn/optimizer.h"
+#include "runtime/parallel.h"
+#include "runtime/reduce.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "test_util.h"
+
+namespace fabnet {
+namespace {
+
+using testutil::bitwiseEqual;
+using testutil::expectBackwardParity;
+using testutil::forEachThreadCount;
+using testutil::gradsBitwiseEqual;
+using testutil::randomTensor;
+using testutil::snapshotGrads;
+
+using BackwardParity = testutil::RuntimeFixture;
+
+// --------------------------------------------------------- GEMM grads
+
+TEST_F(BackwardParity, MatmulGradAMatchesReferenceBitwise)
+{
+    unsigned seed = 1000;
+    for (const auto &s : testutil::gemmShapeSweep(11)) {
+        const Tensor gc = randomTensor({s.m, s.n}, seed++);
+        const Tensor b = randomTensor({s.k, s.n}, seed++);
+        runtime::setNumThreads(1);
+        const Tensor ref = ops::reference::matmulGradA(gc, b);
+        forEachThreadCount([&](std::size_t threads) {
+            EXPECT_TRUE(bitwiseEqual(ops::matmulGradA(gc, b), ref))
+                << "m=" << s.m << " k=" << s.k << " n=" << s.n
+                << " threads=" << threads;
+        });
+    }
+}
+
+TEST_F(BackwardParity, MatmulGradBMatchesReferenceBitwise)
+{
+    unsigned seed = 2000;
+    for (const auto &s : testutil::gemmShapeSweep(13)) {
+        const Tensor a = randomTensor({s.m, s.k}, seed++);
+        const Tensor gc = randomTensor({s.m, s.n}, seed++);
+        runtime::setNumThreads(1);
+        const Tensor ref = ops::reference::matmulGradB(a, gc);
+        forEachThreadCount([&](std::size_t threads) {
+            EXPECT_TRUE(bitwiseEqual(ops::matmulGradB(a, gc), ref))
+                << "m=" << s.m << " k=" << s.k << " n=" << s.n
+                << " threads=" << threads;
+        });
+    }
+}
+
+TEST_F(BackwardParity, MatmulGradsAreTheTrueGemmAdjoints)
+{
+    // Independent of the parity machinery: dA = gC B^T and dB = A^T gC
+    // must agree with the transpose-based formulation within fp noise.
+    const Tensor a = randomTensor({7, 5}, 3);
+    const Tensor b = randomTensor({5, 9}, 4);
+    const Tensor gc = randomTensor({7, 9}, 5);
+    const Tensor da = ops::matmulGradA(gc, b);
+    const Tensor db = ops::matmulGradB(a, gc);
+    EXPECT_TRUE(testutil::maxAbsDiffWithin(
+        da, ops::matmul(gc, ops::transpose(b)), 1e-5f));
+    EXPECT_TRUE(testutil::maxAbsDiffWithin(
+        db, ops::matmul(ops::transpose(a), gc), 1e-5f));
+}
+
+// ------------------------------------------------------------- layers
+
+TEST_F(BackwardParity, DenseBackwardParitySweep)
+{
+    unsigned seed = 3000;
+    for (const auto &s : nn::gradSweepShapes(17, 4)) {
+        Rng rng(seed);
+        nn::Dense layer(s.features, s.out_features, rng);
+        const Tensor x =
+            randomTensor({s.batch, s.seq, s.features}, seed + 1);
+        expectBackwardParity(layer, x, seed + 2, "Dense");
+        seed += 3;
+    }
+}
+
+TEST_F(BackwardParity, ButterflyDenseBackwardParitySweep)
+{
+    unsigned seed = 4000;
+    for (const auto &s : nn::gradSweepShapes(19, 4)) {
+        Rng rng(seed);
+        nn::ButterflyDense layer(s.features, s.out_features, rng);
+        const Tensor x =
+            randomTensor({s.batch, s.seq, s.features}, seed + 1);
+        expectBackwardParity(layer, x, seed + 2, "ButterflyDense");
+        seed += 3;
+    }
+}
+
+TEST_F(BackwardParity, LayerNormBackwardParitySweep)
+{
+    unsigned seed = 5000;
+    for (const auto &s : nn::gradSweepShapes(23, 4)) {
+        nn::LayerNorm layer(s.features);
+        const Tensor x =
+            randomTensor({s.batch, s.seq, s.features}, seed + 1);
+        expectBackwardParity(layer, x, seed + 2, "LayerNorm");
+        seed += 3;
+    }
+}
+
+std::unique_ptr<nn::Layer>
+denseProj(std::size_t d, Rng &rng)
+{
+    return std::make_unique<nn::Dense>(d, d, rng);
+}
+
+std::unique_ptr<nn::Layer>
+butterflyProj(std::size_t d, Rng &rng)
+{
+    return std::make_unique<nn::ButterflyDense>(d, d, rng);
+}
+
+TEST_F(BackwardParity, AttentionBackwardParity)
+{
+    // Odd sequence lengths, dense and butterfly projections, causal
+    // and bidirectional - the four corners of the attention backward.
+    struct Case
+    {
+        std::size_t b, t, d, heads;
+        bool butterfly, causal;
+    };
+    const Case cases[] = {
+        {2, 7, 24, 3, false, false},
+        {1, 5, 24, 3, false, true},
+        {2, 9, 16, 2, true, false},
+        {3, 3, 16, 2, true, true},
+    };
+    unsigned seed = 6000;
+    for (const auto &c : cases) {
+        Rng rng(seed);
+        auto proj = [&](std::size_t d) {
+            return c.butterfly ? butterflyProj(d, rng)
+                               : denseProj(d, rng);
+        };
+        nn::MultiHeadAttention attn(c.d, c.heads, proj(c.d), proj(c.d),
+                                    proj(c.d), proj(c.d), c.causal);
+        const Tensor x = randomTensor({c.b, c.t, c.d}, seed + 1);
+        expectBackwardParity(attn, x, seed + 2, "MultiHeadAttention");
+        seed += 3;
+    }
+}
+
+TEST_F(BackwardParity, EncoderBlockBackwardParity)
+{
+    // Whole-block chain: LN -> FFN -> LN -> attention with residuals,
+    // in the transformer (dense) and FABNet ABfly (butterfly) builds.
+    for (const bool butterfly : {false, true}) {
+        const std::size_t d = 16, heads = 2, ffn_d = 32;
+        const unsigned seed = butterfly ? 7100 : 7000;
+        Rng rng(seed);
+        auto proj = [&](std::size_t in, std::size_t out)
+            -> std::unique_ptr<nn::Layer> {
+            if (butterfly)
+                return std::make_unique<nn::ButterflyDense>(in, out, rng);
+            return std::make_unique<nn::Dense>(in, out, rng);
+        };
+        auto mixer = std::make_unique<nn::MultiHeadAttention>(
+            d, heads, proj(d, d), proj(d, d), proj(d, d), proj(d, d));
+        auto ffn = std::make_unique<nn::FeedForward>(
+            proj(d, ffn_d), std::make_unique<nn::Gelu>(),
+            proj(ffn_d, d));
+        nn::EncoderBlock block(d, std::move(mixer), std::move(ffn));
+        const Tensor x = randomTensor({2, 7, d}, seed + 1);
+        expectBackwardParity(block, x, seed + 2,
+                             butterfly ? "EncoderBlock[butterfly]"
+                                       : "EncoderBlock[dense]");
+    }
+}
+
+// ---------------------------------------- embedding and pooled head
+
+TEST_F(BackwardParity, EmbeddingBackwardParity)
+{
+    const std::size_t vocab = 13, max_seq = 9, d = 12;
+    const std::size_t b = 3, t = 7;
+    Rng rng(8000);
+    nn::Embedding emb(vocab, max_seq, d, rng);
+    // Repeated token ids force scatter-add collisions.
+    std::vector<int> tokens(b * t);
+    for (int &id : tokens)
+        id = rng.randint(0, static_cast<int>(vocab) - 1);
+    tokens[1] = tokens[5] = tokens[9] = tokens[0];
+
+    runtime::setNumThreads(1);
+    emb.forward(tokens, b, t);
+    const Tensor probe = randomTensor({b, t, d}, 8001);
+
+    std::vector<nn::ParamRef> params;
+    emb.collectParams(params);
+    nn::zeroGrads(params);
+    emb.backwardReference(probe);
+    const auto grads_ref = snapshotGrads(params);
+
+    forEachThreadCount([&](std::size_t threads) {
+        nn::zeroGrads(params);
+        emb.backward(probe);
+        EXPECT_TRUE(gradsBitwiseEqual(params, grads_ref))
+            << "Embedding grads, threads=" << threads;
+    });
+}
+
+TEST_F(BackwardParity, MeanPoolClassifierBackwardParity)
+{
+    const std::size_t d = 12, classes = 3, b = 5, t = 7;
+    Rng rng(8100);
+    nn::MeanPoolClassifier head(d, classes, rng);
+    const Tensor x = randomTensor({b, t, d}, 8101);
+
+    runtime::setNumThreads(1);
+    head.forward(x);
+    const Tensor probe = randomTensor({b, classes}, 8102);
+
+    std::vector<nn::ParamRef> params;
+    head.collectParams(params);
+    nn::zeroGrads(params);
+    const Tensor gx_ref = head.backwardReference(probe);
+    const auto grads_ref = snapshotGrads(params);
+
+    forEachThreadCount([&](std::size_t threads) {
+        nn::zeroGrads(params);
+        const Tensor gx = head.backward(probe);
+        EXPECT_TRUE(bitwiseEqual(gx, gx_ref))
+            << "MeanPool dL/dx, threads=" << threads;
+        EXPECT_TRUE(gradsBitwiseEqual(params, grads_ref))
+            << "MeanPool grads, threads=" << threads;
+    });
+}
+
+// --------------------------------------------------- full train step
+
+ModelConfig
+trainCfg(ModelKind kind)
+{
+    ModelConfig cfg;
+    cfg.kind = kind;
+    cfg.vocab = 24;
+    cfg.max_seq = 16;
+    cfg.d_hid = 16;
+    cfg.r_ffn = 2;
+    cfg.n_total = 2;
+    cfg.n_abfly = kind == ModelKind::FABNet ? 2 : 0;
+    cfg.heads = 2;
+    cfg.classes = 3;
+    return cfg;
+}
+
+Batch
+randomBatch(const ModelConfig &cfg, std::size_t bsz, std::size_t seq,
+            Rng &rng)
+{
+    Batch b;
+    b.batch = bsz;
+    b.seq = seq;
+    b.tokens.resize(bsz * seq);
+    b.labels.resize(bsz);
+    for (int &t : b.tokens)
+        t = rng.randint(1, static_cast<int>(cfg.vocab) - 1);
+    for (int &l : b.labels)
+        l = rng.randint(0, static_cast<int>(cfg.classes) - 1);
+    return b;
+}
+
+/** All parameter payloads of @p model, concatenated order-stably. */
+std::vector<std::vector<float>>
+paramValues(SequenceClassifier &model)
+{
+    std::vector<std::vector<float>> out;
+    for (const auto &p : model.params())
+        out.push_back(*p.value);
+    return out;
+}
+
+TEST_F(BackwardParity, TrainStepMatchesReferenceAcrossThreadCounts)
+{
+    // Transformer (dense everything), all-ABfly FABNet (butterfly
+    // attention + FFN) and hybrid FABNet (one FBfly block: Fourier
+    // mixer + butterfly FFN - requires power-of-two seq/d).
+    ModelConfig hybrid = trainCfg(ModelKind::FABNet);
+    hybrid.n_abfly = 1;
+    struct Case
+    {
+        ModelConfig cfg;
+        std::size_t seq;
+    };
+    const Case cases[] = {
+        {trainCfg(ModelKind::Transformer), 9},
+        {trainCfg(ModelKind::FABNet), 9},
+        {hybrid, 8},
+    };
+    for (const Case &tc : cases) {
+        const ModelConfig &cfg = tc.cfg;
+        constexpr std::size_t kSteps = 3;
+
+        // Baseline: the seed serial backward, one thread.
+        runtime::setNumThreads(1);
+        Rng rng_ref(55);
+        auto ref_model = buildModel(cfg, rng_ref);
+        nn::Adam ref_opt(ref_model->params(), 1e-3f);
+        Rng data_ref(77);
+        std::vector<float> ref_losses;
+        for (std::size_t s = 0; s < kSteps; ++s)
+            ref_losses.push_back(ref_model->trainBatchReference(
+                randomBatch(cfg, 4, tc.seq, data_ref), ref_opt));
+        const auto ref_params = paramValues(*ref_model);
+
+        forEachThreadCount([&](std::size_t threads) {
+            Rng rng(55);
+            auto model = buildModel(cfg, rng);
+            nn::Adam opt(model->params(), 1e-3f);
+            Rng data(77);
+            for (std::size_t s = 0; s < kSteps; ++s) {
+                const float loss =
+                    model->trainBatch(randomBatch(cfg, 4, tc.seq, data),
+                                      opt);
+                EXPECT_EQ(std::memcmp(&loss, &ref_losses[s],
+                                      sizeof(float)),
+                          0)
+                    << "loss diverged at step " << s
+                    << ", threads=" << threads;
+            }
+            const auto params = paramValues(*model);
+            ASSERT_EQ(params.size(), ref_params.size());
+            for (std::size_t i = 0; i < params.size(); ++i)
+                EXPECT_EQ(std::memcmp(params[i].data(),
+                                      ref_params[i].data(),
+                                      params[i].size() * sizeof(float)),
+                          0)
+                    << "param " << i << " diverged, threads=" << threads;
+        });
+    }
+}
+
+// ------------------------------------------------- reduce primitives
+
+TEST_F(BackwardParity, TreeReduceIsShapeStableAndExact)
+{
+    // Integer payloads make the tree combine exact, so any slot-order
+    // or shape dependence would show as a wrong sum.
+    for (const std::size_t n : {1u, 2u, 3u, 7u, 8u, 13u}) {
+        std::vector<double> p(n);
+        double expect = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            p[i] = static_cast<double>(i + 1);
+            expect += p[i];
+        }
+        EXPECT_EQ(runtime::treeReduce(p.data(), n), expect) << "n=" << n;
+    }
+    EXPECT_EQ(runtime::treeReduce<double>(nullptr, 0), 0.0);
+}
+
+TEST_F(BackwardParity, DeterministicSumSquaresThreadInvariant)
+{
+    // Long enough for several chunks; value must be identical at any
+    // thread count (it feeds the training-visible clip norm).
+    const Tensor x = randomTensor({3 * runtime::kReduceChunk + 137}, 91);
+    runtime::setNumThreads(1);
+    const double ref =
+        runtime::deterministicSumSquares(x.data(), x.size());
+    forEachThreadCount([&](std::size_t threads) {
+        const double got =
+            runtime::deterministicSumSquares(x.data(), x.size());
+        EXPECT_EQ(std::memcmp(&got, &ref, sizeof(double)), 0)
+            << "threads=" << threads;
+    });
+}
+
+TEST_F(BackwardParity, ClipGradNormStillClipsCorrectly)
+{
+    // Semantics: norm 5 scaled onto the unit ball (tolerance-level,
+    // the exact association is the deterministic chunked tree's).
+    std::vector<float> w = {0.0f, 0.0f};
+    std::vector<float> g = {3.0f, 4.0f};
+    std::vector<nn::ParamRef> ps = {{&w, &g}};
+    const float norm = nn::clipGradNorm(ps, 1.0f);
+    EXPECT_NEAR(norm, 5.0f, 1e-5f);
+    EXPECT_NEAR(g[0], 0.6f, 1e-5f);
+    EXPECT_NEAR(g[1], 0.8f, 1e-5f);
+}
+
+} // namespace
+} // namespace fabnet

@@ -1,7 +1,14 @@
 /**
  * @file butterfly_grad_test.cpp
  * Finite-difference validation of the butterfly backward passes - the
- * gradients that make FABNet trainable.
+ * gradients that make FABNet trainable. Ported onto the shared
+ * harness (tests/test_util.h): the seed suite's fixed shapes are
+ * widened with randomized sweeps driven by nn/gradcheck.h, and the
+ * layer-level gradcheck sweeps repeat at thread counts {1, 4, 8}.
+ * The ButterflyMatrix/ButterflyLinear kernel-level cases run once at
+ * the default pool size - thread-count invariance of those kernels is
+ * pinned bitwise (not just within FD tolerance) by
+ * backward_parity_test.cpp.
  */
 #include <gtest/gtest.h>
 
@@ -9,12 +16,18 @@
 #include <vector>
 
 #include "butterfly/butterfly.h"
+#include "nn/dense.h"
+#include "nn/gradcheck.h"
+#include "runtime/parallel.h"
 #include "tensor/rng.h"
+#include "test_util.h"
 
 namespace fabnet {
 namespace {
 
-/** L = sum(out * probe); returns dL/din analytically via backward. */
+using ButterflyGrad = testutil::RuntimeFixture;
+
+/** L = sum(out * probe); loss under the single-vector apply path. */
 double
 lossOf(const ButterflyMatrix &m, const std::vector<float> &x,
        const std::vector<float> &probe)
@@ -27,40 +40,49 @@ lossOf(const ButterflyMatrix &m, const std::vector<float> &x,
     return l;
 }
 
-TEST(ButterflyGrad, InputGradientMatchesFiniteDifference)
+TEST_F(ButterflyGrad, InputGradientMatchesFiniteDifferenceSweep)
 {
-    const std::size_t n = 16;
-    ButterflyMatrix m(n);
-    Rng rng(11);
-    m.initNormal(rng, 0.6f);
+    // Randomized size sweep instead of the seed's fixed n=16.
+    Rng shapes(31);
+    std::vector<std::size_t> sizes = {4, 16};
+    for (int i = 0; i < 2; ++i)
+        sizes.push_back(std::size_t{1}
+                        << static_cast<std::size_t>(shapes.randint(1, 5)));
 
-    std::vector<float> x(n), probe(n);
-    for (auto &v : x)
-        v = rng.normal();
-    for (auto &v : probe)
-        v = rng.normal();
+    unsigned seed = 11;
+    for (const std::size_t n : sizes) {
+        ButterflyMatrix m(n);
+        Rng rng(seed++);
+        m.initNormal(rng, 0.6f);
 
-    std::vector<float> cache((m.numStages() + 1) * n);
-    m.forwardWithCache(x.data(), cache.data());
-    std::vector<float> grad_in(n);
-    std::vector<float> grad_w(m.numWeights(), 0.0f);
-    m.backward(cache.data(), probe.data(), grad_in.data(), grad_w);
+        std::vector<float> x(n), probe(n);
+        for (auto &v : x)
+            v = rng.normal();
+        for (auto &v : probe)
+            v = rng.normal();
 
-    const float eps = 1e-3f;
-    for (std::size_t i = 0; i < n; ++i) {
-        auto xp = x;
-        xp[i] += eps;
-        const double lp = lossOf(m, xp, probe);
-        xp[i] -= 2 * eps;
-        const double lm = lossOf(m, xp, probe);
-        const double numeric = (lp - lm) / (2.0 * eps);
-        EXPECT_NEAR(grad_in[i], numeric,
-                    2e-2 * std::max(1.0, std::fabs(numeric)))
-            << "coordinate " << i;
+        std::vector<float> cache((m.numStages() + 1) * n);
+        m.forwardWithCache(x.data(), cache.data());
+        std::vector<float> grad_in(n);
+        std::vector<float> grad_w(m.numWeights(), 0.0f);
+        m.backward(cache.data(), probe.data(), grad_in.data(), grad_w);
+
+        const float eps = 1e-3f;
+        for (std::size_t i = 0; i < n; ++i) {
+            auto xp = x;
+            xp[i] += eps;
+            const double lp = lossOf(m, xp, probe);
+            xp[i] -= 2 * eps;
+            const double lm = lossOf(m, xp, probe);
+            const double numeric = (lp - lm) / (2.0 * eps);
+            EXPECT_NEAR(grad_in[i], numeric,
+                        2e-2 * std::max(1.0, std::fabs(numeric)))
+                << "n=" << n << " coordinate " << i;
+        }
     }
 }
 
-TEST(ButterflyGrad, WeightGradientMatchesFiniteDifference)
+TEST_F(ButterflyGrad, WeightGradientMatchesFiniteDifference)
 {
     const std::size_t n = 8;
     ButterflyMatrix m(n);
@@ -94,7 +116,7 @@ TEST(ButterflyGrad, WeightGradientMatchesFiniteDifference)
     }
 }
 
-TEST(ButterflyGrad, BackwardIsTransposeOfForward)
+TEST_F(ButterflyGrad, BackwardIsTransposeOfForward)
 {
     // For linear maps, backward(g) must equal W^T g exactly.
     const std::size_t n = 16;
@@ -124,7 +146,7 @@ TEST(ButterflyGrad, BackwardIsTransposeOfForward)
     }
 }
 
-TEST(ButterflyGrad, GradAccumulatesAcrossCalls)
+TEST_F(ButterflyGrad, GradAccumulatesAcrossCalls)
 {
     const std::size_t n = 4;
     ButterflyMatrix m(n);
@@ -144,7 +166,7 @@ TEST(ButterflyGrad, GradAccumulatesAcrossCalls)
         EXPECT_NEAR(gw2[i], 2.0f * gw1[i], 1e-5f);
 }
 
-TEST(ButterflyLinearGrad, RectangularBackwardMatchesFiniteDifference)
+TEST_F(ButterflyGrad, RectangularBackwardMatchesFiniteDifference)
 {
     const std::size_t in = 6, out = 10; // pads to core 8, 2 cores
     ButterflyLinear lin(in, out);
@@ -210,6 +232,59 @@ TEST(ButterflyLinearGrad, RectangularBackwardMatchesFiniteDifference)
             EXPECT_NEAR(grad_cores[c][wi], (lp - lm) / (2 * eps), 2e-2)
                 << "core " << c << " weight " << wi;
         }
+    }
+}
+
+// ------------------------------------ randomized layer-level sweeps
+
+TEST_F(ButterflyGrad, ButterflyDenseGradcheckRandomShapeSweep)
+{
+    // nn/gradcheck.h randomized sweep at every thread count: the
+    // analytic parallel backward must track central differences for
+    // fresh odd/non-power-of-two shapes, not just hand-picked ones.
+    unsigned seed = 41;
+    for (const auto &s : nn::gradSweepShapes(37, 3)) {
+        testutil::forEachThreadCount([&](std::size_t threads) {
+            Rng rng(seed);
+            nn::ButterflyDense layer(s.features, s.out_features, rng);
+            const Tensor x = nn::makeGradCheckInput(s, seed + 1);
+            const auto in_res = nn::checkInputGrad(layer, x, seed + 2);
+            EXPECT_TRUE(in_res.passed)
+                << "input grad: features=" << s.features << " out="
+                << s.out_features << " threads=" << threads
+                << " rel_err=" << in_res.max_rel_error;
+            const auto par_res = nn::checkParamGrad(layer, x, seed + 3);
+            EXPECT_TRUE(par_res.passed)
+                << "param grad: features=" << s.features << " out="
+                << s.out_features << " threads=" << threads
+                << " rel_err=" << par_res.max_rel_error;
+        });
+        seed += 5;
+    }
+}
+
+TEST_F(ButterflyGrad, DenseGradcheckRandomShapeSweep)
+{
+    // Same sweep over the dense layer the butterfly replaces - the
+    // two backward rewrites share the owner-parallel scheme.
+    unsigned seed = 61;
+    for (const auto &s : nn::gradSweepShapes(43, 2)) {
+        testutil::forEachThreadCount([&](std::size_t threads) {
+            Rng rng(seed);
+            nn::Dense layer(s.features, s.out_features, rng);
+            const Tensor x = nn::makeGradCheckInput(s, seed + 1);
+            const auto in_res = nn::checkInputGrad(layer, x, seed + 2);
+            EXPECT_TRUE(in_res.passed)
+                << "input grad: features=" << s.features << " out="
+                << s.out_features << " threads=" << threads
+                << " rel_err=" << in_res.max_rel_error;
+            const auto par_res = nn::checkParamGrad(layer, x, seed + 3);
+            EXPECT_TRUE(par_res.passed)
+                << "param grad: features=" << s.features << " out="
+                << s.out_features << " threads=" << threads
+                << " rel_err=" << par_res.max_rel_error;
+        });
+        seed += 5;
     }
 }
 

@@ -185,6 +185,69 @@ TEST_F(ServingTest, ResultsInvariantToBatchComposition)
     }
 }
 
+TEST_F(ServingTest, ServeAllRunsInlineWithIdenticalLogitsAndStats)
+{
+    // Inline bulk dispatch: serveAll() must run its drain groups on
+    // the calling thread (no dispatcher round-trip), with logits
+    // bitwise identical to serial inference and the same grouping
+    // stats the dispatcher path produces.
+    const ModelConfig cfg = tinyCfg(ModelKind::Transformer);
+    Rng rng(53);
+    auto model = buildModel(cfg, rng);
+    const auto reqs = makeRequests(kMixedLens, cfg.vocab, 29);
+    const auto want = serveSerial(*model, reqs);
+    std::size_t total_tokens = 0;
+    for (const auto &r : reqs)
+        total_tokens += r.size();
+
+    ServingConfig sc;
+    sc.max_batch = 4;
+    sc.bucket_granularity = 16;
+    // Long max_wait: the dispatcher is never woken by serveAll and
+    // never times out, so EVERY batch must have run inline.
+    sc.max_wait = std::chrono::seconds(5);
+
+    serve::ServingStats inline_stats;
+    for (std::size_t threads : kThreadCounts) {
+        runtime::setNumThreads(threads);
+        ServingEngine engine(*model, sc);
+        const auto got = engine.serveAll(reqs);
+        EXPECT_TRUE(bitwiseEqual(got, want)) << "threads=" << threads;
+        const auto st = engine.stats();
+        EXPECT_EQ(st.requests, reqs.size());
+        EXPECT_EQ(st.completed, reqs.size());
+        EXPECT_EQ(st.failed, 0u);
+        EXPECT_EQ(st.inline_batches, st.batches)
+            << "a batch round-tripped through the dispatcher";
+        EXPECT_EQ(st.flushed_timeout, 0u);
+        EXPECT_EQ(st.batches, st.flushed_full + st.flushed_drain);
+        EXPECT_EQ(st.real_tokens, total_tokens);
+        inline_stats = st; // deterministic across thread counts
+    }
+
+    // The dispatcher path (submit + flush) serves the same stream
+    // with the same grouping: identical logits and aggregate stats,
+    // only the execution thread differs.
+    {
+        ServingEngine engine(*model, sc);
+        std::vector<std::future<std::vector<float>>> futs;
+        for (const auto &r : reqs)
+            futs.push_back(engine.submit(r));
+        engine.flush();
+        std::vector<std::vector<float>> got;
+        got.reserve(futs.size());
+        for (auto &f : futs)
+            got.push_back(f.get());
+        EXPECT_TRUE(bitwiseEqual(got, want));
+        const auto st = engine.stats();
+        EXPECT_EQ(st.inline_batches, 0u);
+        EXPECT_EQ(st.batches, inline_stats.batches);
+        EXPECT_EQ(st.completed, inline_stats.completed);
+        EXPECT_EQ(st.real_tokens, inline_stats.real_tokens);
+        EXPECT_EQ(st.padded_tokens, inline_stats.padded_tokens);
+    }
+}
+
 TEST_F(ServingTest, CausalModelServesBitwiseToo)
 {
     // Right-padding composes with the causal mask (visible =

@@ -17,7 +17,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "model/classifier.h"
@@ -149,6 +152,85 @@ rowSweep(unsigned seed, std::size_t extra = 2)
     for (std::size_t i = 0; i < extra; ++i)
         rows.push_back(static_cast<std::size_t>(rng.randint(1, 64)));
     return rows;
+}
+
+// ------------------------------------------------- backward parity
+
+/** Deterministic N(0,1) tensor (dL/dy probes, parity inputs). */
+inline Tensor
+randomTensor(std::vector<std::size_t> shape, unsigned seed)
+{
+    Rng rng(seed);
+    return rng.normalTensor(std::move(shape));
+}
+
+/** Copy of every parameter gradient, in collectParams order. */
+inline std::vector<std::vector<float>>
+snapshotGrads(const std::vector<nn::ParamRef> &params)
+{
+    std::vector<std::vector<float>> snap;
+    snap.reserve(params.size());
+    for (const auto &p : params)
+        snap.push_back(*p.grad);
+    return snap;
+}
+
+/** Exact equality of the live grads against a snapshot. */
+inline ::testing::AssertionResult
+gradsBitwiseEqual(const std::vector<nn::ParamRef> &params,
+                  const std::vector<std::vector<float>> &snap)
+{
+    if (params.size() != snap.size())
+        return ::testing::AssertionFailure() << "param count differs";
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        const std::vector<float> &g = *params[i].grad;
+        if (g.size() != snap[i].size())
+            return ::testing::AssertionFailure()
+                   << "grad " << i << " size differs";
+        if (std::memcmp(g.data(), snap[i].data(),
+                        g.size() * sizeof(float)) != 0) {
+            float mx = 0.0f;
+            for (std::size_t j = 0; j < g.size(); ++j)
+                mx = std::max(mx, std::fabs(g[j] - snap[i][j]));
+            return ::testing::AssertionFailure()
+                   << "grad " << i << " payload differs (maxAbsDiff="
+                   << mx << ")";
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+/**
+ * The backward-parity check, shared by every grad-parity suite:
+ * forward once (at one thread; the forward paths have their own
+ * parity suites), run the seed backwardReference to get the baseline
+ * dL/dx and parameter grads, then run the parallel backward() at each
+ * kThreadCounts entry - dL/dx and every parameter gradient must be
+ * BITWISE identical to the baseline. @p tag names the failing case.
+ */
+inline void
+expectBackwardParity(nn::Layer &layer, const Tensor &x, unsigned seed,
+                     const std::string &tag)
+{
+    runtime::setNumThreads(1);
+    const Tensor y = layer.forward(x);
+    const Tensor probe = randomTensor(y.shape(), seed);
+
+    std::vector<nn::ParamRef> params;
+    layer.collectParams(params);
+
+    nn::zeroGrads(params);
+    const Tensor gx_ref = layer.backwardReference(probe);
+    const auto grads_ref = snapshotGrads(params);
+
+    forEachThreadCount([&](std::size_t threads) {
+        nn::zeroGrads(params);
+        const Tensor gx = layer.backward(probe);
+        EXPECT_TRUE(bitwiseEqual(gx, gx_ref))
+            << tag << " dL/dx, threads=" << threads;
+        EXPECT_TRUE(gradsBitwiseEqual(params, grads_ref))
+            << tag << " param grads, threads=" << threads;
+    });
 }
 
 /** Random token sequences of the given lengths (serving tests). */
