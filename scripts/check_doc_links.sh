@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Doc CI (see .github/workflows/ci.yml):
+#  1. every relative markdown link / inline code path reference in the
+#     repo's *.md files must point at a file that exists, so guides
+#     cannot silently rot as code moves;
+#  2. every "<!-- include: PATH -->" fenced block must match the
+#     referenced file byte for byte, so the compilable example a guide
+#     embeds (examples/serving_quickstart.cpp, built as a CMake target
+#     in tier-1) IS the code the reader sees.
+#
+# Usage: scripts/check_doc_links.sh   (from anywhere; no dependencies
+# beyond bash + coreutils)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# ---- 1. relative markdown links: [text](path) and [text](path#anchor)
+while IFS=: read -r file link; do
+    target=${link%%#*}
+    [ -z "$target" ] && continue # pure in-page anchor
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    if [ ! -e "$(dirname "$file")/$target" ] && [ ! -e "$target" ]; then
+        echo "BROKEN LINK: $file -> $link"
+        fail=1
+    fi
+# Scope: the repo's own hand-written docs (PAPERS.md/SNIPPETS.md are
+# retrieved artifacts with links into sources this repo does not ship).
+done < <(grep -oHE '\]\(([^)]+)\)' \
+             README.md ROADMAP.md docs/*.md 2>/dev/null |
+         sed -E 's/\]\(([^)]*)\)/\1/')
+
+# ---- 2. embedded file blocks stay in sync with the file on disk.
+# Marker grammar inside a markdown file:
+#   <!-- include: examples/serving_quickstart.cpp -->
+#   ```cpp
+#   ...verbatim file contents...
+#   ```
+check_includes() {
+    local doc="$1"
+    grep -n '<!-- include: ' "$doc" || true
+}
+collect_includes() {
+    local doc="$1"
+    check_includes "$doc" | while IFS=: read -r line marker; do
+        local src
+        src=$(echo "$marker" | sed -E 's/.*<!-- include: ([^ ]+) -->.*/\1/')
+        if [ ! -f "$src" ]; then
+            echo "BROKEN INCLUDE: $doc references missing $src"
+            return 1
+        fi
+        # The fence opens on the next line; the block runs to the
+        # first closing fence after it.
+        local body_start=$((line + 2))
+        local end
+        end=$(tail -n +"$body_start" "$doc" |
+              grep -n '^```$' | head -1 | cut -d: -f1)
+        if [ -z "$end" ]; then
+            echo "BROKEN INCLUDE: $doc: unterminated block at line $line"
+            return 1
+        fi
+        if ! diff -q <(sed -n "${body_start},$((body_start + end - 2))p" \
+                           "$doc") "$src" >/dev/null; then
+            echo "STALE INCLUDE: $doc line $line diverged from $src"
+            echo "  (update the fenced block to match the file, or"
+            echo "   the file to match the guide)"
+            diff <(sed -n "${body_start},$((body_start + end - 2))p" \
+                       "$doc") "$src" | head -10 || true
+            return 1
+        fi
+    done
+}
+
+for doc in README.md docs/*.md; do
+    collect_includes "$doc" || fail=1
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "doc check FAILED"
+    exit 1
+fi
+echo "doc check OK: links resolve and embedded examples are in sync"

@@ -216,6 +216,16 @@ class ButterflyLinear
      */
     Tensor applyBatch(const Tensor &x) const;
 
+    /**
+     * Serial stage-major apply over @p rows contiguous vectors (@p in
+     * strided by inFeatures(), @p out by outFeatures()) - the body one
+     * applyBatch task runs, exposed so ragged callers (nn::
+     * ButterflyDense::forwardRows) can sweep valid row spans directly.
+     * Chunks internally by the stage-major block size; bitwise
+     * identical to per-row apply() for any @p rows.
+     */
+    void applyToRows(const float *in, float *out, std::size_t rows) const;
+
     /** Seed per-row batch path kept as parity/bench baseline. */
     Tensor applyBatchReference(const Tensor &x) const;
 

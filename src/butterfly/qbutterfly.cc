@@ -479,6 +479,40 @@ QuantizedButterflyLinear::apply(const float *in, float *out) const
     }
 }
 
+void
+QuantizedButterflyLinear::applyToRows(const float *in, float *out,
+                                      std::size_t rows) const
+{
+    // Mirrors ButterflyLinear::applyToRows: stage-major blocks of
+    // kQBatchRows padded rows, per-core sweeps, quantized bias
+    // epilogue on the truncated copy-out. Exactly equal to per-row
+    // apply() for any chunking (the int8 path is integer-exact, the
+    // fp16 path shares its rounding points).
+    for (std::size_t b0 = 0; b0 < rows; b0 += kQBatchRows) {
+        const std::size_t nb = std::min(kQBatchRows, rows - b0);
+        float *scratch =
+            runtime::threadWorkspace<QLinWs>(2 * kQBatchRows * core_n_);
+        float *padded = scratch;
+        float *core_out = scratch + nb * core_n_;
+        std::fill(padded, padded + nb * core_n_, 0.0f);
+        for (std::size_t r = 0; r < nb; ++r)
+            std::memcpy(padded + r * core_n_, in + (b0 + r) * in_,
+                        in_ * sizeof(float));
+        for (std::size_t c = 0; c < cores_.size(); ++c) {
+            cores_[c].applyRows(padded, core_out, nb);
+            const std::size_t base = c * core_n_;
+            const std::size_t take = std::min(core_n_, out_ - base);
+            for (std::size_t r = 0; r < nb; ++r) {
+                const float *src = core_out + r * core_n_;
+                float *dst = out + (b0 + r) * out_ + base;
+                for (std::size_t j = 0; j < take; ++j)
+                    dst[j] = biasEpilogue(kind_, src[j],
+                                          bias_[base + j]);
+            }
+        }
+    }
+}
+
 Tensor
 QuantizedButterflyLinear::applyBatch(const Tensor &x) const
 {
@@ -489,30 +523,11 @@ QuantizedButterflyLinear::applyBatch(const Tensor &x) const
     Tensor y = Tensor::zeros(rows, out_);
     const float *px = x.data();
     float *py = y.data();
-    runtime::parallelFor(0, rows, kQBatchRows, [&](std::size_t r0,
-                                                   std::size_t r1) {
-        const std::size_t nb = r1 - r0;
-        float *scratch =
-            runtime::threadWorkspace<QLinWs>(2 * kQBatchRows * core_n_);
-        float *padded = scratch;
-        float *core_out = scratch + nb * core_n_;
-        std::fill(padded, padded + nb * core_n_, 0.0f);
-        for (std::size_t r = 0; r < nb; ++r)
-            std::memcpy(padded + r * core_n_, px + (r0 + r) * in_,
-                        in_ * sizeof(float));
-        for (std::size_t c = 0; c < cores_.size(); ++c) {
-            cores_[c].applyRows(padded, core_out, nb);
-            const std::size_t base = c * core_n_;
-            const std::size_t take = std::min(core_n_, out_ - base);
-            for (std::size_t r = 0; r < nb; ++r) {
-                const float *src = core_out + r * core_n_;
-                float *dst = py + (r0 + r) * out_ + base;
-                for (std::size_t j = 0; j < take; ++j)
-                    dst[j] = biasEpilogue(kind_, src[j],
-                                          bias_[base + j]);
-            }
-        }
-    });
+    runtime::parallelFor(0, rows, kQBatchRows,
+                         [&](std::size_t r0, std::size_t r1) {
+                             applyToRows(px + r0 * in_, py + r0 * out_,
+                                         r1 - r0);
+                         });
     return y;
 }
 

@@ -103,6 +103,14 @@ class QuantizedButterflyLinear
     /** Row-parallel batch apply ([rows, in] -> [rows, out]). */
     Tensor applyBatch(const Tensor &x) const;
 
+    /**
+     * Serial stage-major apply over @p rows contiguous vectors (the
+     * body one applyBatch task runs; see ButterflyLinear::applyToRows)
+     * for ragged valid-row-span callers. Exactly equal to per-row
+     * apply() for any @p rows.
+     */
+    void applyToRows(const float *in, float *out, std::size_t rows) const;
+
     /** Per-row scalar ground truth (parity baseline). */
     Tensor applyBatchReference(const Tensor &x) const;
 

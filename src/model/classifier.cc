@@ -63,6 +63,17 @@ SequenceClassifier::forwardBatch(const std::vector<int> &tokens,
         if (L == 0 || L > seq)
             throw std::invalid_argument(
                 "SequenceClassifier::forwardBatch: len out of [1, seq]");
+    // Ragged execution: build the valid-row descriptor once and skip
+    // padded rows in every layer. Only for fully maskable models -
+    // Fourier mixers deliberately mix the embedded pad rows in, and
+    // the ragged chain's zeroed pad rows would change those logits.
+    if (ragged_batch_ && supportsMaskedBatch()) {
+        const nn::RowSet rows(batch, seq, lens);
+        Tensor x = embedding_.forwardRows(tokens, rows);
+        for (auto &blk : blocks_)
+            x = blk->forwardRows(x, rows);
+        return head_.forwardMasked(x, lens);
+    }
     Tensor x = embedding_.forward(tokens, batch, seq);
     for (auto &blk : blocks_)
         x = blk->forwardMasked(x, lens);

@@ -65,14 +65,35 @@ class SequenceClassifier
      * models each logits row is bitwise identical to
      * forward(sequence_b, 1, lens[b]) - the property the serving
      * engine (serve/serving.h) and tests/serving_test.cpp rely on.
-     * Fourier mixers have no masked form (see nn/layer.h); their
-     * padded rows mix in, and reproducibility then only holds against
-     * same-padded-length inference. Inference-only: do not call
-     * trainBatch-style backward passes after it.
+     *
+     * Execution: when every block honours masking exactly
+     * (supportsMaskedBatch()) and ragged execution is enabled (the
+     * default, see setRaggedBatch), the call builds a nn::RowSet
+     * descriptor once and drives the layers' forwardRows paths, which
+     * SKIP the padded rows instead of computing and discarding them -
+     * same bits, pad_overhead-proportionally less work (the tentpole
+     * of the ragged-execution PR; tests/serving_test.cpp `ragged-
+     * parity` pins the bitwise equivalence at threads {1, 4, 8}).
+     * Fourier mixers have no masked form (see nn/layer.h); such
+     * models keep the dense masked path - their padded rows mix in,
+     * and reproducibility then only holds against same-padded-length
+     * inference. Inference-only: do not call trainBatch-style
+     * backward passes after it.
      */
     Tensor forwardBatch(const std::vector<int> &tokens, std::size_t batch,
                         std::size_t seq,
                         const std::vector<std::size_t> &lens);
+
+    /**
+     * Enable/disable ragged (skip-padded-rows) execution inside
+     * forwardBatch. On by default; results are bitwise identical
+     * either way whenever ragged execution is eligible (it is only
+     * taken for supportsMaskedBatch() models). The switch exists for
+     * before/after measurement (bench/serving.cpp) and the parity
+     * tests - there is no correctness reason to turn it off.
+     */
+    void setRaggedBatch(bool enabled) { ragged_batch_ = enabled; }
+    bool raggedBatch() const { return ragged_batch_; }
 
     /**
      * True when every block honours the padding mask exactly
@@ -138,6 +159,7 @@ class SequenceClassifier
     nn::Embedding embedding_;
     std::vector<std::unique_ptr<nn::EncoderBlock>> blocks_;
     nn::MeanPoolClassifier head_;
+    bool ragged_batch_ = true;
 };
 
 /**

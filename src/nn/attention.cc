@@ -77,7 +77,8 @@ MultiHeadAttention::forwardMasked(const Tensor &x,
 
 Tensor
 MultiHeadAttention::forwardImpl(const Tensor &x,
-                                const std::vector<std::size_t> *lens)
+                                const std::vector<std::size_t> *lens,
+                                const nn::RowSet *rows)
 {
     if (x.rank() != 3 || x.dim(2) != d_model_)
         throw std::invalid_argument("MultiHeadAttention: [b,t,d] required");
@@ -85,13 +86,29 @@ MultiHeadAttention::forwardImpl(const Tensor &x,
     t_ = x.dim(1);
     const std::size_t dh = headDim();
     const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+    const bool ragged = rows != nullptr;
 
-    q_ = proj_q_->forward(x);
-    k_ = proj_k_->forward(x);
-    v_ = proj_v_->forward(x);
+    // Dense paths fill the q_/k_/v_/attn_ training caches; the ragged
+    // path is inference-only, so its projections live in locals (no
+    // peak-batch tensors retained between requests) and the softmax
+    // row normalises in thread scratch instead of materialising the
+    // O(b * heads * t^2) attn_ tensor.
+    Tensor ql, kl, vl;
+    if (ragged) {
+        ql = proj_q_->forwardRows(x, *rows);
+        kl = proj_k_->forwardRows(x, *rows);
+        vl = proj_v_->forwardRows(x, *rows);
+    } else {
+        q_ = proj_q_->forward(x);
+        k_ = proj_k_->forward(x);
+        v_ = proj_v_->forward(x);
+        // attn_ rows: (b * heads + h) * t_  + i  over keys j.
+        attn_ = Tensor::zeros(b_, heads_ * t_, t_);
+    }
+    const Tensor &q = ragged ? ql : q_;
+    const Tensor &k = ragged ? kl : k_;
+    const Tensor &v = ragged ? vl : v_;
 
-    // attn_ rows: (b * heads + h) * t_  + i  over keys j.
-    attn_ = Tensor::zeros(b_, heads_ * t_, t_);
     Tensor ctx = Tensor::zeros(b_, t_, d_model_);
 
     // One task per (batch, head): gather that head's Q/K/V slices into
@@ -109,7 +126,14 @@ MultiHeadAttention::forwardImpl(const Tensor &x,
             // of scores, softmax and context entirely, so each real
             // query row runs the exact op sequence of an unpadded
             // length-`valid` forward.
-            const std::size_t valid = lens ? (*lens)[b] : t_;
+            const std::size_t valid =
+                ragged ? rows->len(b) : (lens ? (*lens)[b] : t_);
+            // The masked dense path still computes the padded QUERY
+            // rows (over the real prefix) and discards them
+            // downstream; the ragged path skips them - gather and
+            // compute stop at `valid`, which cannot change the real
+            // rows' bits (rows are independent).
+            const std::size_t active = ragged ? valid : t_;
 
             float *scratch = runtime::threadWorkspace<AttnWs>(t_ * (4 * dh + 1));
             float *qh = scratch;
@@ -119,19 +143,19 @@ MultiHeadAttention::forwardImpl(const Tensor &x,
             float *srow = ch + t_ * dh;
             // K is gathered transposed ([dh, t]) so the score loop
             // below runs contiguously over keys.
-            for (std::size_t t_idx = 0; t_idx < t_; ++t_idx) {
+            for (std::size_t t_idx = 0; t_idx < active; ++t_idx) {
                 std::memcpy(qh + t_idx * dh,
-                            rowPtr(q_, b, t_idx) + off,
+                            rowPtr(q, b, t_idx) + off,
                             dh * sizeof(float));
                 std::memcpy(vh + t_idx * dh,
-                            rowPtr(v_, b, t_idx) + off,
+                            rowPtr(v, b, t_idx) + off,
                             dh * sizeof(float));
-                const float *krow = rowPtr(k_, b, t_idx) + off;
+                const float *krow = rowPtr(k, b, t_idx) + off;
                 for (std::size_t c = 0; c < dh; ++c)
                     kht[c * t_ + t_idx] = krow[c];
             }
 
-            for (std::size_t i = 0; i < t_; ++i) {
+            for (std::size_t i = 0; i < active; ++i) {
                 const std::size_t visible =
                     causal_ ? std::min(i + 1, valid) : valid;
                 // Scores q_i . k_j for the visible keys: axpy over the
@@ -157,8 +181,13 @@ MultiHeadAttention::forwardImpl(const Tensor &x,
                     denom += srow[j];
                 }
                 const float inv = 1.0f / denom;
+                // Normalised probabilities land in the attn_ training
+                // cache (dense) or stay in srow (ragged) - the same
+                // srow[j] * inv product either way.
                 float *arow =
-                    attn_.data() + (b * heads_ * t_ + h * t_ + i) * t_;
+                    ragged ? srow
+                           : attn_.data() +
+                                 (b * heads_ * t_ + h * t_ + i) * t_;
                 for (std::size_t j = 0; j < visible; ++j)
                     arow[j] = srow[j] * inv;
                 // (masked tail stays at the tensor's zero init)
@@ -167,12 +196,22 @@ MultiHeadAttention::forwardImpl(const Tensor &x,
                                      visible, dh);
             }
 
-            for (std::size_t i = 0; i < t_; ++i)
+            for (std::size_t i = 0; i < active; ++i)
                 std::memcpy(rowPtr(ctx, b, i) + off, ch + i * dh,
                             dh * sizeof(float));
         }
     });
-    return proj_o_->forward(ctx);
+    return ragged ? proj_o_->forwardRows(ctx, *rows)
+                  : proj_o_->forward(ctx);
+}
+
+Tensor
+MultiHeadAttention::forwardRows(const Tensor &x, const nn::RowSet &rows)
+{
+    if (rows.batch() != x.dim(0) || rows.seq() != x.dim(1))
+        throw std::invalid_argument(
+            "MultiHeadAttention::forwardRows: RowSet shape mismatch");
+    return forwardImpl(x, nullptr, &rows);
 }
 
 Tensor

@@ -62,6 +62,19 @@ class MultiHeadAttention : public Layer
                          const std::vector<std::size_t> &lens) override;
 
     /**
+     * Ragged variant of forwardMasked: the Q/K/V/output projections
+     * run through their own forwardRows (skipping padded rows), the
+     * per-(batch, head) core gathers and computes only each sequence's
+     * real prefix - padded QUERY rows, which forwardMasked still
+     * computes and discards, are skipped too - and the softmax-scores
+     * cache (attn_, O(batch * heads * seq^2)) is not materialised.
+     * Every real row's op sequence is unchanged, so valid logits rows
+     * are bitwise identical to forwardMasked at any thread count.
+     * Inference-only.
+     */
+    Tensor forwardRows(const Tensor &x, const RowSet &rows) override;
+
+    /**
      * Seed scalar forward (5-deep nested loops), kept as the parity
      * and bench baseline. Fills the same caches as forward(), so
      * backward() works after either.
@@ -100,9 +113,16 @@ class MultiHeadAttention : public Layer
     std::size_t headDim() const { return d_model_ / heads_; }
 
   private:
-    /** Shared body of forward/forwardMasked; null lens = all rows real. */
+    /**
+     * Shared body of forward/forwardMasked/forwardRows: null lens =
+     * all rows real; non-null rows = ragged inference (skip padded
+     * query rows, projections via forwardRows, no training caches).
+     * One copy of the scores/softmax/context pipeline keeps the three
+     * entry points bitwise-synchronised by construction.
+     */
     Tensor forwardImpl(const Tensor &x,
-                       const std::vector<std::size_t> *lens);
+                       const std::vector<std::size_t> *lens,
+                       const nn::RowSet *rows = nullptr);
 
     std::size_t d_model_, heads_;
     bool causal_ = false;

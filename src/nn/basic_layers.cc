@@ -54,6 +54,41 @@ LayerNorm::forward(const Tensor &x)
 }
 
 Tensor
+LayerNorm::forwardRows(const Tensor &x, const RowSet &rows)
+{
+    if (x.shape().back() != dim_)
+        throw std::invalid_argument(
+            "LayerNorm::forwardRows: dim mismatch");
+    Tensor y(x.shape()); // zero-init: padded rows stay 0
+    const float *px = x.data();
+    float *py = y.data();
+    // Per-row mean/var/affine exactly as forward() computes them (same
+    // j-order chains), minus the cached_xhat_/inv_std_ training-cache
+    // writes; rows are independent so the span sweep parallelises.
+    forEachRowSpan(rows, 16, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            const float *xr = px + r * dim_;
+            float mean = 0.0f;
+            for (std::size_t j = 0; j < dim_; ++j)
+                mean += xr[j];
+            mean /= static_cast<float>(dim_);
+            float var = 0.0f;
+            for (std::size_t j = 0; j < dim_; ++j) {
+                const float c = xr[j] - mean;
+                var += c * c;
+            }
+            var /= static_cast<float>(dim_);
+            const float inv = 1.0f / std::sqrt(var + eps_);
+            for (std::size_t j = 0; j < dim_; ++j) {
+                const float xh = (xr[j] - mean) * inv;
+                py[r * dim_ + j] = gamma_[j] * xh + beta_[j];
+            }
+        }
+    });
+    return y;
+}
+
+Tensor
 LayerNorm::backward(const Tensor &grad_out)
 {
     const std::size_t rows = grad_out.size() / dim_;
@@ -154,6 +189,20 @@ Relu::forward(const Tensor &x)
 }
 
 Tensor
+Relu::forwardRows(const Tensor &x, const RowSet &rows)
+{
+    const std::size_t d = x.shape().back();
+    Tensor y(x.shape()); // zero-init: padded rows stay 0
+    const float *px = x.data();
+    float *py = y.data();
+    forEachRowSpan(rows, 64, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0 * d; i < r1 * d; ++i)
+            py[i] = std::max(px[i], 0.0f);
+    });
+    return y;
+}
+
+Tensor
 Relu::backward(const Tensor &grad_out)
 {
     Tensor gx = grad_out;
@@ -179,6 +228,24 @@ Gelu::forward(const Tensor &x)
         const float inner = k * (v + 0.044715f * v * v * v);
         v = 0.5f * v * (1.0f + std::tanh(inner));
     }
+    return y;
+}
+
+Tensor
+Gelu::forwardRows(const Tensor &x, const RowSet &rows)
+{
+    const std::size_t d = x.shape().back();
+    Tensor y(x.shape()); // zero-init: padded rows stay 0
+    const float *px = x.data();
+    float *py = y.data();
+    constexpr float k = 0.7978845608028654f; // sqrt(2/pi)
+    forEachRowSpan(rows, 16, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0 * d; i < r1 * d; ++i) {
+            const float v = px[i];
+            const float inner = k * (v + 0.044715f * v * v * v);
+            py[i] = 0.5f * v * (1.0f + std::tanh(inner));
+        }
+    });
     return y;
 }
 

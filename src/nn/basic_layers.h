@@ -21,6 +21,16 @@ class LayerNorm : public Layer
     Tensor forward(const Tensor &x) override;
 
     /**
+     * Ragged inference forward: normalises the valid row spans only
+     * (row-parallel - LayerNorm rows are independent and each row's
+     * mean/var/affine sweep keeps forward()'s exact j-order), skipping
+     * both the padded rows and the xhat/inv-std training caches
+     * forward() maintains. Valid rows bitwise equal forward(); padded
+     * rows are zero.
+     */
+    Tensor forwardRows(const Tensor &x, const RowSet &rows) override;
+
+    /**
      * Parallel backward: dL/dx row-parallel (per-row sums recomputed
      * in the reference's j order), dL/dgamma and dL/dbeta
      * owner-parallel over columns with ascending-row accumulation
@@ -48,6 +58,11 @@ class Relu : public Layer
 {
   public:
     Tensor forward(const Tensor &x) override;
+
+    /** Ragged forward: elementwise over valid row spans only, no
+     *  input cache. Valid rows bitwise equal forward(); padded 0. */
+    Tensor forwardRows(const Tensor &x, const RowSet &rows) override;
+
     Tensor backward(const Tensor &grad_out) override;
 
   private:
@@ -59,6 +74,12 @@ class Gelu : public Layer
 {
   public:
     Tensor forward(const Tensor &x) override;
+
+    /** Ragged forward: the tanh pipeline runs on valid row spans
+     *  only, no input cache. Valid rows bitwise equal forward();
+     *  padded rows are zero. */
+    Tensor forwardRows(const Tensor &x, const RowSet &rows) override;
+
     Tensor backward(const Tensor &grad_out) override;
 
   private:

@@ -18,6 +18,18 @@ addResidual(float *a, const float *b, std::size_t n)
                          });
 }
 
+/** Ragged residual: a += b over the valid rows only (both operands'
+ *  padded rows are zero in the ragged chain, so they stay zero). */
+void
+addResidualRows(float *a, const float *b, std::size_t d,
+                const RowSet &rows)
+{
+    forEachRowSpan(rows, 64, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0 * d; i < r1 * d; ++i)
+            a[i] += b[i];
+    });
+}
+
 } // namespace
 
 FeedForward::FeedForward(std::unique_ptr<Layer> lin1,
@@ -31,6 +43,13 @@ Tensor
 FeedForward::forward(const Tensor &x)
 {
     return lin2_->forward(act_->forward(lin1_->forward(x)));
+}
+
+Tensor
+FeedForward::forwardRows(const Tensor &x, const RowSet &rows)
+{
+    return lin2_->forwardRows(
+        act_->forwardRows(lin1_->forwardRows(x, rows), rows), rows);
 }
 
 Tensor
@@ -96,6 +115,22 @@ EncoderBlock::forwardImpl(const Tensor &x,
     Tensor f = ffn_->forward(h);
     addResidual(f.data(), h.data(), f.size()); // shortcut
     return ln2_.forward(f);
+}
+
+Tensor
+EncoderBlock::forwardRows(const Tensor &x, const RowSet &rows)
+{
+    // The ragged chain: every stage skips padded rows (the unmasked
+    // forwardImpl only masks the mixer and lets the row-wise stages
+    // compute-and-discard). Padded rows are zero after every stage.
+    const std::size_t d = x.shape().back();
+    Tensor a = mixer_->forwardRows(x, rows);
+    addResidualRows(a.data(), x.data(), d, rows); // shortcut
+    Tensor h = ln1_.forwardRows(a, rows);
+
+    Tensor f = ffn_->forwardRows(h, rows);
+    addResidualRows(f.data(), h.data(), d, rows); // shortcut
+    return ln2_.forwardRows(f, rows);
 }
 
 Tensor

@@ -30,6 +30,11 @@ class FeedForward : public Layer
                 std::unique_ptr<Layer> lin2);
 
     Tensor forward(const Tensor &x) override;
+
+    /** Ragged forward: chains the children's forwardRows paths, so
+     *  both linears and the activation skip padded rows. */
+    Tensor forwardRows(const Tensor &x, const RowSet &rows) override;
+
     Tensor backward(const Tensor &grad_out) override;
 
     /** Chains the children's backwardReference paths. */
@@ -65,6 +70,15 @@ class EncoderBlock : public Layer
      */
     Tensor forwardMasked(const Tensor &x,
                          const std::vector<std::size_t> &lens) override;
+
+    /**
+     * Ragged variant of forwardMasked: every stage - the mixer, both
+     * residual adds, both layer norms and the FFN - iterates the valid
+     * rows only, leaving padded rows zero end to end. Valid rows are
+     * bitwise identical to forwardMasked (and so to unpadded
+     * forward()); inference-only.
+     */
+    Tensor forwardRows(const Tensor &x, const RowSet &rows) override;
 
     Tensor backward(const Tensor &grad_out) override;
 

@@ -17,6 +17,66 @@ namespace {
 /** Workspace tag for the per-call W^T copy in Dense::forward. */
 struct DenseWtWs;
 
+/** Workspace tag for the butterfly layers' packed-gather buffers. */
+struct BflyPackWs;
+
+/**
+ * Packed-gather ragged apply for the butterfly linears (shared by the
+ * fp32 and quantized layers): gather the valid rows into a contiguous
+ * buffer, run the stage-major kernel over full 16-row blocks, scatter
+ * back. Spans of a ragged batch are at most one sequence long (4-32
+ * rows on serving traffic), which fragments the kernel's 16-row
+ * vector blocks into slow runtime-width tails; the O(rows*(in+out))
+ * copies are cheap next to the O(rows*n*log n) butterfly arithmetic,
+ * so packing benches faster than in-place spans here - the opposite
+ * trade from the GEMM layers, whose 4-row tiles barely fragment (see
+ * docs/ARCHITECTURE.md "Ragged batch execution"). Bitwise identity is
+ * unaffected: the kernel is row-independent, so block composition
+ * never changes a row's bits.
+ *
+ * @p apply_rows runs op.applyToRows-style over the packed buffer.
+ */
+template <class ApplyRows>
+void
+packedGatherApply(const Tensor &x, Tensor &y, const nn::RowSet &rows,
+                  std::size_t in_f, std::size_t out_f,
+                  const ApplyRows &apply_rows)
+{
+    const float *px = x.data();
+    float *py = y.data();
+    const std::size_t total = rows.totalRows();
+    if (!rows.hasPadding()) {
+        // Dense batch: the packed space IS the row space.
+        runtime::parallelFor(0, total, 16,
+                             [&](std::size_t r0, std::size_t r1) {
+                                 apply_rows(px + r0 * in_f,
+                                            py + r0 * out_f, r1 - r0);
+                             });
+        return;
+    }
+    float *buf =
+        runtime::threadWorkspace<BflyPackWs>(total * (in_f + out_f));
+    float *pin = buf;
+    float *pout = buf + total * in_f;
+    nn::forEachRowSpanPacked(
+        rows, 64,
+        [&](std::size_t r0, std::size_t r1, std::size_t p0) {
+            std::memcpy(pin + p0 * in_f, px + r0 * in_f,
+                        (r1 - r0) * in_f * sizeof(float));
+        });
+    runtime::parallelFor(0, total, 16,
+                         [&](std::size_t r0, std::size_t r1) {
+                             apply_rows(pin + r0 * in_f,
+                                        pout + r0 * out_f, r1 - r0);
+                         });
+    nn::forEachRowSpanPacked(
+        rows, 64,
+        [&](std::size_t r0, std::size_t r1, std::size_t p0) {
+            std::memcpy(py + r0 * out_f, pout + p0 * out_f,
+                        (r1 - r0) * out_f * sizeof(float));
+        });
+}
+
 /** Workspace tags for QuantizedDense's per-call activation scratch. */
 struct QDenseAqWs;    ///< int8 activations
 struct QDenseScaleWs; ///< per-row activation scales
@@ -85,6 +145,51 @@ Dense::forward(const Tensor &x)
     runtime::transposeInto(wt, w_.data(), out_, in_);
     const float *pw = wt;
     runtime::parallelFor(0, rows, 8, [&](std::size_t r0, std::size_t r1) {
+        runtime::gemmRowsIKJ(px, pw, py, r0, r1, in_, out_, pb);
+    });
+    return y;
+}
+
+Tensor
+Dense::forwardRows(const Tensor &x, const nn::RowSet &rows)
+{
+    if (x.shape().back() != in_)
+        throw std::invalid_argument(
+            "Dense::forwardRows: feature mismatch");
+
+    std::vector<std::size_t> out_shape = x.shape();
+    out_shape.back() = out_;
+    Tensor y(out_shape); // zero-init: padded rows stay 0
+
+    const float *px = x.data();
+    const float *pb = b_.data();
+    float *py = y.data();
+    if (rows.totalRows() < runtime::kGemmTileM) {
+        // Same direct-dot path as forward() below the tile threshold;
+        // per-row chains are identical either way (see forward()).
+        rows.forEachSpan(0, rows.totalRows(),
+                         [&](std::size_t r0, std::size_t r1) {
+            for (std::size_t r = r0; r < r1; ++r) {
+                const float *xr = px + r * in_;
+                float *yr = py + r * out_;
+                for (std::size_t o = 0; o < out_; ++o) {
+                    const float *wr = &w_[o * in_];
+                    float acc = pb[o];
+                    for (std::size_t i = 0; i < in_; ++i)
+                        acc = runtime::madd(wr[i], xr[i], acc);
+                    yr[o] = acc;
+                }
+            }
+        });
+        return y;
+    }
+    // Same W^T panel + register-tiled GEMM as forward(), swept over
+    // the valid row spans only. Each row's k-order chain is unchanged,
+    // so valid rows are bitwise equal to the full padded pass.
+    float *wt = runtime::threadWorkspace<DenseWtWs>(in_ * out_);
+    runtime::transposeInto(wt, w_.data(), out_, in_);
+    const float *pw = wt;
+    nn::forEachRowSpan(rows, 8, [&](std::size_t r0, std::size_t r1) {
         runtime::gemmRowsIKJ(px, pw, py, r0, r1, in_, out_, pb);
     });
     return y;
@@ -284,6 +389,58 @@ QuantizedDense::forward(const Tensor &x)
 }
 
 Tensor
+QuantizedDense::forwardRows(const Tensor &x, const nn::RowSet &rows)
+{
+    if (x.shape().back() != in_)
+        throw std::invalid_argument(
+            "QuantizedDense::forwardRows: feature mismatch");
+    const std::size_t padded_rows = rowCount(x);
+
+    std::vector<std::size_t> out_shape = x.shape();
+    out_shape.back() = out_;
+    Tensor y(out_shape); // zero-init: padded rows stay 0
+    const float *px = x.data();
+    float *py = y.data();
+
+    if (kind_ == QuantKind::Fp16) {
+        // Round only the valid rows through binary16 (elementwise, so
+        // per-span rounding equals the full-buffer pass bit for bit);
+        // padded scratch rows are never read by the span GEMM.
+        float *ah =
+            runtime::threadWorkspace<QDenseAhWs>(padded_rows * in_);
+        const float *wt = wt_h_.data();
+        const float *pb = bias_h_.data();
+        nn::forEachRowSpan(rows, 8,
+                           [&](std::size_t r0, std::size_t r1) {
+            std::memcpy(ah + r0 * in_, px + r0 * in_,
+                        (r1 - r0) * in_ * sizeof(float));
+            runtime::roundRowToHalf(ah + r0 * in_, (r1 - r0) * in_);
+            runtime::gemmRowsF16(ah, wt, py, r0, r1, in_, out_, pb);
+        });
+        return y;
+    }
+
+    std::int8_t *aq = runtime::threadWorkspaceAs<QDenseAqWs, std::int8_t>(
+        padded_rows * in_);
+    float *sa = runtime::threadWorkspace<QDenseScaleWs>(padded_rows);
+    const std::int16_t *bp = bp_.data();
+    const float *sb = wscale_.data();
+    const float *pb = bias_.data();
+    // Activation quantisation is per row (dynamic scale), so fusing it
+    // with the GEMM sweep over the same spans is exact.
+    nn::forEachRowSpan(rows, 8, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            const float *row = px + r * in_;
+            sa[r] = runtime::int8Scale(runtime::maxAbsRow(row, in_));
+            runtime::quantizeInt8Row(row, aq + r * in_, in_, sa[r]);
+        }
+        runtime::gemmRowsInt8(aq, bp, py, r0, r1, in_, out_, sa, sb,
+                              pb);
+    });
+    return y;
+}
+
+Tensor
 QuantizedDense::backward(const Tensor &)
 {
     throw std::logic_error("QuantizedDense is inference-only");
@@ -326,6 +483,26 @@ ButterflyDense::forward(const Tensor &x)
                                  pc + r * cache_per_row);
         }
     });
+    return y;
+}
+
+Tensor
+ButterflyDense::forwardRows(const Tensor &x, const nn::RowSet &rows)
+{
+    if (x.shape().back() != op_.inFeatures())
+        throw std::invalid_argument(
+            "ButterflyDense::forwardRows: feature mismatch");
+    std::vector<std::size_t> out_shape = x.shape();
+    out_shape.back() = op_.outFeatures();
+    Tensor y(out_shape); // zero-init: padded rows stay 0
+
+    // Inference-only: no activation caches (forward() allocates and
+    // fills rows * cacheSize() floats per call for backward()).
+    packedGatherApply(x, y, rows, op_.inFeatures(), op_.outFeatures(),
+                      [&](const float *in, float *out,
+                          std::size_t n) {
+                          op_.applyToRows(in, out, n);
+                      });
     return y;
 }
 
@@ -397,6 +574,25 @@ QuantizedButterflyDense::forward(const Tensor &x)
     const Tensor y =
         op_.applyBatch(x.reshaped({rows, op_.inFeatures()}));
     return y.reshaped(out_shape);
+}
+
+Tensor
+QuantizedButterflyDense::forwardRows(const Tensor &x,
+                                     const nn::RowSet &rows)
+{
+    if (x.shape().back() != op_.inFeatures())
+        throw std::invalid_argument(
+            "QuantizedButterflyDense::forwardRows: feature mismatch");
+    std::vector<std::size_t> out_shape = x.shape();
+    out_shape.back() = op_.outFeatures();
+    Tensor y(out_shape); // zero-init: padded rows stay 0
+
+    packedGatherApply(x, y, rows, op_.inFeatures(), op_.outFeatures(),
+                      [&](const float *in, float *out,
+                          std::size_t n) {
+                          op_.applyToRows(in, out, n);
+                      });
+    return y;
 }
 
 Tensor

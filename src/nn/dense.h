@@ -28,6 +28,15 @@ class Dense : public Layer
     Tensor forward(const Tensor &x) override;
 
     /**
+     * Ragged inference forward: the W^T panel is still built once, but
+     * the GEMM sweeps only the valid row spans (right-padding keeps
+     * each sequence's rows contiguous, so no gather/scatter is needed;
+     * see docs/ARCHITECTURE.md for why in-place spans beat packing
+     * here). Valid rows bitwise equal forward(); padded rows are zero.
+     */
+    Tensor forwardRows(const Tensor &x, const RowSet &rows) override;
+
+    /**
      * Parallel backward: dL/dx row-parallel (disjoint rows), dL/dW and
      * dL/db owner-parallel over output features with the row reduction
      * kept in ascending order (runtime/reduce.h). Bitwise identical to
@@ -68,6 +77,18 @@ class ButterflyDense : public Layer
                    Rng &rng);
 
     Tensor forward(const Tensor &x) override;
+
+    /**
+     * Ragged inference forward: packed-gather execution - valid rows
+     * are gathered contiguous, run through the stage-major batched
+     * kernel (ButterflyLinear::applyToRows) in full vector blocks,
+     * and scattered back (see packedGatherApply in dense.cc for the
+     * bench-backed rationale vs in-place spans). Being inference-only
+     * it also skips the per-row activation cache forward() allocates
+     * for training. Valid rows bitwise equal forward(); padded rows
+     * are zero.
+     */
+    Tensor forwardRows(const Tensor &x, const RowSet &rows) override;
 
     /**
      * Parallel backward (ButterflyLinear::backwardBatch): a row-
@@ -123,6 +144,12 @@ class QuantizedDense : public Layer
     QuantizedDense(const Dense &dense, QuantKind kind);
 
     Tensor forward(const Tensor &x) override;
+
+    /** Ragged forward: per-row activation quantisation (int8) /
+     *  binary16 rounding (fp16) and the GEMM panel run over valid row
+     *  spans only. Valid rows bitwise equal forward(); padded rows 0. */
+    Tensor forwardRows(const Tensor &x, const RowSet &rows) override;
+
     Tensor backward(const Tensor &grad_out) override;
 
     QuantKind kind() const { return kind_; }
@@ -152,6 +179,12 @@ class QuantizedButterflyDense : public Layer
     QuantizedButterflyDense(const ButterflyDense &dense, QuantKind kind);
 
     Tensor forward(const Tensor &x) override;
+
+    /** Ragged forward: packed-gather into the stage-major quantized
+     *  kernel (QuantizedButterflyLinear::applyToRows, same scheme as
+     *  ButterflyDense::forwardRows); padded rows zero. */
+    Tensor forwardRows(const Tensor &x, const RowSet &rows) override;
+
     Tensor backward(const Tensor &grad_out) override;
 
     QuantKind kind() const { return op_.kind(); }

@@ -53,6 +53,41 @@ Embedding::forward(const std::vector<int> &tokens, std::size_t batch,
     return y;
 }
 
+Tensor
+Embedding::forwardRows(const std::vector<int> &tokens,
+                       const nn::RowSet &rows)
+{
+    const std::size_t batch = rows.batch();
+    const std::size_t seq = rows.seq();
+    if (tokens.size() != batch * seq)
+        throw std::invalid_argument("Embedding: token count mismatch");
+    if (seq > max_seq_)
+        throw std::invalid_argument("Embedding: sequence too long");
+
+    // Validate ALL positions first - including pads, whose embedding
+    // work is skipped but whose ids forward() would have range-checked
+    // while embedding them. The cheap scan keeps ragged and dense
+    // execution drop-in equivalent (same logits, same throws).
+    for (const int id : tokens)
+        if (id < 0 || static_cast<std::size_t>(id) >= vocab_)
+            throw std::out_of_range("Embedding: token id out of range");
+
+    Tensor y = Tensor::zeros(batch, seq, d_);
+    float *py = y.data();
+    nn::forEachRowSpan(rows, 32, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            const std::size_t t = r % seq;
+            const int id = tokens[r];
+            const float *te = &tok_[static_cast<std::size_t>(id) * d_];
+            const float *pe = &pos_[t * d_];
+            float *row = py + r * d_;
+            for (std::size_t j = 0; j < d_; ++j)
+                row[j] = te[j] + pe[j];
+        }
+    });
+    return y;
+}
+
 void
 Embedding::backward(const Tensor &grad_out)
 {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "nn/layer.h"
+#include "nn/rowset.h"
 #include "tensor/rng.h"
 
 namespace fabnet {
@@ -24,6 +25,17 @@ class Embedding
     /** tokens is a flat [batch*seq] id array. */
     Tensor forward(const std::vector<int> &tokens, std::size_t batch,
                    std::size_t seq);
+
+    /**
+     * Ragged inference embedding: looks up token + positional rows for
+     * the valid positions only, leaving padded rows zero (the ragged
+     * chain's invariant) - pad tokens are never embedded, though every
+     * id (pads included) is still range-checked so ragged and dense
+     * execution throw identically. Valid rows bitwise equal forward();
+     * inference-only (no token cache for backward()).
+     */
+    Tensor forwardRows(const std::vector<int> &tokens,
+                       const nn::RowSet &rows);
 
     /**
      * Accumulate gradients into the embedding tables. The token-table

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "nn/rowset.h"
 #include "tensor/quant.h"
 #include "tensor/tensor.h"
 
@@ -60,6 +61,25 @@ class Layer
     {
         (void)lens;
         return forward(x);
+    }
+
+    /**
+     * Ragged extension of forwardMasked(): the same masked-inference
+     * contract, driven by a prebuilt RowSet so row-wise layers can
+     * SKIP padded rows instead of computing and discarding them.
+     * Valid rows are bitwise identical to forwardMasked(x, rows.lens())
+     * - and therefore to an unpadded run - at any thread count; padded
+     * output rows are zero for overriding layers and unspecified (but
+     * finite and deterministic) for the fallback. The default
+     * delegates to forwardMasked(), which is always correct, merely
+     * not ragged; layers whose row loop dominates override it (Dense,
+     * QuantizedDense, butterfly linears, LayerNorm, activations,
+     * attention, the FFN and encoder block). Inference-only, like
+     * forwardMasked: backward() caches are not maintained.
+     */
+    virtual Tensor forwardRows(const Tensor &x, const RowSet &rows)
+    {
+        return forwardMasked(x, rows.lens());
     }
 
     /**

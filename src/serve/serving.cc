@@ -286,9 +286,18 @@ ServingEngine::runGroup(const BatchGroup &group, std::vector<Pending> reqs)
     {
         std::lock_guard<std::mutex> guard(mu_);
         stats_.completed += bsz;
-        for (const Pending &p : reqs)
-            stats_.real_tokens += p.tokens.size();
+        std::size_t real = 0, max_len = 0;
+        for (const Pending &p : reqs) {
+            real += p.tokens.size();
+            max_len = std::max(max_len, p.tokens.size());
+        }
+        stats_.real_tokens += real;
         stats_.padded_tokens += bsz * seq;
+        stats_.tight_tokens += bsz * max_len;
+        // Padded rows this batch skipped end to end (forwardBatch
+        // takes the ragged path exactly under these conditions).
+        if (model_.raggedBatch() && model_.supportsMaskedBatch())
+            stats_.rows_skipped += bsz * seq - real;
     }
     for (std::size_t i = 0; i < bsz; ++i)
         reqs[i].promise.set_value(std::move(outs[i]));

@@ -10,7 +10,11 @@
  * one model invocation whose row count keeps the PR-1 thread pool
  * (runtime/parallel.h) saturated, amortising weight traffic across
  * requests exactly as the paper's accelerator amortises it across a
- * sequence.
+ * sequence. forwardBatch executes RAGGED for maskable models: a
+ * nn::RowSet valid-row descriptor is built per batch and the padded
+ * rows bucketing introduces are skipped in every row-wise layer
+ * (ServingStats::rows_skipped counts them; logits unchanged bit for
+ * bit - docs/ARCHITECTURE.md "Ragged batch execution").
  *
  * ## Threading model
  * A dispatcher thread serves submit() traffic, and serveAll() callers
@@ -100,6 +104,13 @@ struct ServingStats
     std::size_t inline_batches = 0;
     std::size_t real_tokens = 0;     ///< sum of request lengths served
     std::size_t padded_tokens = 0;   ///< sum of batch * padded_len
+    /** Sum of batch * (longest member's length) per batch: the token
+     *  count a max-length-padded (bucket-free) batch would hold. */
+    std::size_t tight_tokens = 0;
+    /** Padded activation rows ragged execution skipped (padded -
+     *  real positions of batches served down the ragged path; 0 when
+     *  the model is not maskable or ragged execution is disabled). */
+    std::size_t rows_skipped = 0;
 
     /** Mean requests per model invocation (failed batches included). */
     double avgBatch() const
@@ -108,11 +119,23 @@ struct ServingStats
                    ? static_cast<double>(completed + failed) / batches
                    : 0.0;
     }
-    /** Fraction of served positions that were padding. */
+    /** Fraction of served positions that were padding, measured
+     *  against the BUCKET length every row is padded to. */
     double padOverhead() const
     {
         return padded_tokens
                    ? 1.0 - static_cast<double>(real_tokens) / padded_tokens
+                   : 0.0;
+    }
+    /** Padding fraction measured against the actual flushed batch
+     *  composition (rows padded only to their batch's longest
+     *  member): the irreducible mixed-length overhead, with the
+     *  bucket-quantisation share removed. padOverhead() -
+     *  padOverheadBatch() is the share bucket granularity adds. */
+    double padOverheadBatch() const
+    {
+        return tight_tokens
+                   ? 1.0 - static_cast<double>(real_tokens) / tight_tokens
                    : 0.0;
     }
 };

@@ -19,7 +19,10 @@
 
 #include "butterfly/butterfly.h"
 #include "nn/attention.h"
+#include "nn/basic_layers.h"
+#include "nn/block.h"
 #include "nn/dense.h"
+#include "nn/rowset.h"
 #include "runtime/parallel.h"
 #include "sim/datapath.h"
 #include "tensor/ops.h"
@@ -212,6 +215,185 @@ TEST_F(ParallelKernelsTest, SimBatchCrossValidation)
         EXPECT_TRUE(testutil::maxAbsDiffWithin(sw, hw, 0.15f))
             << "threads=" << threads;
     });
+}
+
+// --------------------------------------------------- ragged parity
+//
+// The ragged (skip-padded-rows) forward of every row-wise layer must
+// be bitwise identical to the dense masked path over the VALID rows -
+// and leave padded rows exactly zero - at threads {1, 4, 8}, across
+// degenerate length vectors (batch of 1, all-equal/no-padding,
+// all-single-token, max-straddle mixes). `ctest -L ragged-parity`.
+
+TEST_F(ParallelKernelsTest, RaggedDenseParity)
+{
+    const std::size_t seq = 12, in = 24, out = 37;
+    Rng rng(61);
+    nn::Dense dense(in, out, rng);
+    for (const auto &lens : testutil::raggedLensSweep(seq, 211)) {
+        const nn::RowSet rows(lens.size(), seq, lens);
+        const Tensor x = testutil::raggedInput(rows, in, 71);
+        testutil::expectRaggedForwardParity(dense, x, rows, "Dense");
+    }
+}
+
+TEST_F(ParallelKernelsTest, RaggedQuantizedDenseParity)
+{
+    const std::size_t seq = 10, in = 24, out = 19;
+    Rng rng(67);
+    nn::Dense dense(in, out, rng);
+    for (QuantKind kind : {QuantKind::Int8, QuantKind::Fp16}) {
+        nn::QuantizedDense q(dense, kind);
+        for (const auto &lens : testutil::raggedLensSweep(seq, 223)) {
+            const nn::RowSet rows(lens.size(), seq, lens);
+            const Tensor x = testutil::raggedInput(rows, in, 73);
+            testutil::expectRaggedForwardParity(
+                q, x, rows,
+                kind == QuantKind::Int8 ? "QuantizedDense int8"
+                                        : "QuantizedDense fp16");
+        }
+    }
+}
+
+TEST_F(ParallelKernelsTest, RaggedButterflyDenseParity)
+{
+    // (in, out) covering pad, truncate and multi-core expand paths.
+    const std::size_t shapes[][2] = {{24, 24}, {16, 48}, {48, 17}};
+    const std::size_t seq = 19; // straddles the 16-row stage block
+    Rng rng(73);
+    for (const auto &s : shapes) {
+        nn::ButterflyDense dense(s[0], s[1], rng);
+        for (const auto &lens : testutil::raggedLensSweep(seq, 227)) {
+            const nn::RowSet rows(lens.size(), seq, lens);
+            const Tensor x = testutil::raggedInput(rows, s[0], 79);
+            testutil::expectRaggedForwardParity(dense, x, rows,
+                                                "ButterflyDense");
+        }
+    }
+}
+
+TEST_F(ParallelKernelsTest, RaggedQuantizedButterflyDenseParity)
+{
+    const std::size_t seq = 9, in = 32, out = 32;
+    Rng rng(79);
+    nn::ButterflyDense dense(in, out, rng);
+    for (QuantKind kind : {QuantKind::Int8, QuantKind::Fp16}) {
+        nn::QuantizedButterflyDense q(dense, kind);
+        for (const auto &lens : testutil::raggedLensSweep(seq, 229)) {
+            const nn::RowSet rows(lens.size(), seq, lens);
+            const Tensor x = testutil::raggedInput(rows, in, 83);
+            testutil::expectRaggedForwardParity(
+                q, x, rows,
+                kind == QuantKind::Int8 ? "QButterflyDense int8"
+                                        : "QButterflyDense fp16");
+        }
+    }
+}
+
+TEST_F(ParallelKernelsTest, RaggedLayerNormAndActivationParity)
+{
+    const std::size_t seq = 11, d = 16;
+    nn::LayerNorm ln(d);
+    nn::Relu relu;
+    nn::Gelu gelu;
+    for (const auto &lens : testutil::raggedLensSweep(seq, 233)) {
+        const nn::RowSet rows(lens.size(), seq, lens);
+        const Tensor x = testutil::raggedInput(rows, d, 89);
+        testutil::expectRaggedForwardParity(ln, x, rows, "LayerNorm");
+        testutil::expectRaggedForwardParity(relu, x, rows, "Relu");
+        testutil::expectRaggedForwardParity(gelu, x, rows, "Gelu");
+    }
+}
+
+TEST_F(ParallelKernelsTest, RaggedAttentionParity)
+{
+    // forwardRows vs forwardMasked: the ragged core computes only the
+    // real prefix (queries AND keys) and skips the attn_ cache, yet
+    // valid rows must match the masked path bit for bit - causal too.
+    const std::size_t d = 12, seq = 9;
+    for (bool causal : {false, true}) {
+        Rng rng(97);
+        nn::MultiHeadAttention mha(
+            d, 3, std::make_unique<nn::Dense>(d, d, rng),
+            std::make_unique<nn::Dense>(d, d, rng),
+            std::make_unique<nn::Dense>(d, d, rng),
+            std::make_unique<nn::Dense>(d, d, rng), causal);
+        for (const auto &lens : testutil::raggedLensSweep(seq, 239)) {
+            const nn::RowSet rows(lens.size(), seq, lens);
+            const Tensor x = testutil::raggedInput(rows, d, 101);
+            testutil::expectRaggedForwardParity(
+                mha, x, rows, causal ? "MHA causal" : "MHA");
+        }
+    }
+}
+
+TEST_F(ParallelKernelsTest, RaggedEncoderBlockParity)
+{
+    // Whole block: masked mixer + ragged residuals/norms/FFN.
+    const std::size_t d = 16, seq = 13;
+    Rng rng(103);
+    auto mha = std::make_unique<nn::MultiHeadAttention>(
+        d, 4, std::make_unique<nn::Dense>(d, d, rng),
+        std::make_unique<nn::Dense>(d, d, rng),
+        std::make_unique<nn::Dense>(d, d, rng),
+        std::make_unique<nn::Dense>(d, d, rng));
+    auto ffn = std::make_unique<nn::FeedForward>(
+        std::make_unique<nn::Dense>(d, 2 * d, rng),
+        std::make_unique<nn::Gelu>(),
+        std::make_unique<nn::Dense>(2 * d, d, rng));
+    nn::EncoderBlock block(d, std::move(mha), std::move(ffn));
+    for (const auto &lens : testutil::raggedLensSweep(seq, 241)) {
+        const nn::RowSet rows(lens.size(), seq, lens);
+        const Tensor x = testutil::raggedInput(rows, d, 107);
+        testutil::expectRaggedForwardParity(block, x, rows,
+                                            "EncoderBlock");
+    }
+}
+
+TEST_F(ParallelKernelsTest, RowSetSpansCoverExactlyTheValidRows)
+{
+    // The descriptor itself: spans must cover each valid row exactly
+    // once, in ascending order, for degenerate and random shapes.
+    const std::size_t seq = 7;
+    for (const auto &lens : testutil::raggedLensSweep(seq, 251, 4)) {
+        const nn::RowSet rows(lens.size(), seq, lens);
+        std::vector<int> hits(rows.paddedRows(), 0);
+        std::size_t last_end = 0;
+        rows.forEachSpan(0, rows.totalRows(),
+                         [&](std::size_t r0, std::size_t r1) {
+                             EXPECT_GE(r0, last_end);
+                             EXPECT_LT(r0, r1);
+                             last_end = r1;
+                             for (std::size_t r = r0; r < r1; ++r)
+                                 ++hits[r];
+                         });
+        std::size_t total = 0;
+        for (std::size_t b = 0; b < rows.batch(); ++b) {
+            for (std::size_t t = 0; t < seq; ++t) {
+                const bool valid = t < rows.len(b);
+                EXPECT_EQ(hits[b * seq + t], valid ? 1 : 0)
+                    << "row (" << b << ", " << t << ")";
+                total += valid;
+            }
+        }
+        EXPECT_EQ(rows.totalRows(), total);
+        EXPECT_EQ(rows.rowsSkipped(), rows.paddedRows() - total);
+        // Chunked sweeps must see the same coverage regardless of the
+        // chunk boundaries (the parallelFor determinism contract).
+        std::fill(hits.begin(), hits.end(), 0);
+        for (std::size_t p = 0; p < rows.totalRows(); p += 3)
+            rows.forEachSpan(p, std::min(p + 3, rows.totalRows()),
+                             [&](std::size_t r0, std::size_t r1) {
+                                 for (std::size_t r = r0; r < r1; ++r)
+                                     ++hits[r];
+                             });
+        for (std::size_t b = 0; b < rows.batch(); ++b)
+            for (std::size_t t = 0; t < rows.len(b); ++t)
+                EXPECT_EQ(hits[b * seq + t], 1);
+    }
+    EXPECT_THROW(nn::RowSet(2, 4, {1}), std::invalid_argument);
+    EXPECT_THROW(nn::RowSet(1, 4, {0}), std::invalid_argument);
+    EXPECT_THROW(nn::RowSet(1, 4, {5}), std::invalid_argument);
 }
 
 TEST_F(ParallelKernelsTest, ParallelForCoversRangeOnce)

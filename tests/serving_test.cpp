@@ -262,6 +262,117 @@ TEST_F(ServingTest, CausalModelServesBitwiseToo)
     EXPECT_TRUE(bitwiseEqual(engine.serveAll(reqs), want));
 }
 
+// --------------------------------------------- ragged batch parity
+
+TEST_F(ServingTest, RaggedForwardBatchBitwiseMatchesPaddedPath)
+{
+    // The tentpole contract: forwardBatch with ragged execution
+    // (skip padded rows end-to-end) is bitwise identical to the dense
+    // masked path - and therefore to serial unpadded forward - for
+    // degenerate shapes (batch of 1, all-equal lengths, single-token
+    // sequences, max-straddle buckets) at threads {1, 4, 8}.
+    const std::size_t seq = 32;
+    const std::vector<std::vector<std::size_t>> shapes = {
+        {20},                    // batch of 1, padded
+        {32, 32, 32},            // all-equal lengths, no padding
+        {1, 1, 1, 1},            // single-token sequences
+        {1, 32, 17, 2, 31, 16},  // max-straddle mix
+    };
+    for (ModelKind kind : {ModelKind::Transformer, ModelKind::FABNet}) {
+        const ModelConfig cfg = tinyCfg(kind);
+        Rng rng(211);
+        auto model = buildModel(cfg, rng);
+        ASSERT_TRUE(model->raggedBatch()); // on by default
+        for (const auto &lens : shapes) {
+            const auto reqs = makeRequests(lens, cfg.vocab, 97);
+            std::vector<int> tokens(lens.size() * seq, 0);
+            for (std::size_t i = 0; i < reqs.size(); ++i)
+                std::copy(reqs[i].begin(), reqs[i].end(),
+                          tokens.begin() + i * seq);
+
+            model->setRaggedBatch(false);
+            const Tensor want =
+                model->forwardBatch(tokens, lens.size(), seq, lens);
+            model->setRaggedBatch(true);
+            for (std::size_t threads : kThreadCounts) {
+                runtime::setNumThreads(threads);
+                const Tensor got =
+                    model->forwardBatch(tokens, lens.size(), seq, lens);
+                EXPECT_TRUE(bitwiseEqual(got, want))
+                    << "kind=" << static_cast<int>(kind)
+                    << " batch=" << lens.size()
+                    << " threads=" << threads;
+            }
+        }
+    }
+}
+
+TEST_F(ServingTest, RaggedServingBitwiseMatchesSerialQuantizedToo)
+{
+    // End-to-end through the engine with int8/fp16 linears: ragged
+    // execution must preserve the quantized serving guarantee (served
+    // logits == serial quantized inference, bit for bit).
+    for (QuantKind kind : {QuantKind::Int8, QuantKind::Fp16}) {
+        const ModelConfig cfg = tinyCfg(ModelKind::Transformer);
+        Rng rng(223);
+        auto model = buildModel(cfg, rng);
+        ASSERT_GT(model->quantizeLinears(kind), 0u);
+        const auto reqs = makeRequests(kMixedLens, cfg.vocab, 101);
+        const auto want = serveSerial(*model, reqs);
+
+        for (std::size_t threads : kThreadCounts) {
+            runtime::setNumThreads(threads);
+            ServingConfig sc;
+            sc.max_batch = 8;
+            sc.bucket_granularity = 16;
+            sc.max_wait = std::chrono::seconds(5);
+            ServingEngine engine(*model, sc);
+            const auto got = engine.serveAll(reqs);
+            EXPECT_TRUE(bitwiseEqual(got, want))
+                << "kind=" << static_cast<int>(kind)
+                << " threads=" << threads;
+            const auto st = engine.stats();
+            EXPECT_EQ(st.rows_skipped,
+                      st.padded_tokens - st.real_tokens);
+            EXPECT_GT(st.rows_skipped, 0u);
+        }
+    }
+}
+
+TEST_F(ServingTest, StatsReportBatchCompositionOverheadAndSkippedRows)
+{
+    const ModelConfig cfg = tinyCfg(ModelKind::Transformer);
+    Rng rng(227);
+    auto model = buildModel(cfg, rng);
+    ServingConfig sc;
+    sc.max_batch = 8;
+    sc.bucket_granularity = 16;
+    sc.max_wait = std::chrono::seconds(5);
+    {
+        ServingEngine engine(*model, sc);
+        // One full group in the 16-bucket: padded to 16, longest
+        // member 12 - bucket overhead > batch-composition overhead.
+        engine.serveAll(makeRequests({10, 12, 9, 12, 11, 8, 12, 10},
+                                     cfg.vocab, 103));
+        const auto st = engine.stats();
+        EXPECT_EQ(st.real_tokens, 84u);
+        EXPECT_EQ(st.padded_tokens, 8u * 16u);
+        EXPECT_EQ(st.tight_tokens, 8u * 12u);
+        EXPECT_DOUBLE_EQ(st.padOverhead(), 1.0 - 84.0 / 128.0);
+        EXPECT_DOUBLE_EQ(st.padOverheadBatch(), 1.0 - 84.0 / 96.0);
+        EXPECT_EQ(st.rows_skipped, 128u - 84u);
+    }
+    // With ragged execution off the engine must report zero skipped
+    // rows (the padded work really ran).
+    model->setRaggedBatch(false);
+    {
+        ServingEngine engine(*model, sc);
+        engine.serveAll(makeRequests({10, 12}, cfg.vocab, 107));
+        EXPECT_EQ(engine.stats().rows_skipped, 0u);
+    }
+    model->setRaggedBatch(true);
+}
+
 // --------------------------------------------------- async behaviour
 
 TEST_F(ServingTest, TimeoutFlushServesWithoutExplicitFlush)

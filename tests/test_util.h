@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "model/classifier.h"
+#include "nn/rowset.h"
 #include "runtime/parallel.h"
 #include "runtime/workspace.h"
 #include "tensor/ops.h"
@@ -230,6 +231,112 @@ expectBackwardParity(nn::Layer &layer, const Tensor &x, unsigned seed,
             << tag << " dL/dx, threads=" << threads;
         EXPECT_TRUE(gradsBitwiseEqual(params, grads_ref))
             << tag << " param grads, threads=" << threads;
+    });
+}
+
+// ------------------------------------------------- ragged parity
+
+/**
+ * Length-vector sweep for ragged-batch parity tests: the degenerate
+ * corners the RowSet spans must survive (batch of 1, all lengths
+ * equal to seq - padding-free, all single-token rows, lengths
+ * straddling the full [1, seq] range including a max-length row),
+ * plus @p extra random ragged draws. Every entry is a lens vector
+ * valid for a [*, seq] batch.
+ */
+inline std::vector<std::vector<std::size_t>>
+raggedLensSweep(std::size_t seq, unsigned seed, std::size_t extra = 2)
+{
+    std::vector<std::vector<std::size_t>> sweeps = {
+        {std::max<std::size_t>(seq / 2, 1)}, // batch of 1, padded
+        {seq},                               // batch of 1, no padding
+        {seq, seq, seq},                     // all equal, no padding
+        {1, 1, 1, 1},                        // all single-token
+        {1, seq, seq / 2 + 1, 2, seq - 1},   // max-straddle mix
+    };
+    Rng rng(seed);
+    for (std::size_t i = 0; i < extra; ++i) {
+        const std::size_t batch =
+            static_cast<std::size_t>(rng.randint(1, 9));
+        std::vector<std::size_t> lens(batch);
+        for (auto &L : lens)
+            L = static_cast<std::size_t>(
+                rng.randint(1, static_cast<int>(seq)));
+        sweeps.push_back(std::move(lens));
+    }
+    return sweeps;
+}
+
+/** N(0,1) [batch, seq, d] input with the PADDED rows zeroed - the
+ *  invariant every tensor in a ragged chain satisfies. */
+inline Tensor
+raggedInput(const nn::RowSet &rows, std::size_t d, unsigned seed)
+{
+    Rng rng(seed);
+    Tensor x = rng.normalTensor({rows.batch(), rows.seq(), d});
+    float *px = x.data();
+    for (std::size_t b = 0; b < rows.batch(); ++b)
+        for (std::size_t t = rows.len(b); t < rows.seq(); ++t)
+            std::fill(px + (b * rows.seq() + t) * d,
+                      px + (b * rows.seq() + t + 1) * d, 0.0f);
+    return x;
+}
+
+/** Exact equality over the VALID rows of two [batch, seq, d] tensors. */
+inline ::testing::AssertionResult
+validRowsBitwiseEqual(const Tensor &got, const Tensor &want,
+                      const nn::RowSet &rows)
+{
+    if (got.shape() != want.shape())
+        return ::testing::AssertionFailure()
+               << "shape mismatch " << got.shapeString() << " vs "
+               << want.shapeString();
+    const std::size_t d = got.shape().back();
+    for (std::size_t b = 0; b < rows.batch(); ++b) {
+        const std::size_t off = b * rows.seq() * d;
+        if (std::memcmp(got.data() + off, want.data() + off,
+                        rows.len(b) * d * sizeof(float)) != 0)
+            return ::testing::AssertionFailure()
+                   << "valid rows differ in sequence " << b;
+    }
+    return ::testing::AssertionSuccess();
+}
+
+/** Assert every padded row of a ragged output is exactly zero. */
+inline ::testing::AssertionResult
+paddedRowsZero(const Tensor &got, const nn::RowSet &rows)
+{
+    const std::size_t d = got.shape().back();
+    for (std::size_t b = 0; b < rows.batch(); ++b)
+        for (std::size_t t = rows.len(b); t < rows.seq(); ++t)
+            for (std::size_t j = 0; j < d; ++j)
+                if (got.data()[(b * rows.seq() + t) * d + j] != 0.0f)
+                    return ::testing::AssertionFailure()
+                           << "padded row (" << b << ", " << t
+                           << ") not zero";
+    return ::testing::AssertionSuccess();
+}
+
+/**
+ * The ragged-parity check: run the layer's dense masked path once at
+ * one thread as the baseline, then forwardRows at each kThreadCounts
+ * entry - valid rows must be BITWISE identical to the baseline, and
+ * padded rows must be exactly zero (the ragged chain invariant that
+ * lets downstream layers skip them). @p x must satisfy the
+ * padded-rows-zero invariant itself (use raggedInput()).
+ */
+inline void
+expectRaggedForwardParity(nn::Layer &layer, const Tensor &x,
+                          const nn::RowSet &rows, const std::string &tag)
+{
+    runtime::setNumThreads(1);
+    const Tensor want = layer.forwardMasked(x, rows.lens());
+    forEachThreadCount([&](std::size_t threads) {
+        const Tensor got = layer.forwardRows(x, rows);
+        EXPECT_TRUE(validRowsBitwiseEqual(got, want, rows))
+            << tag << " valid rows, threads=" << threads;
+        EXPECT_TRUE(paddedRowsZero(got, rows))
+            << tag << " padded rows, threads=" << threads;
     });
 }
 
