@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "runtime/parallel.h"
+
 namespace fabnet {
 
 Batch
@@ -67,16 +69,24 @@ SequenceClassifier::forwardBatch(const std::vector<int> &tokens,
     // padded rows in every layer. Only for fully maskable models -
     // Fourier mixers deliberately mix the embedded pad rows in, and
     // the ragged chain's zeroed pad rows would change those logits.
+    // Serving cancellation (watchdog / shutdown deadline): in addition
+    // to the per-grain poll inside every parallelFor, re-check between
+    // blocks so a cancelled invocation unwinds at layer granularity
+    // even on the serial fast paths. No-op without a CancelScope.
     if (ragged_batch_ && supportsMaskedBatch()) {
         const nn::RowSet rows(batch, seq, lens);
         Tensor x = embedding_.forwardRows(tokens, rows);
-        for (auto &blk : blocks_)
+        for (auto &blk : blocks_) {
+            runtime::checkCancelled();
             x = blk->forwardRows(x, rows);
+        }
         return head_.forwardMasked(x, lens);
     }
     Tensor x = embedding_.forward(tokens, batch, seq);
-    for (auto &blk : blocks_)
+    for (auto &blk : blocks_) {
+        runtime::checkCancelled();
         x = blk->forwardMasked(x, lens);
+    }
     return head_.forwardMasked(x, lens);
 }
 

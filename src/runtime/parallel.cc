@@ -19,6 +19,10 @@ namespace {
 /** True while the current thread is executing parallelFor chunks. */
 thread_local bool in_parallel_region = false;
 
+/** Token installed by the innermost CancelScope on this thread;
+ *  regions started by this thread poll it between grain chunks. */
+thread_local const CancelToken *tl_cancel_token = nullptr;
+
 std::size_t
 defaultThreads()
 {
@@ -77,8 +81,10 @@ class ThreadPool
         std::unique_lock<std::mutex> resize_lock(resize_mutex_,
                                                  std::try_to_lock);
         if (!resize_lock.owns_lock()) {
-            for (std::size_t b = begin; b < end; b += grain)
+            for (std::size_t b = begin; b < end; b += grain) {
+                checkCancelled();
                 body(b, std::min(b + grain, end));
+            }
             return;
         }
 
@@ -87,6 +93,9 @@ class ThreadPool
         region_grain_ = grain;
         region_cursor_.store(begin, std::memory_order_relaxed);
         region_error_ = nullptr;
+        // The starting thread's cancellation token governs the whole
+        // region: workers poll it between chunk claims.
+        region_cancel_ = tl_cancel_token;
 
         const std::size_t chunks = (end - begin + grain - 1) / grain;
         const std::size_t helpers =
@@ -165,8 +174,19 @@ class ThreadPool
         const auto *body = region_body_;
         if (!body)
             return;
+        const CancelToken *cancel = region_cancel_;
         in_parallel_region = true;
         for (;;) {
+            // Cancellation check per grain chunk: stop claiming work
+            // once the region's token fires; chunks already claimed
+            // complete, and the starting thread rethrows Cancelled.
+            if (cancel && cancel->cancelled()) {
+                std::lock_guard<std::mutex> lk(error_mutex_);
+                if (!region_error_)
+                    region_error_ =
+                        std::make_exception_ptr(Cancelled{});
+                break;
+            }
             const std::size_t chunk_begin = region_cursor_.fetch_add(
                 region_grain_, std::memory_order_relaxed);
             if (chunk_begin >= region_end_)
@@ -200,6 +220,7 @@ class ThreadPool
         nullptr;
     std::size_t region_end_ = 0, region_grain_ = 1;
     std::atomic<std::size_t> region_cursor_{0};
+    const CancelToken *region_cancel_ = nullptr;
     std::mutex error_mutex_;
     std::exception_ptr region_error_;
 };
@@ -229,13 +250,32 @@ parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
     ThreadPool &pool = ThreadPool::instance();
     // Serial fast path: one thread, a nested region, or a range that
     // fits in a single chunk - no synchronisation, identical results.
+    // Cancellation polls per grain chunk, exactly like the pool path.
     if (pool.threads() == 1 || in_parallel_region ||
         end - begin <= grain) {
-        for (std::size_t b = begin; b < end; b += grain)
+        for (std::size_t b = begin; b < end; b += grain) {
+            if (!in_parallel_region)
+                checkCancelled();
             body(b, std::min(b + grain, end));
+        }
         return;
     }
     pool.run(begin, end, grain, body);
+}
+
+CancelScope::CancelScope(const CancelToken &token)
+    : previous_(tl_cancel_token)
+{
+    tl_cancel_token = &token;
+}
+
+CancelScope::~CancelScope() { tl_cancel_token = previous_; }
+
+void
+checkCancelled()
+{
+    if (tl_cancel_token && tl_cancel_token->cancelled())
+        throw Cancelled{};
 }
 
 } // namespace runtime

@@ -27,11 +27,24 @@
  * Nested parallelFor calls (a body that itself calls parallelFor) run
  * the inner loop serially on the calling worker, so composition is
  * safe and still deterministic.
+ *
+ * ## Cancellation
+ * A thread may install a CancelToken with a CancelScope; parallelFor
+ * regions STARTED BY THAT THREAD then re-check the token between grain
+ * chunks and abort by throwing Cancelled once it fires (in-flight
+ * chunks finish; no partial chunk is ever observed). This is the
+ * mechanism the serving watchdog and shutdown deadline use to unstick
+ * a model invocation without poisoning results: a cancelled region's
+ * output is discarded by the thrower, and regions started by other
+ * threads never see the token. checkCancelled() offers the same test
+ * at coarser (e.g. per-layer) granularity between regions.
  */
 #ifndef FABNET_RUNTIME_PARALLEL_H
 #define FABNET_RUNTIME_PARALLEL_H
 
+#include <atomic>
 #include <cstddef>
+#include <exception>
 #include <functional>
 
 namespace fabnet {
@@ -57,6 +70,60 @@ void setNumThreads(std::size_t n);
  */
 void parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
                  const std::function<void(std::size_t, std::size_t)> &body);
+
+/** Thrown out of parallelFor / checkCancelled when the installing
+ *  thread's CancelToken fires. Catch sites discard the partial work. */
+class Cancelled : public std::exception
+{
+  public:
+    const char *what() const noexcept override
+    {
+        return "fabnet::runtime::Cancelled";
+    }
+};
+
+/**
+ * One-shot cancellation flag, settable from any thread (a watchdog, a
+ * shutdown timer). Observed by parallelFor regions of the thread that
+ * installed it via CancelScope, and by explicit checkCancelled().
+ */
+class CancelToken
+{
+  public:
+    void cancel() { flag_.store(true, std::memory_order_release); }
+    bool cancelled() const
+    {
+        return flag_.load(std::memory_order_acquire);
+    }
+    void reset() { flag_.store(false, std::memory_order_release); }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+
+/**
+ * RAII install of a CancelToken on the calling thread. While in scope,
+ * parallelFor regions started by this thread poll the token between
+ * grain chunks and throw Cancelled when it fires; other threads'
+ * regions are unaffected. Scopes nest (the innermost token wins) and
+ * the previous token is restored on destruction.
+ */
+class CancelScope
+{
+  public:
+    explicit CancelScope(const CancelToken &token);
+    ~CancelScope();
+    CancelScope(const CancelScope &) = delete;
+    CancelScope &operator=(const CancelScope &) = delete;
+
+  private:
+    const CancelToken *previous_;
+};
+
+/** Throw Cancelled if the calling thread's installed token has fired
+ *  (no-op without a CancelScope) - the between-regions check coarse
+ *  paths (e.g. SequenceClassifier::forwardBatch between blocks) use. */
+void checkCancelled();
 
 } // namespace runtime
 } // namespace fabnet

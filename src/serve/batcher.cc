@@ -101,6 +101,29 @@ RequestBatcher::drainBelow(std::uint64_t id_watermark)
     return std::nullopt;
 }
 
+std::vector<std::uint64_t>
+RequestBatcher::removeIf(const std::function<bool(std::uint64_t)> &pred)
+{
+    std::vector<std::uint64_t> removed;
+    for (auto it = buckets_.begin(); it != buckets_.end();) {
+        std::deque<Entry> &q = it->second;
+        std::deque<Entry> kept;
+        for (const Entry &e : q) {
+            if (pred(e.id))
+                removed.push_back(e.id);
+            else
+                kept.push_back(e);
+        }
+        pending_ -= q.size() - kept.size();
+        q.swap(kept);
+        if (q.empty())
+            it = buckets_.erase(it);
+        else
+            ++it;
+    }
+    return removed;
+}
+
 std::optional<RequestBatcher::Clock::time_point>
 RequestBatcher::oldestEnqueue() const
 {

@@ -23,6 +23,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
@@ -97,6 +98,17 @@ class RequestBatcher
      * sleeps until this + max_wait. nullopt when empty.
      */
     std::optional<Clock::time_point> oldestEnqueue() const;
+
+    /**
+     * Remove every queued request whose id satisfies @p pred and
+     * return the removed ids in ascending padded-length, FIFO order.
+     * The survivors keep their relative order and enqueue times (no
+     * re-bucketing). This is the shed-policy hook: bounded admission
+     * with ShedPolicy::DropExpiredFirst evicts expired requests here
+     * to make room before rejecting new traffic (serve/serving.h).
+     */
+    std::vector<std::uint64_t>
+    removeIf(const std::function<bool(std::uint64_t)> &pred);
 
     bool empty() const { return pending_ == 0; }
     std::size_t size() const { return pending_; }

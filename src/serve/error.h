@@ -1,0 +1,96 @@
+/**
+ * @file error.h
+ * Typed error model for the serving front end.
+ *
+ * Every way a request can fail is a serve::Error with a machine-
+ * readable ErrorCode plus a human-readable detail string, surfaced
+ * either synchronously (submit/serveAll throw for conditions known at
+ * admission) or through the request's future (set_exception for
+ * conditions that only materialise later). Error derives from
+ * std::runtime_error so pre-taxonomy catch sites keep working; new
+ * code should switch on code() instead of parsing what().
+ *
+ * The taxonomy (docs/SERVING.md "Failure model" for full semantics):
+ *  - InvalidRequest   the request itself is malformed (empty, longer
+ *                     than max_seq) - thrown at admission, nothing is
+ *                     queued.
+ *  - DeadlineExceeded the request's Deadline passed: at admission
+ *                     (already expired), in the queue (failed when its
+ *                     group is claimed, BEFORE burning model time), or
+ *                     mid-batch (the batch outran the deadline; the
+ *                     computed logits are discarded because the caller
+ *                     stopped caring).
+ *  - QueueFull        bounded admission rejected the request (queue
+ *                     depth or token cap, after any shed pass).
+ *  - ShuttingDown     the engine is draining: new work is refused and
+ *                     requests still queued when a shutdown deadline
+ *                     expires are failed with this code.
+ *  - ModelFault       the model invocation itself failed (bad token
+ *                     id, injected fault, watchdog-cancelled stuck
+ *                     invocation). With per-request fault isolation
+ *                     only the poisoned rows carry this code; their
+ *                     batchmates are re-served unharmed.
+ */
+#ifndef FABNET_SERVE_ERROR_H
+#define FABNET_SERVE_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace fabnet {
+namespace serve {
+
+/** Machine-readable failure class of a serving request. */
+enum class ErrorCode {
+    InvalidRequest,   ///< malformed request; rejected at admission
+    DeadlineExceeded, ///< deadline passed (admission, queued, or mid-batch)
+    QueueFull,        ///< bounded admission rejected the request
+    ShuttingDown,     ///< engine draining; request refused or abandoned
+    ModelFault,       ///< model invocation failed for this request
+};
+
+/** Stable name for an ErrorCode ("InvalidRequest", ...). */
+inline const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::InvalidRequest:
+        return "InvalidRequest";
+      case ErrorCode::DeadlineExceeded:
+        return "DeadlineExceeded";
+      case ErrorCode::QueueFull:
+        return "QueueFull";
+      case ErrorCode::ShuttingDown:
+        return "ShuttingDown";
+      case ErrorCode::ModelFault:
+        return "ModelFault";
+    }
+    return "UnknownError";
+}
+
+/**
+ * The serving failure type: code + detail. what() renders as
+ * "[Code] detail" so logs stay readable without the taxonomy.
+ */
+class Error : public std::runtime_error
+{
+  public:
+    Error(ErrorCode code, std::string detail)
+        : std::runtime_error(std::string("[") + errorCodeName(code) +
+                             "] " + detail),
+          code_(code), detail_(std::move(detail))
+    {
+    }
+
+    ErrorCode code() const noexcept { return code_; }
+    const std::string &detail() const noexcept { return detail_; }
+
+  private:
+    ErrorCode code_;
+    std::string detail_;
+};
+
+} // namespace serve
+} // namespace fabnet
+
+#endif // FABNET_SERVE_ERROR_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "runtime/workspace.h"
@@ -45,7 +46,45 @@ class WorkspaceCapRegistry
 
 WorkspaceCapRegistry g_cap_registry;
 
+/** Map an invocation failure to the typed error its rows fail with:
+ *  injected faults are already serve::Error and pass through, real
+ *  model exceptions are wrapped as ModelFault keeping their message. */
+Error
+modelFaultFrom(std::exception_ptr ep)
+{
+    try {
+        std::rethrow_exception(ep);
+    } catch (const Error &e) {
+        return e;
+    } catch (const std::exception &e) {
+        return Error(ErrorCode::ModelFault, e.what());
+    } catch (...) {
+        return Error(ErrorCode::ModelFault, "unknown model exception");
+    }
+}
+
 } // namespace
+
+/** Registers the in-flight invocation's cancel token and start time
+ *  with the watchdog for the duration of the model call (RAII). */
+struct ServingEngine::WatchdogArm
+{
+    ServingEngine &e;
+    WatchdogArm(ServingEngine &eng, runtime::CancelToken &tok) : e(eng)
+    {
+        std::lock_guard<std::mutex> lk(e.wd_mu_);
+        e.wd_token_ = &tok;
+        e.wd_started_ = RequestBatcher::Clock::now();
+        e.wd_fired_ = false;
+        e.wd_cv_.notify_all();
+    }
+    ~WatchdogArm()
+    {
+        std::lock_guard<std::mutex> lk(e.wd_mu_);
+        e.wd_token_ = nullptr;
+        e.wd_cv_.notify_all();
+    }
+};
 
 ServingEngine::ServingEngine(SequenceClassifier &model, ServingConfig cfg)
     : model_(model), cfg_(cfg),
@@ -67,53 +106,157 @@ ServingEngine::ServingEngine(SequenceClassifier &model, ServingConfig cfg)
             "bucket_granularity == 1 (padding-free buckets), or set "
             "ServingConfig::allow_unmasked_mixers to serve anyway, "
             "forfeiting per-request determinism.");
+    if (cfg_.max_queue_tokens != 0 &&
+        cfg_.max_queue_tokens < model_.config().max_seq)
+        throw std::invalid_argument(
+            "ServingEngine: max_queue_tokens below max_seq would make "
+            "some valid requests permanently inadmissible");
     if (cfg_.workspace_cap_bytes != 0) {
         g_cap_registry.install(cfg_.workspace_cap_bytes);
         ws_cap_installed_ = true;
     }
+    if (cfg_.watchdog_timeout.count() > 0)
+        watchdog_ = std::thread([this] { watchdogLoop(); });
     dispatcher_ = std::thread([this] { dispatchLoop(); });
 }
 
 ServingEngine::~ServingEngine()
 {
+    // Full graceful drain first: every outstanding future resolves
+    // (and every flush()/serveAll() waiter is released) before the
+    // threads are torn down.
+    shutdown();
     {
         std::lock_guard<std::mutex> lk(mu_);
         stop_ = true;
         work_cv_.notify_all();
+        idle_cv_.notify_all();
     }
     dispatcher_.join();
-    // Unblock any flush() stuck across shutdown (user error, but do
-    // not deadlock them).
-    {
-        std::lock_guard<std::mutex> lk(mu_);
-        idle_cv_.notify_all();
+    if (watchdog_.joinable()) {
+        {
+            std::lock_guard<std::mutex> wl(wd_mu_);
+            wd_stop_ = true;
+            wd_cv_.notify_all();
+        }
+        watchdog_.join();
     }
     if (ws_cap_installed_)
         g_cap_registry.remove(cfg_.workspace_cap_bytes);
 }
 
 std::future<std::vector<float>>
-ServingEngine::enqueueLocked(std::vector<int> tokens)
+ServingEngine::enqueueLocked(std::vector<int> tokens, Deadline deadline,
+                             bool enforce_bounds)
 {
+    // Admission attempts are numbered in order - rejected ones
+    // included - so FaultPlan admission indices are deterministic for
+    // a fixed submission sequence.
+    const std::uint64_t admission_index = submit_seq_++;
+    // Validate the length up front with a typed error; nothing is
+    // queued on any throw below.
+    try {
+        (void)batcher_.bucketLen(tokens.size());
+    } catch (const std::invalid_argument &e) {
+        throw Error(ErrorCode::InvalidRequest, e.what());
+    }
+    const FaultPlan *plan = cfg_.fault_plan;
+    if (plan && plan->requestFault(admission_index,
+                                   FaultPlan::Stage::Admission))
+        throw Error(ErrorCode::InvalidRequest,
+                    "injected admission fault (request #" +
+                        std::to_string(admission_index) + ")");
+    const auto now = RequestBatcher::Clock::now();
+    if (deadline != kNoDeadline && deadline <= now) {
+        ++stats_.expired_in_queue;
+        throw Error(ErrorCode::DeadlineExceeded,
+                    "deadline already expired at submit");
+    }
+    if (enforce_bounds) {
+        const auto over = [&] {
+            return (cfg_.max_queue_requests != 0 &&
+                    batcher_.size() >= cfg_.max_queue_requests) ||
+                   (cfg_.max_queue_tokens != 0 &&
+                    queued_tokens_ + tokens.size() >
+                        cfg_.max_queue_tokens);
+        };
+        if (over() && cfg_.shed_policy == ShedPolicy::DropExpiredFirst)
+            shedExpiredLocked(now);
+        if (over()) {
+            ++stats_.rejected;
+            throw Error(ErrorCode::QueueFull,
+                        "admission queue full (" +
+                            std::to_string(batcher_.size()) +
+                            " requests / " +
+                            std::to_string(queued_tokens_) +
+                            " tokens queued)");
+        }
+    }
     const std::uint64_t id = next_id_++;
-    // Validates the length (throws before anything is queued).
-    batcher_.push(id, tokens.size(), RequestBatcher::Clock::now());
+    batcher_.push(id, tokens.size(), now);
     outstanding_.insert(id);
+    queued_tokens_ += tokens.size();
     Pending &p = pending_[id];
     p.tokens = std::move(tokens);
+    p.deadline = deadline;
+    p.admission_index = admission_index;
     std::future<std::vector<float>> fut = p.promise.get_future();
     ++stats_.requests;
     return fut;
 }
 
+void
+ServingEngine::shedExpiredLocked(RequestBatcher::Clock::time_point now)
+{
+    const std::vector<std::uint64_t> victims =
+        batcher_.removeIf([&](std::uint64_t id) {
+            const Pending &p = pending_.at(id);
+            return p.deadline != kNoDeadline && p.deadline <= now;
+        });
+    if (victims.empty())
+        return;
+    stats_.shed += victims.size();
+    stats_.failed += victims.size();
+    for (std::uint64_t id : victims) {
+        auto it = pending_.find(id);
+        queued_tokens_ -= it->second.tokens.size();
+        it->second.promise.set_exception(std::make_exception_ptr(Error(
+            ErrorCode::DeadlineExceeded,
+            "shed from the admission queue (DropExpiredFirst: deadline "
+            "expired before dispatch)")));
+        pending_.erase(it);
+        outstanding_.erase(id);
+    }
+    idle_cv_.notify_all(); // outstanding_ shrank: waiters re-check
+}
+
+void
+ServingEngine::failQueuedLocked()
+{
+    const std::vector<std::uint64_t> victims =
+        batcher_.removeIf([](std::uint64_t) { return true; });
+    stats_.failed += victims.size();
+    for (std::uint64_t id : victims) {
+        auto it = pending_.find(id);
+        queued_tokens_ -= it->second.tokens.size();
+        it->second.promise.set_exception(std::make_exception_ptr(Error(
+            ErrorCode::ShuttingDown,
+            "engine shut down before this request was served")));
+        pending_.erase(it);
+        outstanding_.erase(id);
+    }
+    idle_cv_.notify_all();
+}
+
 std::future<std::vector<float>>
-ServingEngine::submit(std::vector<int> tokens)
+ServingEngine::submit(std::vector<int> tokens, Deadline deadline)
 {
     std::lock_guard<std::mutex> lk(mu_);
-    if (stop_)
-        throw std::runtime_error("ServingEngine: already shut down");
+    if (stop_ || draining_)
+        throw Error(ErrorCode::ShuttingDown,
+                    "engine is shutting down; request not admitted");
     std::future<std::vector<float>> fut =
-        enqueueLocked(std::move(tokens));
+        enqueueLocked(std::move(tokens), deadline, true);
     work_cv_.notify_all();
     return fut;
 }
@@ -129,16 +272,50 @@ ServingEngine::serveAll(const std::vector<std::vector<int>> &requests)
         // thread is about to run the groups itself, so the handoff
         // would only add a wakeup and a context switch per batch.
         std::lock_guard<std::mutex> lk(mu_);
-        if (stop_)
-            throw std::runtime_error("ServingEngine: already shut down");
+        if (stop_ || draining_)
+            throw Error(ErrorCode::ShuttingDown,
+                        "engine is shutting down; request set not "
+                        "admitted");
+        // All-or-nothing admission: validate the whole set before
+        // anything is enqueued, so a malformed request throws with no
+        // partial set left behind.
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            try {
+                (void)batcher_.bucketLen(requests[i].size());
+            } catch (const std::invalid_argument &e) {
+                throw Error(ErrorCode::InvalidRequest,
+                            "serveAll request #" + std::to_string(i) +
+                                ": " + e.what());
+            }
+        }
+        const std::uint64_t first_id = next_id_;
         try {
+            // serveAll is exempt from the admission caps (the caller
+            // is synchronous and self-draining - it IS the
+            // backpressure) and its requests carry no deadline.
             for (const auto &r : requests)
-                futs.push_back(enqueueLocked(r));
+                futs.push_back(enqueueLocked(r, kNoDeadline, false));
         } catch (...) {
-            // A bad request length mid-set: hand the already-enqueued
-            // prefix to the dispatcher (as submit() would have) and
-            // surface the error.
-            work_cv_.notify_all();
+            // Lengths were pre-validated, so only an injected
+            // admission fault lands here. Keep the all-or-nothing
+            // contract: unwind the already-admitted prefix (we held
+            // mu_ throughout, so every id >= first_id is ours and
+            // still queued) instead of leaving it to drain silently.
+            const std::vector<std::uint64_t> prefix = batcher_.removeIf(
+                [&](std::uint64_t id) { return id >= first_id; });
+            stats_.failed += prefix.size();
+            for (std::uint64_t id : prefix) {
+                auto it = pending_.find(id);
+                queued_tokens_ -= it->second.tokens.size();
+                it->second.promise.set_exception(
+                    std::make_exception_ptr(Error(
+                        ErrorCode::InvalidRequest,
+                        "aborted: a later request in the same "
+                        "serveAll set failed admission")));
+                pending_.erase(it);
+                outstanding_.erase(id);
+            }
+            idle_cv_.notify_all();
             throw;
         }
         watermark = next_id_;
@@ -177,10 +354,16 @@ ServingEngine::serveAll(const std::vector<std::vector<int>> &requests)
                     break; // shutdown drain will fulfil the futures
                 continue;
             }
-            std::vector<Pending> reqs = claimGroupLocked(*group);
+            ClaimedGroup claimed = claimGroupLocked(*group);
+            if (claimed.reqs.empty()) {
+                // Every member expired at claim (possible when submit
+                // traffic with deadlines shares our buckets).
+                finishGroupLocked(*group);
+                continue;
+            }
             ++stats_.inline_batches;
             lk.unlock(); // serve outside the lock, like the dispatcher
-            runGroup(*group, std::move(reqs));
+            runGroup(*group, std::move(claimed));
             lk.lock();
             finishGroupLocked(*group);
         }
@@ -221,9 +404,43 @@ ServingEngine::flush()
     ++flush_waiters_;
     flush_watermark_ = std::max(flush_watermark_, watermark);
     work_cv_.notify_all();
+    // A shutdown() racing this flush resolves every outstanding
+    // future (served, or failed at a shutdown deadline), so the
+    // predicate always becomes true: flush is never stranded across
+    // shutdown and returns with its whole watermark resolved.
     idle_cv_.wait(lk, [&] { return served_to_watermark() || stop_; });
     if (--flush_waiters_ == 0)
         flush_watermark_ = 0;
+}
+
+void
+ServingEngine::shutdown(Deadline deadline)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    draining_ = true;
+    work_cv_.notify_all(); // dispatcher switches to drain mode
+    const auto all_resolved = [this] { return outstanding_.empty(); };
+    if (deadline == kNoDeadline) {
+        // Full drain. (Not wait_until: time_point::max() overflows
+        // some libstdc++ wait implementations.)
+        idle_cv_.wait(lk, all_resolved);
+        return;
+    }
+    if (idle_cv_.wait_until(lk, deadline, all_resolved))
+        return;
+    // Deadline passed: fail everything still queued, cooperatively
+    // cancel the in-flight invocation (its rows fail with
+    // ShuttingDown via cancelCause), and wait for the last group to
+    // unwind. abandon_ is set first so a Cancelled invocation - and
+    // one that arms after this point - attributes to shutdown.
+    abandon_.store(true, std::memory_order_release);
+    failQueuedLocked();
+    {
+        std::lock_guard<std::mutex> wl(wd_mu_);
+        if (wd_token_)
+            wd_token_->cancel();
+    }
+    idle_cv_.wait(lk, all_resolved);
 }
 
 std::size_t
@@ -239,45 +456,143 @@ ServingEngine::stats() const
     return stats_;
 }
 
-void
-ServingEngine::runGroup(const BatchGroup &group, std::vector<Pending> reqs)
+Error
+ServingEngine::cancelCause() const
 {
+    return abandon_.load(std::memory_order_acquire)
+               ? Error(ErrorCode::ShuttingDown,
+                       "invocation cancelled at the shutdown deadline")
+               : Error(ErrorCode::ModelFault,
+                       "watchdog cancelled a stuck model invocation");
+}
+
+void
+ServingEngine::failGroup(std::vector<Pending> &reqs, const Error &err)
+{
+    // Count the failures BEFORE the futures become ready (same
+    // publication order as the success path).
+    {
+        std::lock_guard<std::mutex> guard(mu_);
+        stats_.failed += reqs.size();
+        if (err.code() == ErrorCode::ModelFault)
+            stats_.model_faults += reqs.size();
+    }
+    const std::exception_ptr ep = std::make_exception_ptr(err);
+    for (Pending &p : reqs)
+        p.promise.set_exception(ep);
+}
+
+Tensor
+ServingEngine::invokeModel(const std::vector<int> &tokens,
+                           std::size_t bsz, std::size_t seq,
+                           const std::vector<std::size_t> &lens,
+                           bool stall, const std::string *injected_fault)
+{
+    // The model is single-user (layer caches); the dispatcher, inline
+    // serveAll() callers and isolation retries serialise here.
+    std::lock_guard<std::mutex> model_lock(model_mu_);
+    runtime::CancelToken cancel;
+    WatchdogArm arm(*this, cancel);
+    runtime::CancelScope scope(cancel);
+    // A shutdown deadline that passed while we waited for the model
+    // mutex cancels this invocation before any work is done.
+    if (abandon_.load(std::memory_order_acquire))
+        cancel.cancel();
+    if (stall) {
+        // Injected stall: spin until the watchdog (or a shutdown
+        // deadline) cancels us; the safety bound turns a missing
+        // watchdog into a loud ModelFault instead of a hung test.
+        const auto start = RequestBatcher::Clock::now();
+        for (;;) {
+            if (cancel.cancelled())
+                throw runtime::Cancelled{};
+            if (RequestBatcher::Clock::now() - start >
+                std::chrono::seconds(10))
+                throw Error(ErrorCode::ModelFault,
+                            "injected stall hit its 10s safety bound "
+                            "(no watchdog cancelled it)");
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    }
+    if (injected_fault)
+        throw Error(ErrorCode::ModelFault, *injected_fault);
+    return model_.forwardBatch(tokens, bsz, seq, lens);
+}
+
+void
+ServingEngine::runGroup(const BatchGroup &group, ClaimedGroup claimed)
+{
+    std::vector<Pending> &reqs = claimed.reqs;
     const std::size_t bsz = reqs.size();
     const std::size_t seq = group.padded_len;
+    const FaultPlan *plan = cfg_.fault_plan;
+
+    if (plan) {
+        const std::chrono::microseconds d =
+            plan->batchDelay(claimed.dispatch_index);
+        if (d.count() > 0)
+            std::this_thread::sleep_for(d);
+    }
+
     std::vector<int> tokens(bsz * seq, cfg_.pad_token);
     std::vector<std::size_t> lens(bsz);
+    std::string injected;
     for (std::size_t i = 0; i < bsz; ++i) {
         lens[i] = reqs[i].tokens.size();
         std::copy(reqs[i].tokens.begin(), reqs[i].tokens.end(),
                   tokens.begin() + i * seq);
+        if (plan && injected.empty() &&
+            plan->requestFault(reqs[i].admission_index,
+                               FaultPlan::Stage::Model))
+            injected = "injected model fault (request #" +
+                       std::to_string(reqs[i].admission_index) + ")";
     }
+
     // Build every result before fulfilling any promise, so the catch
-    // below never touches an already-satisfied promise (set_exception
+    // paths never touch an already-satisfied promise (set_exception
     // on one throws future_error out of the dispatcher).
     std::vector<std::vector<float>> outs;
     try {
-        // The model is single-user (layer caches); the dispatcher and
-        // inline serveAll() callers serialise here.
-        std::lock_guard<std::mutex> model_lock(model_mu_);
-        const Tensor logits = model_.forwardBatch(tokens, bsz, seq, lens);
+        const Tensor logits =
+            invokeModel(tokens, bsz, seq, lens,
+                        plan && plan->batchStalls(claimed.dispatch_index),
+                        injected.empty() ? nullptr : &injected);
         const std::size_t classes = logits.dim(1);
         outs.reserve(bsz);
         for (std::size_t i = 0; i < bsz; ++i) {
             const float *row = logits.data() + i * classes;
             outs.emplace_back(row, row + classes);
         }
-    } catch (...) {
-        // A bad request (e.g. token id outside the vocab) fails its
-        // whole batch; surface the error on every affected future
-        // instead of killing the dispatcher. As above, count the
-        // failures before the futures become ready.
-        {
-            std::lock_guard<std::mutex> guard(mu_);
-            stats_.failed += bsz;
-        }
-        for (std::size_t i = 0; i < bsz; ++i)
-            reqs[i].promise.set_exception(std::current_exception());
+    } catch (const runtime::Cancelled &) {
+        // Watchdog / shutdown-deadline cancellation fails the whole
+        // group: the invocation never finished, so there is no row to
+        // salvage, and re-running a stuck batch would stick again.
+        failGroup(reqs, cancelCause());
         return;
+    } catch (...) {
+        if (bsz == 1) {
+            // Already a 1-row batch: the fault belongs to this row.
+            failGroup(reqs, modelFaultFrom(std::current_exception()));
+            return;
+        }
+        // Per-request fault isolation: one bounded per-row pass so the
+        // poisoned row(s) alone fail and the survivors still get their
+        // (bitwise-identical) logits.
+        isolateRows(std::move(reqs));
+        return;
+    }
+
+    // Mid-batch deadline check: results computed past a request's
+    // deadline are discarded - a fulfilled future therefore always
+    // resolved within its deadline.
+    const auto done = RequestBatcher::Clock::now();
+    std::vector<char> expired(bsz, 0);
+    std::size_t n_expired = 0;
+    for (std::size_t i = 0; i < bsz; ++i) {
+        if (reqs[i].deadline != kNoDeadline && reqs[i].deadline <= done) {
+            expired[i] = 1;
+            ++n_expired;
+        }
     }
     // Publish the batch's outcome counters BEFORE fulfilling any
     // promise: a client thread that wakes from future.get() and
@@ -285,7 +600,9 @@ ServingEngine::runGroup(const BatchGroup &group, std::vector<Pending> reqs)
     // (tests/serving_test.cpp relies on it).
     {
         std::lock_guard<std::mutex> guard(mu_);
-        stats_.completed += bsz;
+        stats_.completed += bsz - n_expired;
+        stats_.failed += n_expired;
+        stats_.expired_mid_batch += n_expired;
         std::size_t real = 0, max_len = 0;
         for (const Pending &p : reqs) {
             real += p.tokens.size();
@@ -299,8 +616,85 @@ ServingEngine::runGroup(const BatchGroup &group, std::vector<Pending> reqs)
         if (model_.raggedBatch() && model_.supportsMaskedBatch())
             stats_.rows_skipped += bsz * seq - real;
     }
-    for (std::size_t i = 0; i < bsz; ++i)
-        reqs[i].promise.set_value(std::move(outs[i]));
+    for (std::size_t i = 0; i < bsz; ++i) {
+        if (expired[i])
+            reqs[i].promise.set_exception(std::make_exception_ptr(Error(
+                ErrorCode::DeadlineExceeded,
+                "deadline passed while the batch was executing")));
+        else
+            reqs[i].promise.set_value(std::move(outs[i]));
+    }
+}
+
+void
+ServingEngine::isolateRows(std::vector<Pending> reqs)
+{
+    {
+        std::lock_guard<std::mutex> guard(mu_);
+        ++stats_.isolation_retries;
+    }
+    const FaultPlan *plan = cfg_.fault_plan;
+    for (Pending &p : reqs) {
+        const auto now = RequestBatcher::Clock::now();
+        if (p.deadline != kNoDeadline && p.deadline <= now) {
+            {
+                std::lock_guard<std::mutex> guard(mu_);
+                ++stats_.failed;
+                ++stats_.expired_mid_batch;
+            }
+            p.promise.set_exception(std::make_exception_ptr(Error(
+                ErrorCode::DeadlineExceeded,
+                "deadline passed during fault isolation")));
+            continue;
+        }
+        std::string injected;
+        // Model faults are sticky (serve/fault.h): an injected fault
+        // fires in the isolation pass too, so the poisoned row fails
+        // here instead of silently succeeding on retry.
+        if (plan && plan->requestFault(p.admission_index,
+                                       FaultPlan::Stage::Model))
+            injected = "injected model fault (request #" +
+                       std::to_string(p.admission_index) + ")";
+        const std::size_t len = p.tokens.size();
+        try {
+            // A 1-row batch at the row's own length: bitwise equal to
+            // the row's batched result by the engine's determinism
+            // guarantee, so survivors of a poisoned batch see logits
+            // identical to a fault-free run.
+            const Tensor logits = invokeModel(
+                p.tokens, 1, len, {len}, false,
+                injected.empty() ? nullptr : &injected);
+            const std::size_t classes = logits.dim(1);
+            std::vector<float> out(logits.data(),
+                                   logits.data() + classes);
+            {
+                std::lock_guard<std::mutex> guard(mu_);
+                ++stats_.completed;
+                stats_.real_tokens += len;
+                stats_.padded_tokens += len;
+                stats_.tight_tokens += len;
+            }
+            p.promise.set_value(std::move(out));
+        } catch (const runtime::Cancelled &) {
+            const Error err = cancelCause();
+            {
+                std::lock_guard<std::mutex> guard(mu_);
+                ++stats_.failed;
+                if (err.code() == ErrorCode::ModelFault)
+                    ++stats_.model_faults;
+            }
+            p.promise.set_exception(std::make_exception_ptr(err));
+        } catch (...) {
+            const Error err = modelFaultFrom(std::current_exception());
+            {
+                std::lock_guard<std::mutex> guard(mu_);
+                ++stats_.failed;
+                if (err.code() == ErrorCode::ModelFault)
+                    ++stats_.model_faults;
+            }
+            p.promise.set_exception(std::make_exception_ptr(err));
+        }
+    }
 }
 
 void
@@ -313,7 +707,7 @@ ServingEngine::dispatchLoop()
         // pre-watermark requests; post-watermark traffic keeps normal
         // full/timeout batching (and cannot starve the flusher, since
         // its buckets no longer compete for the drain).
-        if (stop_)
+        if (stop_ || draining_)
             group = batcher_.drain();
         else if (inline_active_ > 0 && flush_waiters_ == 0) {
             // Inline serveAll() servers own the queue: parking here
@@ -338,37 +732,63 @@ ServingEngine::dispatchLoop()
             continue;
         }
 
-        std::vector<Pending> reqs = claimGroupLocked(*group);
+        ClaimedGroup claimed = claimGroupLocked(*group);
+        if (claimed.reqs.empty()) {
+            // Every member expired at claim: no model invocation.
+            finishGroupLocked(*group);
+            continue;
+        }
         lk.unlock(); // serve outside the lock so submit() never blocks
-        runGroup(*group, std::move(reqs)); // counts completed/failed
+        runGroup(*group, std::move(claimed)); // counts completed/failed
         lk.lock();
         finishGroupLocked(*group);
     }
 }
 
-std::vector<ServingEngine::Pending>
+ServingEngine::ClaimedGroup
 ServingEngine::claimGroupLocked(const BatchGroup &group)
 {
-    std::vector<Pending> reqs;
-    reqs.reserve(group.ids.size());
+    ClaimedGroup claimed;
+    claimed.reqs.reserve(group.ids.size());
+    const auto now = RequestBatcher::Clock::now();
     for (std::uint64_t id : group.ids) {
         auto it = pending_.find(id);
-        reqs.push_back(std::move(it->second));
+        Pending p = std::move(it->second);
         pending_.erase(it);
+        queued_tokens_ -= p.tokens.size();
+        if (p.deadline != kNoDeadline && p.deadline <= now) {
+            // Expired while queued: fail BEFORE any model time is
+            // spent. Counted under mu_ (held) before the future is
+            // readied; outstanding_ is erased in finishGroupLocked.
+            ++stats_.failed;
+            ++stats_.expired_in_queue;
+            p.promise.set_exception(std::make_exception_ptr(Error(
+                ErrorCode::DeadlineExceeded,
+                "deadline expired in queue (request never reached the "
+                "model)")));
+            continue;
+        }
+        claimed.reqs.push_back(std::move(p));
     }
-    ++stats_.batches;
-    switch (group.reason) {
-      case FlushReason::Full:
-        ++stats_.flushed_full;
-        break;
-      case FlushReason::Timeout:
-        ++stats_.flushed_timeout;
-        break;
-      case FlushReason::Drain:
-        ++stats_.flushed_drain;
-        break;
+    if (!claimed.reqs.empty()) {
+        // Dispatch indices number actual model invocations, in claim
+        // order - the FaultPlan's batch key. All-expired groups never
+        // reach the model and are not counted as batches.
+        claimed.dispatch_index = dispatch_seq_++;
+        ++stats_.batches;
+        switch (group.reason) {
+          case FlushReason::Full:
+            ++stats_.flushed_full;
+            break;
+          case FlushReason::Timeout:
+            ++stats_.flushed_timeout;
+            break;
+          case FlushReason::Drain:
+            ++stats_.flushed_drain;
+            break;
+        }
     }
-    return reqs;
+    return claimed;
 }
 
 void
@@ -377,6 +797,36 @@ ServingEngine::finishGroupLocked(const BatchGroup &group)
     for (std::uint64_t id : group.ids)
         outstanding_.erase(id);
     idle_cv_.notify_all(); // flush()/serveAll() waiters re-check
+}
+
+void
+ServingEngine::watchdogLoop()
+{
+    std::unique_lock<std::mutex> wl(wd_mu_);
+    for (;;) {
+        if (wd_stop_)
+            return;
+        if (!wd_token_ || wd_fired_) {
+            wd_cv_.wait(wl);
+            continue;
+        }
+        const auto fire_at = wd_started_ + cfg_.watchdog_timeout;
+        if (RequestBatcher::Clock::now() >= fire_at) {
+            // The token lives on the invoking thread's stack, but
+            // deregistration takes wd_mu_, so it cannot die while we
+            // hold the lock.
+            wd_token_->cancel();
+            wd_fired_ = true;
+            wl.unlock();
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                ++stats_.watchdog_fired;
+            }
+            wl.lock();
+            continue;
+        }
+        wd_cv_.wait_until(wl, fire_at);
+    }
 }
 
 } // namespace serve

@@ -16,6 +16,23 @@
  * (ServingStats::rows_skipped counts them; logits unchanged bit for
  * bit - docs/ARCHITECTURE.md "Ragged batch execution").
  *
+ * ## Failure model (docs/SERVING.md "Failure model")
+ * Every failure is a typed serve::Error (serve/error.h): admission
+ * problems throw synchronously, later failures arrive through the
+ * future. Requests may carry a Deadline; expired requests are failed
+ * BEFORE they reach the model (at admission or when their group is
+ * claimed) and results computed past a deadline are discarded with
+ * DeadlineExceeded. Admission is bounded (queue depth and token caps)
+ * with a configurable shed policy; a model fault poisons only its own
+ * row - the group takes one bounded per-row isolation pass and the
+ * surviving rows are re-served bitwise identically (the engine's
+ * per-row determinism guarantee makes a 1-row re-run exact). A
+ * watchdog cancels stuck model invocations (cooperative cancellation
+ * between parallelFor grain chunks and encoder blocks), and
+ * shutdown(Deadline) drains in-flight work then fails the remainder
+ * with ShuttingDown. serve/fault.h injects every one of these paths
+ * deterministically (`ctest -L fault`).
+ *
  * ## Threading model
  * A dispatcher thread serves submit() traffic, and serveAll() callers
  * run their own drain groups inline (inline bulk dispatch - no
@@ -33,7 +50,9 @@
  * count and under any batch composition: padded keys are masked out of
  * attention, padded rows out of the pooled head, and every kernel is
  * per-row order-preserving (see model/classifier.h::forwardBatch and
- * tests/serving_test.cpp).
+ * tests/serving_test.cpp). Fault isolation preserves this: rows
+ * re-served by the isolation pass run as 1-row batches, which the same
+ * guarantee makes bitwise equal to their batched result.
  *
  * ## Workspace lifecycle
  * Long-lived serving threads would otherwise retain peak-size kernel
@@ -45,6 +64,7 @@
 #ifndef FABNET_SERVE_SERVING_H
 #define FABNET_SERVE_SERVING_H
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -56,12 +76,47 @@
 #include <vector>
 
 #include "model/classifier.h"
+#include "runtime/parallel.h"
 #include "serve/batcher.h"
+#include "serve/error.h"
+#include "serve/fault.h"
 
 namespace fabnet {
 namespace serve {
 
-/** Batching/flush policy knobs. */
+/**
+ * Absolute per-request deadline on the batcher's steady clock.
+ * kNoDeadline (the default everywhere) disables deadline handling for
+ * that request entirely.
+ */
+using Deadline = RequestBatcher::Clock::time_point;
+
+/** "No deadline": requests carrying this value never expire. */
+inline constexpr Deadline kNoDeadline = Deadline::max();
+
+/** Deadline @p d from now (submit(tokens, deadlineAfter(50ms))). */
+template <class Rep, class Period>
+inline Deadline
+deadlineAfter(std::chrono::duration<Rep, Period> d)
+{
+    return RequestBatcher::Clock::now() +
+           std::chrono::duration_cast<RequestBatcher::Clock::duration>(d);
+}
+
+/** What bounded admission does when the queue caps are hit. */
+enum class ShedPolicy {
+    /** Reject the NEW request with Error{QueueFull}. Queued requests
+     *  are never touched - strict FIFO fairness. */
+    RejectNew,
+    /** First shed queued requests whose deadline has already expired
+     *  (they are failed with Error{DeadlineExceeded} - they could
+     *  never be served in time anyway), then admit if that made room,
+     *  else reject with Error{QueueFull}. Under overload this spends
+     *  the queue on requests that can still meet their deadline. */
+    DropExpiredFirst,
+};
+
+/** Batching/flush/robustness policy knobs. */
 struct ServingConfig
 {
     /** Flush a bucket as soon as it holds this many requests. */
@@ -87,15 +142,51 @@ struct ServingConfig
      * per-request determinism guarantee.
      */
     bool allow_unmasked_mixers = false;
+
+    // ------------------------------------------- bounded admission
+    /**
+     * Maximum queued (admitted, not yet claimed) requests submit()
+     * will accept; 0 = unbounded. Over the cap the shed policy runs,
+     * then Error{QueueFull} is thrown. serveAll() is exempt: it is
+     * synchronous and self-draining, so the caller IS the
+     * backpressure.
+     */
+    std::size_t max_queue_requests = 0;
+    /**
+     * Cap on the total queued request tokens (the byte-proportional
+     * bound: admitting a request that would push the queued token sum
+     * over this cap triggers the shed policy / QueueFull). 0 =
+     * unbounded. Must exceed max_seq to be satisfiable.
+     */
+    std::size_t max_queue_tokens = 0;
+    /** What to do when a cap is hit. */
+    ShedPolicy shed_policy = ShedPolicy::RejectNew;
+
+    // ------------------------------------------------- reliability
+    /**
+     * Watchdog: a model invocation still running after this long is
+     * cancelled (cooperatively, between parallelFor grain chunks /
+     * encoder blocks) and its group failed with Error{ModelFault}
+     * instead of hanging every affected future. 0 disables the
+     * watchdog (no extra thread is started). The timeout must
+     * comfortably exceed the worst honest batch latency.
+     */
+    std::chrono::microseconds watchdog_timeout{0};
+    /**
+     * Deterministic fault-injection schedule (tests only; see
+     * serve/fault.h). Non-owning - must outlive the engine. Null in
+     * production: every hook is then a branch on a null pointer.
+     */
+    const FaultPlan *fault_plan = nullptr;
 };
 
-/** Counters for observing the batching behaviour. */
+/** Counters for observing the batching + shedding behaviour. */
 struct ServingStats
 {
-    std::size_t requests = 0;        ///< accepted by submit()
+    std::size_t requests = 0;        ///< admitted by submit()/serveAll()
     std::size_t completed = 0;       ///< futures fulfilled with logits
-    std::size_t failed = 0;          ///< futures failed with an exception
-    std::size_t batches = 0;         ///< model invocations
+    std::size_t failed = 0;          ///< futures failed with an error
+    std::size_t batches = 0;         ///< groups dispatched to the model
     std::size_t flushed_full = 0;    ///< batches from a full bucket
     std::size_t flushed_timeout = 0; ///< batches from max_wait expiry
     std::size_t flushed_drain = 0;   ///< batches from flush()/shutdown
@@ -111,6 +202,30 @@ struct ServingStats
      *  real positions of batches served down the ragged path; 0 when
      *  the model is not maskable or ragged execution is disabled). */
     std::size_t rows_skipped = 0;
+
+    // ------------------------------------ backpressure / reliability
+    /** submit() attempts rejected with Error{QueueFull} (these never
+     *  count in `requests`). */
+    std::size_t rejected = 0;
+    /** Queued requests evicted by ShedPolicy::DropExpiredFirst to
+     *  make room (failed with DeadlineExceeded; subset of `failed`,
+     *  disjoint from expired_in_queue). */
+    std::size_t shed = 0;
+    /** Requests failed with DeadlineExceeded BEFORE any model time
+     *  was spent on them: already expired at submit, or expired by
+     *  the time their group was claimed. */
+    std::size_t expired_in_queue = 0;
+    /** Requests whose deadline passed while their batch was executing
+     *  (the computed logits are discarded). */
+    std::size_t expired_mid_batch = 0;
+    /** Rows failed with Error{ModelFault} (poisoned rows, watchdog-
+     *  cancelled invocations). */
+    std::size_t model_faults = 0;
+    /** Groups whose first invocation failed and took the bounded
+     *  per-row isolation pass (each row re-run exactly once). */
+    std::size_t isolation_retries = 0;
+    /** Times the watchdog cancelled a stuck model invocation. */
+    std::size_t watchdog_fired = 0;
 
     /** Mean requests per model invocation (failed batches included). */
     double avgBatch() const
@@ -153,11 +268,21 @@ class ServingEngine
 
     /**
      * Enqueue one sequence; the future resolves to its logits (length
-     * = model classes, padding already stripped). Throws
-     * std::invalid_argument for empty or over-long sequences and
-     * std::runtime_error after shutdown began.
+     * = model classes, padding already stripped) or fails with a
+     * serve::Error. Admission-time conditions throw synchronously:
+     * Error{InvalidRequest} for empty/over-long sequences,
+     * Error{QueueFull} when bounded admission rejects (after the shed
+     * policy ran), Error{DeadlineExceeded} when @p deadline already
+     * passed, Error{ShuttingDown} once shutdown began. Later failures
+     * (DeadlineExceeded in queue or mid-batch, ModelFault,
+     * ShuttingDown at a shutdown deadline) arrive through the future.
      */
-    std::future<std::vector<float>> submit(std::vector<int> tokens);
+    std::future<std::vector<float>> submit(std::vector<int> tokens,
+                                           Deadline deadline);
+    std::future<std::vector<float>> submit(std::vector<int> tokens)
+    {
+        return submit(std::move(tokens), kNoDeadline);
+    }
 
     /**
      * Serve a whole request set synchronously through the batching
@@ -173,16 +298,47 @@ class ServingEngine
      * concurrently-awake dispatcher claims first is simply waited
      * for; logits are identical either way. Safe from multiple
      * threads: model invocations are serialised internally.
+     *
+     * Admission is ALL-OR-NOTHING: the whole set is validated before
+     * anything is enqueued, so a malformed request throws
+     * Error{InvalidRequest} (naming the offending index) with no
+     * partial set left behind; if an enqueue still fails mid-set
+     * (e.g. an injected admission fault) the already-admitted prefix
+     * is unwound and failed rather than drained silently. serveAll is
+     * exempt from the admission caps (synchronous callers are their
+     * own backpressure) and its requests carry no deadline. If any
+     * request of the set fails (e.g. ModelFault on its row), the
+     * first failure in request order is rethrown here.
      */
     std::vector<std::vector<float>>
     serveAll(const std::vector<std::vector<int>> &requests);
 
     /**
      * Block until every request submitted before this call has been
-     * served (fulfilled or failed). Requests submitted concurrently by
-     * other threads may or may not be included.
+     * resolved (fulfilled or failed). Requests submitted concurrently
+     * by other threads may or may not be included. A flush() in
+     * flight when shutdown() begins has a defined result: shutdown's
+     * drain resolves every outstanding future (served, or failed with
+     * ShuttingDown at a shutdown deadline), so the flush returns
+     * normally once its watermark is resolved - it is never left
+     * blocked and never observes an unresolved future afterwards.
      */
     void flush();
+
+    /**
+     * Graceful drain: stop admitting (submit()/serveAll() throw
+     * Error{ShuttingDown} from now on), serve everything already
+     * admitted, and return once every outstanding future is resolved.
+     * If @p deadline passes first, the remaining QUEUED requests are
+     * failed with Error{ShuttingDown}, the in-flight model invocation
+     * (if any) is cooperatively cancelled (its rows fail with
+     * ShuttingDown), and shutdown returns once everything is
+     * resolved. Idempotent and safe from multiple threads; the
+     * destructor calls shutdown() (full drain) if it has not been
+     * called. After shutdown the engine stays queryable (stats(),
+     * bucketLen()) until destruction.
+     */
+    void shutdown(Deadline deadline = kNoDeadline);
 
     /** Padded length a request of @p len tokens would be served at. */
     std::size_t bucketLen(std::size_t len) const;
@@ -193,26 +349,76 @@ class ServingEngine
     struct Pending
     {
         std::vector<int> tokens;
+        Deadline deadline = kNoDeadline;
+        /** Admission-order index (FaultPlan keying; serve/fault.h). */
+        std::uint64_t admission_index = 0;
         std::promise<std::vector<float>> promise;
     };
 
-    void dispatchLoop();
-    /**
-     * Serve one assembled group: counts completed/failed (and token
-     * stats) under the lock BEFORE fulfilling the futures, so stats()
-     * read after a future resolves always includes the batch. The
-     * model invocation itself is serialised on model_mu_ (the layer
-     * caches make the model single-user), so the dispatcher and
-     * inline serveAll() callers can both run groups.
-     */
-    void runGroup(const BatchGroup &group, std::vector<Pending> reqs);
+    /** A claimed group's unexpired members + its dispatch index. */
+    struct ClaimedGroup
+    {
+        std::vector<Pending> reqs;
+        std::size_t dispatch_index = 0;
+    };
 
-    /** Enqueue one request (mu_ held); returns its logits future. */
-    std::future<std::vector<float>> enqueueLocked(std::vector<int> tokens);
-    /** Take a group's pending requests + count the batch (mu_ held). */
-    std::vector<Pending> claimGroupLocked(const BatchGroup &group);
+    /** Registers the in-flight invocation with the watchdog (RAII). */
+    struct WatchdogArm;
+
+    void dispatchLoop();
+    void watchdogLoop();
+
+    /**
+     * Serve one claimed group: counts completed/failed (and token
+     * stats) under the lock BEFORE fulfilling the futures, so stats()
+     * read after a future resolves always includes the batch. On a
+     * model fault the group takes one per-row isolation pass; on
+     * cancellation (watchdog / shutdown deadline) it fails whole.
+     */
+    void runGroup(const BatchGroup &group, ClaimedGroup claimed);
+
+    /**
+     * One model invocation under the model mutex, armed with the
+     * watchdog + cancellation scope and the fault-injection hooks
+     * (stall, injected row fault). Throws runtime::Cancelled when the
+     * watchdog or a shutdown deadline fires mid-invocation.
+     */
+    Tensor invokeModel(const std::vector<int> &tokens, std::size_t bsz,
+                       std::size_t seq,
+                       const std::vector<std::size_t> &lens, bool stall,
+                       const std::string *injected_fault);
+
+    /** Bounded per-row retry after a group's invocation failed: each
+     *  surviving row is re-run exactly once as a 1-row batch (bitwise
+     *  equal to its batched result by the engine's determinism
+     *  guarantee); the poisoned rows alone fail with ModelFault. */
+    void isolateRows(std::vector<Pending> reqs);
+
+    /** The Error a cancelled invocation maps to (ShuttingDown when a
+     *  shutdown deadline triggered the cancel, else watchdog
+     *  ModelFault). */
+    Error cancelCause() const;
+
+    /** Fail every member of @p reqs with @p err (stats under mu_
+     *  first, then the futures). */
+    void failGroup(std::vector<Pending> &reqs, const Error &err);
+
+    /** Enqueue one request (mu_ held); returns its logits future.
+     *  @p enforce_bounds applies the admission caps (submit path). */
+    std::future<std::vector<float>>
+    enqueueLocked(std::vector<int> tokens, Deadline deadline,
+                  bool enforce_bounds);
+    /** DropExpiredFirst shed pass (mu_ held): fail + evict expired
+     *  queued requests. */
+    void shedExpiredLocked(RequestBatcher::Clock::time_point now);
+    /** Take a group's pending requests, failing expired members, and
+     *  count the batch (mu_ held). */
+    ClaimedGroup claimGroupLocked(const BatchGroup &group);
     /** Post-runGroup bookkeeping: outstanding_ and waiters (mu_ held). */
     void finishGroupLocked(const BatchGroup &group);
+    /** Fail every still-queued request with ShuttingDown (mu_ held;
+     *  the shutdown-deadline abandon path). */
+    void failQueuedLocked();
 
     SequenceClassifier &model_;
     std::mutex model_mu_; ///< serialises forwardBatch invocations
@@ -221,12 +427,16 @@ class ServingEngine
 
     mutable std::mutex mu_;
     std::condition_variable work_cv_; ///< wakes the dispatcher
-    std::condition_variable idle_cv_; ///< wakes flush() waiters
+    std::condition_variable idle_cv_; ///< wakes flush()/shutdown waiters
     RequestBatcher batcher_;
     std::unordered_map<std::uint64_t, Pending> pending_;
     std::set<std::uint64_t> outstanding_; ///< submitted, not yet served
     std::uint64_t next_id_ = 0;
-    bool stop_ = false;
+    std::uint64_t submit_seq_ = 0;  ///< admission attempts (FaultPlan)
+    std::size_t dispatch_seq_ = 0;  ///< model batches dispatched
+    std::size_t queued_tokens_ = 0; ///< tokens admitted, not claimed
+    bool stop_ = false;             ///< destructor: dispatcher exits
+    bool draining_ = false;         ///< shutdown(): no new admissions
     /**
      * Number of serveAll() calls currently draining inline. While
      * positive (and no flush() is waiting) the dispatcher parks
@@ -239,6 +449,22 @@ class ServingEngine
     std::uint64_t flush_watermark_ = 0; ///< max watermark of waiters
     ServingStats stats_;
 
+    /** Set once a shutdown deadline passed: a Cancelled invocation is
+     *  then attributed to ShuttingDown, not the watchdog. */
+    std::atomic<bool> abandon_{false};
+
+    // Watchdog state (wd_mu_ - kept off the request path's mu_).
+    // Lock order: model_mu_ -> wd_mu_ (arming), and wd_mu_ is never
+    // held while taking mu_ or model_mu_ except in shutdown(), whose
+    // mu_ -> wd_mu_ order is safe because no path takes wd_mu_ -> mu_.
+    std::mutex wd_mu_;
+    std::condition_variable wd_cv_;
+    runtime::CancelToken *wd_token_ = nullptr; ///< in-flight invocation
+    RequestBatcher::Clock::time_point wd_started_{};
+    bool wd_fired_ = false; ///< fired for the current invocation
+    bool wd_stop_ = false;
+
+    std::thread watchdog_;   ///< only started when watchdog_timeout > 0
     std::thread dispatcher_; ///< last member: starts fully-initialised
 };
 

@@ -42,6 +42,49 @@ TEST(BatcherProperty, MaxBatchOneFlushesEveryPushAsItsOwnGroup)
     EXPECT_TRUE(b.empty());
 }
 
+TEST(BatcherProperty, RemoveIfEvictsAcrossBucketsPreservingSurvivors)
+{
+    RequestBatcher b(8, 16, 64);
+    const auto t0 = Clock::now();
+    // Two buckets: len 10 -> bucket 16 (ids 0..5), len 20 -> bucket 32
+    // (ids 6..9), pushed in FIFO order within each.
+    for (std::uint64_t id = 0; id < 6; ++id)
+        b.push(id, 10, t0 + std::chrono::microseconds(id));
+    for (std::uint64_t id = 6; id < 10; ++id)
+        b.push(id, 20, t0 + std::chrono::microseconds(id));
+
+    // A predicate matching nothing is a no-op.
+    EXPECT_TRUE(b.removeIf([](std::uint64_t) { return false; }).empty());
+    EXPECT_EQ(b.size(), 10u);
+
+    // Evict the even ids: removed ids come back in ascending
+    // padded-length, FIFO order; survivors keep their order.
+    const auto removed =
+        b.removeIf([](std::uint64_t id) { return id % 2 == 0; });
+    EXPECT_EQ(removed, (std::vector<std::uint64_t>{0, 2, 4, 6, 8}));
+    EXPECT_EQ(b.size(), 5u);
+
+    // Smallest padded length drains first; FIFO within the bucket.
+    auto g1 = b.drain();
+    ASSERT_TRUE(g1.has_value());
+    EXPECT_EQ(g1->padded_len, 16u);
+    EXPECT_EQ(g1->ids, (std::vector<std::uint64_t>{1, 3, 5}));
+    auto g2 = b.drain();
+    ASSERT_TRUE(g2.has_value());
+    EXPECT_EQ(g2->padded_len, 32u);
+    EXPECT_EQ(g2->ids, (std::vector<std::uint64_t>{7, 9}));
+    EXPECT_TRUE(b.empty());
+
+    // Evicting an entire bucket leaves the structure consistent
+    // (oldestEnqueue reflects only survivors).
+    b.push(20, 10, t0 + std::chrono::microseconds(1));
+    b.push(21, 20, t0 + std::chrono::microseconds(2));
+    (void)b.removeIf([](std::uint64_t id) { return id == 20; });
+    ASSERT_TRUE(b.oldestEnqueue().has_value());
+    EXPECT_EQ(*b.oldestEnqueue(), t0 + std::chrono::microseconds(2));
+    EXPECT_EQ(b.size(), 1u);
+}
+
 TEST(BatcherProperty, DrainOnEmptyQueueIsANoOp)
 {
     RequestBatcher b(4, 16, 64);
@@ -176,12 +219,39 @@ TEST(BatcherProperty, RandomizedPushPopInvariants)
                 pushed.insert(next_id);
                 ++next_id;
                 ++in_queue;
-            } else if (action < 85) {
+            } else if (action < 80) {
                 // Far-future "now": anything queued is flushable.
                 auto g = b.popReady(t0 + std::chrono::seconds(60),
                                     std::chrono::milliseconds(1));
                 if (g)
                     check_group(*g);
+            } else if (action < 90) {
+                // Shed-policy hook: evict a random residue class and
+                // check the removed set and its documented order
+                // (ascending padded length, FIFO within) against the
+                // model; removed ids count as resolved, like popped.
+                const std::uint64_t mod = static_cast<std::uint64_t>(
+                    rng.randint(2, 5));
+                const std::uint64_t rem = static_cast<std::uint64_t>(
+                    rng.randint(0, static_cast<int>(mod) - 1));
+                auto match = [&](std::uint64_t id) {
+                    return id % mod == rem;
+                };
+                std::vector<std::uint64_t> expect;
+                for (auto &kv : fifo) {
+                    auto &q = kv.second;
+                    std::copy_if(q.begin(), q.end(),
+                                 std::back_inserter(expect), match);
+                    q.erase(std::remove_if(q.begin(), q.end(), match),
+                            q.end());
+                }
+                const auto removed = b.removeIf(match);
+                EXPECT_EQ(removed, expect);
+                for (const auto id : removed) {
+                    EXPECT_TRUE(popped.insert(id).second)
+                        << "id removed twice";
+                    --in_queue;
+                }
             } else {
                 auto g = b.drain();
                 if (g)

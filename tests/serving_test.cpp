@@ -405,16 +405,32 @@ TEST_F(ServingTest, InvalidRequestsRejectedOrFailTheirFuture)
     auto model = buildModel(cfg, rng);
     ServingEngine engine(*model, ServingConfig{});
 
-    EXPECT_THROW(engine.submit({}), std::invalid_argument);
-    EXPECT_THROW(
-        engine.submit(std::vector<int>(cfg.max_seq + 1, 1)),
-        std::invalid_argument);
+    // Admission failures are typed (serve::Error derives
+    // std::runtime_error, so legacy catch sites still work).
+    try {
+        engine.submit({});
+        FAIL() << "empty request admitted";
+    } catch (const serve::Error &e) {
+        EXPECT_EQ(e.code(), serve::ErrorCode::InvalidRequest);
+    }
+    try {
+        engine.submit(std::vector<int>(cfg.max_seq + 1, 1));
+        FAIL() << "over-long request admitted";
+    } catch (const serve::Error &e) {
+        EXPECT_EQ(e.code(), serve::ErrorCode::InvalidRequest);
+    }
 
     // An out-of-vocab token is only detectable inside the model; it
-    // must fail the future, not kill the dispatcher.
+    // must fail the future (as a typed ModelFault keeping the model's
+    // message), not kill the dispatcher.
     auto bad = engine.submit({1, 2, static_cast<int>(cfg.vocab) + 5});
     engine.flush();
-    EXPECT_THROW(bad.get(), std::out_of_range);
+    try {
+        bad.get();
+        FAIL() << "out-of-vocab request served";
+    } catch (const serve::Error &e) {
+        EXPECT_EQ(e.code(), serve::ErrorCode::ModelFault);
+    }
 
     auto good = engine.submit({1, 2, 3});
     engine.flush();
@@ -424,6 +440,7 @@ TEST_F(ServingTest, InvalidRequestsRejectedOrFailTheirFuture)
     EXPECT_EQ(st.failed, 1u);
     EXPECT_EQ(st.completed, 1u);
     EXPECT_EQ(st.requests, 2u);
+    EXPECT_EQ(st.model_faults, 1u);
 }
 
 TEST_F(ServingTest, RejectsFourierModelsUnlessOptedIn)
