@@ -52,7 +52,10 @@
 
 #include "bench_util.h"
 #include "model/builder.h"
+#include "model/generator.h"
+#include "nn/embedding.h"
 #include "runtime/parallel.h"
+#include "serve/generation.h"
 #include "serve/serving.h"
 #include "tensor/rng.h"
 
@@ -460,6 +463,242 @@ runOverloadScenario(SequenceClassifier &model,
     return sec;
 }
 
+// ----------------------------------------------------- decode scenario
+// Streaming autoregressive generation under Poisson prompt arrivals:
+// the same arrival process served by two schedulers over the identical
+// causal model (greedy decode, so both emit the same tokens):
+//   - continuous: the GenerationEngine. Prompts join the live set at
+//     the next STEP boundary and finished sequences free their slot
+//     immediately, so the step batch stays full and a new arrival's
+//     first token is never gated on strangers finishing.
+//   - flush_per_batch: static batching (the pre-continuous strawman).
+//     Up to max_live arrived prompts are taken together and decoded to
+//     COMPLETION before the next group is admitted, so a prompt that
+//     arrives just after a flush waits out the whole previous batch.
+// Reported per config: sustained tokens/sec (first submit -> last
+// token) and the p50/p99 per-token latency, where a token's latency is
+// the gap since its sequence's previous event (submit for the first
+// token - TTFT - then token-to-token). The continuous win shows up in
+// the p99: under static batching the tail is one full batch drain.
+
+struct DecodeResult
+{
+    std::string name;
+    double seconds = 0.0;        ///< first submit -> last token
+    double tokens_per_sec = 0.0; ///< generated (decode) tokens only
+    double p50_token_ms = 0.0;
+    double p99_token_ms = 0.0;
+    std::size_t tokens = 0;
+    double avg_live = 0.0; ///< mean step batch (continuous only)
+};
+
+/** Per-sequence event clock + global gap sample for token latencies. */
+struct TokenTimer
+{
+    std::vector<Clock::time_point> last;
+    std::vector<double> gaps_ms;
+    std::mutex mu;
+    Clock::time_point t_end{};
+
+    explicit TokenTimer(std::size_t n) : last(n)
+    {
+        gaps_ms.reserve(n * 64);
+    }
+    void tick(std::size_t seq)
+    {
+        const auto now = Clock::now();
+        std::lock_guard<std::mutex> lk(mu);
+        gaps_ms.push_back(
+            1e3 * std::chrono::duration<double>(now - last[seq]).count());
+        last[seq] = now;
+        t_end = std::max(t_end, now);
+    }
+};
+
+/** Poisson arrival offsets (seconds from t0) at `rate_rps`. */
+std::vector<double>
+poissonArrivals(std::size_t n, double rate_rps)
+{
+    std::mt19937 gen(12345);
+    std::exponential_distribution<double> gap(rate_rps);
+    std::vector<double> at(n);
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        t += gap(gen);
+        at[i] = t;
+    }
+    return at;
+}
+
+DecodeResult
+runDecodeContinuous(CausalGenerator &gen,
+                    const std::vector<std::vector<int>> &prompts,
+                    const std::vector<double> &arrivals,
+                    std::size_t max_new, std::size_t max_live)
+{
+    serve::GenerationConfig gc;
+    gc.max_live = max_live;
+    serve::GenerationEngine engine(gen, gc);
+
+    TokenTimer timer(prompts.size());
+    std::vector<std::future<std::vector<int>>> futs;
+    futs.reserve(prompts.size());
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < prompts.size(); ++i) {
+        std::this_thread::sleep_until(
+            t0 + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(arrivals[i])));
+        timer.last[i] = Clock::now();
+        futs.push_back(engine.submit(
+            prompts[i], max_new, serve::kNoDeadline,
+            [&timer, i](int) { timer.tick(i); }));
+    }
+    std::size_t tokens = 0;
+    for (auto &f : futs)
+        tokens += f.get().size();
+
+    DecodeResult r;
+    r.name = "continuous";
+    r.seconds = std::chrono::duration<double>(timer.t_end - t0).count();
+    r.tokens = tokens;
+    r.tokens_per_sec =
+        r.seconds > 0.0 ? static_cast<double>(tokens) / r.seconds : 0.0;
+    r.p50_token_ms = percentile(timer.gaps_ms, 0.50);
+    r.p99_token_ms = percentile(std::move(timer.gaps_ms), 0.99);
+    r.avg_live = engine.stats().avgLive();
+    return r;
+}
+
+DecodeResult
+runDecodeStatic(CausalGenerator &gen,
+                const std::vector<std::vector<int>> &prompts,
+                const std::vector<double> &arrivals, std::size_t max_new,
+                std::size_t max_live)
+{
+    TokenTimer timer(prompts.size());
+    const auto t0 = Clock::now();
+    std::size_t tokens = 0, next = 0;
+    while (next < prompts.size()) {
+        // Park until the batch head has arrived, then take everything
+        // already arrived (up to max_live) - and nothing that arrives
+        // after this instant, however long the batch takes to drain.
+        std::this_thread::sleep_until(
+            t0 + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(arrivals[next])));
+        const auto now = Clock::now();
+        std::vector<std::size_t> batch;
+        while (next < prompts.size() && batch.size() < max_live &&
+               t0 + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(arrivals[next])) <=
+                   now)
+            batch.push_back(next++);
+
+        std::vector<std::vector<int>> batch_prompts;
+        std::vector<SequenceState> states(batch.size());
+        std::vector<SequenceState *> ptrs;
+        for (std::size_t k = 0; k < batch.size(); ++k) {
+            batch_prompts.push_back(prompts[batch[k]]);
+            states[k] = gen.newState();
+            ptrs.push_back(&states[k]);
+            // First-token latency counts from ARRIVAL (as the
+            // continuous runner's does from submit): time parked
+            // behind the previous batch's drain is the cost being
+            // measured, not hidden.
+            timer.last[batch[k]] =
+                t0 + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             arrivals[batch[k]]));
+        }
+        Tensor logits = gen.prefill(batch_prompts, ptrs);
+        std::vector<int> toks = nn::argmaxRows(logits);
+        for (std::size_t k = 0; k < batch.size(); ++k)
+            timer.tick(batch[k]);
+        tokens += batch.size();
+        for (std::size_t s = 1; s < max_new; ++s) {
+            logits = gen.decodeStep(toks, ptrs);
+            toks = nn::argmaxRows(logits);
+            for (std::size_t k = 0; k < batch.size(); ++k)
+                timer.tick(batch[k]);
+            tokens += batch.size();
+        }
+    }
+
+    DecodeResult r;
+    r.name = "flush_per_batch";
+    r.seconds = std::chrono::duration<double>(timer.t_end - t0).count();
+    r.tokens = tokens;
+    r.tokens_per_sec =
+        r.seconds > 0.0 ? static_cast<double>(tokens) / r.seconds : 0.0;
+    r.p50_token_ms = percentile(timer.gaps_ms, 0.50);
+    r.p99_token_ms = percentile(std::move(timer.gaps_ms), 0.99);
+    return r;
+}
+
+struct DecodeSection
+{
+    std::string model;
+    std::size_t prompts = 0, max_new = 0, max_live = 0;
+    double capacity_tokens_per_sec = 0.0;
+    double arrival_rps = 0.0;
+    std::vector<DecodeResult> configs;
+};
+
+DecodeSection
+runDecodeScenario(const ModelConfig &cfg, const char *label,
+                  std::size_t n_prompts)
+{
+    Rng rng(42);
+    auto gen = buildGenerator(cfg, rng);
+
+    Rng prng(11);
+    const auto prompts =
+        makeStream(n_prompts, 4, 24, cfg.vocab, prng);
+    // Long enough generations that a static batch's drain time is
+    // large next to the inter-arrival gap - the regime continuous
+    // admission exists for (short drains never park anyone).
+    const std::size_t max_new = 48;
+    const std::size_t max_live = 8;
+
+    DecodeSection sec;
+    sec.model = label;
+    sec.prompts = prompts.size();
+    sec.max_new = max_new;
+    sec.max_live = max_live;
+
+    // Capacity: every prompt submitted at t=0 (the step batch pinned
+    // at max_live) - peak sustained decode rate, and the warmup.
+    {
+        const std::vector<double> zeros(prompts.size(), 0.0);
+        DecodeResult peak = runDecodeContinuous(*gen, prompts, zeros,
+                                                max_new, max_live);
+        sec.capacity_tokens_per_sec = peak.tokens_per_sec;
+    }
+    // Poisson arrivals at ~80% of capacity: loaded but not saturated,
+    // the regime where admission latency (not raw throughput) decides
+    // the per-token tail.
+    sec.arrival_rps = 0.8 * sec.capacity_tokens_per_sec /
+                      static_cast<double>(max_new);
+    const auto arrivals = poissonArrivals(prompts.size(), sec.arrival_rps);
+    sec.configs.push_back(runDecodeContinuous(*gen, prompts, arrivals,
+                                              max_new, max_live));
+    sec.configs.push_back(runDecodeStatic(*gen, prompts, arrivals,
+                                          max_new, max_live));
+
+    bench::rule();
+    std::printf("decode: streaming generation, Poisson prompt arrivals "
+                "at %.1f req/s (80%% of %.1f tok/s capacity), "
+                "model %s, %zu prompts x %zu tokens, max_live=%zu\n",
+                sec.arrival_rps, sec.capacity_tokens_per_sec,
+                sec.model.c_str(), sec.prompts, max_new, max_live);
+    std::printf("%-20s %10s %12s %14s %14s %10s\n", "config", "sec",
+                "tok/s", "p50 token", "p99 token", "avg live");
+    for (const auto &c : sec.configs)
+        std::printf("%-20s %10.3f %12.1f %11.2f ms %11.2f ms %10.2f\n",
+                    c.name.c_str(), c.seconds, c.tokens_per_sec,
+                    c.p50_token_ms, c.p99_token_ms, c.avg_live);
+    return sec;
+}
+
 } // namespace
 
 int
@@ -514,6 +753,15 @@ main(int argc, char **argv)
         overload = runOverloadScenario(*model, reqs);
     }
 
+    // Streaming decode on the causal butterfly model (the paper's
+    // attention blocks driving an autoregressive LM head).
+    ModelConfig dec = fab;
+    dec.causal = true;
+    dec.max_seq = 96; // room for the longest prompt + 48 new tokens
+    const DecodeSection decode =
+        runDecodeScenario(dec, "fabnet_abfly_causal",
+                          std::min<std::size_t>(32, n_requests));
+
     if (!json_path.empty()) {
         FILE *f = std::fopen(json_path.c_str(), "w");
         if (!f) {
@@ -560,6 +808,31 @@ main(int argc, char **argv)
                 c.shed_rate, c.offered, c.completed, c.rejected, c.shed,
                 c.expired,
                 i + 1 < overload.configs.size() ? "," : "");
+        }
+        std::fprintf(f, "    ]\n  },\n");
+        std::fprintf(f,
+                     "  \"decode\": {\n"
+                     "    \"model\": \"%s\",\n"
+                     "    \"prompts\": %zu,\n"
+                     "    \"max_new_tokens\": %zu,\n"
+                     "    \"max_live\": %zu,\n"
+                     "    \"capacity_tokens_per_sec\": %.2f,\n"
+                     "    \"arrival_rps\": %.2f,\n"
+                     "    \"configs\": [\n",
+                     decode.model.c_str(), decode.prompts,
+                     decode.max_new, decode.max_live,
+                     decode.capacity_tokens_per_sec, decode.arrival_rps);
+        for (std::size_t i = 0; i < decode.configs.size(); ++i) {
+            const auto &c = decode.configs[i];
+            std::fprintf(
+                f,
+                "      {\"name\": \"%s\", \"seconds\": %.6f, "
+                "\"tokens_per_sec\": %.2f, \"p50_token_ms\": %.4f, "
+                "\"p99_token_ms\": %.4f, \"tokens\": %zu, "
+                "\"avg_live\": %.3f}%s\n",
+                c.name.c_str(), c.seconds, c.tokens_per_sec,
+                c.p50_token_ms, c.p99_token_ms, c.tokens, c.avg_live,
+                i + 1 < decode.configs.size() ? "," : "");
         }
         std::fprintf(f, "    ]\n  }\n}\n");
         std::fclose(f);

@@ -28,8 +28,17 @@ while IFS=: read -r file link; do
     fi
 # Scope: the repo's own hand-written docs (PAPERS.md/SNIPPETS.md are
 # retrieved artifacts with links into sources this repo does not ship).
-done < <(grep -oHE '\]\(([^)]+)\)' \
-             README.md ROADMAP.md docs/*.md 2>/dev/null |
+# Fenced code blocks are excluded: embedded C++ is full of `[](args)`
+# lambdas that only look like markdown links.
+done < <(for f in README.md ROADMAP.md docs/*.md; do
+             [ -f "$f" ] || continue
+             # `|| true`: a file with no links must not abort the scan
+             # (grep exits 1 on no match, and this subshell runs under
+             # set -e -o pipefail).
+             awk '/^```/ { fence = !fence; next } !fence' "$f" |
+                 { grep -oE '\]\(([^)]+)\)' || true; } |
+                 sed -E "s|^|$f:|"
+         done |
          sed -E 's/\]\(([^)]*)\)/\1/')
 
 # ---- 2. embedded file blocks stay in sync with the file on disk.

@@ -52,6 +52,8 @@ rowPtr(Tensor &x, std::size_t b, std::size_t t_idx)
 struct AttnWs;
 /** Workspace tag for the backward pass's gathered/accumulator panels. */
 struct AttnGradWs;
+/** Workspace tag for the decode step's gathered cache slices. */
+struct DecodeWs;
 
 } // namespace
 
@@ -78,7 +80,8 @@ MultiHeadAttention::forwardMasked(const Tensor &x,
 Tensor
 MultiHeadAttention::forwardImpl(const Tensor &x,
                                 const std::vector<std::size_t> *lens,
-                                const nn::RowSet *rows)
+                                const nn::RowSet *rows,
+                                StepState *capture)
 {
     if (x.rank() != 3 || x.dim(2) != d_model_)
         throw std::invalid_argument("MultiHeadAttention: [b,t,d] required");
@@ -108,6 +111,32 @@ MultiHeadAttention::forwardImpl(const Tensor &x,
     const Tensor &q = ragged ? ql : q_;
     const Tensor &k = ragged ? kl : k_;
     const Tensor &v = ragged ? vl : v_;
+
+    // Prefill capture: copy each sequence's valid projected K/V rows
+    // into its cache. A pure copy of the ragged locals - the attention
+    // core below neither sees nor depends on it, so captured and
+    // plain forwardRows logits are the same bits.
+    if (capture) {
+        if (!causal_)
+            throw std::logic_error(
+                "MultiHeadAttention::forwardPrefill: causal attention "
+                "required (the cached prefix must be the visible set)");
+        if (capture->caches.size() != b_)
+            throw std::invalid_argument(
+                "MultiHeadAttention::forwardPrefill: cache count != batch");
+        for (std::size_t b = 0; b < b_; ++b) {
+            KVCache &c = *capture->caches[b];
+            if (c.len != 0)
+                throw std::logic_error(
+                    "MultiHeadAttention::forwardPrefill: cache not empty");
+            const std::size_t n = rows->len(b);
+            const float *kr = rowPtr(k, b, 0);
+            const float *vr = rowPtr(v, b, 0);
+            c.k.assign(kr, kr + n * d_model_);
+            c.v.assign(vr, vr + n * d_model_);
+            c.len = n;
+        }
+    }
 
     Tensor ctx = Tensor::zeros(b_, t_, d_model_);
 
@@ -212,6 +241,115 @@ MultiHeadAttention::forwardRows(const Tensor &x, const nn::RowSet &rows)
         throw std::invalid_argument(
             "MultiHeadAttention::forwardRows: RowSet shape mismatch");
     return forwardImpl(x, nullptr, &rows);
+}
+
+Tensor
+MultiHeadAttention::forwardPrefill(const Tensor &x, const nn::RowSet &rows,
+                                   StepState &step)
+{
+    if (rows.batch() != x.dim(0) || rows.seq() != x.dim(1))
+        throw std::invalid_argument(
+            "MultiHeadAttention::forwardPrefill: RowSet shape mismatch");
+    return forwardImpl(x, nullptr, &rows, &step);
+}
+
+Tensor
+MultiHeadAttention::forwardStep(const Tensor &x, StepState &step)
+{
+    if (x.rank() != 3 || x.dim(1) != 1 || x.dim(2) != d_model_)
+        throw std::invalid_argument(
+            "MultiHeadAttention::forwardStep: [n, 1, d] step required");
+    if (!causal_)
+        throw std::logic_error(
+            "MultiHeadAttention::forwardStep: causal attention required "
+            "(the cached prefix must be the visible set)");
+    const std::size_t n = x.dim(0);
+    if (step.caches.size() != n)
+        throw std::invalid_argument(
+            "MultiHeadAttention::forwardStep: cache count != step rows");
+    const std::size_t dh = headDim();
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    // The step is a 1-row ragged batch: the projections run their
+    // ordinary forwardRows paths, whose rows are computed independently
+    // with a fixed per-row op order - so each step row's Q/K/V bits
+    // match the corresponding row of a full-recompute projection.
+    const nn::RowSet rows(n, 1, std::vector<std::size_t>(n, 1));
+    const Tensor q = proj_q_->forwardRows(x, rows);
+    const Tensor k = proj_k_->forwardRows(x, rows);
+    const Tensor v = proj_v_->forwardRows(x, rows);
+
+    // Append the new K/V row before attending, so the prefix below
+    // includes the step position itself (the `visible = i + 1` of the
+    // causal full forward).
+    for (std::size_t b = 0; b < n; ++b) {
+        KVCache &c = *step.caches[b];
+        const float *kr = k.data() + b * d_model_;
+        const float *vr = v.data() + b * d_model_;
+        c.k.insert(c.k.end(), kr, kr + d_model_);
+        c.v.insert(c.v.end(), vr, vr + d_model_);
+        ++c.len;
+    }
+
+    Tensor ctx = Tensor::zeros(n, 1, d_model_);
+
+    // One task per (sequence, head), as in forwardImpl; each task
+    // gathers its sequence's cached prefix and replays forwardImpl's
+    // last-query-row pipeline verbatim: scores via ascending-c madd
+    // chains over the transposed K panel, scale-then-max from -1e30f,
+    // exp/denom ascending-j, context through the same gemmRowsIKJ row
+    // kernel. Tasks write disjoint ctx column slices, so the loop is
+    // deterministic at any thread count.
+    runtime::parallelFor(0, n * heads_, 1, [&](std::size_t task0,
+                                               std::size_t task1) {
+        for (std::size_t task = task0; task < task1; ++task) {
+            const std::size_t b = task / heads_;
+            const std::size_t h = task % heads_;
+            const std::size_t off = h * dh;
+            const KVCache &c = *step.caches[b];
+            const std::size_t L = c.len;
+
+            float *scratch =
+                runtime::threadWorkspace<DecodeWs>(L * (2 * dh + 1) + dh);
+            float *kht = scratch;        // K head slice, transposed [dh, L]
+            float *vh = kht + L * dh;    // V head slice, [L, dh]
+            float *srow = vh + L * dh;   // scores, [L]
+            float *ch = srow + L;        // context row, [dh]
+            for (std::size_t j = 0; j < L; ++j) {
+                const float *kr = c.k.data() + j * d_model_ + off;
+                for (std::size_t cc = 0; cc < dh; ++cc)
+                    kht[cc * L + j] = kr[cc];
+                std::memcpy(vh + j * dh, c.v.data() + j * d_model_ + off,
+                            dh * sizeof(float));
+            }
+
+            const float *qi = q.data() + b * d_model_ + off;
+            std::fill(srow, srow + L, 0.0f);
+            for (std::size_t cc = 0; cc < dh; ++cc) {
+                const float qv = qi[cc];
+                const float *krow = kht + cc * L;
+                for (std::size_t j = 0; j < L; ++j)
+                    srow[j] = runtime::madd(qv, krow[j], srow[j]);
+            }
+            float mx = -1e30f;
+            for (std::size_t j = 0; j < L; ++j) {
+                srow[j] *= scale;
+                mx = std::max(mx, srow[j]);
+            }
+            float denom = 0.0f;
+            for (std::size_t j = 0; j < L; ++j) {
+                srow[j] = std::exp(srow[j] - mx);
+                denom += srow[j];
+            }
+            const float inv = 1.0f / denom;
+            for (std::size_t j = 0; j < L; ++j)
+                srow[j] = srow[j] * inv;
+            runtime::gemmRowsIKJ(srow, vh, ch, 0, 1, L, dh);
+            std::memcpy(ctx.data() + b * d_model_ + off, ch,
+                        dh * sizeof(float));
+        }
+    });
+    return proj_o_->forwardRows(ctx, rows);
 }
 
 Tensor

@@ -75,6 +75,29 @@ class MultiHeadAttention : public Layer
     Tensor forwardRows(const Tensor &x, const RowSet &rows) override;
 
     /**
+     * One incremental decode step over per-sequence K/V prefix caches
+     * (nn/decode.h). @p x is [n_live, 1, d]; the step row's K/V
+     * projections are APPENDED to each sequence's cache, then each
+     * (sequence, head) task attends over the whole cached prefix with
+     * the exact per-element accumulation chains of forwardRows' last
+     * query row - so the output row is bitwise identical to a full
+     * causal recompute of that position, at any thread count and any
+     * live-set composition. Requires causal attention (the cached
+     * prefix IS the visible set). Inference-only.
+     */
+    Tensor forwardStep(const Tensor &x, StepState &step) override;
+
+    /**
+     * Ragged prompt prefill: forwardRows(x, rows) plus K/V capture -
+     * each sequence's first rows.len(b) projected K/V rows are
+     * appended to its (empty) cache in @p step, seeding forwardStep.
+     * Logits bits are unchanged (the capture is a pure copy of the
+     * ragged locals). Requires causal attention. Inference-only.
+     */
+    Tensor forwardPrefill(const Tensor &x, const RowSet &rows,
+                          StepState &step) override;
+
+    /**
      * Seed scalar forward (5-deep nested loops), kept as the parity
      * and bench baseline. Fills the same caches as forward(), so
      * backward() works after either.
@@ -118,11 +141,14 @@ class MultiHeadAttention : public Layer
      * all rows real; non-null rows = ragged inference (skip padded
      * query rows, projections via forwardRows, no training caches).
      * One copy of the scores/softmax/context pipeline keeps the three
-     * entry points bitwise-synchronised by construction.
+     * entry points bitwise-synchronised by construction. @p capture
+     * (ragged path only) is the prefill K/V capture sink: each
+     * sequence's valid projected K/V rows are appended to its cache.
      */
     Tensor forwardImpl(const Tensor &x,
                        const std::vector<std::size_t> *lens,
-                       const nn::RowSet *rows = nullptr);
+                       const nn::RowSet *rows = nullptr,
+                       StepState *capture = nullptr);
 
     std::size_t d_model_, heads_;
     bool causal_ = false;

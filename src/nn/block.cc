@@ -134,6 +134,40 @@ EncoderBlock::forwardRows(const Tensor &x, const RowSet &rows)
 }
 
 Tensor
+EncoderBlock::forwardStep(const Tensor &x, StepState &step)
+{
+    // Identical to forwardRows over the trivial all-valid one-row
+    // RowSet, except that the mixer takes its forwardStep path; the
+    // row-wise stages cannot tell the difference (same per-row ops).
+    const std::size_t d = x.shape().back();
+    const RowSet rows(x.dim(0), x.dim(1),
+                      std::vector<std::size_t>(x.dim(0), x.dim(1)));
+    Tensor a = mixer_->forwardStep(x, step);
+    addResidualRows(a.data(), x.data(), d, rows); // shortcut
+    Tensor h = ln1_.forwardRows(a, rows);
+
+    Tensor f = ffn_->forwardRows(h, rows);
+    addResidualRows(f.data(), h.data(), d, rows); // shortcut
+    return ln2_.forwardRows(f, rows);
+}
+
+Tensor
+EncoderBlock::forwardPrefill(const Tensor &x, const RowSet &rows,
+                             StepState &step)
+{
+    // forwardRows with the mixer's K/V capture - the mixer's prefill
+    // returns the same bits as its forwardRows, so so does the block.
+    const std::size_t d = x.shape().back();
+    Tensor a = mixer_->forwardPrefill(x, rows, step);
+    addResidualRows(a.data(), x.data(), d, rows); // shortcut
+    Tensor h = ln1_.forwardRows(a, rows);
+
+    Tensor f = ffn_->forwardRows(h, rows);
+    addResidualRows(f.data(), h.data(), d, rows); // shortcut
+    return ln2_.forwardRows(f, rows);
+}
+
+Tensor
 EncoderBlock::backward(const Tensor &grad_out)
 {
     Tensor g_hf = ln2_.backward(grad_out); // grad wrt (h + f)

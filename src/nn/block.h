@@ -80,6 +80,21 @@ class EncoderBlock : public Layer
      */
     Tensor forwardRows(const Tensor &x, const RowSet &rows) override;
 
+    /**
+     * One decode step: the forwardRows chain over the [n, 1, d] step
+     * rows, with the mixer taking its forwardStep path (K/V-cached
+     * attention). Bitwise identical to the last valid row of a full
+     * causal forwardRows, per nn/decode.h. Inference-only.
+     */
+    Tensor forwardStep(const Tensor &x, StepState &step) override;
+
+    /**
+     * Ragged prompt prefill: exactly forwardRows plus the mixer's K/V
+     * capture into @p step (layer.h). Inference-only.
+     */
+    Tensor forwardPrefill(const Tensor &x, const RowSet &rows,
+                          StepState &step) override;
+
     Tensor backward(const Tensor &grad_out) override;
 
     /**

@@ -88,6 +88,31 @@ Embedding::forwardRows(const std::vector<int> &tokens,
     return y;
 }
 
+Tensor
+Embedding::forwardStep(const std::vector<int> &tokens,
+                       const std::vector<std::size_t> &positions)
+{
+    const std::size_t n = tokens.size();
+    if (positions.size() != n)
+        throw std::invalid_argument("Embedding::forwardStep: position count");
+
+    Tensor y = Tensor::zeros(n, 1, d_);
+    float *py = y.data();
+    for (std::size_t b = 0; b < n; ++b) {
+        const int id = tokens[b];
+        if (id < 0 || static_cast<std::size_t>(id) >= vocab_)
+            throw std::out_of_range("Embedding: token id out of range");
+        if (positions[b] >= max_seq_)
+            throw std::invalid_argument("Embedding: sequence too long");
+        const float *te = &tok_[static_cast<std::size_t>(id) * d_];
+        const float *pe = &pos_[positions[b] * d_];
+        float *row = py + b * d_;
+        for (std::size_t j = 0; j < d_; ++j)
+            row[j] = te[j] + pe[j];
+    }
+    return y;
+}
+
 void
 Embedding::backward(const Tensor &grad_out)
 {

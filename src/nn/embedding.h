@@ -38,6 +38,16 @@ class Embedding
                        const nn::RowSet &rows);
 
     /**
+     * One decode step: embed tokens[b] at absolute position
+     * positions[b], returning [n, 1, d]. Each row is the identical
+     * per-element tok + pos sum of forward()'s (b, positions[b]) row,
+     * so step rows bitwise match a full-recompute embedding.
+     * Inference-only (no token cache for backward()).
+     */
+    Tensor forwardStep(const std::vector<int> &tokens,
+                       const std::vector<std::size_t> &positions);
+
+    /**
      * Accumulate gradients into the embedding tables. The token-table
      * update is a scatter-add (one token id can appear in many rows),
      * so the parallel path is owner-parallel over hidden columns

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "nn/decode.h"
 #include "nn/rowset.h"
 #include "tensor/quant.h"
 #include "tensor/tensor.h"
@@ -80,6 +81,41 @@ class Layer
     virtual Tensor forwardRows(const Tensor &x, const RowSet &rows)
     {
         return forwardMasked(x, rows.lens());
+    }
+
+    /**
+     * One autoregressive decode step: @p x is the [n_live, 1, d] step
+     * tensor (one new row per live sequence) and @p step carries each
+     * sequence's K/V cache for this layer plus the row's absolute
+     * position. Row-wise layers need neither and the default - the
+     * layer's own forwardRows over the trivial all-valid RowSet - is
+     * exact for them; MultiHeadAttention overrides to append the step
+     * row's K/V projections and attend over the cached prefix, bitwise
+     * identical to a full causal recompute of the same position
+     * (nn/decode.h states the induction; `ctest -L decode-parity`
+     * pins it). Inference-only.
+     */
+    virtual Tensor forwardStep(const Tensor &x, StepState &step)
+    {
+        (void)step;
+        return forwardRows(
+            x, RowSet(x.dim(0), x.dim(1),
+                      std::vector<std::size_t>(x.dim(0), x.dim(1))));
+    }
+
+    /**
+     * Ragged prompt prefill: exactly forwardRows(x, rows) - same bits,
+     * same contract - except that attention layers additionally
+     * capture each sequence's first rows.len(b) K/V projection rows
+     * into @p step's caches, seeding incremental decode. Layers
+     * without cross-sequence state ignore @p step (the default).
+     * Inference-only.
+     */
+    virtual Tensor forwardPrefill(const Tensor &x, const RowSet &rows,
+                                  StepState &step)
+    {
+        (void)step;
+        return forwardRows(x, rows);
     }
 
     /**

@@ -90,6 +90,16 @@ RequestBatcher::drain()
 }
 
 std::optional<BatchGroup>
+RequestBatcher::popContaining(std::uint64_t id)
+{
+    for (auto it = buckets_.begin(); it != buckets_.end(); ++it)
+        for (const Entry &e : it->second)
+            if (e.id == id)
+                return popFrom(it, FlushReason::Timeout);
+    return std::nullopt;
+}
+
+std::optional<BatchGroup>
 RequestBatcher::drainBelow(std::uint64_t id_watermark)
 {
     // Ids are pushed in increasing order, so each bucket's head holds

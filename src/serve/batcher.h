@@ -83,6 +83,18 @@ class RequestBatcher
     std::optional<BatchGroup> drain();
 
     /**
+     * Pop the bucket holding request @p id (FIFO from the head, like a
+     * timeout flush - @p id rides along with its bucket-mates, it is
+     * not plucked out of order; when more than max_batch requests sit
+     * ahead of it the group is the head max_batch and @p id stays
+     * queued for the next pop). The urgent-flush hook: the dispatcher
+     * uses it to serve a near-deadline request before the bucket's
+     * normal max_wait timeout would fire (serve/serving.cc). nullopt
+     * when @p id is not queued.
+     */
+    std::optional<BatchGroup> popContaining(std::uint64_t id);
+
+    /**
      * Pop a bucket whose oldest request has id < @p id_watermark
      * (smallest padded length first). Lets a flusher drain only the
      * requests it is waiting for, so concurrent submitters neither

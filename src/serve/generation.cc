@@ -1,0 +1,708 @@
+#include "serve/generation.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "nn/embedding.h"
+
+namespace fabnet {
+namespace serve {
+
+namespace {
+
+/** serving.cc's fault mapping, restated here: injected faults are
+ *  already serve::Error and pass through, real model exceptions are
+ *  wrapped as ModelFault keeping their message. */
+Error
+genFaultFrom(std::exception_ptr ep)
+{
+    try {
+        std::rethrow_exception(ep);
+    } catch (const Error &e) {
+        return e;
+    } catch (const std::exception &e) {
+        return Error(ErrorCode::ModelFault, e.what());
+    } catch (...) {
+        return Error(ErrorCode::ModelFault, "unknown model exception");
+    }
+}
+
+} // namespace
+
+/** Registers the in-flight invocation's cancel token and start time
+ *  with the watchdog for the duration of the model call (RAII);
+ *  serving.cc's scheme verbatim. */
+struct GenerationEngine::WatchdogArm
+{
+    GenerationEngine &e;
+    WatchdogArm(GenerationEngine &eng, runtime::CancelToken &tok) : e(eng)
+    {
+        std::lock_guard<std::mutex> lk(e.wd_mu_);
+        e.wd_token_ = &tok;
+        e.wd_started_ = RequestBatcher::Clock::now();
+        e.wd_fired_ = false;
+        e.wd_cv_.notify_all();
+    }
+    ~WatchdogArm()
+    {
+        std::lock_guard<std::mutex> lk(e.wd_mu_);
+        e.wd_token_ = nullptr;
+        e.wd_cv_.notify_all();
+    }
+};
+
+GenerationEngine::GenerationEngine(CausalGenerator &gen,
+                                   GenerationConfig cfg)
+    : gen_(gen), cfg_(cfg)
+{
+    if (cfg_.max_live == 0)
+        throw std::invalid_argument(
+            "GenerationEngine: max_live must be >= 1");
+    if (cfg_.max_queue_tokens != 0 &&
+        cfg_.max_queue_tokens < gen_.maxSeq())
+        throw std::invalid_argument(
+            "GenerationEngine: max_queue_tokens below max_seq would "
+            "make some valid prompts permanently inadmissible");
+    if (cfg_.workspace_cap_bytes != 0) {
+        detail::installWorkspaceCap(cfg_.workspace_cap_bytes);
+        ws_cap_installed_ = true;
+    }
+    if (cfg_.watchdog_timeout.count() > 0)
+        watchdog_ = std::thread([this] { watchdogLoop(); });
+    scheduler_ = std::thread([this] { schedulerLoop(); });
+}
+
+GenerationEngine::~GenerationEngine()
+{
+    // Full graceful drain first: every outstanding future resolves
+    // before the threads are torn down.
+    shutdown();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+        work_cv_.notify_all();
+        idle_cv_.notify_all();
+    }
+    scheduler_.join();
+    if (watchdog_.joinable()) {
+        {
+            std::lock_guard<std::mutex> wl(wd_mu_);
+            wd_stop_ = true;
+            wd_cv_.notify_all();
+        }
+        watchdog_.join();
+    }
+    if (ws_cap_installed_)
+        detail::removeWorkspaceCap(cfg_.workspace_cap_bytes);
+}
+
+std::future<std::vector<int>>
+GenerationEngine::submit(std::vector<int> prompt,
+                         std::size_t max_new_tokens, Deadline deadline,
+                         TokenCallback on_token)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_ || draining_)
+        throw Error(ErrorCode::ShuttingDown,
+                    "engine is shutting down; prompt not admitted");
+    // Admission attempts are numbered in order - rejected ones
+    // included - so FaultPlan admission indices are deterministic for
+    // a fixed submission sequence.
+    const std::uint64_t admission_index = submit_seq_++;
+    if (prompt.empty())
+        throw Error(ErrorCode::InvalidRequest, "empty prompt");
+    if (prompt.size() > gen_.maxSeq())
+        throw Error(ErrorCode::InvalidRequest,
+                    "prompt longer than max_seq (" +
+                        std::to_string(prompt.size()) + " > " +
+                        std::to_string(gen_.maxSeq()) + ")");
+    if (max_new_tokens == 0)
+        throw Error(ErrorCode::InvalidRequest,
+                    "max_new_tokens must be >= 1");
+    const FaultPlan *plan = cfg_.fault_plan;
+    if (plan && plan->requestFault(admission_index,
+                                   FaultPlan::Stage::Admission))
+        throw Error(ErrorCode::InvalidRequest,
+                    "injected admission fault (request #" +
+                        std::to_string(admission_index) + ")");
+    const auto now = RequestBatcher::Clock::now();
+    if (deadline != kNoDeadline && deadline <= now) {
+        ++stats_.expired_in_queue;
+        throw Error(ErrorCode::DeadlineExceeded,
+                    "deadline already expired at submit");
+    }
+    const auto over = [&] {
+        return (cfg_.max_queue_requests != 0 &&
+                queue_.size() >= cfg_.max_queue_requests) ||
+               (cfg_.max_queue_tokens != 0 &&
+                queued_tokens_ + prompt.size() > cfg_.max_queue_tokens);
+    };
+    if (over() && cfg_.shed_policy == ShedPolicy::DropExpiredFirst) {
+        std::deque<GenRequest> kept;
+        for (GenRequest &r : queue_) {
+            if (r.deadline != kNoDeadline && r.deadline <= now) {
+                ++stats_.shed;
+                ++stats_.failed;
+                queued_tokens_ -= r.prompt.size();
+                outstanding_.erase(r.id);
+                r.promise.set_exception(std::make_exception_ptr(Error(
+                    ErrorCode::DeadlineExceeded,
+                    "shed from the admission queue (DropExpiredFirst: "
+                    "deadline expired before prefill)")));
+            } else {
+                kept.push_back(std::move(r));
+            }
+        }
+        queue_.swap(kept);
+        idle_cv_.notify_all(); // outstanding_ shrank: waiters re-check
+    }
+    if (over()) {
+        ++stats_.rejected;
+        throw Error(ErrorCode::QueueFull,
+                    "admission queue full (" +
+                        std::to_string(queue_.size()) + " requests / " +
+                        std::to_string(queued_tokens_) +
+                        " prompt tokens queued)");
+    }
+    queue_.emplace_back();
+    GenRequest &r = queue_.back();
+    r.prompt = std::move(prompt);
+    r.max_new = max_new_tokens;
+    r.deadline = deadline;
+    r.on_token = std::move(on_token);
+    r.admission_index = admission_index;
+    r.id = next_id_++;
+    std::future<std::vector<int>> fut = r.promise.get_future();
+    outstanding_.insert(r.id);
+    queued_tokens_ += r.prompt.size();
+    ++stats_.requests;
+    work_cv_.notify_all();
+    return fut;
+}
+
+void
+GenerationEngine::flush()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    // Watermark: wait for the requests submitted before this call
+    // only, so concurrent submitters cannot starve a flusher. The
+    // scheduler admits FIFO and continuously, so no drain handoff is
+    // needed (unlike ServingEngine's bucketed flush).
+    const std::uint64_t watermark = next_id_;
+    idle_cv_.wait(lk, [&] {
+        return outstanding_.empty() ||
+               *outstanding_.begin() >= watermark || stop_;
+    });
+}
+
+void
+GenerationEngine::shutdown(Deadline deadline)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    draining_ = true;
+    const auto all_resolved = [this] { return outstanding_.empty(); };
+    if (deadline == kNoDeadline) {
+        // Full drain. (Not wait_until: time_point::max() overflows
+        // some libstdc++ wait implementations.)
+        idle_cv_.wait(lk, all_resolved);
+        return;
+    }
+    if (idle_cv_.wait_until(lk, deadline, all_resolved))
+        return;
+    // Deadline passed: fail everything still queued, cooperatively
+    // cancel the in-flight prefill/step (its sequences fail with
+    // ShuttingDown via cancelCause), and let the scheduler evict the
+    // remaining live set at the next step boundary. abandon_ is set
+    // first so a Cancelled invocation - and one that arms after this
+    // point - attributes to shutdown.
+    abandon_.store(true, std::memory_order_release);
+    failQueuedLocked();
+    {
+        std::lock_guard<std::mutex> wl(wd_mu_);
+        if (wd_token_)
+            wd_token_->cancel();
+    }
+    work_cv_.notify_all();
+    idle_cv_.wait(lk, all_resolved);
+}
+
+GenerationStats
+GenerationEngine::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+Error
+GenerationEngine::cancelCause() const
+{
+    return abandon_.load(std::memory_order_acquire)
+               ? Error(ErrorCode::ShuttingDown,
+                       "invocation cancelled at the shutdown deadline")
+               : Error(ErrorCode::ModelFault,
+                       "watchdog cancelled a stuck model invocation");
+}
+
+void
+GenerationEngine::failQueuedLocked()
+{
+    stats_.failed += queue_.size();
+    for (GenRequest &r : queue_) {
+        queued_tokens_ -= r.prompt.size();
+        outstanding_.erase(r.id);
+        r.promise.set_exception(std::make_exception_ptr(Error(
+            ErrorCode::ShuttingDown,
+            "engine shut down before this prompt was prefilled")));
+    }
+    queue_.clear();
+    idle_cv_.notify_all();
+}
+
+void
+GenerationEngine::completeSeq(Live &seq)
+{
+    // Order: stats counted first, then the future resolves, and only
+    // then does outstanding_ shrink - so a flush()/shutdown() waiter
+    // that wakes on the erase always finds the future ready, and a
+    // client waking from future.get() always sees itself counted.
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.completed;
+    }
+    seq.req.promise.set_value(std::move(seq.generated));
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        outstanding_.erase(seq.req.id);
+        idle_cv_.notify_all();
+    }
+}
+
+void
+GenerationEngine::failSeq(GenRequest &req, const Error &err,
+                          bool mid_decode)
+{
+    // Same publication order as completeSeq.
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.failed;
+        if (mid_decode)
+            ++stats_.expired_mid_decode;
+        if (err.code() == ErrorCode::ModelFault)
+            ++stats_.model_faults;
+    }
+    req.promise.set_exception(std::make_exception_ptr(err));
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        outstanding_.erase(req.id);
+        idle_cv_.notify_all();
+    }
+}
+
+bool
+GenerationEngine::deliverToken(Live &seq, int tok)
+{
+    // Count BEFORE the callback/future can observe the token, matching
+    // the engine-wide "stats published before results" order.
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.decode_tokens;
+    }
+    seq.generated.push_back(tok);
+    if (seq.req.on_token) {
+        try {
+            seq.req.on_token(tok);
+        } catch (...) {
+            failSeq(seq.req,
+                    Error(ErrorCode::InvalidRequest,
+                          "token callback threw; request failed"),
+                    false);
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+GenerationEngine::seqDone(const Live &seq) const
+{
+    if (seq.generated.size() >= seq.req.max_new)
+        return true;
+    if (cfg_.eos_token >= 0 && !seq.generated.empty() &&
+        seq.generated.back() == cfg_.eos_token)
+        return true;
+    // Positional table exhausted: no further step is legal.
+    return seq.state.len >= gen_.maxSeq();
+}
+
+Tensor
+GenerationEngine::invokeGuarded(const std::function<Tensor()> &fn,
+                                bool stall,
+                                const std::string *injected_fault)
+{
+    runtime::CancelToken cancel;
+    WatchdogArm arm(*this, cancel);
+    runtime::CancelScope scope(cancel);
+    // A shutdown deadline that already passed cancels this invocation
+    // before any work is done.
+    if (abandon_.load(std::memory_order_acquire))
+        cancel.cancel();
+    if (stall) {
+        // Injected stall: spin until the watchdog (or a shutdown
+        // deadline) cancels us; the safety bound turns a missing
+        // watchdog into a loud ModelFault instead of a hung test.
+        const auto start = RequestBatcher::Clock::now();
+        for (;;) {
+            if (cancel.cancelled())
+                throw runtime::Cancelled{};
+            if (RequestBatcher::Clock::now() - start >
+                std::chrono::seconds(10))
+                throw Error(ErrorCode::ModelFault,
+                            "injected stall hit its 10s safety bound "
+                            "(no watchdog cancelled it)");
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    }
+    if (injected_fault)
+        throw Error(ErrorCode::ModelFault, *injected_fault);
+    return fn();
+}
+
+void
+GenerationEngine::prefillAdmitted(std::vector<GenRequest> reqs,
+                                  std::vector<Live> &live)
+{
+    const FaultPlan *plan = cfg_.fault_plan;
+    std::size_t inv = 0;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        inv = invoke_seq_++;
+        ++stats_.prefill_batches;
+        for (const GenRequest &r : reqs)
+            stats_.prefill_tokens += r.prompt.size();
+    }
+    std::string injected;
+    bool stall = false;
+    if (plan) {
+        const std::chrono::microseconds d = plan->batchDelay(inv);
+        if (d.count() > 0)
+            std::this_thread::sleep_for(d);
+        stall = plan->batchStalls(inv);
+        for (const GenRequest &r : reqs)
+            if (injected.empty() &&
+                plan->requestFault(r.admission_index,
+                                   FaultPlan::Stage::Model))
+                injected = "injected model fault (request #" +
+                           std::to_string(r.admission_index) + ")";
+    }
+
+    std::vector<Live> fresh;
+    fresh.reserve(reqs.size());
+    for (GenRequest &r : reqs) {
+        Live s;
+        s.req = std::move(r);
+        s.state = gen_.newState();
+        fresh.push_back(std::move(s));
+    }
+    std::vector<std::vector<int>> prompts;
+    std::vector<SequenceState *> states;
+    prompts.reserve(fresh.size());
+    states.reserve(fresh.size());
+    for (Live &s : fresh) {
+        prompts.push_back(s.req.prompt);
+        states.push_back(&s.state);
+    }
+
+    Tensor logits;
+    try {
+        logits = invokeGuarded(
+            [&] { return gen_.prefill(prompts, states); }, stall,
+            injected.empty() ? nullptr : &injected);
+    } catch (const runtime::Cancelled &) {
+        // The invocation never finished; no sequence has a usable
+        // state, and re-running a stuck batch would stick again.
+        const Error err = cancelCause();
+        for (Live &s : fresh)
+            failSeq(s.req, err, false);
+        return;
+    } catch (...) {
+        // Per-sequence fault isolation: a faulted batched prefill may
+        // have captured some layers' caches before throwing; each
+        // retry starts from a rolled-back (empty) state.
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++stats_.isolation_retries;
+        }
+        for (Live &s : fresh) {
+            gen_.rollback(s.state, 0);
+            std::string one;
+            // Model faults are sticky (serve/fault.h): the poisoned
+            // sequence fails here instead of silently succeeding.
+            if (plan && plan->requestFault(s.req.admission_index,
+                                           FaultPlan::Stage::Model))
+                one = "injected model fault (request #" +
+                      std::to_string(s.req.admission_index) + ")";
+            try {
+                const std::vector<std::vector<int>> p1{s.req.prompt};
+                const std::vector<SequenceState *> st1{&s.state};
+                const Tensor lg = invokeGuarded(
+                    [&] { return gen_.prefill(p1, st1); }, false,
+                    one.empty() ? nullptr : &one);
+                const int tok = nn::argmaxRows(lg)[0];
+                if (!deliverToken(s, tok))
+                    continue;
+                s.next_input = tok;
+                if (seqDone(s))
+                    completeSeq(s);
+                else
+                    live.push_back(std::move(s));
+            } catch (const runtime::Cancelled &) {
+                failSeq(s.req, cancelCause(), false);
+            } catch (...) {
+                failSeq(s.req, genFaultFrom(std::current_exception()),
+                        false);
+            }
+        }
+        return;
+    }
+
+    const std::vector<int> toks = nn::argmaxRows(logits);
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+        Live &s = fresh[i];
+        if (!deliverToken(s, toks[i]))
+            continue;
+        s.next_input = toks[i];
+        if (seqDone(s))
+            completeSeq(s);
+        else
+            live.push_back(std::move(s));
+    }
+}
+
+void
+GenerationEngine::stepLive(std::vector<Live> &live)
+{
+    const FaultPlan *plan = cfg_.fault_plan;
+    std::size_t inv = 0;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        inv = invoke_seq_++;
+        ++stats_.steps;
+    }
+    std::string injected;
+    bool stall = false;
+    if (plan) {
+        const std::chrono::microseconds d = plan->batchDelay(inv);
+        if (d.count() > 0)
+            std::this_thread::sleep_for(d);
+        stall = plan->batchStalls(inv);
+        for (const Live &s : live)
+            if (injected.empty() &&
+                plan->requestFault(s.req.admission_index,
+                                   FaultPlan::Stage::Model))
+                injected = "injected model fault (request #" +
+                           std::to_string(s.req.admission_index) + ")";
+    }
+
+    std::vector<int> toks;
+    std::vector<SequenceState *> states;
+    std::vector<std::size_t> pre_lens;
+    toks.reserve(live.size());
+    states.reserve(live.size());
+    pre_lens.reserve(live.size());
+    for (Live &s : live) {
+        toks.push_back(s.next_input);
+        states.push_back(&s.state);
+        pre_lens.push_back(s.state.len);
+    }
+
+    Tensor logits;
+    try {
+        logits = invokeGuarded(
+            [&] { return gen_.decodeStep(toks, states); }, stall,
+            injected.empty() ? nullptr : &injected);
+    } catch (const runtime::Cancelled &) {
+        const Error err = cancelCause();
+        for (Live &s : live)
+            failSeq(s.req, err, false);
+        live.clear();
+        return;
+    } catch (...) {
+        // Roll every sequence back to its pre-step cache length (a
+        // faulted step may have appended K/V rows before throwing),
+        // then retry one sequence at a time: survivors advance bitwise
+        // identically (the 1-row step equals its batched step by the
+        // decode-parity contract), the poisoned sequence alone fails.
+        for (std::size_t i = 0; i < live.size(); ++i)
+            gen_.rollback(live[i].state, pre_lens[i]);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++stats_.isolation_retries;
+        }
+        std::vector<Live> keep;
+        keep.reserve(live.size());
+        for (Live &s : live) {
+            std::string one;
+            if (plan && plan->requestFault(s.req.admission_index,
+                                           FaultPlan::Stage::Model))
+                one = "injected model fault (request #" +
+                      std::to_string(s.req.admission_index) + ")";
+            try {
+                const std::vector<int> t1{s.next_input};
+                const std::vector<SequenceState *> st1{&s.state};
+                const Tensor lg = invokeGuarded(
+                    [&] { return gen_.decodeStep(t1, st1); }, false,
+                    one.empty() ? nullptr : &one);
+                const int tok = nn::argmaxRows(lg)[0];
+                if (!deliverToken(s, tok))
+                    continue;
+                s.next_input = tok;
+                if (seqDone(s))
+                    completeSeq(s);
+                else
+                    keep.push_back(std::move(s));
+            } catch (const runtime::Cancelled &) {
+                failSeq(s.req, cancelCause(), false);
+            } catch (...) {
+                failSeq(s.req, genFaultFrom(std::current_exception()),
+                        false);
+            }
+        }
+        live.swap(keep);
+        return;
+    }
+
+    const std::vector<int> next = nn::argmaxRows(logits);
+    std::vector<Live> keep;
+    keep.reserve(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        Live &s = live[i];
+        if (!deliverToken(s, next[i]))
+            continue;
+        s.next_input = next[i];
+        if (seqDone(s))
+            completeSeq(s);
+        else
+            keep.push_back(std::move(s));
+    }
+    live.swap(keep);
+}
+
+void
+GenerationEngine::schedulerLoop()
+{
+    std::vector<Live> live;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        if (abandon_.load(std::memory_order_acquire) && !queue_.empty())
+            failQueuedLocked();
+        // Admission up to max_live: pop FIFO, discarding requests that
+        // expired while queued (failed before any model time).
+        std::vector<GenRequest> admitted;
+        const auto now = RequestBatcher::Clock::now();
+        while (live.size() + admitted.size() < cfg_.max_live &&
+               !queue_.empty()) {
+            GenRequest r = std::move(queue_.front());
+            queue_.pop_front();
+            queued_tokens_ -= r.prompt.size();
+            if (r.deadline != kNoDeadline && r.deadline <= now) {
+                ++stats_.failed;
+                ++stats_.expired_in_queue;
+                outstanding_.erase(r.id);
+                r.promise.set_exception(std::make_exception_ptr(Error(
+                    ErrorCode::DeadlineExceeded,
+                    "deadline expired in queue (prompt never reached "
+                    "the model)")));
+                idle_cv_.notify_all();
+                continue;
+            }
+            admitted.push_back(std::move(r));
+        }
+        if (admitted.empty() && live.empty()) {
+            if (stop_)
+                break;
+            idle_cv_.notify_all();
+            work_cv_.wait(lk);
+            continue;
+        }
+        stats_.peak_live =
+            std::max(stats_.peak_live, live.size() + admitted.size());
+        lk.unlock();
+
+        if (!admitted.empty())
+            prefillAdmitted(std::move(admitted), live);
+
+        if (abandon_.load(std::memory_order_acquire)) {
+            const Error err(ErrorCode::ShuttingDown,
+                            "live sequence evicted at the shutdown "
+                            "deadline");
+            for (Live &s : live)
+                failSeq(s.req, err, false);
+            live.clear();
+            lk.lock();
+            continue;
+        }
+
+        // Per-step deadline eviction: an expired live sequence leaves
+        // BEFORE the next token is computed.
+        const auto step_now = RequestBatcher::Clock::now();
+        for (auto it = live.begin(); it != live.end();) {
+            if (it->req.deadline != kNoDeadline &&
+                it->req.deadline <= step_now) {
+                failSeq(it->req,
+                        Error(ErrorCode::DeadlineExceeded,
+                              "deadline passed mid-decode (partial "
+                              "generation discarded)"),
+                        true);
+                it = live.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        if (!live.empty())
+            stepLive(live);
+
+        lk.lock();
+    }
+    lk.unlock();
+    // stop_ with sequences still live cannot happen after an orderly
+    // shutdown(); fail any leftovers rather than stranding futures.
+    for (Live &s : live)
+        failSeq(s.req, Error(ErrorCode::ShuttingDown, "engine stopped"),
+                false);
+}
+
+void
+GenerationEngine::watchdogLoop()
+{
+    std::unique_lock<std::mutex> wl(wd_mu_);
+    for (;;) {
+        if (wd_stop_)
+            return;
+        if (!wd_token_ || wd_fired_) {
+            wd_cv_.wait(wl);
+            continue;
+        }
+        const auto fire_at = wd_started_ + cfg_.watchdog_timeout;
+        if (RequestBatcher::Clock::now() >= fire_at) {
+            // The token lives on the scheduler thread's stack, but
+            // deregistration takes wd_mu_, so it cannot die while we
+            // hold the lock.
+            wd_token_->cancel();
+            wd_fired_ = true;
+            wl.unlock();
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                ++stats_.watchdog_fired;
+            }
+            wl.lock();
+            continue;
+        }
+        wd_cv_.wait_until(wl, fire_at);
+    }
+}
+
+} // namespace serve
+} // namespace fabnet

@@ -65,6 +65,22 @@ modelFaultFrom(std::exception_ptr ep)
 
 } // namespace
 
+namespace detail {
+
+void
+installWorkspaceCap(std::size_t cap)
+{
+    g_cap_registry.install(cap);
+}
+
+void
+removeWorkspaceCap(std::size_t cap)
+{
+    g_cap_registry.remove(cap);
+}
+
+} // namespace detail
+
 /** Registers the in-flight invocation's cancel token and start time
  *  with the watchdog for the duration of the model call (RAII). */
 struct ServingEngine::WatchdogArm
@@ -196,6 +212,8 @@ ServingEngine::enqueueLocked(std::vector<int> tokens, Deadline deadline,
     batcher_.push(id, tokens.size(), now);
     outstanding_.insert(id);
     queued_tokens_ += tokens.size();
+    if (deadline != kNoDeadline)
+        deadlines_.emplace(deadline, id);
     Pending &p = pending_[id];
     p.tokens = std::move(tokens);
     p.deadline = deadline;
@@ -220,6 +238,7 @@ ServingEngine::shedExpiredLocked(RequestBatcher::Clock::time_point now)
     for (std::uint64_t id : victims) {
         auto it = pending_.find(id);
         queued_tokens_ -= it->second.tokens.size();
+        eraseDeadlineLocked(it->second.deadline, id);
         it->second.promise.set_exception(std::make_exception_ptr(Error(
             ErrorCode::DeadlineExceeded,
             "shed from the admission queue (DropExpiredFirst: deadline "
@@ -231,6 +250,16 @@ ServingEngine::shedExpiredLocked(RequestBatcher::Clock::time_point now)
 }
 
 void
+ServingEngine::eraseDeadlineLocked(Deadline deadline, std::uint64_t id)
+{
+    if (deadline == kNoDeadline)
+        return;
+    const auto it = deadlines_.find({deadline, id});
+    if (it != deadlines_.end())
+        deadlines_.erase(it);
+}
+
+void
 ServingEngine::failQueuedLocked()
 {
     const std::vector<std::uint64_t> victims =
@@ -239,6 +268,7 @@ ServingEngine::failQueuedLocked()
     for (std::uint64_t id : victims) {
         auto it = pending_.find(id);
         queued_tokens_ -= it->second.tokens.size();
+        eraseDeadlineLocked(it->second.deadline, id);
         it->second.promise.set_exception(std::make_exception_ptr(Error(
             ErrorCode::ShuttingDown,
             "engine shut down before this request was served")));
@@ -721,12 +751,41 @@ ServingEngine::dispatchLoop()
         if (!group)
             group = batcher_.popReady(RequestBatcher::Clock::now(),
                                       cfg_.max_wait);
+        // Urgent flush: a queued request whose deadline falls inside
+        // the normal max_wait window cannot afford to wait out its
+        // bucket's timeout - flush its bucket now (it was going to be
+        // served undersized at the timeout anyway; doing it early
+        // costs nothing and meets the deadline).
+        if (!group && !deadlines_.empty() &&
+            deadlines_.begin()->first - cfg_.max_wait <=
+                RequestBatcher::Clock::now()) {
+            group = batcher_.popContaining(deadlines_.begin()->second);
+            if (group)
+                ++stats_.urgent_flushes;
+            else // stale entry (should not happen; stay live anyway)
+                deadlines_.erase(deadlines_.begin());
+        }
         if (!group) {
             if (stop_)
                 break; // queue drained
             auto oldest = batcher_.oldestEnqueue();
+            std::optional<RequestBatcher::Clock::time_point> wake;
             if (oldest)
-                work_cv_.wait_until(lk, *oldest + cfg_.max_wait);
+                wake = *oldest + cfg_.max_wait;
+            // Re-arm against the earliest queued deadline too: it
+            // turns urgent at deadline - max_wait, and an arriving
+            // request with an earlier effective deadline notifies
+            // work_cv_ (submit()), landing back here to re-arm - the
+            // dispatcher never sleeps out a full max_wait while a
+            // near-deadline request expires in queue.
+            if (!deadlines_.empty()) {
+                const auto urgent_at =
+                    deadlines_.begin()->first - cfg_.max_wait;
+                if (!wake || urgent_at < *wake)
+                    wake = urgent_at;
+            }
+            if (wake)
+                work_cv_.wait_until(lk, *wake);
             else
                 work_cv_.wait(lk);
             continue;
@@ -756,6 +815,7 @@ ServingEngine::claimGroupLocked(const BatchGroup &group)
         Pending p = std::move(it->second);
         pending_.erase(it);
         queued_tokens_ -= p.tokens.size();
+        eraseDeadlineLocked(p.deadline, id);
         if (p.deadline != kNoDeadline && p.deadline <= now) {
             // Expired while queued: fail BEFORE any model time is
             // spent. Counted under mu_ (held) before the future is

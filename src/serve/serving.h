@@ -73,6 +73,7 @@
 #include <set>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "model/classifier.h"
@@ -84,6 +85,17 @@
 namespace fabnet {
 namespace serve {
 
+namespace detail {
+/**
+ * Process-wide engine-shared workspace-cap registry (serving.cc): the
+ * tightest active cap wins, and the pre-existing policy is restored
+ * when the last engine removes its cap. Used by every serve-side
+ * engine (ServingEngine, GenerationEngine).
+ */
+void installWorkspaceCap(std::size_t cap);
+void removeWorkspaceCap(std::size_t cap);
+} // namespace detail
+
 /**
  * Absolute per-request deadline on the batcher's steady clock.
  * kNoDeadline (the default everywhere) disables deadline handling for
@@ -94,13 +106,41 @@ using Deadline = RequestBatcher::Clock::time_point;
 /** "No deadline": requests carrying this value never expire. */
 inline constexpr Deadline kNoDeadline = Deadline::max();
 
-/** Deadline @p d from now (submit(tokens, deadlineAfter(50ms))). */
+/**
+ * Deadline @p d from now (submit(tokens, deadlineAfter(50ms))).
+ *
+ * Saturating: `now + d` is evaluated in a wide floating representation
+ * of the clock's period, so a huge duration (hours(1 << 20),
+ * microseconds::max(), duration::max() of any unit) can never overflow
+ * the steady_clock rep into a long-PAST deadline that expires every
+ * request instantly. Anything that would land at or beyond
+ * kNoDeadline saturates TO kNoDeadline - "further out than the clock
+ * can represent" and "no deadline" are operationally identical.
+ * Negative durations symmetrically saturate to the clock's minimum
+ * (an already-expired deadline, as expected).
+ */
 template <class Rep, class Period>
 inline Deadline
 deadlineAfter(std::chrono::duration<Rep, Period> d)
 {
-    return RequestBatcher::Clock::now() +
-           std::chrono::duration_cast<RequestBatcher::Clock::duration>(d);
+    using ClockDur = RequestBatcher::Clock::duration;
+    using Wide = std::chrono::duration<long double, ClockDur::period>;
+    const Deadline now = RequestBatcher::Clock::now();
+    // All three values in units of the clock period, as long double
+    // (80/128-bit: exact for any rep the comparison needs to rank).
+    const long double now_ticks =
+        static_cast<long double>(now.time_since_epoch().count());
+    const long double want_ticks =
+        std::chrono::duration_cast<Wide>(d).count();
+    const long double max_ticks = static_cast<long double>(
+        kNoDeadline.time_since_epoch().count());
+    const long double min_ticks = static_cast<long double>(
+        Deadline::min().time_since_epoch().count());
+    if (want_ticks >= max_ticks - now_ticks)
+        return kNoDeadline;
+    if (want_ticks <= min_ticks - now_ticks)
+        return Deadline::min();
+    return now + std::chrono::duration_cast<ClockDur>(d);
 }
 
 /** What bounded admission does when the queue caps are hit. */
@@ -226,6 +266,12 @@ struct ServingStats
     std::size_t isolation_retries = 0;
     /** Times the watchdog cancelled a stuck model invocation. */
     std::size_t watchdog_fired = 0;
+    /** Batches flushed early because a queued member's deadline would
+     *  have expired inside the normal max_wait window (the dispatcher
+     *  re-arms its wait on every arrival, so a near-deadline request
+     *  is served instead of sleeping out the full flush timeout).
+     *  Subset of `flushed_timeout`. */
+    std::size_t urgent_flushes = 0;
 
     /** Mean requests per model invocation (failed batches included). */
     double avgBatch() const
@@ -411,6 +457,8 @@ class ServingEngine
     /** DropExpiredFirst shed pass (mu_ held): fail + evict expired
      *  queued requests. */
     void shedExpiredLocked(RequestBatcher::Clock::time_point now);
+    /** Drop @p id's deadlines_ entry, if it has one (mu_ held). */
+    void eraseDeadlineLocked(Deadline deadline, std::uint64_t id);
     /** Take a group's pending requests, failing expired members, and
      *  count the batch (mu_ held). */
     ClaimedGroup claimGroupLocked(const BatchGroup &group);
@@ -431,6 +479,17 @@ class ServingEngine
     RequestBatcher batcher_;
     std::unordered_map<std::uint64_t, Pending> pending_;
     std::set<std::uint64_t> outstanding_; ///< submitted, not yet served
+    /**
+     * Deadlines of QUEUED requests, ordered soonest-first (ids with
+     * kNoDeadline are never entered). Kept in lockstep with the
+     * batcher: inserted at admission, erased at claim/shed/abandon.
+     * The dispatcher uses the head for two things (the timeout-flush
+     * wakeup fix): re-arming its idle wait so an arriving request
+     * with an earlier effective deadline shortens the sleep, and
+     * urgent-flushing the bucket of a request whose deadline would
+     * expire inside the normal max_wait window.
+     */
+    std::multiset<std::pair<Deadline, std::uint64_t>> deadlines_;
     std::uint64_t next_id_ = 0;
     std::uint64_t submit_seq_ = 0;  ///< admission attempts (FaultPlan)
     std::size_t dispatch_seq_ = 0;  ///< model batches dispatched

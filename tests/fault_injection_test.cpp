@@ -228,14 +228,26 @@ TEST_F(FaultInjectionTest, DropExpiredFirstShedsToMakeRoom)
     const ModelConfig cfg = tinyCfg();
     Rng rng(41);
     auto model = buildModel(cfg, rng);
-    ServingConfig sc = parkedCfg();
+    // A slow first batch keeps the dispatcher busy: with it idle, the
+    // urgent-flush path would rescue the near-deadline request before
+    // it ever expired (see UrgentFlushServesNearDeadlineRequest).
+    FaultPlan plan;
+    plan.batch_delays[0] = std::chrono::milliseconds(150);
+    ServingConfig sc;
+    sc.max_batch = 64;
+    sc.bucket_granularity = 16;
+    sc.max_wait = std::chrono::microseconds(500);
     sc.max_queue_requests = 2;
     sc.shed_policy = ShedPolicy::DropExpiredFirst;
+    sc.fault_plan = &plan;
     ServingEngine engine(*model, sc);
 
-    // f1's deadline expires while it is parked in the queue; f2 has
-    // none. The third submit finds the queue full, sheds f1 (it could
-    // never be served in time anyway) and is admitted in its place.
+    // A occupies the dispatcher; f1's deadline then expires while it
+    // is parked behind A, f2 has none. The third submit finds the
+    // queue full, sheds f1 (it could never be served in time anyway)
+    // and is admitted in its place.
+    auto fa = engine.submit(std::vector<int>(20, 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
     auto f1 = engine.submit({1, 2, 3},
                             deadlineAfter(std::chrono::milliseconds(1)));
     auto f2 = engine.submit({4, 5, 6});
@@ -248,9 +260,10 @@ TEST_F(FaultInjectionTest, DropExpiredFirstShedsToMakeRoom)
         const auto st = engine.stats();
         EXPECT_EQ(st.shed, 1u);
         EXPECT_EQ(st.rejected, 0u);
-        EXPECT_EQ(st.requests, 3u);
+        EXPECT_EQ(st.requests, 4u);
     }
     engine.flush();
+    EXPECT_EQ(fa.get().size(), cfg.classes);
     EXPECT_EQ(f2.get().size(), cfg.classes);
     EXPECT_EQ(f3.get().size(), cfg.classes);
 }
@@ -262,19 +275,31 @@ TEST_F(FaultInjectionTest, ExpiredInQueueFailsBeforeAnyModelTime)
     const ModelConfig cfg = tinyCfg();
     Rng rng(43);
     auto model = buildModel(cfg, rng);
-    ServingEngine engine(*model, parkedCfg());
+    // A busy dispatcher is the only way a deadline can still die in
+    // queue (an idle one urgent-flushes it in time): A is claimed
+    // promptly and held inside a delayed invocation while B's 1 ms
+    // deadline expires behind it.
+    FaultPlan plan;
+    plan.batch_delays[0] = std::chrono::milliseconds(100);
+    ServingConfig sc;
+    sc.max_batch = 64;
+    sc.bucket_granularity = 16;
+    sc.max_wait = std::chrono::microseconds(500);
+    sc.fault_plan = &plan;
+    ServingEngine engine(*model, sc);
 
-    auto f = engine.submit({1, 2, 3},
-                           deadlineAfter(std::chrono::milliseconds(1)));
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    engine.flush(); // claims the group; the member is already expired
+    auto fa = engine.submit(std::vector<int>(20, 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    auto fb = engine.submit({1, 2, 3},
+                            deadlineAfter(std::chrono::milliseconds(1)));
 
-    expectError(ErrorCode::DeadlineExceeded, [&] { f.get(); },
+    expectError(ErrorCode::DeadlineExceeded, [&] { fb.get(); },
                 "expired in queue");
+    EXPECT_EQ(fa.get().size(), cfg.classes);
     const auto st = engine.stats();
     EXPECT_EQ(st.expired_in_queue, 1u);
-    EXPECT_EQ(st.batches, 0u); // the model was never invoked
-    EXPECT_EQ(st.completed, 0u);
+    EXPECT_EQ(st.batches, 1u); // A's batch only: B never reached the model
+    EXPECT_EQ(st.completed, 1u);
     EXPECT_EQ(st.failed, 1u);
 }
 
@@ -512,6 +537,87 @@ TEST_F(FaultInjectionTest, FlushBlockedAcrossShutdownReturnsResolved)
               std::future_status::ready);
     expectError(ErrorCode::ShuttingDown, [&] { f1.get(); }, "f1");
     expectError(ErrorCode::ShuttingDown, [&] { f2.get(); }, "f2");
+}
+
+// ---------------------------------------- dispatcher wakeup / urgent flush
+
+TEST_F(FaultInjectionTest, UrgentFlushServesNearDeadlineRequest)
+{
+    // The timeout-flush wakeup bug: the dispatcher armed its sleep
+    // against the OLDEST enqueue time only, so a later-arriving
+    // request whose deadline fell well inside max_wait slept out the
+    // full window and expired in queue. The fixed dispatcher re-arms
+    // against the earliest queued deadline and urgent-flushes that
+    // request's bucket instead.
+    const ModelConfig cfg = tinyCfg();
+    Rng rng(79);
+    auto model = buildModel(cfg, rng);
+    FaultPlan plan;
+    // The urgent batch itself is slow (count-keyed on dispatch 0):
+    // the deadline must still be met with the injected delay inside.
+    plan.batch_delays[0] = std::chrono::milliseconds(50);
+    ServingConfig sc;
+    sc.max_batch = 4;
+    sc.bucket_granularity = 16;
+    sc.max_wait = std::chrono::seconds(10); // normal flush far too late
+    sc.fault_plan = &plan;
+    ServingEngine engine(*model, sc);
+
+    // A parks in the 16-bucket with no deadline: the dispatcher goes
+    // to sleep with nothing due for 10 s.
+    auto fa = engine.submit(std::vector<int>(10, 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // B arrives in a DIFFERENT bucket with a 2 s deadline. The buggy
+    // dispatcher kept sleeping on A's timeout; the fixed one wakes,
+    // sees the deadline is inside the max_wait window, and flushes
+    // B's bucket immediately.
+    const std::vector<int> b_toks(30, 2);
+    auto fb = engine.submit(
+        b_toks, deadlineAfter(std::chrono::seconds(2)));
+
+    const std::vector<float> got = fb.get(); // must resolve in time
+    // Urgent batches keep the engine's bitwise contract.
+    EXPECT_EQ(got, serveSerial(*model, {b_toks})[0]);
+
+    auto st = engine.stats();
+    EXPECT_EQ(st.expired_in_queue, 0u);
+    EXPECT_GE(st.urgent_flushes, 1u);
+    // Urgent pops are a subset of timeout flushes (same FlushReason).
+    EXPECT_GE(st.flushed_timeout, st.urgent_flushes);
+
+    // A was not dragged along (different bucket): it drains on flush.
+    engine.flush();
+    EXPECT_EQ(fa.get().size(), cfg.classes);
+    st = engine.stats();
+    EXPECT_EQ(st.completed, 2u);
+    EXPECT_EQ(st.failed, 0u);
+}
+
+TEST_F(FaultInjectionTest, UrgentFlushTakesBucketMatesAlong)
+{
+    // An urgent flush pops the whole bucket FIFO-from-head, so a
+    // no-deadline bucket-mate ahead of the urgent request rides along
+    // instead of being bypassed.
+    const ModelConfig cfg = tinyCfg();
+    Rng rng(80);
+    auto model = buildModel(cfg, rng);
+    ServingConfig sc;
+    sc.max_batch = 4;
+    sc.bucket_granularity = 16;
+    sc.max_wait = std::chrono::seconds(10);
+    ServingEngine engine(*model, sc);
+
+    auto fa = engine.submit(std::vector<int>(9, 1)); // same 16-bucket
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    auto fb = engine.submit(std::vector<int>(12, 2),
+                            deadlineAfter(std::chrono::seconds(2)));
+
+    EXPECT_EQ(fb.get().size(), cfg.classes);
+    EXPECT_EQ(fa.get().size(), cfg.classes); // served in the same group
+    const auto st = engine.stats();
+    EXPECT_EQ(st.batches, 1u); // one urgent group carried both
+    EXPECT_GE(st.urgent_flushes, 1u);
+    EXPECT_EQ(st.expired_in_queue, 0u);
 }
 
 // ------------------------------------- runtime cancellation unit

@@ -558,5 +558,63 @@ TEST_F(ServingTest, EngineInstallsAndRestoresWorkspaceCap)
     EXPECT_EQ(workspaceCapBytes(), 0u);
 }
 
+// --------------------------------------- deadline arithmetic hardening
+
+TEST_F(ServingTest, DeadlineAfterSaturatesInsteadOfOverflowing)
+{
+    using namespace std::chrono;
+    // A duration too large for the steady clock's representation must
+    // saturate to the no-deadline sentinel, never wrap negative into
+    // an instantly-expired deadline (the pre-fix behaviour).
+    EXPECT_EQ(serve::deadlineAfter(microseconds::max()),
+              serve::kNoDeadline);
+    EXPECT_EQ(serve::deadlineAfter(milliseconds::max()),
+              serve::kNoDeadline);
+    EXPECT_EQ(serve::deadlineAfter(hours::max()), serve::kNoDeadline);
+    EXPECT_EQ(
+        serve::deadlineAfter(RequestBatcher::Clock::duration::max()),
+        serve::kNoDeadline);
+
+    // Large-but-representable durations land in the far future with no
+    // wraparound: ~120 years fits a nanosecond-rep steady clock.
+    const auto far = serve::deadlineAfter(hours(1 << 20));
+    EXPECT_NE(far, serve::kNoDeadline);
+    EXPECT_GT(far, RequestBatcher::Clock::now() + hours(1));
+
+    // Ordinary deadlines are unchanged by the hardening.
+    const auto soon = serve::deadlineAfter(seconds(5));
+    EXPECT_NE(soon, serve::kNoDeadline);
+    EXPECT_GT(soon, RequestBatcher::Clock::now());
+    EXPECT_LT(soon, RequestBatcher::Clock::now() + seconds(6));
+
+    // Huge negative durations saturate to the clock's minimum - an
+    // already-expired deadline, not a wrapped future one.
+    EXPECT_EQ(serve::deadlineAfter(hours::min()),
+              serve::Deadline::min());
+    EXPECT_LE(serve::deadlineAfter(milliseconds::min()),
+              RequestBatcher::Clock::now());
+}
+
+TEST_F(ServingTest, HugeDeadlineAdmitsAndServesNormally)
+{
+    // End-to-end regression: before the saturation fix a huge deadline
+    // wrapped negative and every such request died DeadlineExceeded at
+    // submit. It must behave exactly like "no deadline".
+    const ModelConfig cfg = tinyCfg(ModelKind::Transformer);
+    Rng rng(39);
+    auto model = buildModel(cfg, rng);
+    ServingConfig sc;
+    sc.max_batch = 1; // flush-on-full: served immediately
+    ServingEngine engine(*model, sc);
+    const auto reqs = makeRequests({12}, cfg.vocab, 40);
+    auto fut = engine.submit(
+        reqs[0],
+        serve::deadlineAfter(std::chrono::microseconds::max()));
+    EXPECT_EQ(fut.get().size(), cfg.classes);
+    const auto st = engine.stats();
+    EXPECT_EQ(st.expired_in_queue, 0u);
+    EXPECT_EQ(st.completed, 1u);
+}
+
 } // namespace
 } // namespace fabnet
