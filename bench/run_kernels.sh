@@ -45,6 +45,13 @@ if [ "$build_type" != "Release" ]; then
 fi
 cmake --build "$BUILD_DIR" -j --target bench_kernels >/dev/null
 
+# Portability guard: numbers from a -march=native build only mean
+# something when the JSON says so. The bench binary stamps
+# `march_native` from its own build flags; if the cache says the build
+# specialised for this box, a JSON missing/denying that stamp (a stale
+# binary from before the field existed) must not be recorded.
+native_build=$(sed -n 's/^FABNET_NATIVE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt")
+
 "$BUILD_DIR"/bench_kernels \
     --benchmark_filter="$FILTER" \
     --benchmark_out=BENCH_kernels.json \
@@ -58,4 +65,26 @@ if ! grep -q '"repo_build_type": "Release"' BENCH_kernels.json; then
     exit 1
 fi
 
-echo "Wrote $(pwd)/BENCH_kernels.json (repo_build_type=Release)"
+if [ "${native_build^^}" = "ON" ] || [ "${native_build^^}" = "TRUE" ] \
+   || [ "$native_build" = "1" ]; then
+    if ! grep -q '"march_native": "true"' BENCH_kernels.json; then
+        rm -f BENCH_kernels.json
+        echo "error: $BUILD_DIR was configured with FABNET_NATIVE=ON" \
+             "(-march=native) but the bench binary did not record" \
+             "march_native=true in its JSON - refusing to stamp" \
+             "machine-specialised numbers as if they were portable." \
+             "Rebuild bench_kernels from the current tree (or" \
+             "reconfigure with -DFABNET_NATIVE=OFF)." >&2
+        exit 1
+    fi
+fi
+if ! grep -q '"isa":' BENCH_kernels.json; then
+    rm -f BENCH_kernels.json
+    echo "error: BENCH_kernels.json is missing the isa/cpu_signature" \
+         "execution-identity fields (docs/BENCHMARKS.md) - stale" \
+         "bench binary? Rebuild bench_kernels and rerun." >&2
+    exit 1
+fi
+
+echo "Wrote $(pwd)/BENCH_kernels.json (repo_build_type=Release," \
+     "march_native=${native_build:-OFF})"

@@ -18,6 +18,31 @@ BUILD_DIR=${BUILD_DIR:-build}
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j --target bench_serving >/dev/null
 
+# Portability guard (same contract as run_kernels.sh): refuse to stamp
+# a JSON whose build specialised for this box without saying so.
+native_build=$(sed -n 's/^FABNET_NATIVE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt")
+
 "$BUILD_DIR"/bench_serving --json BENCH_serving.json "$@"
 
-echo "Wrote $(pwd)/BENCH_serving.json"
+if [ "${native_build^^}" = "ON" ] || [ "${native_build^^}" = "TRUE" ] \
+   || [ "$native_build" = "1" ]; then
+    if ! grep -q '"march_native": true' BENCH_serving.json; then
+        rm -f BENCH_serving.json
+        echo "error: $BUILD_DIR was configured with FABNET_NATIVE=ON" \
+             "(-march=native) but the bench binary did not record" \
+             "march_native=true in its JSON - refusing to stamp" \
+             "machine-specialised numbers as if they were portable." \
+             "Rebuild bench_serving from the current tree (or" \
+             "reconfigure with -DFABNET_NATIVE=OFF)." >&2
+        exit 1
+    fi
+fi
+if ! grep -q '"isa":' BENCH_serving.json; then
+    rm -f BENCH_serving.json
+    echo "error: BENCH_serving.json is missing the isa/cpu_signature" \
+         "execution-identity fields (docs/BENCHMARKS.md) - stale" \
+         "bench binary? Rebuild bench_serving and rerun." >&2
+    exit 1
+fi
+
+echo "Wrote $(pwd)/BENCH_serving.json (march_native=${native_build:-OFF})"

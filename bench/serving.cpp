@@ -54,6 +54,8 @@
 #include "model/builder.h"
 #include "model/generator.h"
 #include "nn/embedding.h"
+#include "runtime/autotune.h"
+#include "runtime/isa.h"
 #include "runtime/parallel.h"
 #include "serve/generation.h"
 #include "serve/serving.h"
@@ -162,14 +164,23 @@ runModel(const char *label, const ModelConfig &cfg,
     bench::rule();
     std::printf("model %s: %s\n", label, cfg.describe().c_str());
 
-    // Warmup both paths (thread pool spin-up, workspace growth).
+    // Warmup: thread pool spin-up, workspace growth, and - since the
+    // autotuner searches on first sight of a shape - every batch
+    // size/padding mode the timed cases will run. Batched warmups use
+    // the FULL request set: group row counts depend on how many
+    // requests share a bucket, so a truncated warmup would form
+    // smaller groups and miss the tuning keys of the real run,
+    // landing one-time searches inside a measured scenario.
     {
-        const std::size_t n_warm = std::min<std::size_t>(8, reqs.size());
+        const std::size_t n_warm =
+            std::min<std::size_t>(8, reqs.size());
         const std::vector<std::vector<int>> warm(
             reqs.begin(), reqs.begin() + n_warm);
         runSerial(*model, warm);
-        runBatched(*model, warm, 8, false);
-        runBatched(*model, warm, 8, true);
+        for (std::size_t max_batch : {8u, 16u, 32u}) {
+            runBatched(*model, reqs, max_batch, false);
+            runBatched(*model, reqs, max_batch, true);
+        }
     }
 
     CaseResult serial;
@@ -768,10 +779,24 @@ main(int argc, char **argv)
             std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
             return 1;
         }
+        // Execution identity (docs/BENCHMARKS.md): which dispatch
+        // level ran, on what CPU, whether the build specialised for
+        // the build box, and the tiles the autotuner settled on while
+        // the scenarios above ran.
         std::fprintf(f,
                      "{\n  \"bench\": \"serving\",\n"
+                     "  \"isa\": \"%s\",\n"
+                     "  \"cpu_signature\": \"%s\",\n"
+#ifdef FABNET_BUILT_NATIVE
+                     "  \"march_native\": true,\n"
+#else
+                     "  \"march_native\": false,\n"
+#endif
+                     "  \"tuning\": %s,\n"
                      "  \"threads\": %zu,\n  \"requests\": %zu,\n"
                      "  \"lengths\": \"4..32\",\n  \"cases\": [\n",
+                     runtime::isa(), runtime::cpuSignature().c_str(),
+                     runtime::tuningReport().c_str(),
                      runtime::numThreads(), reqs.size());
         for (std::size_t i = 0; i < cases.size(); ++i) {
             const auto &c = cases[i];

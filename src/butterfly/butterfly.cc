@@ -20,9 +20,12 @@ namespace {
  * so every butterfly pair op is a contiguous vector over rows with
  * broadcast weights - one fused multiply-add stream instead of the
  * stride-2^s scalar gather of the per-row path. 16 rows = one AVX-512
- * vector per op while still giving 4+ tasks at a 64-row batch.
+ * vector per op while still giving 4+ tasks at a 64-row batch. The
+ * sweep itself lives in the runtime dispatch table (bfly_stage,
+ * runtime/kernels_impl.h) so the vectorised body is compiled per ISA
+ * level and selected at startup; kBflyBlockRows pins the same width.
  */
-constexpr std::size_t kBatchRows = 16;
+constexpr std::size_t kBatchRows = runtime::kBflyBlockRows;
 
 /** Workspace tags (see runtime/workspace.h): the matrix kernels and
  *  ButterflyLinear's padding buffers are live at the same time, so
@@ -35,61 +38,6 @@ struct LinearGradWs;
 /** Parallel grain of the owner-parallel weight-gradient sweep:
  *  (stage, pair) blocks this wide per task. */
 constexpr std::size_t kWeightGradGrain = 64;
-
-/**
- * One butterfly stage over a transposed [n, NB] block, in place: pair
- * (i1, i2) only reads its own two lanes, so the update needs no
- * second buffer. NB is a compile-time width so the lane loop unrolls
- * to straight-line vector code.
- */
-template <std::size_t NB>
-void
-stageSweepFixed(float *buf, const float *wp, std::size_t n,
-                std::size_t h)
-{
-    for (std::size_t base = 0; base < n; base += 2 * h) {
-        for (std::size_t j = 0; j < h; ++j, wp += 4) {
-            const float w0 = wp[0], w1 = wp[1], w2 = wp[2], w3 = wp[3];
-            float *x1 = buf + (base + j) * NB;
-            float *x2 = x1 + h * NB;
-            // Stage through non-escaping locals: frees the compiler
-            // from the (unprovable) x1/x2 overlap question, so all
-            // four loops vectorise cleanly.
-            float a[NB], bv[NB];
-            for (std::size_t r = 0; r < NB; ++r) {
-                a[r] = x1[r];
-                bv[r] = x2[r];
-            }
-            for (std::size_t r = 0; r < NB; ++r)
-                x1[r] = runtime::madd(w0, a[r], w1 * bv[r]);
-            for (std::size_t r = 0; r < NB; ++r)
-                x2[r] = runtime::madd(w2, a[r], w3 * bv[r]);
-        }
-    }
-}
-
-/** Runtime-width variant for the tail block (rows % kBatchRows). */
-void
-stageSweep(float *buf, const float *wp, std::size_t n, std::size_t h,
-           std::size_t nb)
-{
-    float a[kBatchRows], bv[kBatchRows]; // nb < kBatchRows here
-    for (std::size_t base = 0; base < n; base += 2 * h) {
-        for (std::size_t j = 0; j < h; ++j, wp += 4) {
-            const float w0 = wp[0], w1 = wp[1], w2 = wp[2], w3 = wp[3];
-            float *x1 = buf + (base + j) * nb;
-            float *x2 = x1 + h * nb;
-            for (std::size_t r = 0; r < nb; ++r) {
-                a[r] = x1[r];
-                bv[r] = x2[r];
-            }
-            for (std::size_t r = 0; r < nb; ++r)
-                x1[r] = runtime::madd(w0, a[r], w1 * bv[r]);
-            for (std::size_t r = 0; r < nb; ++r)
-                x2[r] = runtime::madd(w2, a[r], w3 * bv[r]);
-        }
-    }
-}
 
 } // namespace
 
@@ -182,33 +130,23 @@ ButterflyMatrix::applyRows(const float *in, float *out,
     // expression), so the reordering and vectorisation are bitwise
     // identical to the scalar per-row apply().
     float *buf = runtime::threadWorkspace<MatrixWs>(kBatchRows * n_);
+    const runtime::KernelTable &kt = runtime::kernels();
     for (std::size_t r0 = 0; r0 < rows; r0 += kBatchRows) {
         const std::size_t nb = std::min(kBatchRows, rows - r0);
         // Transposed load with contiguous stores (the strided side is
-        // the cheaper gather-load side).
-        for (std::size_t i = 0; i < n_; ++i) {
-            const float *src = in + r0 * n_ + i;
-            float *dst = buf + i * nb;
-            for (std::size_t r = 0; r < nb; ++r)
-                dst[r] = src[r * n_];
-        }
-        // Pair p = block*h + j touches i1 = block*2h + j; the sweeps
-        // walk (block, j) in order so the weight pointer advances
-        // sequentially with no div/mod.
+        // the cheaper gather-load side), via the dispatch table so it
+        // vectorises at the same ISA level as the stages.
+        kt.bfly_transpose_in(in + r0 * n_, buf, n_, nb, n_);
+        // Pair p = block*h + j touches i1 = block*2h + j; the sweep
+        // walks (block, j) in order so the weight pointer advances
+        // sequentially with no div/mod. The sweep body is the
+        // ISA-dispatched bfly_stage kernel.
         for (std::size_t s = 0; s < stages_; ++s) {
             const float *wp = &weights_[s * (n_ / 2) * 4];
             const std::size_t h = std::size_t{1} << s;
-            if (nb == kBatchRows)
-                stageSweepFixed<kBatchRows>(buf, wp, n_, h);
-            else
-                stageSweep(buf, wp, n_, h, nb);
+            kt.bfly_stage(buf, wp, n_, h, nb);
         }
-        for (std::size_t r = 0; r < nb; ++r) {
-            const float *src = buf + r;
-            float *dst = out + (r0 + r) * n_;
-            for (std::size_t i = 0; i < n_; ++i)
-                dst[i] = src[i * nb];
-        }
+        kt.bfly_transpose_out(buf, out + r0 * n_, n_, nb, n_);
     }
 }
 

@@ -4,10 +4,6 @@
 #include <cstring>
 #include <stdexcept>
 
-#if defined(__AVX512F__)
-#include <immintrin.h>
-#endif
-
 #include "runtime/kernels.h"
 #include "runtime/parallel.h"
 #include "runtime/workspace.h"
@@ -16,8 +12,10 @@ namespace fabnet {
 
 namespace {
 
-/** Rows per stage-major block and parallel grain (see butterfly.cc). */
-constexpr std::size_t kQBatchRows = 16;
+/** Rows per stage-major block and parallel grain (see butterfly.cc).
+ *  Pinned to the dispatch table's block width: the stage kernels
+ *  specialise their vector fast path for exactly this many rows. */
+constexpr std::size_t kQBatchRows = runtime::kBflyBlockRows;
 
 /** Workspace tags; distinct element types get distinct storage. */
 struct QMatI8Ws;    ///< int8 activations
@@ -26,71 +24,12 @@ struct QMatScaleWs; ///< per-row scales
 struct QMatF16Ws;   ///< fp16-representable float activations
 struct QLinWs;      ///< ButterflyLinear padding / core output floats
 
-/**
- * The one requantisation scale-update expression. Every int8 path
- * (scalar reference, workspace apply, stage-major batch) must call
- * this identically or exact parity breaks: two rounded multiplies,
- * in this association.
- */
-inline float
-int8StageScale(float scale, float w_scale, std::int32_t m)
-{
-    return (scale * w_scale) *
-           (static_cast<float>(m) / static_cast<float>(runtime::kInt8Max));
-}
-
-/** Requantise one int32 stage output with factor f = 127/m. Stage
- *  outputs are <= 2*127^2, exactly representable in float, so this is
- *  the pinned quantizeInt8 semantics applied to the widened value. */
-inline std::int8_t
-requantInt8(std::int32_t y, float f)
-{
-    return runtime::quantizeInt8(static_cast<float>(y), f);
-}
-
-/** One fp16 butterfly pair output: fp32 multiply-add, binary16 round. */
-inline float
-f16PairOut(float w0, float x1, float w1, float x2)
-{
-    return roundToHalf(runtime::madd(w0, x1, w1 * x2));
-}
-
 /** Bias epilogue shared by every QuantizedButterflyLinear path. */
 inline float
 biasEpilogue(QuantKind kind, float v, float b)
 {
     return kind == QuantKind::Fp16 ? roundToHalf(v + b) : v + b;
 }
-
-// The 512-bit lane helpers below hard-code one vector per block row.
-static_assert(kQBatchRows == 16,
-              "qbutterfly lane helpers assume 16-row blocks");
-
-#if defined(__AVX512F__) && defined(__FP_FAST_FMAF)
-/**
- * 16-lane fp16 pair op: fmadd + hardware binary16 round - the exact
- * vector form of f16PairOut (madd is std::fma here, and vcvtps2ph
- * matches the software rounding bit for bit on finite values), so the
- * vectorised block path stays bitwise equal to the scalar reference.
- */
-inline void
-f16PairSweepLanes16(float *x1, float *x2, float w0, float w1, float w2,
-                    float w3)
-{
-    const __m512 a = _mm512_loadu_ps(x1);
-    const __m512 b = _mm512_loadu_ps(x2);
-    const __m512 y1 = _mm512_fmadd_ps(
-        _mm512_set1_ps(w0), a, _mm512_mul_ps(_mm512_set1_ps(w1), b));
-    const __m512 y2 = _mm512_fmadd_ps(
-        _mm512_set1_ps(w2), a, _mm512_mul_ps(_mm512_set1_ps(w3), b));
-    constexpr int rne = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
-    _mm512_storeu_ps(x1,
-                     _mm512_cvtph_ps(_mm512_cvtps_ph(y1, rne)));
-    _mm512_storeu_ps(x2,
-                     _mm512_cvtph_ps(_mm512_cvtps_ph(y2, rne)));
-}
-#define FABNET_QBFLY_F16_LANES 1
-#endif
 
 } // namespace
 
@@ -158,8 +97,8 @@ int8StagesRow(const std::int8_t *wq, const float *wscale, std::size_t n,
         const float f = static_cast<float>(runtime::kInt8Max) /
                         static_cast<float>(m);
         for (std::size_t i = 0; i < n; ++i)
-            q[i] = requantInt8(y[i], f);
-        scale = int8StageScale(scale, wscale[s], m);
+            q[i] = runtime::requantInt8(y[i], f);
+        scale = runtime::int8StageScale(scale, wscale[s], m);
     }
     return scale;
 }
@@ -182,8 +121,8 @@ QuantizedButterflyMatrix::applyReference(const float *in,
                 const float x1 = buf[i1], x2 = buf[i2];
                 const float *w = ws + p * 4;
                 // In-place is safe: a pair only touches its own lanes.
-                buf[i1] = f16PairOut(w[0], x1, w[1], x2);
-                buf[i2] = f16PairOut(w[2], x1, w[3], x2);
+                buf[i1] = runtime::f16PairOut(w[0], x1, w[1], x2);
+                buf[i2] = runtime::f16PairOut(w[2], x1, w[3], x2);
             }
         }
         std::memcpy(out, buf.data(), n_ * sizeof(float));
@@ -219,8 +158,8 @@ QuantizedButterflyMatrix::apply(const float *in, float *out) const
                 ButterflyMatrix::pairIndices(s, p, i1, i2);
                 const float x1 = buf[i1], x2 = buf[i2];
                 const float *w = ws + p * 4;
-                buf[i1] = f16PairOut(w[0], x1, w[1], x2);
-                buf[i2] = f16PairOut(w[2], x1, w[3], x2);
+                buf[i1] = runtime::f16PairOut(w[0], x1, w[1], x2);
+                buf[i2] = runtime::f16PairOut(w[2], x1, w[3], x2);
             }
         }
         std::memcpy(out, buf, n_ * sizeof(float));
@@ -253,52 +192,26 @@ QuantizedButterflyMatrix::applyRows(const float *in, float *out,
         if (kind_ == QuantKind::Fp16) {
             // Transposed [n, nb] block, operands rounded on load; each
             // pair op is the same f16PairOut expression as the scalar
-            // path, so results match it bitwise.
+            // path, so results match it bitwise. The stage sweep is the
+            // ISA-dispatched qbfly_f16_stage kernel.
             float *buf =
                 runtime::threadWorkspace<QMatF16Ws>(n_ * kQBatchRows);
-            for (std::size_t i = 0; i < n_; ++i) {
-                const float *src = in + r0 * n_ + i;
-                float *dst = buf + i * nb;
-                for (std::size_t r = 0; r < nb; ++r)
-                    dst[r] = roundToHalf(src[r * n_]);
-            }
+            const runtime::KernelTable &kt = runtime::kernels();
+            kt.qbfly_f16_transpose_in(in + r0 * n_, buf, n_, nb, n_);
             for (std::size_t s = 0; s < stages_; ++s) {
                 const float *wp = wh_.data() + s * (n_ / 2) * 4;
                 const std::size_t h = std::size_t{1} << s;
-                for (std::size_t base = 0; base < n_; base += 2 * h) {
-                    for (std::size_t j = 0; j < h; ++j, wp += 4) {
-                        float *x1 = buf + (base + j) * nb;
-                        float *x2 = x1 + h * nb;
-                        const float w0 = wp[0], w1 = wp[1];
-                        const float w2 = wp[2], w3 = wp[3];
-#if defined(FABNET_QBFLY_F16_LANES)
-                        if (nb == kQBatchRows) {
-                            f16PairSweepLanes16(x1, x2, w0, w1, w2,
-                                                w3);
-                            continue;
-                        }
-#endif
-                        for (std::size_t r = 0; r < nb; ++r) {
-                            const float a = x1[r], b = x2[r];
-                            x1[r] = f16PairOut(w0, a, w1, b);
-                            x2[r] = f16PairOut(w2, a, w3, b);
-                        }
-                    }
-                }
+                kt.qbfly_f16_stage(buf, wp, n_, h, nb);
             }
-            for (std::size_t r = 0; r < nb; ++r) {
-                const float *src = buf + r;
-                float *dst = out + (r0 + r) * n_;
-                for (std::size_t i = 0; i < n_; ++i)
-                    dst[i] = src[i * nb];
-            }
+            kt.bfly_transpose_out(buf, out + r0 * n_, n_, nb, n_);
             continue;
         }
 
         // int8: transposed int8 block + int32 stage buffer + per-row
         // scales. Integer stage ops are exact in any order; the float
         // quantise/requantise expressions run per row exactly as in
-        // int8StagesRow.
+        // int8StagesRow. The stage multiply and the requantisation are
+        // the ISA-dispatched qbfly_i8_stage / qbfly_i8_requant kernels.
         std::int8_t *q = runtime::threadWorkspaceAs<QMatI8Ws,
                                                     std::int8_t>(
             n_ * kQBatchRows);
@@ -307,111 +220,15 @@ QuantizedButterflyMatrix::applyRows(const float *in, float *out,
             n_ * kQBatchRows);
         float *scale = runtime::threadWorkspace<QMatScaleWs>(kQBatchRows);
 
-        for (std::size_t r = 0; r < nb; ++r) {
-            const float *row = in + (r0 + r) * n_;
-            const float m_in = runtime::maxAbsRow(row, n_);
-            if (m_in == 0.0f) {
-                scale[r] = 0.0f; // dequantises to exact zeros below
-                for (std::size_t i = 0; i < n_; ++i)
-                    q[i * nb + r] = 0;
-                continue;
-            }
-            scale[r] = runtime::int8Scale(m_in);
-            const float inv = 1.0f / scale[r];
-            for (std::size_t i = 0; i < n_; ++i)
-                q[i * nb + r] = runtime::quantizeInt8(row[i], inv);
-        }
-
+        const runtime::KernelTable &kt = runtime::kernels();
+        kt.qbfly_i8_quant_in(in + r0 * n_, q, scale, n_, nb, n_);
         for (std::size_t s = 0; s < stages_; ++s) {
-            const std::int8_t *wp = wq_.data() + s * (n_ / 2) * 4;
+            const std::int8_t *w = wq_.data() + s * (n_ / 2) * 4;
             const std::size_t h = std::size_t{1} << s;
-            const std::int8_t *w = wp;
-            for (std::size_t base = 0; base < n_; base += 2 * h) {
-                for (std::size_t j = 0; j < h; ++j, w += 4) {
-                    std::int8_t *x1 = q + (base + j) * nb;
-                    std::int8_t *x2 = x1 + h * nb;
-                    std::int32_t *y1 = y + (base + j) * nb;
-                    std::int32_t *y2 = y1 + h * nb;
-                    const std::int32_t w0 = w[0], w1 = w[1];
-                    const std::int32_t w2 = w[2], w3 = w[3];
-                    for (std::size_t r = 0; r < nb; ++r) {
-                        const std::int32_t a = x1[r], b = x2[r];
-                        y1[r] = w0 * a + w1 * b;
-                        y2[r] = w2 * a + w3 * b;
-                    }
-                }
-            }
-#if defined(__AVX512F__)
-            if (nb == kQBatchRows) {
-                // Lane-parallel requantisation: the per-row max and
-                // the round/clamp run vertically over contiguous
-                // 16-lane vectors. Same product rounding, RNE
-                // conversion and clamp as requantInt8; a zero-max
-                // lane gets factor 0.0, which maps its (all-zero)
-                // int32s to exact zeros like the scalar path.
-                __m512i vm = _mm512_setzero_si512();
-                for (std::size_t i = 0; i < n_; ++i)
-                    vm = _mm512_max_epi32(
-                        vm, _mm512_abs_epi32(_mm512_loadu_si512(
-                                y + i * nb)));
-                alignas(64) std::int32_t m[kQBatchRows];
-                alignas(64) float f[kQBatchRows];
-                _mm512_store_si512(m, vm);
-                for (std::size_t r = 0; r < nb; ++r)
-                    f[r] = m[r] != 0
-                               ? static_cast<float>(runtime::kInt8Max) /
-                                     static_cast<float>(m[r])
-                               : 0.0f;
-                const __m512 vf = _mm512_load_ps(f);
-                const __m512i lo =
-                    _mm512_set1_epi32(-runtime::kInt8Max);
-                const __m512i hi =
-                    _mm512_set1_epi32(runtime::kInt8Max);
-                for (std::size_t i = 0; i < n_; ++i) {
-                    const __m512 p = _mm512_mul_ps(
-                        _mm512_cvtepi32_ps(
-                            _mm512_loadu_si512(y + i * nb)),
-                        vf);
-                    __m512i r32 = _mm512_cvtps_epi32(p);
-                    r32 = _mm512_min_epi32(
-                        _mm512_max_epi32(r32, lo), hi);
-                    _mm_storeu_si128(
-                        reinterpret_cast<__m128i *>(q + i * nb),
-                        _mm512_cvtsepi32_epi8(r32));
-                }
-                for (std::size_t r = 0; r < nb; ++r)
-                    if (m[r] != 0)
-                        scale[r] = int8StageScale(scale[r],
-                                                  wscale_[s], m[r]);
-                continue;
-            }
-#endif
-            for (std::size_t r = 0; r < nb; ++r) {
-                std::int32_t m = 0;
-                for (std::size_t i = 0; i < n_; ++i) {
-                    const std::int32_t v = y[i * nb + r];
-                    const std::int32_t a = v < 0 ? -v : v;
-                    if (a > m)
-                        m = a;
-                }
-                if (m == 0) {
-                    for (std::size_t i = 0; i < n_; ++i)
-                        q[i * nb + r] = 0;
-                    continue;
-                }
-                const float f = static_cast<float>(runtime::kInt8Max) /
-                                static_cast<float>(m);
-                for (std::size_t i = 0; i < n_; ++i)
-                    q[i * nb + r] = requantInt8(y[i * nb + r], f);
-                scale[r] = int8StageScale(scale[r], wscale_[s], m);
-            }
+            kt.qbfly_i8_stage(q, y, w, n_, h, nb);
+            kt.qbfly_i8_requant(y, q, scale, wscale_[s], n_, nb);
         }
-
-        for (std::size_t r = 0; r < nb; ++r) {
-            float *dst = out + (r0 + r) * n_;
-            for (std::size_t i = 0; i < n_; ++i)
-                dst[i] = static_cast<float>(q[i * nb + r]) * scale[r];
-        }
+        kt.qbfly_i8_dequant_out(q, scale, out + r0 * n_, n_, nb, n_);
     }
 }
 

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "runtime/autotune.h"
 #include "runtime/kernels.h"
 #include "runtime/parallel.h"
 #include "runtime/reduce.h"
@@ -144,8 +145,10 @@ Dense::forward(const Tensor &x)
     float *wt = runtime::threadWorkspace<DenseWtWs>(in_ * out_);
     runtime::transposeInto(wt, w_.data(), out_, in_);
     const float *pw = wt;
-    runtime::parallelFor(0, rows, 8, [&](std::size_t r0, std::size_t r1) {
-        runtime::gemmRowsIKJ(px, pw, py, r0, r1, in_, out_, pb);
+    const runtime::GemmPlan plan = runtime::planGemmF32(rows, in_, out_);
+    runtime::parallelFor(0, rows, plan.grain,
+                         [&](std::size_t r0, std::size_t r1) {
+        runtime::gemmRowsIKJ(px, pw, py, r0, r1, in_, out_, pb, plan.mk);
     });
     return y;
 }
@@ -189,8 +192,11 @@ Dense::forwardRows(const Tensor &x, const nn::RowSet &rows)
     float *wt = runtime::threadWorkspace<DenseWtWs>(in_ * out_);
     runtime::transposeInto(wt, w_.data(), out_, in_);
     const float *pw = wt;
-    nn::forEachRowSpan(rows, 8, [&](std::size_t r0, std::size_t r1) {
-        runtime::gemmRowsIKJ(px, pw, py, r0, r1, in_, out_, pb);
+    const runtime::GemmPlan plan =
+        runtime::planGemmF32(rows.totalRows(), in_, out_);
+    nn::forEachRowSpan(rows, plan.grain,
+                       [&](std::size_t r0, std::size_t r1) {
+        runtime::gemmRowsIKJ(px, pw, py, r0, r1, in_, out_, pb, plan.mk);
     });
     return y;
 }
@@ -355,10 +361,13 @@ QuantizedDense::forward(const Tensor &x)
         runtime::roundRowToHalf(ah, rows * in_);
         const float *wt = wt_h_.data();
         const float *pb = bias_h_.data();
-        runtime::parallelFor(0, rows, 8,
+        const runtime::GemmPlan plan =
+            runtime::planGemmF16(rows, in_, out_);
+        runtime::parallelFor(0, rows, plan.grain,
                              [&](std::size_t r0, std::size_t r1) {
                                  runtime::gemmRowsF16(ah, wt, py, r0, r1,
-                                                      in_, out_, pb);
+                                                      in_, out_, pb,
+                                                      plan.mk);
                              });
         return y;
     }
@@ -379,7 +388,8 @@ QuantizedDense::forward(const Tensor &x)
     const std::int16_t *bp = bp_.data();
     const float *sb = wscale_.data();
     const float *pb = bias_.data();
-    runtime::parallelFor(0, rows, 8,
+    const runtime::GemmPlan plan = runtime::planGemmInt8(rows, in_, out_);
+    runtime::parallelFor(0, rows, plan.grain,
                          [&](std::size_t r0, std::size_t r1) {
                              runtime::gemmRowsInt8(aq, bp, py, r0, r1,
                                                    in_, out_, sa, sb,
@@ -410,12 +420,15 @@ QuantizedDense::forwardRows(const Tensor &x, const nn::RowSet &rows)
             runtime::threadWorkspace<QDenseAhWs>(padded_rows * in_);
         const float *wt = wt_h_.data();
         const float *pb = bias_h_.data();
-        nn::forEachRowSpan(rows, 8,
+        const runtime::GemmPlan plan =
+            runtime::planGemmF16(rows.totalRows(), in_, out_);
+        nn::forEachRowSpan(rows, plan.grain,
                            [&](std::size_t r0, std::size_t r1) {
             std::memcpy(ah + r0 * in_, px + r0 * in_,
                         (r1 - r0) * in_ * sizeof(float));
             runtime::roundRowToHalf(ah + r0 * in_, (r1 - r0) * in_);
-            runtime::gemmRowsF16(ah, wt, py, r0, r1, in_, out_, pb);
+            runtime::gemmRowsF16(ah, wt, py, r0, r1, in_, out_, pb,
+                                 plan.mk);
         });
         return y;
     }

@@ -1,0 +1,32 @@
+#include "runtime/dispatch.h"
+
+namespace fabnet {
+namespace runtime {
+
+const KernelTable *
+kernelTableFor(Isa isa)
+{
+    if (!isaSupported(isa))
+        return nullptr;
+    switch (isa) {
+    case Isa::Scalar:
+        return &kernelTableScalar();
+    case Isa::Avx2:
+        return &kernelTableAvx2();
+    case Isa::Avx512:
+        return &kernelTableAvx512();
+    case Isa::Avx512Vnni:
+        return &kernelTableAvx512Vnni();
+    }
+    return &kernelTableScalar();
+}
+
+const KernelTable &
+kernels()
+{
+    static const KernelTable &t = *kernelTableFor(activeIsa());
+    return t;
+}
+
+} // namespace runtime
+} // namespace fabnet

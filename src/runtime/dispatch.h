@@ -1,0 +1,183 @@
+/**
+ * @file dispatch.h
+ * The one dispatch point per kernel family.
+ *
+ * Four kernel variants are compiled into every binary from the same
+ * source (kernels_impl.h) in four translation units with different
+ * per-TU -m flags (see CMakeLists.txt): scalar, AVX2, AVX-512 and
+ * AVX-512+VNNI. Each exports one KernelTable of function pointers;
+ * kernels() picks the table for runtime::activeIsa() once at startup.
+ * Callers never branch on the ISA again - ops/nn/butterfly code calls
+ * the thin wrappers in kernels.h, which load straight from the table.
+ *
+ * Every entry of every table is bitwise identical to the scalar
+ * reference implementation for the same inputs (the repo's parity
+ * contract): fp32/fp16 paths share the pinned madd contraction and
+ * binary16 rounding points, the int8 paths are exact integer
+ * arithmetic, and max/quantise reductions are order-insensitive on
+ * the data they see. The isa-parity ctest label enforces this per
+ * variant.
+ */
+#ifndef FABNET_RUNTIME_DISPATCH_H
+#define FABNET_RUNTIME_DISPATCH_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/isa.h"
+
+namespace fabnet {
+namespace runtime {
+
+/** One fp32 GEMM micro-kernel register shape (MR rows x NR cols). */
+struct GemmKernelShape
+{
+    int mr, nr;
+};
+
+/**
+ * The fp32 micro-kernel menu, indexed by the `mk` argument of
+ * KernelTable::gemm_f32 (and by GemmPlan::mk from the autotuner).
+ * Entry 0 is the historical compile-time choice (4x32). Any entry
+ * produces bitwise-identical results - the register shape partitions
+ * the output, never an accumulation chain - so the autotuner is free
+ * to pick by speed alone.
+ */
+inline constexpr GemmKernelShape kGemmKernels[] = {
+    {4, 32}, {4, 16}, {4, 64}, {8, 32}, {8, 16}, {2, 32},
+};
+inline constexpr int kNumGemmKernels =
+    static_cast<int>(sizeof(kGemmKernels) / sizeof(kGemmKernels[0]));
+/** The default micro-kernel (the pre-dispatch 4x32 tile). */
+inline constexpr int kDefaultGemmKernel = 0;
+
+/**
+ * Function-pointer table for one compiled kernel variant. Pointer
+ * arguments follow the wrappers in kernels.h, which document the
+ * semantics; `mk` selects a kGemmKernels register shape.
+ */
+struct KernelTable
+{
+    Isa level;        ///< variant this table was compiled for
+    const char *name; ///< isaName(level)
+
+    /** fp32 GEMM panel: C[r0..r1) = (bias|0) + A[r0..r1) * B. */
+    void (*gemm_f32)(const float *a, const float *b, float *c,
+                     std::size_t r0, std::size_t r1, std::size_t k,
+                     std::size_t n, const float *bias, int mk);
+
+    /** int8 GEMM panel over the packInt8PairsB layout. */
+    void (*gemm_i8)(const std::int8_t *a, const std::int16_t *bp,
+                    float *c, std::size_t r0, std::size_t r1,
+                    std::size_t k, std::size_t n, const float *a_scale,
+                    const float *b_scale, const float *bias);
+
+    /** Largest |x| over n contiguous floats. */
+    float (*max_abs_row)(const float *x, std::size_t n);
+
+    /** Quantise n floats with one shared inverse scale. */
+    void (*quantize_i8_row)(const float *x, std::int8_t *q,
+                            std::size_t n, float inv);
+
+    /** Quantise n floats with per-element inverse scales. */
+    void (*quantize_i8_row_percol)(const float *x, std::int8_t *q,
+                                   std::size_t n, const float *inv);
+
+    /** Round n floats through binary16 in place. */
+    void (*round_row_to_half)(float *x, std::size_t n);
+
+    /** Widen n binary16 bit patterns to float (exact). */
+    void (*half_bits_to_float_row)(const std::uint16_t *h, float *f,
+                                   std::size_t n);
+
+    /** Round n floats to binary16 bit patterns. */
+    void (*float_to_half_bits_row)(const float *f, std::uint16_t *h,
+                                   std::size_t n);
+
+    /**
+     * One fp32 butterfly stage (stride h) over a TRANSPOSED [n, nb]
+     * activation block, in place; nb <= 16 (the stage-major block
+     * width of butterfly.cc).
+     */
+    void (*bfly_stage)(float *buf, const float *wp, std::size_t n,
+                       std::size_t h, std::size_t nb);
+
+    /** fp16 butterfly stage: same sweep with the f16PairOut rounding
+     *  points (quantized butterfly, QuantKind::Fp16). */
+    void (*qbfly_f16_stage)(float *buf, const float *wp, std::size_t n,
+                            std::size_t h, std::size_t nb);
+
+    /** int8 butterfly stage multiply into int32: y = W_s q over the
+     *  transposed block (exact integer arithmetic). */
+    void (*qbfly_i8_stage)(const std::int8_t *q, std::int32_t *y,
+                           const std::int8_t *w, std::size_t n,
+                           std::size_t h, std::size_t nb);
+
+    /**
+     * int8 butterfly requantise: per-row (lane) max over the [n, nb]
+     * int32 block, rewrite q through requantInt8(127/m), and update
+     * scale[r] via int8StageScale with this stage's weight scale
+     * @p wscale_s; all-zero rows keep their scale and quantise to
+     * exact zeros.
+     */
+    void (*qbfly_i8_requant)(const std::int32_t *y, std::int8_t *q,
+                             float *scale, float wscale_s,
+                             std::size_t n, std::size_t nb);
+
+    // Block load/store transposes of the stage-major butterfly paths.
+    // Pure data movement (plus the pinned per-element rounding /
+    // quantisation expressions where noted), dispatched because the
+    // strided sweeps vectorise only with the variant's -m flags and
+    // would otherwise dominate the batched butterfly at fp32 speeds.
+
+    /** buf[i*nb + r] = src[r*stride + i] (transposed block load). */
+    void (*bfly_transpose_in)(const float *src, float *buf,
+                              std::size_t n, std::size_t nb,
+                              std::size_t stride);
+
+    /** dst[r*stride + i] = buf[i*nb + r] (transposed block store). */
+    void (*bfly_transpose_out)(const float *buf, float *dst,
+                               std::size_t n, std::size_t nb,
+                               std::size_t stride);
+
+    /** Transposed block load with operands rounded through binary16
+     *  on the way in (quantized butterfly, QuantKind::Fp16). */
+    void (*qbfly_f16_transpose_in)(const float *src, float *buf,
+                                   std::size_t n, std::size_t nb,
+                                   std::size_t stride);
+
+    /** Per-row int8 quantisation into a transposed block: scale[r]
+     *  from int8Scale(max|row|), all-zero rows get scale 0 and exact
+     *  zero codes (the pinned int8StagesRow load semantics). */
+    void (*qbfly_i8_quant_in)(const float *src, std::int8_t *q,
+                              float *scale, std::size_t n,
+                              std::size_t nb, std::size_t stride);
+
+    /** dst[r*stride + i] = float(q[i*nb + r]) * scale[r] (dequantised
+     *  transposed block store). */
+    void (*qbfly_i8_dequant_out)(const std::int8_t *q,
+                                 const float *scale, float *dst,
+                                 std::size_t n, std::size_t nb,
+                                 std::size_t stride);
+};
+
+// One exported table per variant TU (kernels_<variant>.cc).
+const KernelTable &kernelTableScalar();
+const KernelTable &kernelTableAvx2();
+const KernelTable &kernelTableAvx512();
+const KernelTable &kernelTableAvx512Vnni();
+
+/**
+ * Table for an explicit level (tests / autotuner probes). Returns
+ * nullptr when the HOST cannot execute that variant - callers must
+ * not invoke entries of an unsupported table.
+ */
+const KernelTable *kernelTableFor(Isa isa);
+
+/** The table selected for activeIsa(); cached after the first call. */
+const KernelTable &kernels();
+
+} // namespace runtime
+} // namespace fabnet
+
+#endif // FABNET_RUNTIME_DISPATCH_H

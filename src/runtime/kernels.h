@@ -1,15 +1,19 @@
 /**
  * @file kernels.h
- * Shared register-blocked GEMM micro-kernels. Every caller-facing
- * parallel path (ops::matmul, ops::matmulTransposed via an explicit
- * transpose, Dense::forward, attention) lowers onto the same panel so
- * the performance work - and the bitwise behaviour - lives in exactly
- * one place.
+ * Caller-facing kernel entry points. Every caller-facing parallel
+ * path (ops::matmul, ops::matmulTransposed via an explicit transpose,
+ * Dense::forward, attention, the quantized paths) lowers onto these
+ * wrappers, which load the function pointer installed for this
+ * machine's ISA from the dispatch table (runtime/dispatch.h) - the
+ * performance work AND the bitwise behaviour live in exactly one
+ * place per kernel family, selected once at startup.
  *
- * The kernel preserves the floating-point accumulation order of the
- * naive scalar loops per output element (k strictly increasing with a
- * single accumulator chain per C[i][j]), so blocking changes neither
- * results nor the determinism guarantee documented in parallel.h.
+ * The scalar semantics every variant must reproduce bit for bit are
+ * pinned in kernels_common.h (madd contraction, int8 quantise/
+ * dequantise expressions, binary16 rounding points); the variant
+ * bodies live in kernels_impl.h, compiled once per ISA level with
+ * per-TU -m flags. See dispatch.h for the parity argument per family
+ * and autotune.h for how the `mk` micro-kernel index is chosen.
  *
  * ## Quantized variants
  * The int8 panel (gemmRowsInt8) mirrors the fp32 tiling but multiplies
@@ -26,211 +30,36 @@
 #ifndef FABNET_RUNTIME_KERNELS_H
 #define FABNET_RUNTIME_KERNELS_H
 
-#include <algorithm>
-#include <cmath>
 #include <cstddef>
 #include <cstdint>
-#include <cstring>
 
-#if defined(__AVX2__) || defined(__F16C__)
-#include <immintrin.h>
-#endif
-
-#include "runtime/workspace.h"
-#include "tensor/half.h"
+#include "runtime/dispatch.h"
+#include "runtime/kernels_common.h"
 
 namespace fabnet {
 namespace runtime {
 
 /**
- * Pinned multiply-add: a*b + c with an explicitly chosen contraction.
- * Both the blocked kernels and the scalar reference paths accumulate
- * through this helper, so the compiler cannot fuse one side and not
- * the other - the root requirement behind the bitwise-parity
- * guarantee. Uses the hardware fma when the target has one (single
- * rounding, and vectorises to vfmadd), plain mul+add otherwise.
- */
-inline float
-madd(float a, float b, float c)
-{
-#if defined(__FP_FAST_FMAF) || defined(FP_FAST_FMAF)
-    return std::fma(a, b, c);
-#else
-    return a * b + c;
-#endif
-}
-
-/** Column tile width held in registers by the GEMM micro-kernel. */
-constexpr std::size_t kGemmTileN = 32;
-/** Row tile height of the GEMM micro-kernel. */
-constexpr std::size_t kGemmTileM = 4;
-
-namespace detail {
-
-/**
- * One register tile: C[i0..i0+mr) x [j0..j0+jn) = (bias|0) + A * B.
- * mr <= kGemmTileM rows, jn <= kGemmTileN columns. The accumulators
- * live in a fixed-size local array the whole k loop, so there is no
- * C traffic (and no load/store rounding detour) inside the hot loop.
- */
-inline void
-gemmTile(const float *a, const float *b, float *c, std::size_t i0,
-         std::size_t mr, std::size_t j0, std::size_t jn, std::size_t k,
-         std::size_t n, const float *bias)
-{
-    float acc[kGemmTileM][kGemmTileN];
-    for (std::size_t r = 0; r < mr; ++r) {
-        if (bias) {
-            for (std::size_t j = 0; j < jn; ++j)
-                acc[r][j] = bias[j0 + j];
-        } else {
-            for (std::size_t j = 0; j < jn; ++j)
-                acc[r][j] = 0.0f;
-        }
-    }
-    if (mr == kGemmTileM && jn == kGemmTileN) {
-        // Full tile: constant trip counts so the compiler keeps the
-        // 4x16 accumulator block in vector registers.
-        const float *a0 = a + (i0 + 0) * k;
-        const float *a1 = a + (i0 + 1) * k;
-        const float *a2 = a + (i0 + 2) * k;
-        const float *a3 = a + (i0 + 3) * k;
-        for (std::size_t kk = 0; kk < k; ++kk) {
-            const float *brow = b + kk * n + j0;
-            const float av0 = a0[kk];
-            const float av1 = a1[kk];
-            const float av2 = a2[kk];
-            const float av3 = a3[kk];
-            for (std::size_t j = 0; j < kGemmTileN; ++j) {
-                const float bv = brow[j];
-                acc[0][j] = madd(av0, bv, acc[0][j]);
-                acc[1][j] = madd(av1, bv, acc[1][j]);
-                acc[2][j] = madd(av2, bv, acc[2][j]);
-                acc[3][j] = madd(av3, bv, acc[3][j]);
-            }
-        }
-    } else {
-        for (std::size_t kk = 0; kk < k; ++kk) {
-            const float *brow = b + kk * n + j0;
-            for (std::size_t r = 0; r < mr; ++r) {
-                const float av = a[(i0 + r) * k + kk];
-                for (std::size_t j = 0; j < jn; ++j)
-                    acc[r][j] = madd(av, brow[j], acc[r][j]);
-            }
-        }
-    }
-    for (std::size_t r = 0; r < mr; ++r)
-        std::memcpy(c + (i0 + r) * n + j0, acc[r], jn * sizeof(float));
-}
-
-} // namespace detail
-
-/**
  * C[r0..r1) = (bias|0) + A[r0..r1) * B for row-major A [m,k], B [k,n],
  * C [m,n]; bias (length n, may be null) initialises each output row.
- * OVERWRITES the C rows. Register-tiled kGemmTileM x kGemmTileN.
+ * OVERWRITES the C rows. Register-tiled; @p mk selects a kGemmKernels
+ * register shape (results are bitwise identical for every shape - use
+ * planGemmF32() from autotune.h to pick the fast one).
  */
 inline void
 gemmRowsIKJ(const float *a, const float *b, float *c, std::size_t r0,
             std::size_t r1, std::size_t k, std::size_t n,
-            const float *bias = nullptr)
+            const float *bias = nullptr, int mk = kDefaultGemmKernel)
 {
-    for (std::size_t i = r0; i < r1; i += kGemmTileM) {
-        const std::size_t mr = (i + kGemmTileM <= r1) ? kGemmTileM
-                                                      : r1 - i;
-        for (std::size_t j = 0; j < n; j += kGemmTileN) {
-            const std::size_t jn =
-                (j + kGemmTileN <= n) ? kGemmTileN : n - j;
-            detail::gemmTile(a, b, c, i, mr, j, jn, k, n, bias);
-        }
-    }
+    kernels().gemm_f32(a, b, c, r0, r1, k, n, bias, mk);
 }
 
-/** dst[j*rows + i] = src[i*cols + j]: row-major transpose copy. */
-template <class T>
-inline void
-transposeInto(T *dst, const T *src, std::size_t rows, std::size_t cols)
-{
-    for (std::size_t i = 0; i < rows; ++i)
-        for (std::size_t j = 0; j < cols; ++j)
-            dst[j * rows + i] = src[i * cols + j];
-}
-
-// ------------------------------------------------------------- int8
-
-/** Symmetric int8 range: [-127, 127]. -128 is never produced, so the
- *  grid is symmetric and negation is exact. */
-constexpr std::int32_t kInt8Max = 127;
-
-/** Scale mapping one int8 step to @p max_abs / 127 (1.0 when the data
- *  is all zero, so dequantisation is still well-defined). */
-inline float
-int8Scale(float max_abs)
-{
-    return max_abs > 0.0f ? max_abs / static_cast<float>(kInt8Max)
-                          : 1.0f;
-}
-
-/**
- * Quantise one value: round-to-nearest-even of x * inv_scale, clamped
- * (saturated) to [-127, 127]. Every int8 path in the codebase - the
- * GEMM/butterfly kernels, their scalar references and nn/quantize.h -
- * quantises through this one helper so the semantics the golden tests
- * pin down hold everywhere.
- */
-inline std::int8_t
-quantizeInt8(float x, float inv_scale)
-{
-    long q = std::lrintf(x * inv_scale);
-    if (q > kInt8Max)
-        q = kInt8Max;
-    if (q < -kInt8Max)
-        q = -kInt8Max;
-    return static_cast<std::int8_t>(q);
-}
-
-/** Largest |x| over @p n contiguous floats. (Max is commutative and
- *  associative on the non-NaN data the kernels see, so the vectorised
- *  reduction returns the same value as the scalar loop.) */
+/** Largest |x| over @p n contiguous floats. */
 inline float
 maxAbsRow(const float *x, std::size_t n)
 {
-    float m = 0.0f;
-    std::size_t i = 0;
-#if defined(__AVX512F__)
-    if (n >= 16) {
-        const __m512 absmask = _mm512_castsi512_ps(
-            _mm512_set1_epi32(0x7FFFFFFF));
-        __m512 vm = _mm512_setzero_ps();
-        for (; i + 16 <= n; i += 16)
-            vm = _mm512_max_ps(
-                vm, _mm512_and_ps(_mm512_loadu_ps(x + i), absmask));
-        m = _mm512_reduce_max_ps(vm);
-    }
-#endif
-    for (; i < n; ++i)
-        m = std::max(m, std::fabs(x[i]));
-    return m;
+    return kernels().max_abs_row(x, n);
 }
-
-#if defined(__AVX512F__)
-namespace detail {
-/** 16-lane quantizeInt8 (same product rounding, RNE conversion and
- *  [-127, 127] clamp as the scalar helper - vpmovsdb alone would
- *  saturate to -128, so the clamp is explicit). */
-inline void
-quantizeInt8Lanes(const float *x, std::int8_t *q, __m512 vinv)
-{
-    const __m512i lo = _mm512_set1_epi32(-kInt8Max);
-    const __m512i hi = _mm512_set1_epi32(kInt8Max);
-    __m512i r =
-        _mm512_cvtps_epi32(_mm512_mul_ps(_mm512_loadu_ps(x), vinv));
-    r = _mm512_min_epi32(_mm512_max_epi32(r, lo), hi);
-    _mm_storeu_si128(reinterpret_cast<__m128i *>(q),
-                     _mm512_cvtsepi32_epi8(r));
-}
-} // namespace detail
-#endif
 
 /**
  * Quantise @p n floats with a shared @p scale (one division up front,
@@ -241,14 +70,7 @@ quantizeInt8Row(const float *x, std::int8_t *q, std::size_t n,
                 float scale)
 {
     const float inv = 1.0f / scale;
-    std::size_t i = 0;
-#if defined(__AVX512F__)
-    const __m512 vinv = _mm512_set1_ps(inv);
-    for (; i + 16 <= n; i += 16)
-        detail::quantizeInt8Lanes(x + i, q + i, vinv);
-#endif
-    for (; i < n; ++i)
-        q[i] = quantizeInt8(x[i], inv);
+    kernels().quantize_i8_row(x, q, n, inv);
     return inv;
 }
 
@@ -261,209 +83,8 @@ inline void
 quantizeInt8RowPerCol(const float *x, std::int8_t *q, std::size_t n,
                       const float *inv)
 {
-    std::size_t i = 0;
-#if defined(__AVX512F__)
-    const __m512i lo = _mm512_set1_epi32(-kInt8Max);
-    const __m512i hi = _mm512_set1_epi32(kInt8Max);
-    for (; i + 16 <= n; i += 16) {
-        __m512i r = _mm512_cvtps_epi32(_mm512_mul_ps(
-            _mm512_loadu_ps(x + i), _mm512_loadu_ps(inv + i)));
-        r = _mm512_min_epi32(_mm512_max_epi32(r, lo), hi);
-        _mm_storeu_si128(reinterpret_cast<__m128i *>(q + i),
-                         _mm512_cvtsepi32_epi8(r));
-    }
-#endif
-    for (; i < n; ++i)
-        q[i] = quantizeInt8(x[i], inv[i]);
+    kernels().quantize_i8_row_percol(x, q, n, inv);
 }
-
-/**
- * Dequantise an int32 GEMM accumulator with an optional bias:
- * madd(acc, a_scale * b_scale, bias). Routing the multiply-add
- * through madd pins the contraction (explicit std::fma when the
- * target has one) so every translation unit - kernels, references,
- * tests - produces bit-identical dequantised outputs.
- */
-inline float
-dequantInt8(std::int32_t acc, float a_scale, float b_scale,
-            float bias = 0.0f)
-{
-    return madd(static_cast<float>(acc), a_scale * b_scale, bias);
-}
-
-/**
- * Pack row-major int8 B [k, n] into the k-pair-interleaved int16
- * layout the int8 panel consumes: bp[(kp*n + j)*2 + {0,1}] =
- * {B[2kp][j], B[2kp+1][j]} (zero-padded when k is odd). Widening to
- * int16 at pack time lets the hot loop run multiply-accumulate pairs
- * (vpmaddwd on AVX2) straight off contiguous loads. @p bp must hold
- * ((k+1)/2) * n * 2 elements.
- */
-inline void
-packInt8PairsB(const std::int8_t *b, std::int16_t *bp, std::size_t k,
-               std::size_t n)
-{
-    const std::size_t kp_count = (k + 1) / 2;
-    for (std::size_t kp = 0; kp < kp_count; ++kp) {
-        const std::int8_t *row0 = b + (2 * kp) * n;
-        const std::int8_t *row1 =
-            (2 * kp + 1 < k) ? b + (2 * kp + 1) * n : nullptr;
-        std::int16_t *dst = bp + kp * n * 2;
-        for (std::size_t j = 0; j < n; ++j) {
-            dst[j * 2 + 0] = row0[j];
-            dst[j * 2 + 1] = row1 ? row1[j] : std::int16_t{0};
-        }
-    }
-}
-
-namespace detail {
-
-/** Scalar int8 tile: exact int32 accumulation off the packed layout.
- *  Also the tail path of the AVX2 kernel - integer math is exact, so
- *  both produce identical accumulators. */
-inline void
-gemmTileInt8Scalar(const std::int8_t *a, const std::int16_t *bp,
-                   float *c, std::size_t i0, std::size_t mr,
-                   std::size_t j0, std::size_t jn, std::size_t k,
-                   std::size_t n, const float *a_scale,
-                   const float *b_scale, const float *bias)
-{
-    const std::size_t kp_count = k / 2;
-    for (std::size_t r = 0; r < mr; ++r) {
-        const std::int8_t *arow = a + (i0 + r) * k;
-        for (std::size_t j = 0; j < jn; ++j) {
-            std::int32_t acc = 0;
-            const std::int16_t *bcol = bp + (j0 + j) * 2;
-            for (std::size_t kp = 0; kp < kp_count; ++kp) {
-                const std::int16_t *bpair = bcol + kp * n * 2;
-                acc += static_cast<std::int32_t>(arow[2 * kp]) *
-                       bpair[0];
-                acc += static_cast<std::int32_t>(arow[2 * kp + 1]) *
-                       bpair[1];
-            }
-            if (k & 1) {
-                const std::int16_t *bpair = bcol + kp_count * n * 2;
-                acc += static_cast<std::int32_t>(arow[k - 1]) *
-                       bpair[0];
-            }
-            c[(i0 + r) * n + j0 + j] =
-                dequantInt8(acc, a_scale[i0 + r], b_scale[j0 + j],
-                            bias ? bias[j0 + j] : 0.0f);
-        }
-    }
-}
-
-#if defined(__AVX2__)
-
-/**
- * Full 4x32 int8 tile: 16 ymm accumulators, one vpmaddwd + vpaddd per
- * (row, 8-column group, k-pair). @p arow holds the tile's four A rows
- * pre-widened to int16 pairs (an int32 load broadcasts one pair).
- * Each vpmaddwd lane computes a[2kp]*b[2kp][j] + a[2kp+1]*b[2kp+1][j]
- * exactly (products <= 127^2, pair sums <= 2*127^2 fit int32), so the
- * vector path's accumulators equal the scalar tile's.
- */
-inline void
-gemmTileInt8Avx2(const std::int16_t *const arow[kGemmTileM],
-                 const std::int16_t *bp, float *c, std::size_t i0,
-                 std::size_t j0, std::size_t kp_count, std::size_t n,
-                 const float *a_scale, const float *b_scale,
-                 const float *bias)
-{
-    __m256i acc[kGemmTileM][4];
-    for (std::size_t r = 0; r < kGemmTileM; ++r)
-        for (std::size_t v = 0; v < 4; ++v)
-            acc[r][v] = _mm256_setzero_si256();
-
-    for (std::size_t kp = 0; kp < kp_count; ++kp) {
-        const std::int16_t *brow = bp + (kp * n + j0) * 2;
-        __m256i bv[4];
-        for (std::size_t v = 0; v < 4; ++v)
-            bv[v] = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
-                brow + v * 16));
-        for (std::size_t r = 0; r < kGemmTileM; ++r) {
-            int pair;
-            std::memcpy(&pair, arow[r] + 2 * kp, sizeof(pair));
-            const __m256i av = _mm256_set1_epi32(pair);
-            for (std::size_t v = 0; v < 4; ++v)
-                acc[r][v] = _mm256_add_epi32(
-                    acc[r][v], _mm256_madd_epi16(av, bv[v]));
-        }
-    }
-
-    alignas(32) std::int32_t lanes[8];
-    for (std::size_t r = 0; r < kGemmTileM; ++r) {
-        for (std::size_t v = 0; v < 4; ++v) {
-            _mm256_store_si256(reinterpret_cast<__m256i *>(lanes),
-                               acc[r][v]);
-            const std::size_t jb = j0 + v * 8;
-            for (std::size_t j = 0; j < 8; ++j)
-                c[(i0 + r) * n + jb + j] =
-                    dequantInt8(lanes[j], a_scale[i0 + r],
-                                b_scale[jb + j],
-                                bias ? bias[jb + j] : 0.0f);
-        }
-    }
-}
-
-#define FABNET_HAS_WIDE_I8_TILE 1
-#endif // __AVX2__
-
-#if defined(__AVX512VNNI__) && defined(__AVX512BW__) && \
-    defined(__AVX512F__)
-
-/**
- * Full 4x32 int8 tile on AVX-512 VNNI: vpdpwssd fuses the int16-pair
- * multiply-add-accumulate into one instruction over 16 int32 lanes,
- * so the whole tile is 8 dpwssd + 2 loads + 4 broadcasts per k-pair
- * (vs 16 fma per k for the fp32 tile). Operands are bounded to
- * [-127, 127], so the in-lane pair sum cannot overflow and the
- * accumulators are exact - identical to the scalar tile.
- */
-inline void
-gemmTileInt8Vnni(const std::int16_t *const arow[kGemmTileM],
-                 const std::int16_t *bp, float *c, std::size_t i0,
-                 std::size_t j0, std::size_t kp_count, std::size_t n,
-                 const float *a_scale, const float *b_scale,
-                 const float *bias)
-{
-    __m512i acc[kGemmTileM][2];
-    for (std::size_t r = 0; r < kGemmTileM; ++r) {
-        acc[r][0] = _mm512_setzero_si512();
-        acc[r][1] = _mm512_setzero_si512();
-    }
-
-    for (std::size_t kp = 0; kp < kp_count; ++kp) {
-        const std::int16_t *brow = bp + (kp * n + j0) * 2;
-        const __m512i bv0 = _mm512_loadu_si512(brow);
-        const __m512i bv1 = _mm512_loadu_si512(brow + 32);
-        for (std::size_t r = 0; r < kGemmTileM; ++r) {
-            int pair;
-            std::memcpy(&pair, arow[r] + 2 * kp, sizeof(pair));
-            const __m512i av = _mm512_set1_epi32(pair);
-            acc[r][0] = _mm512_dpwssd_epi32(acc[r][0], av, bv0);
-            acc[r][1] = _mm512_dpwssd_epi32(acc[r][1], av, bv1);
-        }
-    }
-
-    alignas(64) std::int32_t lanes[16];
-    for (std::size_t r = 0; r < kGemmTileM; ++r) {
-        for (std::size_t v = 0; v < 2; ++v) {
-            _mm512_store_si512(lanes, acc[r][v]);
-            const std::size_t jb = j0 + v * 16;
-            for (std::size_t j = 0; j < 16; ++j)
-                c[(i0 + r) * n + jb + j] =
-                    dequantInt8(lanes[j], a_scale[i0 + r],
-                                b_scale[jb + j],
-                                bias ? bias[jb + j] : 0.0f);
-        }
-    }
-}
-
-#define FABNET_HAS_VNNI_I8_TILE 1
-#endif // __AVX512VNNI__
-
-} // namespace detail
 
 /**
  * Int8 GEMM panel over the packed-B layout (packInt8PairsB):
@@ -473,123 +94,39 @@ gemmTileInt8Vnni(const std::int16_t *const arow[kGemmTileM],
  *     C[i][j] = acc_int32 * (a_scale[i] * b_scale[j])  (+ bias[j])
  * with the bias added as a separate rounded op. Accumulation is exact
  * int32 (overflow-free for k < 2^31 / 127^2 ~ 133k), so results are
- * identical to the scalar reference at any thread count and with or
- * without the AVX2 fast path.
+ * identical to the scalar reference at any thread count and on every
+ * ISA variant.
  */
-namespace detail {
-/** Workspace tag for the per-chunk int16-widened A rows. */
-struct GemmInt8AWideWs;
-} // namespace detail
-
 inline void
 gemmRowsInt8(const std::int8_t *a, const std::int16_t *bp, float *c,
              std::size_t r0, std::size_t r1, std::size_t k,
              std::size_t n, const float *a_scale, const float *b_scale,
              const float *bias = nullptr)
 {
-#if defined(FABNET_HAS_VNNI_I8_TILE) || defined(FABNET_HAS_WIDE_I8_TILE)
-    const std::size_t kp_count = (k + 1) / 2;
-    // Widen this chunk's A rows to int16 pairs once (zero-padded odd
-    // k), so the vector tiles broadcast a pair with a single int32
-    // load. Pure widening: the accumulated integers are unchanged.
-    std::int16_t *a16 = threadWorkspaceAs<detail::GemmInt8AWideWs,
-                                          std::int16_t>(
-        (r1 - r0) * kp_count * 2);
-    for (std::size_t i = r0; i < r1; ++i) {
-        std::int16_t *dst = a16 + (i - r0) * kp_count * 2;
-        const std::int8_t *src = a + i * k;
-        for (std::size_t kk = 0; kk < k; ++kk)
-            dst[kk] = src[kk];
-        if (k & 1)
-            dst[k] = 0;
-    }
-#endif
-    for (std::size_t i = r0; i < r1; i += kGemmTileM) {
-        const std::size_t mr = (i + kGemmTileM <= r1) ? kGemmTileM
-                                                      : r1 - i;
-        std::size_t j = 0;
-#if defined(FABNET_HAS_VNNI_I8_TILE) || defined(FABNET_HAS_WIDE_I8_TILE)
-        if (mr == kGemmTileM) {
-            const std::int16_t *arow[kGemmTileM];
-            for (std::size_t r = 0; r < kGemmTileM; ++r)
-                arow[r] = a16 + (i + r - r0) * kp_count * 2;
-#if defined(FABNET_HAS_VNNI_I8_TILE)
-            for (; j + kGemmTileN <= n; j += kGemmTileN)
-                detail::gemmTileInt8Vnni(arow, bp, c, i, j, kp_count,
-                                         n, a_scale, b_scale, bias);
-#else
-            for (; j + kGemmTileN <= n; j += kGemmTileN)
-                detail::gemmTileInt8Avx2(arow, bp, c, i, j, kp_count,
-                                         n, a_scale, b_scale, bias);
-#endif
-        }
-#endif
-        for (; j < n; j += kGemmTileN) {
-            const std::size_t jn =
-                (j + kGemmTileN <= n) ? kGemmTileN : n - j;
-            detail::gemmTileInt8Scalar(a, bp, c, i, mr, j, jn, k, n,
-                                       a_scale, b_scale, bias);
-        }
-    }
+    kernels().gemm_i8(a, bp, c, r0, r1, k, n, a_scale, b_scale, bias);
 }
 
 // ------------------------------------------------------------- fp16
-
-// The row conversion helpers use the F16C units (vcvtps2ph/vcvtph2ps)
-// when the target has them: hardware round-to-nearest-even float<->
-// binary16 conversion is bit-identical to the software conversion in
-// tensor/half.h for all finite values and infinities (pinned by
-// tests/quantize_golden_test.cpp), and turns the fp16 operand
-// rounding from the dominant cost of the fp16 GEMM into noise.
 
 /** Round @p n floats through binary16 in place. */
 inline void
 roundRowToHalf(float *x, std::size_t n)
 {
-    std::size_t i = 0;
-#if defined(__F16C__)
-    for (; i + 8 <= n; i += 8) {
-        const __m128i h = _mm256_cvtps_ph(
-            _mm256_loadu_ps(x + i),
-            _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
-        _mm256_storeu_ps(x + i, _mm256_cvtph_ps(h));
-    }
-#endif
-    for (; i < n; ++i)
-        x[i] = roundToHalf(x[i]);
+    kernels().round_row_to_half(x, n);
 }
 
 /** Widen @p n binary16 bit patterns to float (exact). */
 inline void
 halfBitsToFloatRow(const std::uint16_t *h, float *f, std::size_t n)
 {
-    std::size_t i = 0;
-#if defined(__F16C__)
-    for (; i + 8 <= n; i += 8) {
-        const __m128i bits = _mm_loadu_si128(
-            reinterpret_cast<const __m128i *>(h + i));
-        _mm256_storeu_ps(f + i, _mm256_cvtph_ps(bits));
-    }
-#endif
-    for (; i < n; ++i)
-        f[i] = halfBitsToFloat(h[i]);
+    kernels().half_bits_to_float_row(h, f, n);
 }
 
 /** Round @p n floats to binary16 bit patterns. */
 inline void
 floatToHalfBitsRow(const float *f, std::uint16_t *h, std::size_t n)
 {
-    std::size_t i = 0;
-#if defined(__F16C__)
-    for (; i + 8 <= n; i += 8) {
-        const __m128i bits = _mm256_cvtps_ph(
-            _mm256_loadu_ps(f + i),
-            _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
-        _mm_storeu_si128(reinterpret_cast<__m128i *>(h + i), bits);
-    }
-#endif
-    for (; i < n; ++i)
-        h[i] = floatToHalfBits(f[i]);
+    kernels().float_to_half_bits_row(f, h, n);
 }
 
 /**
@@ -605,11 +142,12 @@ floatToHalfBitsRow(const float *f, std::uint16_t *h, std::size_t n)
 inline void
 gemmRowsF16(const float *a, const float *b, float *c, std::size_t r0,
             std::size_t r1, std::size_t k, std::size_t n,
-            const float *bias = nullptr)
+            const float *bias = nullptr, int mk = kDefaultGemmKernel)
 {
-    gemmRowsIKJ(a, b, c, r0, r1, k, n, bias);
+    const KernelTable &t = kernels();
+    t.gemm_f32(a, b, c, r0, r1, k, n, bias, mk);
     for (std::size_t r = r0; r < r1; ++r)
-        roundRowToHalf(c + r * n, n);
+        t.round_row_to_half(c + r * n, n);
 }
 
 } // namespace runtime

@@ -1,0 +1,12 @@
+// AVX2 kernel variant. Compiled with -mavx2 -mf16c (CMakeLists.txt);
+// intrinsic use is additionally gated by the FABNET_KV_* macros so
+// the flags and the code can't drift apart.
+#define FABNET_KV_NS kv_avx2
+#define FABNET_KV_AVX2 1
+#define FABNET_KV_F16C 1
+#define FABNET_KV_AVX512 0
+#define FABNET_KV_VNNI 0
+#define FABNET_KV_ISA ::fabnet::runtime::Isa::Avx2
+#define FABNET_KV_EXPORT kernelTableAvx2
+
+#include "runtime/kernels_impl.h"

@@ -1,0 +1,12 @@
+// AVX-512 kernel variant. Compiled with -mavx512f -mavx512bw
+// -mavx512dq -mavx512vl -mavx2 -mf16c -mprefer-vector-width=512
+// (CMakeLists.txt).
+#define FABNET_KV_NS kv_avx512
+#define FABNET_KV_AVX2 1
+#define FABNET_KV_F16C 1
+#define FABNET_KV_AVX512 1
+#define FABNET_KV_VNNI 0
+#define FABNET_KV_ISA ::fabnet::runtime::Isa::Avx512
+#define FABNET_KV_EXPORT kernelTableAvx512
+
+#include "runtime/kernels_impl.h"

@@ -1,0 +1,172 @@
+/**
+ * @file kernels_common.h
+ * The ISA-independent kernel contract: every scalar expression whose
+ * bit pattern the parity suites pin down lives here, included by the
+ * base translation units AND by every compiled kernel variant
+ * (kernels_impl.h), so all of them inline exactly the same code.
+ *
+ * Nothing in this header may depend on the compilation target's SIMD
+ * feature macros. In particular madd() is pinned to plain mul+add in
+ * every TU (the build adds -ffp-contract=off so no TU can re-fuse
+ * it): a variant TU compiled with -mavx512f and a base TU compiled
+ * for baseline x86-64 must agree bit for bit, which rules out letting
+ * the contraction vary with the target the way __FP_FAST_FMAF does.
+ */
+#ifndef FABNET_RUNTIME_KERNELS_COMMON_H
+#define FABNET_RUNTIME_KERNELS_COMMON_H
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/half.h"
+
+namespace fabnet {
+namespace runtime {
+
+/**
+ * Pinned multiply-add: a*b + c as two separately rounded operations.
+ * Both the blocked kernels and the scalar reference paths accumulate
+ * through this helper, and the build compiles every TU with
+ * -ffp-contract=off, so the compiler cannot fuse one side and not the
+ * other - the root requirement behind the bitwise-parity guarantee
+ * across ISA variants of the same kernel.
+ */
+inline float
+madd(float a, float b, float c)
+{
+    return a * b + c;
+}
+
+/** Column tile width of the default GEMM micro-kernel (and the packed
+ *  int8 B panel width). */
+constexpr std::size_t kGemmTileN = 32;
+/** Row tile height of the default GEMM micro-kernel. */
+constexpr std::size_t kGemmTileM = 4;
+
+/** Stage-major block width of the batched butterfly paths: callers
+ *  (butterfly.cc, qbutterfly.cc) lay activations out as transposed
+ *  [n, block] blocks of this many rows, and the dispatch-table stage
+ *  sweeps specialise their fast path for exactly this width (one
+ *  AVX-512 vector per pair op). */
+constexpr std::size_t kBflyBlockRows = 16;
+
+// ------------------------------------------------------------- int8
+
+/** Symmetric int8 range: [-127, 127]. -128 is never produced, so the
+ *  grid is symmetric and negation is exact. */
+constexpr std::int32_t kInt8Max = 127;
+
+/** Scale mapping one int8 step to @p max_abs / 127 (1.0 when the data
+ *  is all zero, so dequantisation is still well-defined). */
+inline float
+int8Scale(float max_abs)
+{
+    return max_abs > 0.0f ? max_abs / static_cast<float>(kInt8Max)
+                          : 1.0f;
+}
+
+/**
+ * Quantise one value: round-to-nearest-even of x * inv_scale, clamped
+ * (saturated) to [-127, 127]. Every int8 path in the codebase - the
+ * GEMM/butterfly kernels, their scalar references and nn/quantize.h -
+ * quantises through this one helper so the semantics the golden tests
+ * pin down hold everywhere.
+ */
+inline std::int8_t
+quantizeInt8(float x, float inv_scale)
+{
+    long q = std::lrintf(x * inv_scale);
+    if (q > kInt8Max)
+        q = kInt8Max;
+    if (q < -kInt8Max)
+        q = -kInt8Max;
+    return static_cast<std::int8_t>(q);
+}
+
+/**
+ * Dequantise an int32 GEMM accumulator with an optional bias:
+ * madd(acc, a_scale * b_scale, bias). Routing the multiply-add
+ * through madd pins the contraction so every translation unit -
+ * kernels, references, tests - produces bit-identical dequantised
+ * outputs.
+ */
+inline float
+dequantInt8(std::int32_t acc, float a_scale, float b_scale,
+            float bias = 0.0f)
+{
+    return madd(static_cast<float>(acc), a_scale * b_scale, bias);
+}
+
+// ------------------------------------------- quantized butterfly
+
+/**
+ * The one requantisation scale-update expression of the int8
+ * butterfly. Every int8 path (scalar reference, workspace apply,
+ * stage-major batch, every ISA variant) must call this identically or
+ * exact parity breaks: two rounded multiplies, in this association.
+ */
+inline float
+int8StageScale(float scale, float w_scale, std::int32_t m)
+{
+    return (scale * w_scale) *
+           (static_cast<float>(m) / static_cast<float>(kInt8Max));
+}
+
+/** Requantise one int32 butterfly stage output with factor f = 127/m.
+ *  Stage outputs are <= 2*127^2, exactly representable in float, so
+ *  this is the pinned quantizeInt8 semantics on the widened value. */
+inline std::int8_t
+requantInt8(std::int32_t y, float f)
+{
+    return quantizeInt8(static_cast<float>(y), f);
+}
+
+/** One fp16 butterfly pair output: fp32 multiply-add, binary16 round. */
+inline float
+f16PairOut(float w0, float x1, float w1, float x2)
+{
+    return roundToHalf(madd(w0, x1, w1 * x2));
+}
+
+// ------------------------------------------------------------ packing
+
+/** dst[j*rows + i] = src[i*cols + j]: row-major transpose copy. */
+template <class T>
+inline void
+transposeInto(T *dst, const T *src, std::size_t rows, std::size_t cols)
+{
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+            dst[j * rows + i] = src[i * cols + j];
+}
+
+/**
+ * Pack row-major int8 B [k, n] into the k-pair-interleaved int16
+ * layout the int8 panel consumes: bp[(kp*n + j)*2 + {0,1}] =
+ * {B[2kp][j], B[2kp+1][j]} (zero-padded when k is odd). Widening to
+ * int16 at pack time lets the hot loop run multiply-accumulate pairs
+ * (vpmaddwd on AVX2, vpdpwssd on VNNI) straight off contiguous loads.
+ * @p bp must hold ((k+1)/2) * n * 2 elements.
+ */
+inline void
+packInt8PairsB(const std::int8_t *b, std::int16_t *bp, std::size_t k,
+               std::size_t n)
+{
+    const std::size_t kp_count = (k + 1) / 2;
+    for (std::size_t kp = 0; kp < kp_count; ++kp) {
+        const std::int8_t *row0 = b + (2 * kp) * n;
+        const std::int8_t *row1 =
+            (2 * kp + 1 < k) ? b + (2 * kp + 1) * n : nullptr;
+        std::int16_t *dst = bp + kp * n * 2;
+        for (std::size_t j = 0; j < n; ++j) {
+            dst[j * 2 + 0] = row0[j];
+            dst[j * 2 + 1] = row1 ? row1[j] : std::int16_t{0};
+        }
+    }
+}
+
+} // namespace runtime
+} // namespace fabnet
+
+#endif // FABNET_RUNTIME_KERNELS_COMMON_H

@@ -1,0 +1,835 @@
+/**
+ * @file kernels_impl.h
+ * The kernel-variant implementation, compiled once per ISA level.
+ *
+ * This header is included by exactly four translation units
+ * (kernels_scalar.cc, kernels_avx2.cc, kernels_avx512.cc,
+ * kernels_vnni.cc), each of which defines the configuration macros
+ * below and is built with the matching per-TU -m flags. The body
+ * provides every KernelTable entry; intrinsic fast paths are guarded
+ * by the FABNET_KV_* macros (NOT by __AVX2__ etc., so a stray global
+ * flag cannot silently upgrade the scalar variant).
+ *
+ * Configuration macros (set by the including TU):
+ *   FABNET_KV_NS      variant namespace (kv_scalar, kv_avx2, ...)
+ *   FABNET_KV_ISA     runtime::Isa enumerator of this variant
+ *   FABNET_KV_EXPORT  name of the exported table accessor
+ *   FABNET_KV_AVX2    1 to enable AVX2 integer-tile fast paths
+ *   FABNET_KV_F16C    1 to enable hardware binary16 conversions
+ *   FABNET_KV_AVX512  1 to enable AVX-512 fast paths
+ *   FABNET_KV_VNNI    1 to enable the VNNI int8 dot-product tile
+ *
+ * ## The parity argument, per family
+ * - fp32/fp16 GEMM: all register shapes keep one k-ascending
+ *   accumulator chain per output element through the pinned madd
+ *   (mul+add in every TU, -ffp-contract=off build-wide), so every
+ *   variant and every micro-kernel shape is bitwise identical.
+ * - int8 GEMM: int32 accumulation is exact; scalar, vpmaddwd and
+ *   vpdpwssd tiles compute identical integers.
+ * - butterfly stages: y = w0*x1 + w1*x2 is a single madd expression
+ *   per output (no chain), so lane order never matters.
+ * - reductions (maxAbsRow, per-row requant max): max is commutative
+ *   and associative on the non-NaN data the kernels see.
+ * - binary16 rounding: hardware vcvtps2ph (RNE) is bit-identical to
+ *   the software conversion in tensor/half.h for all finite values
+ *   and infinities (pinned by tests/quantize_golden_test.cpp).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if FABNET_KV_AVX2 || FABNET_KV_F16C || FABNET_KV_AVX512 || FABNET_KV_VNNI
+#include <immintrin.h>
+#endif
+
+#include "runtime/dispatch.h"
+#include "runtime/kernels_common.h"
+#include "runtime/workspace.h"
+#include "tensor/half.h"
+
+namespace fabnet {
+namespace runtime {
+namespace FABNET_KV_NS {
+
+// ------------------------------------------------------- fp32 GEMM
+
+/**
+ * One register tile: C[i0..i0+mr) x [j0..j0+jn) = (bias|0) + A * B.
+ * mr <= MR rows, jn <= NR columns. The accumulators live in a
+ * fixed-size local array the whole k loop, so there is no C traffic
+ * (and no load/store rounding detour) inside the hot loop.
+ */
+template <int MR, int NR>
+inline void
+gemmTile(const float *a, const float *b, float *c, std::size_t i0,
+         std::size_t mr, std::size_t j0, std::size_t jn, std::size_t k,
+         std::size_t n, const float *bias)
+{
+    float acc[MR][NR];
+    for (std::size_t r = 0; r < mr; ++r) {
+        if (bias) {
+            for (std::size_t j = 0; j < jn; ++j)
+                acc[r][j] = bias[j0 + j];
+        } else {
+            for (std::size_t j = 0; j < jn; ++j)
+                acc[r][j] = 0.0f;
+        }
+    }
+    if (mr == static_cast<std::size_t>(MR) &&
+        jn == static_cast<std::size_t>(NR)) {
+        // Full tile: constant trip counts so the compiler keeps the
+        // MRxNR accumulator block in vector registers.
+        const float *ar[MR];
+        for (int r = 0; r < MR; ++r)
+            ar[r] = a + (i0 + r) * k;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float *brow = b + kk * n + j0;
+            float av[MR];
+            for (int r = 0; r < MR; ++r)
+                av[r] = ar[r][kk];
+            for (int j = 0; j < NR; ++j) {
+                const float bv = brow[j];
+                for (int r = 0; r < MR; ++r)
+                    acc[r][j] = madd(av[r], bv, acc[r][j]);
+            }
+        }
+    } else {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float *brow = b + kk * n + j0;
+            for (std::size_t r = 0; r < mr; ++r) {
+                const float av = a[(i0 + r) * k + kk];
+                for (std::size_t j = 0; j < jn; ++j)
+                    acc[r][j] = madd(av, brow[j], acc[r][j]);
+            }
+        }
+    }
+    for (std::size_t r = 0; r < mr; ++r)
+        std::memcpy(c + (i0 + r) * n + j0, acc[r], jn * sizeof(float));
+}
+
+/** Panel of MRxNR tiles over C rows [r0, r1). */
+template <int MR, int NR>
+void
+gemmPanel(const float *a, const float *b, float *c, std::size_t r0,
+          std::size_t r1, std::size_t k, std::size_t n,
+          const float *bias)
+{
+    for (std::size_t i = r0; i < r1;
+         i += static_cast<std::size_t>(MR)) {
+        const std::size_t mr =
+            (i + MR <= r1) ? static_cast<std::size_t>(MR) : r1 - i;
+        for (std::size_t j = 0; j < n;
+             j += static_cast<std::size_t>(NR)) {
+            const std::size_t jn =
+                (j + NR <= n) ? static_cast<std::size_t>(NR) : n - j;
+            gemmTile<MR, NR>(a, b, c, i, mr, j, jn, k, n, bias);
+        }
+    }
+}
+
+void
+gemmF32(const float *a, const float *b, float *c, std::size_t r0,
+        std::size_t r1, std::size_t k, std::size_t n, const float *bias,
+        int mk)
+{
+    // Indices must match runtime::kGemmKernels (dispatch.h).
+    switch (mk) {
+    case 1:
+        gemmPanel<4, 16>(a, b, c, r0, r1, k, n, bias);
+        return;
+    case 2:
+        gemmPanel<4, 64>(a, b, c, r0, r1, k, n, bias);
+        return;
+    case 3:
+        gemmPanel<8, 32>(a, b, c, r0, r1, k, n, bias);
+        return;
+    case 4:
+        gemmPanel<8, 16>(a, b, c, r0, r1, k, n, bias);
+        return;
+    case 5:
+        gemmPanel<2, 32>(a, b, c, r0, r1, k, n, bias);
+        return;
+    case 0:
+    default:
+        gemmPanel<4, 32>(a, b, c, r0, r1, k, n, bias);
+        return;
+    }
+}
+
+// ------------------------------------------------------- int8 GEMM
+
+/** Scalar int8 tile: exact int32 accumulation off the packed layout.
+ *  Also the tail path of the vector kernels - integer math is exact,
+ *  so both produce identical accumulators. */
+inline void
+gemmTileInt8Scalar(const std::int8_t *a, const std::int16_t *bp,
+                   float *c, std::size_t i0, std::size_t mr,
+                   std::size_t j0, std::size_t jn, std::size_t k,
+                   std::size_t n, const float *a_scale,
+                   const float *b_scale, const float *bias)
+{
+    const std::size_t kp_count = k / 2;
+    for (std::size_t r = 0; r < mr; ++r) {
+        const std::int8_t *arow = a + (i0 + r) * k;
+        for (std::size_t j = 0; j < jn; ++j) {
+            std::int32_t acc = 0;
+            const std::int16_t *bcol = bp + (j0 + j) * 2;
+            for (std::size_t kp = 0; kp < kp_count; ++kp) {
+                const std::int16_t *bpair = bcol + kp * n * 2;
+                acc += static_cast<std::int32_t>(arow[2 * kp]) *
+                       bpair[0];
+                acc += static_cast<std::int32_t>(arow[2 * kp + 1]) *
+                       bpair[1];
+            }
+            if (k & 1) {
+                const std::int16_t *bpair = bcol + kp_count * n * 2;
+                acc += static_cast<std::int32_t>(arow[k - 1]) *
+                       bpair[0];
+            }
+            c[(i0 + r) * n + j0 + j] =
+                dequantInt8(acc, a_scale[i0 + r], b_scale[j0 + j],
+                            bias ? bias[j0 + j] : 0.0f);
+        }
+    }
+}
+
+#if FABNET_KV_AVX2 && !FABNET_KV_VNNI
+
+/**
+ * Full 4x32 int8 tile: 16 ymm accumulators, one vpmaddwd + vpaddd per
+ * (row, 8-column group, k-pair). @p arow holds the tile's four A rows
+ * pre-widened to int16 pairs (an int32 load broadcasts one pair).
+ * Each vpmaddwd lane computes a[2kp]*b[2kp][j] + a[2kp+1]*b[2kp+1][j]
+ * exactly (products <= 127^2, pair sums <= 2*127^2 fit int32), so the
+ * vector path's accumulators equal the scalar tile's.
+ */
+inline void
+gemmTileInt8Wide(const std::int16_t *const arow[kGemmTileM],
+                 const std::int16_t *bp, float *c, std::size_t i0,
+                 std::size_t j0, std::size_t kp_count, std::size_t n,
+                 const float *a_scale, const float *b_scale,
+                 const float *bias)
+{
+    __m256i acc[kGemmTileM][4];
+    for (std::size_t r = 0; r < kGemmTileM; ++r)
+        for (std::size_t v = 0; v < 4; ++v)
+            acc[r][v] = _mm256_setzero_si256();
+
+    for (std::size_t kp = 0; kp < kp_count; ++kp) {
+        const std::int16_t *brow = bp + (kp * n + j0) * 2;
+        __m256i bv[4];
+        for (std::size_t v = 0; v < 4; ++v)
+            bv[v] = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+                brow + v * 16));
+        for (std::size_t r = 0; r < kGemmTileM; ++r) {
+            int pair;
+            std::memcpy(&pair, arow[r] + 2 * kp, sizeof(pair));
+            const __m256i av = _mm256_set1_epi32(pair);
+            for (std::size_t v = 0; v < 4; ++v)
+                acc[r][v] = _mm256_add_epi32(
+                    acc[r][v], _mm256_madd_epi16(av, bv[v]));
+        }
+    }
+
+    alignas(32) std::int32_t lanes[8];
+    for (std::size_t r = 0; r < kGemmTileM; ++r) {
+        for (std::size_t v = 0; v < 4; ++v) {
+            _mm256_store_si256(reinterpret_cast<__m256i *>(lanes),
+                               acc[r][v]);
+            const std::size_t jb = j0 + v * 8;
+            for (std::size_t j = 0; j < 8; ++j)
+                c[(i0 + r) * n + jb + j] =
+                    dequantInt8(lanes[j], a_scale[i0 + r],
+                                b_scale[jb + j],
+                                bias ? bias[jb + j] : 0.0f);
+        }
+    }
+}
+
+#define FABNET_KV_WIDE_I8_TILE 1
+#endif // FABNET_KV_AVX2 && !FABNET_KV_VNNI
+
+#if FABNET_KV_VNNI
+
+/**
+ * Full 4x32 int8 tile on AVX-512 VNNI: vpdpwssd fuses the int16-pair
+ * multiply-add-accumulate into one instruction over 16 int32 lanes,
+ * so the whole tile is 8 dpwssd + 2 loads + 4 broadcasts per k-pair.
+ * Operands are bounded to [-127, 127], so the in-lane pair sum cannot
+ * overflow and the accumulators are exact - identical to the scalar
+ * tile.
+ */
+inline void
+gemmTileInt8Wide(const std::int16_t *const arow[kGemmTileM],
+                 const std::int16_t *bp, float *c, std::size_t i0,
+                 std::size_t j0, std::size_t kp_count, std::size_t n,
+                 const float *a_scale, const float *b_scale,
+                 const float *bias)
+{
+    __m512i acc[kGemmTileM][2];
+    for (std::size_t r = 0; r < kGemmTileM; ++r) {
+        acc[r][0] = _mm512_setzero_si512();
+        acc[r][1] = _mm512_setzero_si512();
+    }
+
+    for (std::size_t kp = 0; kp < kp_count; ++kp) {
+        const std::int16_t *brow = bp + (kp * n + j0) * 2;
+        const __m512i bv0 = _mm512_loadu_si512(brow);
+        const __m512i bv1 = _mm512_loadu_si512(brow + 32);
+        for (std::size_t r = 0; r < kGemmTileM; ++r) {
+            int pair;
+            std::memcpy(&pair, arow[r] + 2 * kp, sizeof(pair));
+            const __m512i av = _mm512_set1_epi32(pair);
+            acc[r][0] = _mm512_dpwssd_epi32(acc[r][0], av, bv0);
+            acc[r][1] = _mm512_dpwssd_epi32(acc[r][1], av, bv1);
+        }
+    }
+
+    alignas(64) std::int32_t lanes[16];
+    for (std::size_t r = 0; r < kGemmTileM; ++r) {
+        for (std::size_t v = 0; v < 2; ++v) {
+            _mm512_store_si512(lanes, acc[r][v]);
+            const std::size_t jb = j0 + v * 16;
+            for (std::size_t j = 0; j < 16; ++j)
+                c[(i0 + r) * n + jb + j] =
+                    dequantInt8(lanes[j], a_scale[i0 + r],
+                                b_scale[jb + j],
+                                bias ? bias[jb + j] : 0.0f);
+        }
+    }
+}
+
+#define FABNET_KV_WIDE_I8_TILE 1
+#endif // FABNET_KV_VNNI
+
+#if FABNET_KV_WIDE_I8_TILE
+/** Workspace tag for the per-chunk int16-widened A rows. */
+struct GemmInt8AWideWs;
+#endif
+
+void
+gemmInt8(const std::int8_t *a, const std::int16_t *bp, float *c,
+         std::size_t r0, std::size_t r1, std::size_t k, std::size_t n,
+         const float *a_scale, const float *b_scale, const float *bias)
+{
+#if FABNET_KV_WIDE_I8_TILE
+    const std::size_t kp_count = (k + 1) / 2;
+    // Widen this chunk's A rows to int16 pairs once (zero-padded odd
+    // k), so the vector tiles broadcast a pair with a single int32
+    // load. Pure widening: the accumulated integers are unchanged.
+    std::int16_t *a16 =
+        threadWorkspaceAs<GemmInt8AWideWs, std::int16_t>(
+            (r1 - r0) * kp_count * 2);
+    for (std::size_t i = r0; i < r1; ++i) {
+        std::int16_t *dst = a16 + (i - r0) * kp_count * 2;
+        const std::int8_t *src = a + i * k;
+        for (std::size_t kk = 0; kk < k; ++kk)
+            dst[kk] = src[kk];
+        if (k & 1)
+            dst[k] = 0;
+    }
+#endif
+    for (std::size_t i = r0; i < r1; i += kGemmTileM) {
+        const std::size_t mr = (i + kGemmTileM <= r1) ? kGemmTileM
+                                                      : r1 - i;
+        std::size_t j = 0;
+#if FABNET_KV_WIDE_I8_TILE
+        if (mr == kGemmTileM) {
+            const std::int16_t *arow[kGemmTileM];
+            for (std::size_t r = 0; r < kGemmTileM; ++r)
+                arow[r] = a16 + (i + r - r0) * kp_count * 2;
+            for (; j + kGemmTileN <= n; j += kGemmTileN)
+                gemmTileInt8Wide(arow, bp, c, i, j, kp_count, n,
+                                 a_scale, b_scale, bias);
+        }
+#endif
+        for (; j < n; j += kGemmTileN) {
+            const std::size_t jn =
+                (j + kGemmTileN <= n) ? kGemmTileN : n - j;
+            gemmTileInt8Scalar(a, bp, c, i, mr, j, jn, k, n, a_scale,
+                               b_scale, bias);
+        }
+    }
+}
+
+// --------------------------------------------------- row reductions
+
+/** Largest |x| over @p n contiguous floats. (Max is commutative and
+ *  associative on the non-NaN data the kernels see, so the vectorised
+ *  reduction returns the same value as the scalar loop.) */
+float
+maxAbsRow(const float *x, std::size_t n)
+{
+    float m = 0.0f;
+    std::size_t i = 0;
+#if FABNET_KV_AVX512
+    if (n >= 16) {
+        const __m512 absmask =
+            _mm512_castsi512_ps(_mm512_set1_epi32(0x7FFFFFFF));
+        __m512 vm = _mm512_setzero_ps();
+        for (; i + 16 <= n; i += 16)
+            vm = _mm512_max_ps(
+                vm, _mm512_and_ps(_mm512_loadu_ps(x + i), absmask));
+        m = _mm512_reduce_max_ps(vm);
+    }
+#elif FABNET_KV_AVX2
+    if (n >= 8) {
+        const __m256 absmask =
+            _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+        __m256 vm = _mm256_setzero_ps();
+        for (; i + 8 <= n; i += 8)
+            vm = _mm256_max_ps(
+                vm, _mm256_and_ps(_mm256_loadu_ps(x + i), absmask));
+        __m128 lo = _mm256_castps256_ps128(vm);
+        __m128 hi = _mm256_extractf128_ps(vm, 1);
+        __m128 v4 = _mm_max_ps(lo, hi);
+        v4 = _mm_max_ps(v4, _mm_movehl_ps(v4, v4));
+        v4 = _mm_max_ss(v4, _mm_shuffle_ps(v4, v4, 0x1));
+        m = _mm_cvtss_f32(v4);
+    }
+#endif
+    for (; i < n; ++i)
+        m = std::max(m, std::fabs(x[i]));
+    return m;
+}
+
+#if FABNET_KV_AVX512
+/** 16-lane quantizeInt8 (same product rounding, RNE conversion and
+ *  [-127, 127] clamp as the scalar helper - vpmovsdb alone would
+ *  saturate to -128, so the clamp is explicit). */
+inline void
+quantizeInt8Lanes(const float *x, std::int8_t *q, __m512 vinv)
+{
+    const __m512i lo = _mm512_set1_epi32(-kInt8Max);
+    const __m512i hi = _mm512_set1_epi32(kInt8Max);
+    __m512i r =
+        _mm512_cvtps_epi32(_mm512_mul_ps(_mm512_loadu_ps(x), vinv));
+    r = _mm512_min_epi32(_mm512_max_epi32(r, lo), hi);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(q),
+                     _mm512_cvtsepi32_epi8(r));
+}
+#endif
+
+void
+quantizeInt8RowInv(const float *x, std::int8_t *q, std::size_t n,
+                   float inv)
+{
+    std::size_t i = 0;
+#if FABNET_KV_AVX512
+    const __m512 vinv = _mm512_set1_ps(inv);
+    for (; i + 16 <= n; i += 16)
+        quantizeInt8Lanes(x + i, q + i, vinv);
+#endif
+    for (; i < n; ++i)
+        q[i] = quantizeInt8(x[i], inv);
+}
+
+void
+quantizeInt8RowPerColInv(const float *x, std::int8_t *q, std::size_t n,
+                         const float *inv)
+{
+    std::size_t i = 0;
+#if FABNET_KV_AVX512
+    const __m512i lo = _mm512_set1_epi32(-kInt8Max);
+    const __m512i hi = _mm512_set1_epi32(kInt8Max);
+    for (; i + 16 <= n; i += 16) {
+        __m512i r = _mm512_cvtps_epi32(_mm512_mul_ps(
+            _mm512_loadu_ps(x + i), _mm512_loadu_ps(inv + i)));
+        r = _mm512_min_epi32(_mm512_max_epi32(r, lo), hi);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(q + i),
+                         _mm512_cvtsepi32_epi8(r));
+    }
+#endif
+    for (; i < n; ++i)
+        q[i] = quantizeInt8(x[i], inv[i]);
+}
+
+// --------------------------------------------------- binary16 rows
+
+// The row conversion helpers use the F16C units (vcvtps2ph/vcvtph2ps)
+// when this variant may: hardware round-to-nearest-even float<->
+// binary16 conversion is bit-identical to the software conversion in
+// tensor/half.h for all finite values and infinities (pinned by
+// tests/quantize_golden_test.cpp), and turns the fp16 operand
+// rounding from the dominant cost of the fp16 GEMM into noise.
+
+void
+roundRowToHalfV(float *x, std::size_t n)
+{
+    std::size_t i = 0;
+#if FABNET_KV_F16C
+    for (; i + 8 <= n; i += 8) {
+        const __m128i h = _mm256_cvtps_ph(
+            _mm256_loadu_ps(x + i),
+            _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+        _mm256_storeu_ps(x + i, _mm256_cvtph_ps(h));
+    }
+#endif
+    for (; i < n; ++i)
+        x[i] = roundToHalf(x[i]);
+}
+
+void
+halfBitsToFloatRowV(const std::uint16_t *h, float *f, std::size_t n)
+{
+    std::size_t i = 0;
+#if FABNET_KV_F16C
+    for (; i + 8 <= n; i += 8) {
+        const __m128i bits =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(h + i));
+        _mm256_storeu_ps(f + i, _mm256_cvtph_ps(bits));
+    }
+#endif
+    for (; i < n; ++i)
+        f[i] = halfBitsToFloat(h[i]);
+}
+
+void
+floatToHalfBitsRowV(const float *f, std::uint16_t *h, std::size_t n)
+{
+    std::size_t i = 0;
+#if FABNET_KV_F16C
+    for (; i + 8 <= n; i += 8) {
+        const __m128i bits = _mm256_cvtps_ph(
+            _mm256_loadu_ps(f + i),
+            _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(h + i), bits);
+    }
+#endif
+    for (; i < n; ++i)
+        h[i] = floatToHalfBits(f[i]);
+}
+
+// ------------------------------------------------- butterfly stages
+// (block width runtime::kBflyBlockRows, pinned in kernels_common.h)
+
+/**
+ * One butterfly stage over a transposed [n, NB] block, in place: pair
+ * (i1, i2) only reads its own two lanes, so the update needs no
+ * second buffer. NB is a compile-time width so the lane loop unrolls
+ * to straight-line vector code.
+ */
+template <std::size_t NB>
+inline void
+bflyStageFixed(float *buf, const float *wp, std::size_t n,
+               std::size_t h)
+{
+    for (std::size_t base = 0; base < n; base += 2 * h) {
+        for (std::size_t j = 0; j < h; ++j, wp += 4) {
+            const float w0 = wp[0], w1 = wp[1], w2 = wp[2], w3 = wp[3];
+            float *x1 = buf + (base + j) * NB;
+            float *x2 = x1 + h * NB;
+            // Stage through non-escaping locals: frees the compiler
+            // from the (unprovable) x1/x2 overlap question, so all
+            // four loops vectorise cleanly.
+            float a[NB], bv[NB];
+            for (std::size_t r = 0; r < NB; ++r) {
+                a[r] = x1[r];
+                bv[r] = x2[r];
+            }
+            for (std::size_t r = 0; r < NB; ++r)
+                x1[r] = madd(w0, a[r], w1 * bv[r]);
+            for (std::size_t r = 0; r < NB; ++r)
+                x2[r] = madd(w2, a[r], w3 * bv[r]);
+        }
+    }
+}
+
+void
+bflyStage(float *buf, const float *wp, std::size_t n, std::size_t h,
+          std::size_t nb)
+{
+    if (nb == kBflyBlockRows) {
+        bflyStageFixed<kBflyBlockRows>(buf, wp, n, h);
+        return;
+    }
+    // Runtime-width tail block (rows % kBflyBlockRows).
+    float a[kBflyBlockRows], bv[kBflyBlockRows];
+    for (std::size_t base = 0; base < n; base += 2 * h) {
+        for (std::size_t j = 0; j < h; ++j, wp += 4) {
+            const float w0 = wp[0], w1 = wp[1], w2 = wp[2], w3 = wp[3];
+            float *x1 = buf + (base + j) * nb;
+            float *x2 = x1 + h * nb;
+            for (std::size_t r = 0; r < nb; ++r) {
+                a[r] = x1[r];
+                bv[r] = x2[r];
+            }
+            for (std::size_t r = 0; r < nb; ++r)
+                x1[r] = madd(w0, a[r], w1 * bv[r]);
+            for (std::size_t r = 0; r < nb; ++r)
+                x2[r] = madd(w2, a[r], w3 * bv[r]);
+        }
+    }
+}
+
+#if FABNET_KV_AVX512
+/**
+ * 16-lane fp16 pair op: mul+add (the pinned madd contraction) plus
+ * hardware binary16 round - the exact vector form of f16PairOut, so
+ * the vectorised block path stays bitwise equal to the scalar
+ * reference.
+ */
+inline void
+f16PairSweepLanes16(float *x1, float *x2, float w0, float w1, float w2,
+                    float w3)
+{
+    const __m512 a = _mm512_loadu_ps(x1);
+    const __m512 b = _mm512_loadu_ps(x2);
+    const __m512 y1 =
+        _mm512_add_ps(_mm512_mul_ps(_mm512_set1_ps(w0), a),
+                      _mm512_mul_ps(_mm512_set1_ps(w1), b));
+    const __m512 y2 =
+        _mm512_add_ps(_mm512_mul_ps(_mm512_set1_ps(w2), a),
+                      _mm512_mul_ps(_mm512_set1_ps(w3), b));
+    constexpr int rne = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+    _mm512_storeu_ps(x1, _mm512_cvtph_ps(_mm512_cvtps_ph(y1, rne)));
+    _mm512_storeu_ps(x2, _mm512_cvtph_ps(_mm512_cvtps_ph(y2, rne)));
+}
+#endif
+
+void
+qbflyF16Stage(float *buf, const float *wp, std::size_t n, std::size_t h,
+              std::size_t nb)
+{
+    for (std::size_t base = 0; base < n; base += 2 * h) {
+        for (std::size_t j = 0; j < h; ++j, wp += 4) {
+            float *x1 = buf + (base + j) * nb;
+            float *x2 = x1 + h * nb;
+            const float w0 = wp[0], w1 = wp[1];
+            const float w2 = wp[2], w3 = wp[3];
+#if FABNET_KV_AVX512
+            if (nb == kBflyBlockRows) {
+                f16PairSweepLanes16(x1, x2, w0, w1, w2, w3);
+                continue;
+            }
+#endif
+            for (std::size_t r = 0; r < nb; ++r) {
+                const float a = x1[r], b = x2[r];
+                x1[r] = f16PairOut(w0, a, w1, b);
+                x2[r] = f16PairOut(w2, a, w3, b);
+            }
+        }
+    }
+}
+
+void
+qbflyI8Stage(const std::int8_t *q, std::int32_t *y, const std::int8_t *w,
+             std::size_t n, std::size_t h, std::size_t nb)
+{
+    for (std::size_t base = 0; base < n; base += 2 * h) {
+        for (std::size_t j = 0; j < h; ++j, w += 4) {
+            const std::int8_t *x1 = q + (base + j) * nb;
+            const std::int8_t *x2 = x1 + h * nb;
+            std::int32_t *y1 = y + (base + j) * nb;
+            std::int32_t *y2 = y1 + h * nb;
+            const std::int32_t w0 = w[0], w1 = w[1];
+            const std::int32_t w2 = w[2], w3 = w[3];
+            for (std::size_t r = 0; r < nb; ++r) {
+                const std::int32_t a = x1[r], b = x2[r];
+                y1[r] = w0 * a + w1 * b;
+                y2[r] = w2 * a + w3 * b;
+            }
+        }
+    }
+}
+
+void
+qbflyI8Requant(const std::int32_t *y, std::int8_t *q, float *scale,
+               float wscale_s, std::size_t n, std::size_t nb)
+{
+#if FABNET_KV_AVX512
+    if (nb == kBflyBlockRows) {
+        // Lane-parallel requantisation: the per-row max and the
+        // round/clamp run vertically over contiguous 16-lane vectors.
+        // Same product rounding, RNE conversion and clamp as
+        // requantInt8; a zero-max lane gets factor 0.0, which maps
+        // its (all-zero) int32s to exact zeros like the scalar path.
+        __m512i vm = _mm512_setzero_si512();
+        for (std::size_t i = 0; i < n; ++i)
+            vm = _mm512_max_epi32(
+                vm, _mm512_abs_epi32(_mm512_loadu_si512(y + i * nb)));
+        alignas(64) std::int32_t m[kBflyBlockRows];
+        alignas(64) float f[kBflyBlockRows];
+        _mm512_store_si512(m, vm);
+        for (std::size_t r = 0; r < nb; ++r)
+            f[r] = m[r] != 0 ? static_cast<float>(kInt8Max) /
+                                   static_cast<float>(m[r])
+                             : 0.0f;
+        const __m512 vf = _mm512_load_ps(f);
+        const __m512i lo = _mm512_set1_epi32(-kInt8Max);
+        const __m512i hi = _mm512_set1_epi32(kInt8Max);
+        for (std::size_t i = 0; i < n; ++i) {
+            const __m512 p = _mm512_mul_ps(
+                _mm512_cvtepi32_ps(_mm512_loadu_si512(y + i * nb)),
+                vf);
+            __m512i r32 = _mm512_cvtps_epi32(p);
+            r32 = _mm512_min_epi32(_mm512_max_epi32(r32, lo), hi);
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(q + i * nb),
+                             _mm512_cvtsepi32_epi8(r32));
+        }
+        for (std::size_t r = 0; r < nb; ++r)
+            if (m[r] != 0)
+                scale[r] = int8StageScale(scale[r], wscale_s, m[r]);
+        return;
+    }
+#endif
+    for (std::size_t r = 0; r < nb; ++r) {
+        std::int32_t m = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::int32_t v = y[i * nb + r];
+            const std::int32_t a = v < 0 ? -v : v;
+            if (a > m)
+                m = a;
+        }
+        if (m == 0) {
+            for (std::size_t i = 0; i < n; ++i)
+                q[i * nb + r] = 0;
+            continue;
+        }
+        const float f = static_cast<float>(kInt8Max) /
+                        static_cast<float>(m);
+        for (std::size_t i = 0; i < n; ++i)
+            q[i * nb + r] = requantInt8(y[i * nb + r], f);
+        scale[r] = int8StageScale(scale[r], wscale_s, m);
+    }
+}
+
+// ------------------------------------------- block transposes
+// Pure data movement between row-major rows and the stage-major
+// [n, nb] blocks. In the table (rather than at the call sites)
+// because the sweeps only vectorise with the variant's flags, and at
+// fp32 butterfly speeds an unvectorised transpose costs more than the
+// stages themselves.
+
+void
+bflyTransposeIn(const float *src, float *buf, std::size_t n,
+                std::size_t nb, std::size_t stride)
+{
+    if (nb == kBflyBlockRows) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const float *s = src + i;
+            float *dst = buf + i * kBflyBlockRows;
+            for (std::size_t r = 0; r < kBflyBlockRows; ++r)
+                dst[r] = s[r * stride];
+        }
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *s = src + i;
+        float *dst = buf + i * nb;
+        for (std::size_t r = 0; r < nb; ++r)
+            dst[r] = s[r * stride];
+    }
+}
+
+void
+bflyTransposeOut(const float *buf, float *dst, std::size_t n,
+                 std::size_t nb, std::size_t stride)
+{
+    for (std::size_t r = 0; r < nb; ++r) {
+        const float *s = buf + r;
+        float *d = dst + r * stride;
+        if (nb == kBflyBlockRows) {
+            for (std::size_t i = 0; i < n; ++i)
+                d[i] = s[i * kBflyBlockRows];
+        } else {
+            for (std::size_t i = 0; i < n; ++i)
+                d[i] = s[i * nb];
+        }
+    }
+}
+
+void
+qbflyF16TransposeIn(const float *src, float *buf, std::size_t n,
+                    std::size_t nb, std::size_t stride)
+{
+    // Row-at-a-time so the binary16 rounding (the expensive part)
+    // runs over contiguous loads; the transposed stores are scalar.
+    // The F16C path is the same RNE round as roundToHalf (pinned by
+    // tests/quantize_golden_test.cpp).
+    for (std::size_t r = 0; r < nb; ++r) {
+        const float *row = src + r * stride;
+        std::size_t i = 0;
+#if FABNET_KV_F16C
+        alignas(32) float tmp[8];
+        for (; i + 8 <= n; i += 8) {
+            _mm256_store_ps(
+                tmp, _mm256_cvtph_ps(_mm256_cvtps_ph(
+                         _mm256_loadu_ps(row + i),
+                         _MM_FROUND_TO_NEAREST_INT |
+                             _MM_FROUND_NO_EXC)));
+            for (std::size_t t = 0; t < 8; ++t)
+                buf[(i + t) * nb + r] = tmp[t];
+        }
+#endif
+        for (; i < n; ++i)
+            buf[i * nb + r] = roundToHalf(row[i]);
+    }
+}
+
+void
+qbflyI8QuantIn(const float *src, std::int8_t *q, float *scale,
+               std::size_t n, std::size_t nb, std::size_t stride)
+{
+    for (std::size_t r = 0; r < nb; ++r) {
+        const float *row = src + r * stride;
+        const float m = maxAbsRow(row, n);
+        if (m == 0.0f) {
+            scale[r] = 0.0f; // dequantises to exact zeros on the way out
+            for (std::size_t i = 0; i < n; ++i)
+                q[i * nb + r] = 0;
+            continue;
+        }
+        scale[r] = int8Scale(m);
+        const float inv = 1.0f / scale[r];
+        for (std::size_t i = 0; i < n; ++i)
+            q[i * nb + r] = quantizeInt8(row[i], inv);
+    }
+}
+
+void
+qbflyI8DequantOut(const std::int8_t *q, const float *scale, float *dst,
+                  std::size_t n, std::size_t nb, std::size_t stride)
+{
+    for (std::size_t r = 0; r < nb; ++r) {
+        const float s = scale[r];
+        float *d = dst + r * stride;
+        for (std::size_t i = 0; i < n; ++i)
+            d[i] = static_cast<float>(q[i * nb + r]) * s;
+    }
+}
+
+} // namespace FABNET_KV_NS
+
+const KernelTable &
+FABNET_KV_EXPORT()
+{
+    static const KernelTable t = {
+        FABNET_KV_ISA,
+        isaName(FABNET_KV_ISA),
+        &FABNET_KV_NS::gemmF32,
+        &FABNET_KV_NS::gemmInt8,
+        &FABNET_KV_NS::maxAbsRow,
+        &FABNET_KV_NS::quantizeInt8RowInv,
+        &FABNET_KV_NS::quantizeInt8RowPerColInv,
+        &FABNET_KV_NS::roundRowToHalfV,
+        &FABNET_KV_NS::halfBitsToFloatRowV,
+        &FABNET_KV_NS::floatToHalfBitsRowV,
+        &FABNET_KV_NS::bflyStage,
+        &FABNET_KV_NS::qbflyF16Stage,
+        &FABNET_KV_NS::qbflyI8Stage,
+        &FABNET_KV_NS::qbflyI8Requant,
+        &FABNET_KV_NS::bflyTransposeIn,
+        &FABNET_KV_NS::bflyTransposeOut,
+        &FABNET_KV_NS::qbflyF16TransposeIn,
+        &FABNET_KV_NS::qbflyI8QuantIn,
+        &FABNET_KV_NS::qbflyI8DequantOut,
+    };
+    return t;
+}
+
+} // namespace runtime
+} // namespace fabnet

@@ -1,0 +1,13 @@
+// Scalar kernel variant: baseline x86-64 (SSE2), no feature flags.
+// This TU is compiled with the project's default flags only - it is
+// the variant that must run on ANY machine the binary lands on, and
+// the bit-exact baseline the others are tested against.
+#define FABNET_KV_NS kv_scalar
+#define FABNET_KV_AVX2 0
+#define FABNET_KV_F16C 0
+#define FABNET_KV_AVX512 0
+#define FABNET_KV_VNNI 0
+#define FABNET_KV_ISA ::fabnet::runtime::Isa::Scalar
+#define FABNET_KV_EXPORT kernelTableScalar
+
+#include "runtime/kernels_impl.h"

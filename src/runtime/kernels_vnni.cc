@@ -1,0 +1,19 @@
+// AVX-512 VNNI kernel variant: the AVX-512 table with the int8 GEMM
+// tile upgraded to vpdpwssd. Compiled with the avx512 flag set plus
+// -mavx512vnni (CMakeLists.txt). On a compiler too old for the flag
+// (no FABNET_HAVE_VNNI_FLAG) the table still builds and stays exact -
+// it just reuses the AVX-512 vpmaddwd tile; int8 accumulation is
+// integer math, so the results are identical either way.
+#define FABNET_KV_NS kv_vnni
+#define FABNET_KV_AVX2 1
+#define FABNET_KV_F16C 1
+#define FABNET_KV_AVX512 1
+#if defined(FABNET_HAVE_VNNI_FLAG)
+#define FABNET_KV_VNNI 1
+#else
+#define FABNET_KV_VNNI 0
+#endif
+#define FABNET_KV_ISA ::fabnet::runtime::Isa::Avx512Vnni
+#define FABNET_KV_EXPORT kernelTableAvx512Vnni
+
+#include "runtime/kernels_impl.h"

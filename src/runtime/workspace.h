@@ -67,6 +67,30 @@ workspaceCapBytes()
 }
 
 /**
+ * RAII: install a workspace cap for the current scope and restore the
+ * previous value on exit, exceptions included. Prefer this (or the
+ * engine-shared serve::detail::WorkspaceCapLease, which composes
+ * overlapping caps) over raw setWorkspaceCapBytes() pairs - a throw
+ * between install and restore would otherwise leak the process-wide
+ * policy change.
+ */
+class WorkspaceCapGuard
+{
+  public:
+    explicit WorkspaceCapGuard(std::size_t bytes)
+        : prev_(workspaceCapBytes())
+    {
+        setWorkspaceCapBytes(bytes);
+    }
+    WorkspaceCapGuard(const WorkspaceCapGuard &) = delete;
+    WorkspaceCapGuard &operator=(const WorkspaceCapGuard &) = delete;
+    ~WorkspaceCapGuard() { setWorkspaceCapBytes(prev_); }
+
+  private:
+    std::size_t prev_;
+};
+
+/**
  * Typed scratch buffer of at least @p count elements of @p T for the
  * calling thread and @p Tag. The pointer stays valid until the next
  * call with the same (Tag, T) on this thread. The quantized kernels

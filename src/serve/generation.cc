@@ -65,10 +65,10 @@ GenerationEngine::GenerationEngine(CausalGenerator &gen,
         throw std::invalid_argument(
             "GenerationEngine: max_queue_tokens below max_seq would "
             "make some valid prompts permanently inadmissible");
-    if (cfg_.workspace_cap_bytes != 0) {
-        detail::installWorkspaceCap(cfg_.workspace_cap_bytes);
-        ws_cap_installed_ = true;
-    }
+    // RAII member lease: survives a throwing std::thread constructor
+    // below (the engine destructor would not run, the member's would).
+    ws_cap_lease_ =
+        detail::WorkspaceCapLease(cfg_.workspace_cap_bytes);
     if (cfg_.watchdog_timeout.count() > 0)
         watchdog_ = std::thread([this] { watchdogLoop(); });
     scheduler_ = std::thread([this] { schedulerLoop(); });
@@ -94,8 +94,7 @@ GenerationEngine::~GenerationEngine()
         }
         watchdog_.join();
     }
-    if (ws_cap_installed_)
-        detail::removeWorkspaceCap(cfg_.workspace_cap_bytes);
+    // ws_cap_lease_ releases the workspace cap via member destruction.
 }
 
 std::future<std::vector<int>>
@@ -113,10 +112,16 @@ GenerationEngine::submit(std::vector<int> prompt,
     const std::uint64_t admission_index = submit_seq_++;
     if (prompt.empty())
         throw Error(ErrorCode::InvalidRequest, "empty prompt");
-    if (prompt.size() > gen_.maxSeq())
+    // >= and not >: a prompt that already fills every position has no
+    // slot for even one generated token. Admitting it used to surface
+    // later as a [ModelFault] when prefill ran off the positional
+    // table; rejecting at submit keeps the failure typed and
+    // synchronous.
+    if (prompt.size() >= gen_.maxSeq())
         throw Error(ErrorCode::InvalidRequest,
-                    "prompt longer than max_seq (" +
-                        std::to_string(prompt.size()) + " > " +
+                    "prompt leaves no room to generate (" +
+                        std::to_string(prompt.size()) +
+                        " >= max_seq " +
                         std::to_string(gen_.maxSeq()) + ")");
     if (max_new_tokens == 0)
         throw Error(ErrorCode::InvalidRequest,

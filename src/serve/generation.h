@@ -238,7 +238,9 @@ class GenerationEngine
 
     CausalGenerator &gen_;
     GenerationConfig cfg_;
-    bool ws_cap_installed_ = false;
+    /** Declared before the thread members: released by member
+     *  destruction even when the constructor throws mid-way. */
+    detail::WorkspaceCapLease ws_cap_lease_;
 
     mutable std::mutex mu_;
     std::condition_variable work_cv_; ///< wakes the scheduler

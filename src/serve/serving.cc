@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "runtime/autotune.h"
+#include "runtime/isa.h"
 #include "runtime/workspace.h"
 
 namespace fabnet {
@@ -127,10 +129,10 @@ ServingEngine::ServingEngine(SequenceClassifier &model, ServingConfig cfg)
         throw std::invalid_argument(
             "ServingEngine: max_queue_tokens below max_seq would make "
             "some valid requests permanently inadmissible");
-    if (cfg_.workspace_cap_bytes != 0) {
-        g_cap_registry.install(cfg_.workspace_cap_bytes);
-        ws_cap_installed_ = true;
-    }
+    // RAII member lease: survives a throwing std::thread constructor
+    // below (the engine destructor would not run, the member's would).
+    ws_cap_lease_ =
+        detail::WorkspaceCapLease(cfg_.workspace_cap_bytes);
     if (cfg_.watchdog_timeout.count() > 0)
         watchdog_ = std::thread([this] { watchdogLoop(); });
     dispatcher_ = std::thread([this] { dispatchLoop(); });
@@ -157,8 +159,7 @@ ServingEngine::~ServingEngine()
         }
         watchdog_.join();
     }
-    if (ws_cap_installed_)
-        g_cap_registry.remove(cfg_.workspace_cap_bytes);
+    // ws_cap_lease_ releases the workspace cap via member destruction.
 }
 
 std::future<std::vector<float>>
@@ -483,7 +484,11 @@ ServingStats
 ServingEngine::stats() const
 {
     std::lock_guard<std::mutex> lk(mu_);
-    return stats_;
+    ServingStats out = stats_;
+    out.isa = runtime::isa();
+    out.cpu_signature = runtime::cpuSignature();
+    out.tuning = runtime::tuningReport();
+    return out;
 }
 
 Error

@@ -71,6 +71,7 @@
 #include <future>
 #include <mutex>
 #include <set>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -94,6 +95,53 @@ namespace detail {
  */
 void installWorkspaceCap(std::size_t cap);
 void removeWorkspaceCap(std::size_t cap);
+
+/**
+ * RAII lease on the cap registry. Engines hold one as a data member
+ * declared BEFORE their worker-thread members: if anything later in
+ * construction throws (std::thread can raise std::system_error), the
+ * already-constructed lease member is destroyed and the cap comes back
+ * out of the registry - the engine destructor never runs for a
+ * partially constructed object, so a plain install-in-ctor /
+ * remove-in-dtor pair would leak the process-wide cap on exactly that
+ * path. A zero cap is a no-op lease.
+ */
+class WorkspaceCapLease
+{
+  public:
+    WorkspaceCapLease() = default;
+    explicit WorkspaceCapLease(std::size_t cap) : cap_(cap)
+    {
+        if (cap_ != 0)
+            installWorkspaceCap(cap_);
+    }
+    WorkspaceCapLease(WorkspaceCapLease &&o) noexcept : cap_(o.cap_)
+    {
+        o.cap_ = 0;
+    }
+    WorkspaceCapLease &operator=(WorkspaceCapLease &&o) noexcept
+    {
+        if (this != &o) {
+            release();
+            cap_ = o.cap_;
+            o.cap_ = 0;
+        }
+        return *this;
+    }
+    WorkspaceCapLease(const WorkspaceCapLease &) = delete;
+    WorkspaceCapLease &operator=(const WorkspaceCapLease &) = delete;
+    ~WorkspaceCapLease() { release(); }
+
+  private:
+    void release()
+    {
+        if (cap_ != 0) {
+            removeWorkspaceCap(cap_);
+            cap_ = 0;
+        }
+    }
+    std::size_t cap_ = 0;
+};
 } // namespace detail
 
 /**
@@ -223,6 +271,17 @@ struct ServingConfig
 /** Counters for observing the batching + shedding behaviour. */
 struct ServingStats
 {
+    // -------------------------------------------- runtime identity
+    /** Kernel variant the runtime dispatcher selected at startup
+     *  (runtime::isa()): "scalar", "avx2", "avx512", "avx512vnni". */
+    std::string isa;
+    /** CPU brand + feature signature (runtime::cpuSignature()); keys
+     *  the autotuner's on-disk plan cache. */
+    std::string cpu_signature;
+    /** Autotuner state snapshot (runtime::tuningReport()): JSON with
+     *  every tuned (shape, threads) -> (tile, grain) entry. */
+    std::string tuning;
+
     std::size_t requests = 0;        ///< admitted by submit()/serveAll()
     std::size_t completed = 0;       ///< futures fulfilled with logits
     std::size_t failed = 0;          ///< futures failed with an error
@@ -471,7 +530,9 @@ class ServingEngine
     SequenceClassifier &model_;
     std::mutex model_mu_; ///< serialises forwardBatch invocations
     ServingConfig cfg_;
-    bool ws_cap_installed_ = false;
+    /** Declared before the thread members: released by member
+     *  destruction even when the constructor throws mid-way. */
+    detail::WorkspaceCapLease ws_cap_lease_;
 
     mutable std::mutex mu_;
     std::condition_variable work_cv_; ///< wakes the dispatcher

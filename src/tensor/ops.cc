@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/autotune.h"
 #include "runtime/kernels.h"
 #include "runtime/parallel.h"
 #include "runtime/reduce.h"
@@ -242,10 +243,11 @@ matmul(const Tensor &a, const Tensor &b)
     const float *pa = a.data();
     const float *pb = b.data();
     float *pc = c.data();
-    runtime::parallelFor(0, m, kGemmGrain,
+    const runtime::GemmPlan plan = runtime::planGemmF32(m, k, n);
+    runtime::parallelFor(0, m, plan.grain,
                          [&](std::size_t r0, std::size_t r1) {
                              runtime::gemmRowsIKJ(pa, pb, pc, r0, r1, k,
-                                                  n);
+                                                  n, nullptr, plan.mk);
                          });
     return c;
 }
@@ -268,10 +270,11 @@ matmulTransposed(const Tensor &a, const Tensor &b)
     // bitwise identical to the scalar dot-product reference.
     float *bt = runtime::threadWorkspace<MatmulTWs>(k * n);
     runtime::transposeInto(bt, b.data(), n, k);
-    runtime::parallelFor(0, m, kGemmGrain,
+    const runtime::GemmPlan plan = runtime::planGemmF32(m, k, n);
+    runtime::parallelFor(0, m, plan.grain,
                          [&](std::size_t r0, std::size_t r1) {
                              runtime::gemmRowsIKJ(pa, bt, pc, r0, r1, k,
-                                                  n);
+                                                  n, nullptr, plan.mk);
                          });
     return c;
 }
@@ -341,7 +344,8 @@ matmulInt8(const Tensor &a, const Tensor &b)
 
     Tensor c = Tensor::zeros(m, n);
     float *pc = c.data();
-    runtime::parallelFor(0, m, kGemmGrain,
+    const runtime::GemmPlan plan = runtime::planGemmInt8(m, k, n);
+    runtime::parallelFor(0, m, plan.grain,
                          [&](std::size_t r0, std::size_t r1) {
                              runtime::gemmRowsInt8(aq, bp, pc, r0, r1,
                                                    k, n, sa, sb);
@@ -366,10 +370,11 @@ matmulF16(const Tensor &a, const Tensor &b)
 
     Tensor c = Tensor::zeros(m, n);
     float *pc = c.data();
-    runtime::parallelFor(0, m, kGemmGrain,
+    const runtime::GemmPlan plan = runtime::planGemmF16(m, k, n);
+    runtime::parallelFor(0, m, plan.grain,
                          [&](std::size_t r0, std::size_t r1) {
                              runtime::gemmRowsF16(aw, bw, pc, r0, r1, k,
-                                                  n);
+                                                  n, nullptr, plan.mk);
                          });
     return c;
 }

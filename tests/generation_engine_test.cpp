@@ -161,6 +161,35 @@ TEST_F(GenerationEngineTest, SubmitValidatesUpFront)
     EXPECT_EQ(st.expired_in_queue, 1u);
 }
 
+TEST_F(GenerationEngineTest, PromptAtPositionalCapacityRejectedAtSubmit)
+{
+    // A prompt that already fills every position (== max_seq) leaves no
+    // slot for a generated token. It must fail typed [InvalidRequest]
+    // synchronously at submit - not get admitted and then surface as a
+    // [ModelFault] when prefill runs off the positional table.
+    Rng rng(47);
+    auto gen = buildGenerator(genCfg(), rng);
+    GenerationEngine eng(*gen);
+    for (const std::size_t len : {gen->maxSeq(), gen->maxSeq() + 1}) {
+        try {
+            (void)eng.submit(std::vector<int>(len, 1), 4);
+            FAIL() << "expected InvalidRequest for prompt length " << len;
+        } catch (const Error &e) {
+            EXPECT_EQ(e.code(), ErrorCode::InvalidRequest)
+                << "prompt length " << len;
+        }
+    }
+    // The longest admissible prompt (max_seq - 1) still works end to
+    // end and can generate at least one token.
+    const std::vector<int> prompt(gen->maxSeq() - 1, 1);
+    const std::vector<int> ref = referenceGreedy(*gen, prompt, 4);
+    EXPECT_EQ(eng.submit(prompt, 4).get(), ref);
+    const GenerationStats st = eng.stats();
+    EXPECT_EQ(st.requests, 1u);
+    EXPECT_EQ(st.completed, 1u);
+    EXPECT_EQ(st.model_faults, 0u);
+}
+
 TEST_F(GenerationEngineTest, BoundedAdmissionRejectsAndSheds)
 {
     Rng rng(45);

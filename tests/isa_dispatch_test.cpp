@@ -1,0 +1,399 @@
+/**
+ * @file isa_dispatch_test.cpp
+ * The runtime-dispatch contract (runtime/isa.h + runtime/dispatch.h):
+ *   - kernelTableFor() hands out a table exactly for the levels the
+ *     host supports, correctly labelled, and support is monotone
+ *     (a level implies everything below it),
+ *   - EVERY host-reachable variant table is bitwise identical to the
+ *     scalar table (== ops::reference, pinned by the existing parity
+ *     suites) for every kernel family it exports: fp32 GEMM across
+ *     the whole micro-kernel menu, the int8 GEMM panel, the row
+ *     reductions/conversions, and the fp32/fp16/int8 butterfly stage
+ *     sweeps - at thread counts {1, 4, 8} where threading applies.
+ * Together with the forced-FABNET_ISA re-runs of the kernel parity
+ * suites (ctest -L isa-parity) this is the gate that makes one binary
+ * safe on every deployment target.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runtime/dispatch.h"
+#include "runtime/isa.h"
+#include "runtime/kernels.h"
+#include "runtime/parallel.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "test_util.h"
+
+namespace fabnet {
+namespace {
+
+using runtime::Isa;
+using runtime::KernelTable;
+using runtime::kernelTableFor;
+using runtime::kNumGemmKernels;
+using runtime::kNumIsaLevels;
+using testutil::bitwiseEqual;
+using testutil::forEachThreadCount;
+using testutil::gemmShapeSweep;
+
+/** Every level the host can run, weakest first (always has Scalar). */
+std::vector<const KernelTable *>
+supportedTables()
+{
+    std::vector<const KernelTable *> tables;
+    for (int l = 0; l < kNumIsaLevels; ++l)
+        if (const KernelTable *t = kernelTableFor(static_cast<Isa>(l)))
+            tables.push_back(t);
+    return tables;
+}
+
+class IsaDispatchTest : public testutil::RuntimeFixture
+{
+};
+
+TEST_F(IsaDispatchTest, SupportIsMonotoneAndTablesAreLabelled)
+{
+    ASSERT_TRUE(runtime::isaSupported(Isa::Scalar));
+    bool above_unsupported = false;
+    for (int l = 0; l < kNumIsaLevels; ++l) {
+        const Isa isa = static_cast<Isa>(l);
+        const bool sup = runtime::isaSupported(isa);
+        // A level implies everything below it: once one level is
+        // unsupported, every stronger one must be too.
+        if (!sup)
+            above_unsupported = true;
+        EXPECT_FALSE(sup && above_unsupported)
+            << "support not monotone at level " << runtime::isaName(isa);
+
+        const KernelTable *t = kernelTableFor(isa);
+        EXPECT_EQ(t != nullptr, sup) << runtime::isaName(isa);
+        if (t) {
+            EXPECT_EQ(t->level, isa);
+            EXPECT_STREQ(t->name, runtime::isaName(isa));
+        }
+    }
+
+    EXPECT_TRUE(runtime::isaSupported(runtime::bestSupportedIsa()));
+    EXPECT_TRUE(runtime::isaSupported(runtime::activeIsa()));
+    EXPECT_STREQ(runtime::isa(), runtime::isaName(runtime::activeIsa()));
+    EXPECT_EQ(runtime::kernels().level, runtime::activeIsa());
+    EXPECT_FALSE(runtime::cpuSignature().empty());
+}
+
+TEST_F(IsaDispatchTest, GemmF32EveryVariantEveryTileMatchesReference)
+{
+    for (const auto &s : gemmShapeSweep(2026)) {
+        Rng rng(101);
+        const Tensor a = rng.normalTensor({s.m, s.k});
+        const Tensor b = rng.normalTensor({s.k, s.n});
+        const Tensor ref = ops::reference::matmul(a, b);
+        for (const KernelTable *t : supportedTables()) {
+            for (int mk = 0; mk < kNumGemmKernels; ++mk) {
+                forEachThreadCount([&](std::size_t threads) {
+                    Tensor c = Tensor::zeros(s.m, s.n);
+                    // Odd grain so panels straddle the register tile.
+                    runtime::parallelFor(
+                        0, s.m, 3, [&](std::size_t r0, std::size_t r1) {
+                            t->gemm_f32(a.data(), b.data(), c.data(), r0,
+                                        r1, s.k, s.n, nullptr, mk);
+                        });
+                    EXPECT_TRUE(bitwiseEqual(c, ref))
+                        << t->name << " mk=" << mk << " threads="
+                        << threads << " shape " << s.m << "x" << s.k
+                        << "x" << s.n;
+                });
+            }
+        }
+    }
+}
+
+TEST_F(IsaDispatchTest, GemmInt8EveryVariantMatchesScalarTable)
+{
+    const KernelTable *scalar = kernelTableFor(Isa::Scalar);
+    ASSERT_NE(scalar, nullptr);
+    for (const auto &s : gemmShapeSweep(2027)) {
+        Rng rng(102);
+        const Tensor af = rng.normalTensor({s.m, s.k});
+        const Tensor bf = rng.normalTensor({s.k, s.n});
+
+        // Quantise operands once with the shared helpers; the tables
+        // only differ in the int32 panel arithmetic under test.
+        std::vector<std::int8_t> aq(s.m * s.k), bq(s.k * s.n);
+        std::vector<float> a_scale(s.m), b_scale(s.n);
+        for (std::size_t i = 0; i < s.m; ++i) {
+            const float *row = af.data() + i * s.k;
+            const float sc =
+                runtime::int8Scale(scalar->max_abs_row(row, s.k));
+            a_scale[i] = sc;
+            scalar->quantize_i8_row(row, aq.data() + i * s.k, s.k,
+                                    sc > 0.0f ? 1.0f / sc : 0.0f);
+        }
+        for (std::size_t j = 0; j < s.n; ++j) {
+            float m = 0.0f;
+            for (std::size_t i = 0; i < s.k; ++i) {
+                const float v = bf.data()[i * s.n + j];
+                m = std::max(m, v < 0.0f ? -v : v);
+            }
+            b_scale[j] = runtime::int8Scale(m);
+            const float inv = b_scale[j] > 0.0f ? 1.0f / b_scale[j] : 0.0f;
+            for (std::size_t i = 0; i < s.k; ++i)
+                bq[i * s.n + j] = runtime::quantizeInt8(
+                    bf.data()[i * s.n + j], inv);
+        }
+        std::vector<std::int16_t> bp(((s.k + 1) / 2) * s.n * 2);
+        runtime::packInt8PairsB(bq.data(), bp.data(), s.k, s.n);
+
+        Tensor ref = Tensor::zeros(s.m, s.n);
+        scalar->gemm_i8(aq.data(), bp.data(), ref.data(), 0, s.m, s.k,
+                        s.n, a_scale.data(), b_scale.data(), nullptr);
+
+        for (const KernelTable *t : supportedTables()) {
+            forEachThreadCount([&](std::size_t threads) {
+                Tensor c = Tensor::zeros(s.m, s.n);
+                runtime::parallelFor(
+                    0, s.m, 3, [&](std::size_t r0, std::size_t r1) {
+                        t->gemm_i8(aq.data(), bp.data(), c.data(), r0,
+                                   r1, s.k, s.n, a_scale.data(),
+                                   b_scale.data(), nullptr);
+                    });
+                EXPECT_TRUE(bitwiseEqual(c, ref))
+                    << t->name << " threads=" << threads << " shape "
+                    << s.m << "x" << s.k << "x" << s.n;
+            });
+        }
+    }
+}
+
+TEST_F(IsaDispatchTest, RowKernelsEveryVariantMatchesScalarTable)
+{
+    const KernelTable *scalar = kernelTableFor(Isa::Scalar);
+    ASSERT_NE(scalar, nullptr);
+    // Lengths below/at/above the 8/16-lane vector widths plus tails.
+    for (const std::size_t n : {1u, 7u, 8u, 15u, 16u, 17u, 63u, 200u}) {
+        Rng rng(300 + static_cast<unsigned>(n));
+        const Tensor xt = rng.normalTensor({n});
+        const float *x = xt.data();
+
+        const float m_ref = scalar->max_abs_row(x, n);
+        const float inv = m_ref > 0.0f
+                              ? 1.0f / runtime::int8Scale(m_ref)
+                              : 0.0f;
+        std::vector<float> percol_inv(n);
+        for (std::size_t i = 0; i < n; ++i)
+            percol_inv[i] = inv * (1.0f + 0.01f * static_cast<float>(i));
+
+        std::vector<std::int8_t> q_ref(n), q(n);
+        scalar->quantize_i8_row(x, q_ref.data(), n, inv);
+        std::vector<std::int8_t> qp_ref(n), qp(n);
+        scalar->quantize_i8_row_percol(x, qp_ref.data(), n,
+                                       percol_inv.data());
+        std::vector<float> h_ref(xt.data(), xt.data() + n);
+        scalar->round_row_to_half(h_ref.data(), n);
+        std::vector<std::uint16_t> bits_ref(n), bits(n);
+        scalar->float_to_half_bits_row(x, bits_ref.data(), n);
+        std::vector<float> wide_ref(n), wide(n);
+        scalar->half_bits_to_float_row(bits_ref.data(), wide_ref.data(),
+                                       n);
+
+        for (const KernelTable *t : supportedTables()) {
+            SCOPED_TRACE(std::string(t->name) + " n=" +
+                         std::to_string(n));
+            EXPECT_EQ(t->max_abs_row(x, n), m_ref);
+            t->quantize_i8_row(x, q.data(), n, inv);
+            EXPECT_EQ(q, q_ref);
+            t->quantize_i8_row_percol(x, qp.data(), n,
+                                      percol_inv.data());
+            EXPECT_EQ(qp, qp_ref);
+            std::vector<float> h(xt.data(), xt.data() + n);
+            t->round_row_to_half(h.data(), n);
+            EXPECT_EQ(std::memcmp(h.data(), h_ref.data(),
+                                  n * sizeof(float)),
+                      0);
+            t->float_to_half_bits_row(x, bits.data(), n);
+            EXPECT_EQ(bits, bits_ref);
+            t->half_bits_to_float_row(bits_ref.data(), wide.data(), n);
+            EXPECT_EQ(std::memcmp(wide.data(), wide_ref.data(),
+                                  n * sizeof(float)),
+                      0);
+        }
+    }
+}
+
+TEST_F(IsaDispatchTest, ButterflyStagesEveryVariantMatchesScalarTable)
+{
+    const KernelTable *scalar = kernelTableFor(Isa::Scalar);
+    ASSERT_NE(scalar, nullptr);
+    // Full stage-major blocks (nb == 16, the vector fast path) and
+    // ragged tails, across every stride of a 64-point butterfly.
+    const std::size_t n = 64;
+    for (const std::size_t nb : {1u, 5u, 16u}) {
+        Rng rng(500 + static_cast<unsigned>(nb));
+        const Tensor wt = rng.normalTensor({(n / 2) * 4});
+        const Tensor buf0 = rng.normalTensor({n * nb});
+        std::vector<std::int8_t> wq((n / 2) * 4);
+        for (std::size_t i = 0; i < wq.size(); ++i)
+            wq[i] = static_cast<std::int8_t>(
+                runtime::quantizeInt8(wt.data()[i], 40.0f));
+
+        for (std::size_t h = 1; h <= n / 2; h *= 2) {
+            // fp32 and fp16 stages rewrite the block in place.
+            std::vector<float> ref32(buf0.data(), buf0.data() + n * nb);
+            scalar->bfly_stage(ref32.data(), wt.data(), n, h, nb);
+            std::vector<float> ref16(buf0.data(), buf0.data() + n * nb);
+            scalar->qbfly_f16_stage(ref16.data(), wt.data(), n, h, nb);
+
+            // int8 stage + requant: start from a quantised block.
+            std::vector<std::int8_t> q0(n * nb);
+            for (std::size_t i = 0; i < n * nb; ++i)
+                q0[i] = static_cast<std::int8_t>(
+                    runtime::quantizeInt8(buf0.data()[i], 40.0f));
+            std::vector<float> scale0(nb, 1.0f / 40.0f);
+            std::vector<std::int32_t> y_ref(n * nb, 0);
+            std::vector<std::int8_t> q_ref = q0;
+            std::vector<float> s_ref = scale0;
+            scalar->qbfly_i8_stage(q_ref.data(), y_ref.data(), wq.data(),
+                                   n, h, nb);
+            scalar->qbfly_i8_requant(y_ref.data(), q_ref.data(),
+                                     s_ref.data(), 0.025f, n, nb);
+
+            for (const KernelTable *t : supportedTables()) {
+                SCOPED_TRACE(std::string(t->name) + " h=" +
+                             std::to_string(h) + " nb=" +
+                             std::to_string(nb));
+                std::vector<float> b32(buf0.data(),
+                                       buf0.data() + n * nb);
+                t->bfly_stage(b32.data(), wt.data(), n, h, nb);
+                EXPECT_EQ(std::memcmp(b32.data(), ref32.data(),
+                                      n * nb * sizeof(float)),
+                          0);
+                std::vector<float> b16(buf0.data(),
+                                       buf0.data() + n * nb);
+                t->qbfly_f16_stage(b16.data(), wt.data(), n, h, nb);
+                EXPECT_EQ(std::memcmp(b16.data(), ref16.data(),
+                                      n * nb * sizeof(float)),
+                          0);
+
+                std::vector<std::int32_t> y(n * nb, 0);
+                std::vector<std::int8_t> q = q0;
+                std::vector<float> s = scale0;
+                t->qbfly_i8_stage(q.data(), y.data(), wq.data(), n, h,
+                                  nb);
+                EXPECT_EQ(y, y_ref);
+                t->qbfly_i8_requant(y.data(), q.data(), s.data(),
+                                    0.025f, n, nb);
+                EXPECT_EQ(q, q_ref);
+                EXPECT_EQ(std::memcmp(s.data(), s_ref.data(),
+                                      nb * sizeof(float)),
+                          0);
+            }
+        }
+    }
+}
+
+TEST_F(IsaDispatchTest, BlockTransposesEveryVariantMatchScalarTable)
+{
+    const KernelTable *scalar = kernelTableFor(Isa::Scalar);
+    ASSERT_NE(scalar, nullptr);
+    const std::size_t n = 48, stride = 53; // rows longer than the block
+    for (const std::size_t nb : {1u, 5u, 16u}) {
+        Rng rng(700 + static_cast<unsigned>(nb));
+        const Tensor src = rng.normalTensor({nb * stride});
+
+        std::vector<float> in_ref(n * nb, -1.0f);
+        scalar->bfly_transpose_in(src.data(), in_ref.data(), n, nb,
+                                  stride);
+        // Spot-check the layout contract against the definition.
+        EXPECT_EQ(in_ref[0], src.data()[0]);
+        EXPECT_EQ(in_ref[(n - 1) * nb + (nb - 1)],
+                  src.data()[(nb - 1) * stride + (n - 1)]);
+
+        std::vector<float> out_ref(nb * stride, 0.0f);
+        scalar->bfly_transpose_out(in_ref.data(), out_ref.data(), n, nb,
+                                   stride);
+        for (std::size_t r = 0; r < nb; ++r)
+            EXPECT_EQ(std::memcmp(out_ref.data() + r * stride,
+                                  src.data() + r * stride,
+                                  n * sizeof(float)),
+                      0);
+
+        std::vector<float> f16_ref(n * nb, -1.0f);
+        scalar->qbfly_f16_transpose_in(src.data(), f16_ref.data(), n,
+                                       nb, stride);
+        std::vector<std::int8_t> q_ref(n * nb, -1);
+        std::vector<float> s_ref(nb, -1.0f);
+        scalar->qbfly_i8_quant_in(src.data(), q_ref.data(),
+                                  s_ref.data(), n, nb, stride);
+        std::vector<float> dq_ref(nb * stride, 0.0f);
+        scalar->qbfly_i8_dequant_out(q_ref.data(), s_ref.data(),
+                                     dq_ref.data(), n, nb, stride);
+
+        for (const KernelTable *t : supportedTables()) {
+            SCOPED_TRACE(std::string(t->name) + " nb=" +
+                         std::to_string(nb));
+            std::vector<float> buf(n * nb, -1.0f);
+            t->bfly_transpose_in(src.data(), buf.data(), n, nb, stride);
+            EXPECT_EQ(std::memcmp(buf.data(), in_ref.data(),
+                                  n * nb * sizeof(float)),
+                      0);
+            std::vector<float> outb(nb * stride, 0.0f);
+            t->bfly_transpose_out(in_ref.data(), outb.data(), n, nb,
+                                  stride);
+            EXPECT_EQ(std::memcmp(outb.data(), out_ref.data(),
+                                  nb * stride * sizeof(float)),
+                      0);
+            std::vector<float> f16(n * nb, -1.0f);
+            t->qbfly_f16_transpose_in(src.data(), f16.data(), n, nb,
+                                      stride);
+            EXPECT_EQ(std::memcmp(f16.data(), f16_ref.data(),
+                                  n * nb * sizeof(float)),
+                      0);
+            std::vector<std::int8_t> q(n * nb, -1);
+            std::vector<float> s(nb, -1.0f);
+            t->qbfly_i8_quant_in(src.data(), q.data(), s.data(), n, nb,
+                                 stride);
+            EXPECT_EQ(q, q_ref);
+            EXPECT_EQ(std::memcmp(s.data(), s_ref.data(),
+                                  nb * sizeof(float)),
+                      0);
+            std::vector<float> dq(nb * stride, 0.0f);
+            t->qbfly_i8_dequant_out(q_ref.data(), s_ref.data(),
+                                    dq.data(), n, nb, stride);
+            EXPECT_EQ(std::memcmp(dq.data(), dq_ref.data(),
+                                  nb * stride * sizeof(float)),
+                      0);
+        }
+    }
+}
+
+// An all-zero row must get scale 0 and exact zero codes on every
+// variant (the int8StagesRow contract the quant_in kernel pins).
+TEST_F(IsaDispatchTest, QuantInZeroRowContractHoldsOnEveryVariant)
+{
+    const std::size_t n = 24, nb = 3, stride = 24;
+    std::vector<float> src(nb * stride, 0.0f);
+    for (std::size_t i = 0; i < n; ++i)
+        src[2 * stride + i] = 0.5f; // only row 2 is non-zero
+    for (const KernelTable *t : supportedTables()) {
+        SCOPED_TRACE(t->name);
+        std::vector<std::int8_t> q(n * nb, -1);
+        std::vector<float> s(nb, -1.0f);
+        t->qbfly_i8_quant_in(src.data(), q.data(), s.data(), n, nb,
+                             stride);
+        EXPECT_EQ(s[0], 0.0f);
+        EXPECT_EQ(s[1], 0.0f);
+        EXPECT_GT(s[2], 0.0f);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(q[i * nb + 0], 0);
+            EXPECT_EQ(q[i * nb + 1], 0);
+            EXPECT_EQ(q[i * nb + 2], 127);
+        }
+    }
+}
+
+} // namespace
+} // namespace fabnet

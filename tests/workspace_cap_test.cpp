@@ -1,0 +1,162 @@
+/**
+ * @file workspace_cap_test.cpp
+ * Regression suite for the workspace-cap install/restore path
+ * (runtime/workspace.h + serve/serving.h WorkspaceCapLease).
+ *
+ * The original engines installed the cap in the constructor body and
+ * removed it in the destructor. If the constructor then threw (e.g.
+ * std::thread failing to spawn), the destructor never ran and the
+ * process-wide cap leaked past the engine's lifetime. The fix is an
+ * RAII lease MEMBER declared before the thread members: member
+ * destructors run even for a partially constructed object, so the cap
+ * is restored on every exit path. This file pins that contract
+ * directly, without needing to make thread creation fail.
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/workspace.h"
+#include "serve/serving.h"
+#include "test_util.h"
+
+namespace fabnet {
+namespace {
+
+using runtime::setWorkspaceCapBytes;
+using runtime::workspaceCapBytes;
+using runtime::WorkspaceCapGuard;
+using serve::detail::WorkspaceCapLease;
+
+class WorkspaceCapTest : public testutil::RuntimeFixture
+{
+  protected:
+    void SetUp() override
+    {
+        testutil::RuntimeFixture::SetUp();
+        setWorkspaceCapBytes(0);
+    }
+    void TearDown() override
+    {
+        setWorkspaceCapBytes(0);
+        testutil::RuntimeFixture::TearDown();
+    }
+};
+
+TEST_F(WorkspaceCapTest, LeaseInstallsAndRestores)
+{
+    EXPECT_EQ(workspaceCapBytes(), 0u);
+    {
+        WorkspaceCapLease lease(1u << 20);
+        EXPECT_EQ(workspaceCapBytes(), 1u << 20);
+    }
+    EXPECT_EQ(workspaceCapBytes(), 0u);
+}
+
+TEST_F(WorkspaceCapTest, ZeroCapLeaseIsANoOp)
+{
+    setWorkspaceCapBytes(7u << 10);
+    {
+        WorkspaceCapLease lease(0);
+        EXPECT_EQ(workspaceCapBytes(), 7u << 10);
+    }
+    EXPECT_EQ(workspaceCapBytes(), 7u << 10);
+}
+
+TEST_F(WorkspaceCapTest, LeaseRestoresOnException)
+{
+    // The bug this suite exists for: a throw after the cap is
+    // installed (a constructor body failing after the lease member was
+    // built) must still restore the pre-existing policy, because the
+    // lease member's destructor runs during stack unwinding.
+    struct ThrowsAfterLease
+    {
+        WorkspaceCapLease lease;
+        explicit ThrowsAfterLease(std::size_t cap) : lease(cap)
+        {
+            throw std::runtime_error("ctor failed after cap install");
+        }
+    };
+    EXPECT_EQ(workspaceCapBytes(), 0u);
+    EXPECT_THROW(ThrowsAfterLease obj(2u << 20), std::runtime_error);
+    EXPECT_EQ(workspaceCapBytes(), 0u);
+
+    // Same unwinding path from a plain scope.
+    try {
+        WorkspaceCapLease lease(3u << 20);
+        EXPECT_EQ(workspaceCapBytes(), 3u << 20);
+        throw std::runtime_error("body threw");
+    } catch (const std::runtime_error &) {
+    }
+    EXPECT_EQ(workspaceCapBytes(), 0u);
+}
+
+TEST_F(WorkspaceCapTest, LeaseMoveTransfersOwnership)
+{
+    WorkspaceCapLease a(1u << 20);
+    EXPECT_EQ(workspaceCapBytes(), 1u << 20);
+
+    // Move construction: exactly one owner, no double-remove.
+    WorkspaceCapLease b(std::move(a));
+    EXPECT_EQ(workspaceCapBytes(), 1u << 20);
+    { WorkspaceCapLease dead(std::move(a)); } // moved-from: no-op
+    EXPECT_EQ(workspaceCapBytes(), 1u << 20);
+
+    // Move assignment releases the target's old cap first (this is
+    // the engine-constructor pattern: default-constructed member, then
+    // `lease_ = WorkspaceCapLease(cap)`).
+    WorkspaceCapLease c;
+    c = std::move(b);
+    EXPECT_EQ(workspaceCapBytes(), 1u << 20);
+    c = WorkspaceCapLease(2u << 20);
+    EXPECT_EQ(workspaceCapBytes(), 2u << 20);
+    c = WorkspaceCapLease();
+    EXPECT_EQ(workspaceCapBytes(), 0u);
+}
+
+TEST_F(WorkspaceCapTest, OverlappingLeasesTightestWinsAndUnnest)
+{
+    WorkspaceCapLease wide(4u << 20);
+    EXPECT_EQ(workspaceCapBytes(), 4u << 20);
+    {
+        WorkspaceCapLease tight(1u << 20);
+        EXPECT_EQ(workspaceCapBytes(), 1u << 20);
+        {
+            // A looser overlapping lease must not widen the policy.
+            WorkspaceCapLease mid(2u << 20);
+            EXPECT_EQ(workspaceCapBytes(), 1u << 20);
+        }
+        EXPECT_EQ(workspaceCapBytes(), 1u << 20);
+    }
+    EXPECT_EQ(workspaceCapBytes(), 4u << 20);
+}
+
+TEST_F(WorkspaceCapTest, BaselineRestoredAfterLastLease)
+{
+    // A pre-existing user policy is the baseline, not 0: the last
+    // lease out must put back what it found, and equal caps must not
+    // confuse the multiset bookkeeping.
+    setWorkspaceCapBytes(9u << 10);
+    {
+        WorkspaceCapLease a(1u << 20);
+        WorkspaceCapLease b(1u << 20);
+        EXPECT_EQ(workspaceCapBytes(), 1u << 20);
+    }
+    EXPECT_EQ(workspaceCapBytes(), 9u << 10);
+}
+
+TEST_F(WorkspaceCapTest, GuardRestoresPreviousCapOnThrow)
+{
+    setWorkspaceCapBytes(5u << 10);
+    try {
+        WorkspaceCapGuard guard(1u << 20);
+        EXPECT_EQ(workspaceCapBytes(), 1u << 20);
+        throw std::runtime_error("scope failed");
+    } catch (const std::runtime_error &) {
+    }
+    EXPECT_EQ(workspaceCapBytes(), 5u << 10);
+}
+
+} // namespace
+} // namespace fabnet
