@@ -334,6 +334,51 @@ BM_AttentionForward(benchmark::State &state)
 }
 BENCHMARK(BM_AttentionForward)->RangeMultiplier(2)->Range(32, 512);
 
+/** Approximate attention at long context: args are {seq, kind, k}
+ *  with kind 0=dense, 1=topk, 2=butterfly. Same weights/input per seq
+ *  (fixed seed), so the dense rows are the exact anchor the sparse
+ *  rows' time is read against - the kernel-side of the
+ *  accuracy-vs-speed frontier in BENCH_serving.json. Dense is
+ *  quadratic in seq; topk stays quadratic in scoring but caps the
+ *  softmax+AV work at k rows; butterfly is O(seq log seq) end to end
+ *  (never materialises the seq x seq score matrix). */
+static void
+BM_AttentionForwardSparse(benchmark::State &state)
+{
+    const std::size_t seq = static_cast<std::size_t>(state.range(0));
+    const int kind = static_cast<int>(state.range(1));
+    const std::size_t k = static_cast<std::size_t>(state.range(2));
+    const std::size_t d = 64;
+    Rng rng(5);
+    nn::MultiHeadAttention mha(
+        d, 2, std::make_unique<nn::Dense>(d, d, rng),
+        std::make_unique<nn::Dense>(d, d, rng),
+        std::make_unique<nn::Dense>(d, d, rng),
+        std::make_unique<nn::Dense>(d, d, rng));
+    nn::SparseAttentionConfig sparse;
+    sparse.kind = kind == 1   ? nn::SparseKind::TopK
+                  : kind == 2 ? nn::SparseKind::Butterfly
+                              : nn::SparseKind::Dense;
+    sparse.k = kind == 1 ? k : 0;
+    mha.setSparse(sparse);
+    Tensor x = rng.normalTensor({1, seq, d});
+    for (auto _ : state) {
+        Tensor y = mha.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetLabel(sparse.describe());
+}
+BENCHMARK(BM_AttentionForwardSparse)
+    ->Args({256, 0, 0})
+    ->Args({256, 1, 32})
+    ->Args({256, 2, 0})
+    ->Args({1024, 0, 0})
+    ->Args({1024, 1, 32})
+    ->Args({1024, 2, 0})
+    ->Args({4096, 0, 0})
+    ->Args({4096, 1, 32})
+    ->Args({4096, 2, 0});
+
 static void
 BM_FunctionalEngineButterfly(benchmark::State &state)
 {

@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "data/lra.h"
 #include "model/builder.h"
 #include "model/generator.h"
 #include "nn/embedding.h"
@@ -710,6 +711,124 @@ runDecodeScenario(const ModelConfig &cfg, const char *label,
     return sec;
 }
 
+// ------------------------------------------- long-context frontier
+// The accuracy-vs-speed frontier of approximate attention at LRA
+// lengths (seq 1k/2k/4k): every variant is built from the SAME seed as
+// the exact anchor (setSparse draws nothing from the rng, so the
+// weights are identical) and serves the SAME near-full-length request
+// stream, so the logit deltas and label disagreements are pure
+// attention-approximation error and the time ratio is the pure
+// selection win. Points per scenario: exact, topk k in {16,32,64},
+// butterfly, butterfly+topk (the k sweep x sequence length grid the
+// approx-attention PR's acceptance gate reads from the JSON).
+
+struct FrontierPoint
+{
+    std::string name; ///< SparseAttentionConfig::describe()
+    double ms_per_request = 0.0;
+    double speedup_vs_exact = 1.0;
+    /** Fraction of requests whose argmax label matches the exact
+     *  anchor's on the same weights and inputs. */
+    double agreement_vs_exact = 1.0;
+    double mean_abs_logit_diff = 0.0;
+};
+
+struct LongContextSection
+{
+    std::string task;
+    std::size_t seq = 0, requests = 0;
+    std::vector<FrontierPoint> points;
+};
+
+std::vector<int>
+argmaxLabels(const std::vector<std::vector<float>> &logits)
+{
+    std::vector<int> out;
+    out.reserve(logits.size());
+    for (const auto &row : logits)
+        out.push_back(static_cast<int>(
+            std::max_element(row.begin(), row.end()) - row.begin()));
+    return out;
+}
+
+LongContextSection
+runLongContext(const data::LongRangeScenario &sc, std::size_t n_reqs)
+{
+    std::vector<ModelConfig> cfgs = {sc.exact};
+    for (std::size_t k : {std::size_t(16), std::size_t(32),
+                          std::size_t(64)})
+        cfgs.push_back(data::longContextConfig(
+            sc.task, sc.seq, {nn::SparseKind::TopK, k}));
+    cfgs.push_back(sc.butterfly);
+    cfgs.push_back(sc.butterfly_topk);
+
+    // Near-full-length mixed stream: the quadratic worst case the
+    // frontier is about, with enough spread to keep serving ragged.
+    Rng rrng(31);
+    const auto reqs = makeStream(n_reqs, sc.seq - sc.seq / 4, sc.seq,
+                                 cfgs.front().vocab, rrng);
+
+    LongContextSection sec;
+    sec.task = sc.task;
+    sec.seq = sc.seq;
+    sec.requests = reqs.size();
+
+    std::vector<int> exact_labels;
+    std::vector<std::vector<float>> exact_logits;
+    for (const auto &cfg : cfgs) {
+        Rng rng(23);
+        auto model = buildModel(cfg, rng);
+        serve::ServingEngine engine(*model);
+        // Warmup with the full stream: autotuner searches key on the
+        // exact batch shapes the timed run will see.
+        auto out = engine.serveAll(reqs);
+        const auto t0 = Clock::now();
+        out = engine.serveAll(reqs);
+        const double sec_run = secondsSince(t0);
+        asm volatile("" ::"r"(out.data()) : "memory");
+
+        FrontierPoint p;
+        p.name = cfg.attn_sparse.describe();
+        p.ms_per_request =
+            1e3 * sec_run / static_cast<double>(reqs.size());
+        if (sec.points.empty()) { // the exact anchor runs first
+            exact_labels = argmaxLabels(out);
+            exact_logits = out;
+        } else {
+            p.speedup_vs_exact =
+                sec.points.front().ms_per_request / p.ms_per_request;
+            const std::vector<int> labels = argmaxLabels(out);
+            std::size_t agree = 0;
+            double diff = 0.0;
+            std::size_t count = 0;
+            for (std::size_t i = 0; i < out.size(); ++i) {
+                agree += labels[i] == exact_labels[i];
+                for (std::size_t j = 0; j < out[i].size(); ++j)
+                    diff += std::fabs(out[i][j] - exact_logits[i][j]);
+                count += out[i].size();
+            }
+            p.agreement_vs_exact = static_cast<double>(agree) /
+                                   static_cast<double>(out.size());
+            p.mean_abs_logit_diff =
+                count ? diff / static_cast<double>(count) : 0.0;
+        }
+        sec.points.push_back(std::move(p));
+    }
+
+    bench::rule();
+    std::printf("long_context %s @ seq %zu: %zu requests, lengths "
+                "%zu..%zu\n",
+                sec.task.c_str(), sec.seq, sec.requests,
+                sc.seq - sc.seq / 4, sc.seq);
+    std::printf("%-20s %14s %9s %11s %16s\n", "attention", "ms/request",
+                "speedup", "agreement", "mean |dlogit|");
+    for (const auto &p : sec.points)
+        std::printf("%-20s %14.2f %8.2fx %10.2f%% %16.5f\n",
+                    p.name.c_str(), p.ms_per_request, p.speedup_vs_exact,
+                    100.0 * p.agreement_vs_exact, p.mean_abs_logit_diff);
+    return sec;
+}
+
 } // namespace
 
 int
@@ -772,6 +891,14 @@ main(int argc, char **argv)
     const DecodeSection decode =
         runDecodeScenario(dec, "fabnet_abfly_causal",
                           std::min<std::size_t>(32, n_requests));
+
+    // The long-context accuracy-vs-speed frontier (approximate
+    // attention at LRA lengths 1k/2k/4k). Few requests per scenario:
+    // the exact anchor is quadratic in seq and each point is served
+    // twice (warmup + timed).
+    std::vector<LongContextSection> longctx;
+    for (const auto &sc : data::longRangeScenarios())
+        longctx.push_back(runLongContext(sc, 3));
 
     if (!json_path.empty()) {
         FILE *f = std::fopen(json_path.c_str(), "w");
@@ -859,7 +986,30 @@ main(int argc, char **argv)
                 c.p50_token_ms, c.p99_token_ms, c.tokens, c.avg_live,
                 i + 1 < decode.configs.size() ? "," : "");
         }
-        std::fprintf(f, "    ]\n  }\n}\n");
+        std::fprintf(f, "    ]\n  },\n  \"long_context\": [\n");
+        for (std::size_t s = 0; s < longctx.size(); ++s) {
+            const auto &sec = longctx[s];
+            std::fprintf(f,
+                         "    {\"task\": \"%s\", \"seq\": %zu, "
+                         "\"requests\": %zu, \"points\": [\n",
+                         sec.task.c_str(), sec.seq, sec.requests);
+            for (std::size_t i = 0; i < sec.points.size(); ++i) {
+                const auto &p = sec.points[i];
+                std::fprintf(
+                    f,
+                    "      {\"attention\": \"%s\", "
+                    "\"ms_per_request\": %.4f, "
+                    "\"speedup_vs_exact\": %.3f, "
+                    "\"agreement_vs_exact\": %.4f, "
+                    "\"mean_abs_logit_diff\": %.6f}%s\n",
+                    p.name.c_str(), p.ms_per_request, p.speedup_vs_exact,
+                    p.agreement_vs_exact, p.mean_abs_logit_diff,
+                    i + 1 < sec.points.size() ? "," : "");
+            }
+            std::fprintf(f, "    ]}%s\n",
+                         s + 1 < longctx.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
         std::fclose(f);
         std::printf("Wrote %s\n", json_path.c_str());
     }

@@ -156,5 +156,52 @@ makeLraGenerator(const std::string &name, std::size_t seq)
     throw std::invalid_argument("unknown LRA task: " + name);
 }
 
+ModelConfig
+longContextConfig(const std::string &name, std::size_t seq,
+                  nn::SparseAttentionConfig sparse)
+{
+    const TaskSpec spec = makeLraGenerator(name, seq)->spec();
+    ModelConfig c = transformerCfg(64, 2, 2, 2, spec.vocab,
+                                   spec.classes, spec.seq);
+    c.attn_sparse = sparse;
+    return c;
+}
+
+std::vector<LongRangeScenario>
+longRangeScenarios()
+{
+    using nn::SparseAttentionConfig;
+    using nn::SparseKind;
+    const struct
+    {
+        const char *task;
+        std::size_t seq;
+        std::size_t k;
+    } rows[] = {
+        {"Image", 1024, 32},
+        {"ListOps", 2048, 32},
+        {"Text", 4096, 32},
+    };
+    std::vector<LongRangeScenario> out;
+    for (const auto &r : rows) {
+        LongRangeScenario s;
+        s.task = r.task;
+        s.seq = r.seq;
+        s.default_k = r.k;
+        s.exact = longContextConfig(r.task, r.seq);
+        s.topk = longContextConfig(r.task, r.seq,
+                                   {SparseKind::TopK, r.k});
+        s.butterfly = longContextConfig(r.task, r.seq,
+                                        {SparseKind::Butterfly, 0});
+        // k=8 < butterflyCandidateBound at every scenario length
+        // (11..13), so this point actually prunes the candidate set
+        // instead of bitwise-degenerating to plain butterfly.
+        s.butterfly_topk = longContextConfig(
+            r.task, r.seq, {SparseKind::ButterflyTopK, 8});
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
 } // namespace data
 } // namespace fabnet

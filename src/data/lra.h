@@ -43,6 +43,40 @@ std::vector<LraTask> lraCatalog();
 std::unique_ptr<TaskGenerator> makeLraGenerator(const std::string &name,
                                                 std::size_t seq);
 
+/**
+ * Attention-mixer model config for LRA task @p name at sequence
+ * length @p seq with the given approximate-attention setting - the
+ * building block of the long-context serving/training scenarios. The
+ * model family is the LRA-standard small Transformer (D=64, 2 layers,
+ * 2 heads, R_ffn=2) so exact and approximate variants built from the
+ * same seed share weights and differ ONLY in the attention key set.
+ */
+ModelConfig longContextConfig(const std::string &name, std::size_t seq,
+                              nn::SparseAttentionConfig sparse = {});
+
+/**
+ * One long-range task opened as a first-class serving + training
+ * scenario: same-seed model configs for the exact-attention anchor
+ * and each approximate kind, at the scenario's sequence length.
+ */
+struct LongRangeScenario
+{
+    std::string task;        ///< LRA task name (makeLraGenerator)
+    std::size_t seq;         ///< serving/training length, 1k-4k
+    ModelConfig exact;       ///< dense-attention anchor
+    ModelConfig topk;        ///< A^3 top-k (k = default_k)
+    ModelConfig butterfly;   ///< butterfly candidate set
+    ModelConfig butterfly_topk; ///< top-8 among butterfly candidates
+    std::size_t default_k;   ///< k used by the plain topk variant
+};
+
+/**
+ * The long-context scenario catalogue at seq 1k/2k/4k (Image @ 1024,
+ * ListOps @ 2048, Text @ 4096), mirroring the paper's LRA lengths.
+ * The bench frontier and the approx-accuracy suite both draw from it.
+ */
+std::vector<LongRangeScenario> longRangeScenarios();
+
 } // namespace data
 } // namespace fabnet
 

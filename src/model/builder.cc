@@ -25,10 +25,16 @@ makeMixer(MixerKind mixer, LinearKind proj, const ModelConfig &cfg,
     if (mixer == MixerKind::Fourier)
         return std::make_unique<nn::FourierMix>();
     const std::size_t d = cfg.d_hid;
-    return std::make_unique<nn::MultiHeadAttention>(
+    auto mha = std::make_unique<nn::MultiHeadAttention>(
         d, cfg.heads, makeLinear(proj, d, d, rng),
         makeLinear(proj, d, d, rng), makeLinear(proj, d, d, rng),
         makeLinear(proj, d, d, rng), cfg.causal);
+    // Approximate-attention config rides on the model config so every
+    // builder (classifier, generator, partially-compressed) applies it
+    // uniformly; setSparse draws nothing from rng, so sparse variants
+    // of a seed share the exact same weights.
+    mha->setSparse(cfg.attn_sparse);
+    return mha;
 }
 
 std::unique_ptr<nn::Layer>

@@ -22,7 +22,10 @@ ModelConfig::describe() const
     os << "(D=" << d_hid << ", R=" << r_ffn << ", N=" << n_total;
     if (kind == ModelKind::FABNet)
         os << ", N_abfly=" << n_abfly;
-    os << ", heads=" << heads << ")";
+    os << ", heads=" << heads;
+    if (!attn_sparse.dense())
+        os << ", attn=" << attn_sparse.describe();
+    os << ")";
     return os.str();
 }
 

@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <string>
 
+#include "nn/sparse_attention.h"
+
 namespace fabnet {
 
 /** Which token mixer a block uses. */
@@ -45,6 +47,10 @@ struct ModelConfig
     std::size_t heads = 2;      ///< attention heads
     std::size_t classes = 10;   ///< classifier output size
     bool causal = false;        ///< decoder-style masked attention
+    /** Approximate-attention config applied to every attention mixer
+     *  (nn/sparse_attention.h); default = exact attention. Fourier
+     *  mixers ignore it. */
+    nn::SparseAttentionConfig attn_sparse;
 
     std::size_t ffnHidden() const { return d_hid * r_ffn; }
 

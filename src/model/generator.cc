@@ -232,10 +232,14 @@ buildGenerator(const ModelConfig &cfg, Rng &rng)
     std::vector<std::unique_ptr<nn::Layer>> mixers;
     std::vector<std::unique_ptr<nn::Layer>> ffns;
     for (std::size_t i = 0; i < cfg.n_total; ++i) {
-        mixers.push_back(std::make_unique<nn::MultiHeadAttention>(
+        auto mha = std::make_unique<nn::MultiHeadAttention>(
             d, cfg.heads, makeLinear(lin, d, d, rng),
             makeLinear(lin, d, d, rng), makeLinear(lin, d, d, rng),
-            makeLinear(lin, d, d, rng), /*causal=*/true));
+            makeLinear(lin, d, d, rng), /*causal=*/true);
+        // Same uniform application as buildModel's makeMixer: no rng
+        // draw, so sparse generator variants share a seed's weights.
+        mha->setSparse(cfg.attn_sparse);
+        mixers.push_back(std::move(mha));
         ffns.push_back(std::make_unique<nn::FeedForward>(
             makeLinear(lin, d, cfg.ffnHidden(), rng),
             std::make_unique<nn::Gelu>(),

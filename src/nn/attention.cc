@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
@@ -54,8 +55,129 @@ struct AttnWs;
 struct AttnGradWs;
 /** Workspace tag for the decode step's gathered cache slices. */
 struct DecodeWs;
+/** Workspace tag for the sparse paths' selected-index scratch. */
+struct AttnSelWs;
+/** Workspace tag for the decode step's selected-index scratch. */
+struct DecodeSelWs;
+
+/**
+ * Shared body of the approximate per-query attention row (forwardImpl
+ * and forwardStep): select keys, softmax over the selected set only,
+ * context over the gathered selected V rows. All inputs are the
+ * already-gathered per-(batch, head) panels, so the two call sites
+ * replay identical op chains - the decode-vs-full-recompute bitwise
+ * contract extends to the approximate kinds by construction.
+ *
+ * Selection is deterministic (nn/sparse_attention.h) and the selected
+ * set is processed in ascending key order with the dense path's exact
+ * expression sequence (scale-then-max from -1e30f, ascending exp/sum,
+ * one gemmRowsIKJ row call), so TopK with k >= visible reproduces the
+ * dense bits and every kind is bitwise run-to-run deterministic.
+ *
+ * @param sparse   validated non-dense config
+ * @param i        query position (key index space; may exceed visible
+ *                 for discarded padded rows - butterfly clamps)
+ * @param visible  number of visible keys (causal prefix or valid len)
+ * @param stride   row stride of the transposed K panel @p kht
+ * @param qi       query head slice, [dh]
+ * @param kht      transposed K head panel, [dh, stride]
+ * @param vh       V head panel, [>= visible, dh]
+ * @param srow     score scratch, [>= visible]
+ * @param prow     selected-probability scratch, [>= visible]
+ * @param vsel     gathered selected-V scratch, [>= visible * dh]
+ * @param sel,cand index scratch, each [>= visible]
+ * @param ci       context output row, [dh] (overwritten)
+ * @param arow     optional dense attn_ cache row (zero-initialised):
+ *                 selected probabilities land at their key positions
+ * @return number of selected keys
+ */
+std::size_t
+sparseAttendRow(const SparseAttentionConfig &sparse, std::size_t i,
+                std::size_t visible, std::size_t dh, std::size_t stride,
+                float scale, const float *qi, const float *kht,
+                const float *vh, float *srow, float *prow, float *vsel,
+                std::uint32_t *sel, std::uint32_t *cand, float *ci,
+                float *arow)
+{
+    std::size_t m = 0;
+    if (sparse.kind == SparseKind::TopK) {
+        // Full score row via the dense path's exact axpy chains (the
+        // A^3 approximation keeps exact scores and prunes after), so
+        // k >= visible degenerates bitwise to dense attention.
+        std::fill(srow, srow + visible, 0.0f);
+        for (std::size_t c = 0; c < dh; ++c) {
+            const float qv = qi[c];
+            const float *krow = kht + c * stride;
+            for (std::size_t j = 0; j < visible; ++j)
+                srow[j] = runtime::madd(qv, krow[j], srow[j]);
+        }
+        m = selectTopK(srow, visible, sparse.k, sel);
+        for (std::size_t s = 0; s < m; ++s)
+            prow[s] = srow[sel[s]];
+    } else {
+        // Butterfly kinds: scores ONLY at the O(log t) candidate
+        // positions - the full score row is never materialised. Each
+        // score's reduction runs the same ascending-c madd chain as
+        // the dense path, so a shared position carries the same bits.
+        const std::size_t nc = butterflyCandidates(i, visible, cand);
+        for (std::size_t s = 0; s < nc; ++s) {
+            const float *krow = kht + cand[s];
+            float acc = 0.0f;
+            for (std::size_t c = 0; c < dh; ++c)
+                acc = runtime::madd(qi[c], krow[c * stride], acc);
+            srow[s] = acc;
+        }
+        if (sparse.kind == SparseKind::ButterflyTopK && sparse.k < nc) {
+            m = selectTopK(srow, nc, sparse.k, sel);
+            for (std::size_t s = 0; s < m; ++s) {
+                prow[s] = srow[sel[s]];
+                sel[s] = cand[sel[s]];
+            }
+        } else {
+            m = nc;
+            for (std::size_t s = 0; s < m; ++s) {
+                prow[s] = srow[s];
+                sel[s] = cand[s];
+            }
+        }
+    }
+    // Softmax over the selected set only, replaying the dense path's
+    // expression sequence over the compacted row.
+    float mx = -1e30f;
+    for (std::size_t s = 0; s < m; ++s) {
+        prow[s] *= scale;
+        mx = std::max(mx, prow[s]);
+    }
+    float denom = 0.0f;
+    for (std::size_t s = 0; s < m; ++s) {
+        prow[s] = std::exp(prow[s] - mx);
+        denom += prow[s];
+    }
+    const float inv = 1.0f / denom;
+    for (std::size_t s = 0; s < m; ++s)
+        prow[s] = prow[s] * inv;
+    // Training cache: probabilities at their original key positions;
+    // unselected keys stay exactly zero, which backward() skips -
+    // straight-through selection, no new backward code.
+    if (arow)
+        for (std::size_t s = 0; s < m; ++s)
+            arow[sel[s]] = prow[s];
+    // Context over the gathered selected V rows, through the same row
+    // kernel as the dense path (identity selection -> identical call).
+    for (std::size_t s = 0; s < m; ++s)
+        std::memcpy(vsel + s * dh, vh + sel[s] * dh, dh * sizeof(float));
+    runtime::gemmRowsIKJ(prow, vsel, ci, 0, 1, m, dh);
+    return m;
+}
 
 } // namespace
+
+void
+MultiHeadAttention::setSparse(const SparseAttentionConfig &sparse)
+{
+    sparse.validate();
+    sparse_ = sparse;
+}
 
 Tensor
 MultiHeadAttention::forward(const Tensor &x)
@@ -164,12 +286,25 @@ MultiHeadAttention::forwardImpl(const Tensor &x,
             // rows' bits (rows are independent).
             const std::size_t active = ragged ? valid : t_;
 
-            float *scratch = runtime::threadWorkspace<AttnWs>(t_ * (4 * dh + 1));
+            // The sparse kinds add a compacted-probability row, a
+            // gathered selected-V panel and index scratch on top of
+            // the dense layout; the dense request is unchanged.
+            const bool approx = !sparse_.dense();
+            const std::size_t ws_floats =
+                t_ * (4 * dh + 1) + (approx ? t_ * (dh + 1) : 0);
+            float *scratch = runtime::threadWorkspace<AttnWs>(ws_floats);
             float *qh = scratch;
             float *kht = qh + t_ * dh; // K head slice, transposed
             float *vh = kht + t_ * dh;
             float *ch = vh + t_ * dh;
             float *srow = ch + t_ * dh;
+            float *prow = approx ? srow + t_ : nullptr;
+            float *vsel = approx ? prow + t_ : nullptr;
+            std::uint32_t *sel =
+                approx ? runtime::threadWorkspaceAs<AttnSelWs,
+                                                    std::uint32_t>(2 * t_)
+                       : nullptr;
+            std::uint32_t *cand = approx ? sel + t_ : nullptr;
             // K is gathered transposed ([dh, t]) so the score loop
             // below runs contiguously over keys.
             for (std::size_t t_idx = 0; t_idx < active; ++t_idx) {
@@ -187,11 +322,26 @@ MultiHeadAttention::forwardImpl(const Tensor &x,
             for (std::size_t i = 0; i < active; ++i) {
                 const std::size_t visible =
                     causal_ ? std::min(i + 1, valid) : valid;
+                const float *qi = qh + i * dh;
+                if (approx) {
+                    // Approximate row: deterministic selection +
+                    // softmax over the selected set only. Selection
+                    // depends only on (i, the real prefix), so the
+                    // ragged/masked/unpadded bitwise parity argument
+                    // carries over unchanged.
+                    float *arow =
+                        ragged ? nullptr
+                               : attn_.data() +
+                                     (b * heads_ * t_ + h * t_ + i) * t_;
+                    sparseAttendRow(sparse_, i, visible, dh, t_, scale,
+                                    qi, kht, vh, srow, prow, vsel, sel,
+                                    cand, ch + i * dh, arow);
+                    continue;
+                }
                 // Scores q_i . k_j for the visible keys: axpy over the
                 // transposed K panel keeps the j loop contiguous while
                 // each score's reduction stays in c order (bitwise
                 // equal to the reference dot product).
-                const float *qi = qh + i * dh;
                 std::fill(srow, srow + visible, 0.0f);
                 for (std::size_t c = 0; c < dh; ++c) {
                     const float qv = qi[c];
@@ -309,12 +459,21 @@ MultiHeadAttention::forwardStep(const Tensor &x, StepState &step)
             const KVCache &c = *step.caches[b];
             const std::size_t L = c.len;
 
-            float *scratch =
-                runtime::threadWorkspace<DecodeWs>(L * (2 * dh + 1) + dh);
+            const bool approx = !sparse_.dense();
+            const std::size_t ws_floats =
+                L * (2 * dh + 1) + dh + (approx ? L * (dh + 1) : 0);
+            float *scratch = runtime::threadWorkspace<DecodeWs>(ws_floats);
             float *kht = scratch;        // K head slice, transposed [dh, L]
             float *vh = kht + L * dh;    // V head slice, [L, dh]
             float *srow = vh + L * dh;   // scores, [L]
             float *ch = srow + L;        // context row, [dh]
+            float *prow = approx ? ch + dh : nullptr;
+            float *vsel = approx ? prow + L : nullptr;
+            std::uint32_t *sel =
+                approx ? runtime::threadWorkspaceAs<DecodeSelWs,
+                                                    std::uint32_t>(2 * L)
+                       : nullptr;
+            std::uint32_t *cand = approx ? sel + L : nullptr;
             for (std::size_t j = 0; j < L; ++j) {
                 const float *kr = c.k.data() + j * d_model_ + off;
                 for (std::size_t cc = 0; cc < dh; ++cc)
@@ -324,6 +483,19 @@ MultiHeadAttention::forwardStep(const Tensor &x, StepState &step)
             }
 
             const float *qi = q.data() + b * d_model_ + off;
+            if (approx) {
+                // The step row is query position L-1 with the whole
+                // cached prefix visible: the same sparseAttendRow
+                // body forwardImpl's approximate branch runs for its
+                // last causal query row, so decode stays bitwise
+                // identical to the full recompute for every kind.
+                sparseAttendRow(sparse_, L - 1, L, dh, L, scale, qi,
+                                kht, vh, srow, prow, vsel, sel, cand,
+                                ch, nullptr);
+                std::memcpy(ctx.data() + b * d_model_ + off, ch,
+                            dh * sizeof(float));
+                continue;
+            }
             std::fill(srow, srow + L, 0.0f);
             for (std::size_t cc = 0; cc < dh; ++cc) {
                 const float qv = qi[cc];

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "nn/layer.h"
+#include "nn/sparse_attention.h"
 
 namespace fabnet {
 namespace nn {
@@ -38,6 +39,22 @@ class MultiHeadAttention : public Layer
                        bool causal = false);
 
     bool causal() const { return causal_; }
+
+    /**
+     * Install an approximate-attention configuration
+     * (nn/sparse_attention.h): top-k score selection, the butterfly
+     * candidate set, or both. Applies to every forward entry point
+     * (forward/forwardMasked/forwardRows/forwardStep/forwardPrefill);
+     * forwardReference stays exact as the tolerance baseline. The
+     * approximate paths keep the bitwise determinism contract -
+     * identical bits run-to-run at any thread count and batch
+     * composition - and TopK with k >= t degenerates bitwise to the
+     * dense path. Training works: backward() treats the unselected
+     * (zero) attn_ entries as masked, i.e. straight-through selection.
+     * Throws std::invalid_argument on an invalid config.
+     */
+    void setSparse(const SparseAttentionConfig &sparse);
+    const SparseAttentionConfig &sparse() const { return sparse_; }
 
     /**
      * Parallel forward: per-(batch, head) tasks gather contiguous head
@@ -152,6 +169,7 @@ class MultiHeadAttention : public Layer
 
     std::size_t d_model_, heads_;
     bool causal_ = false;
+    SparseAttentionConfig sparse_; // default: exact attention
     std::unique_ptr<Layer> proj_q_, proj_k_, proj_v_, proj_o_;
 
     // Forward caches.

@@ -1,0 +1,119 @@
+/**
+ * @file approx_accuracy_test.cpp
+ * Golden accuracy floors for approximate attention
+ * (`ctest -L approx-accuracy`): fixed-seed training on the synthetic
+ * LRA Text task must reach PINNED accuracy floors for the exact
+ * anchor AND each approximate kind - the approximation may trade a
+ * little accuracy for speed, but a regression that destroys task
+ * accuracy (bad selection, broken straight-through backward) fails
+ * loudly here. Plus the long-context smoke: a seq-1024 scenario from
+ * the catalogue serves end-to-end through ServingEngine with the
+ * bitwise serial-parity and run-to-run determinism contract intact.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/lra.h"
+#include "model/builder.h"
+#include "serve/serving.h"
+#include "test_util.h"
+
+namespace fabnet {
+namespace {
+
+using nn::SparseAttentionConfig;
+using nn::SparseKind;
+using testutil::bitwiseEqual;
+
+using ApproxAccuracyTest = testutil::RuntimeFixture;
+
+/**
+ * Fixed-seed train/eval cell (the table03 recipe at test scale):
+ * Text @ seq 64, D=32 2-layer 2-head Transformer, 3 epochs. Every
+ * seed below is pinned, so the returned accuracy is deterministic up
+ * to libm; the floors leave margin for that.
+ */
+double
+trainTextCell(SparseAttentionConfig sparse)
+{
+    const std::size_t seq = 64;
+    Rng data_rng(99);
+    auto gen = data::makeLraGenerator("Text", seq);
+    const auto train = gen->dataset(160, data_rng);
+    const auto test = gen->dataset(96, data_rng);
+
+    ModelConfig cfg = data::longContextConfig("Text", seq, sparse);
+    cfg.d_hid = 32;
+
+    Rng rng(17);
+    auto model = buildModel(cfg, rng);
+    return trainClassifier(*model, train, test, seq, /*epochs=*/3,
+                           /*batch_size=*/16, /*lr=*/2e-3f, rng);
+}
+
+TEST_F(ApproxAccuracyTest, GoldenAccuracyFloorsOnFixedSeedText)
+{
+    runtime::setNumThreads(4);
+    // PINNED floors from a measured baseline run (exact 0.958, topk
+    // 0.740, butterfly 0.979, butterfly+topk 0.969 on this box), with
+    // margin for libm variation across platforms. Chance is 0.5: every
+    // kind must LEARN the task, not just not-crash. The hard top-k
+    // cut trains noticeably below the exact anchor at this scale -
+    // the frontier the bench records - but must hold its own floor.
+    const double acc_exact = trainTextCell({});
+    EXPECT_TRUE(testutil::accuracyAboveFloor(acc_exact, 0.90,
+                                             "exact anchor"));
+
+    const double acc_topk = trainTextCell({SparseKind::TopK, 16});
+    EXPECT_TRUE(testutil::accuracyAboveFloor(acc_topk, 0.68,
+                                             "topk k=16"));
+
+    const double acc_bfly =
+        trainTextCell({SparseKind::Butterfly, 0});
+    EXPECT_TRUE(testutil::accuracyAboveFloor(acc_bfly, 0.92,
+                                             "butterfly"));
+
+    const double acc_bftk =
+        trainTextCell({SparseKind::ButterflyTopK, 4});
+    EXPECT_TRUE(testutil::accuracyAboveFloor(acc_bftk, 0.90,
+                                             "butterfly+topk"));
+
+    RecordProperty("acc_exact", std::to_string(acc_exact));
+    RecordProperty("acc_topk", std::to_string(acc_topk));
+    RecordProperty("acc_butterfly", std::to_string(acc_bfly));
+    RecordProperty("acc_butterfly_topk", std::to_string(acc_bftk));
+}
+
+TEST_F(ApproxAccuracyTest, LongContextScenarioServesDeterministically)
+{
+    // Seq-1024 smoke from the scenario catalogue: the approximate
+    // kinds must carry the serving determinism contract at real
+    // long-context lengths, not just the small parity shapes.
+    const auto scenarios = data::longRangeScenarios();
+    ASSERT_FALSE(scenarios.empty());
+    const auto &sc = scenarios.front(); // Image @ 1024
+    ASSERT_EQ(sc.seq, 1024u);
+
+    for (const ModelConfig *cfg : {&sc.topk, &sc.butterfly}) {
+        Rng rng(23);
+        auto model = buildModel(*cfg, rng);
+        const auto reqs = testutil::makeRequests(
+            {1024, 1000, 717}, cfg->vocab, 29);
+        runtime::setNumThreads(4);
+        const auto serial = testutil::serveSerial(*model, reqs);
+        serve::ServingEngine engine(*model);
+        const auto batched = engine.serveAll(reqs);
+        EXPECT_TRUE(bitwiseEqual(batched, serial))
+            << cfg->attn_sparse.describe();
+        // Run-to-run: the approximate selection must not depend on
+        // batch composition or engine state.
+        EXPECT_TRUE(bitwiseEqual(engine.serveAll(reqs), serial))
+            << cfg->attn_sparse.describe() << " (second run)";
+    }
+}
+
+} // namespace
+} // namespace fabnet

@@ -19,7 +19,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -111,6 +114,116 @@ maxAbsDiffWithin(const Tensor &a, const Tensor &b, float tol)
         return ::testing::AssertionFailure()
                << "maxAbsDiff " << d << " > tol " << tol;
     return ::testing::AssertionSuccess();
+}
+
+// ------------------------------------------------- tolerance parity
+//
+// Approximate paths (nn/sparse_attention.h) cannot claim bitwise
+// equality with exact attention; their discipline is (a) PINNED
+// abs/rel tolerance bounds against the exact path and (b) golden
+// accuracy floors on fixed-seed tasks - pinned like golden values, so
+// a fidelity regression fails loudly instead of drifting. Failures
+// report max-abs, max-rel AND max-ULP distance so a near-miss can be
+// triaged (rounding-level vs genuinely divergent) from the log alone.
+
+/**
+ * Bit-space distance between two floats: the number of representable
+ * values between them (0 = identical bits, 1 = adjacent floats).
+ * NaN anywhere reports the maximum distance.
+ */
+inline std::int64_t
+ulpDiff(float a, float b)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return std::numeric_limits<std::int64_t>::max();
+    const auto key = [](float x) {
+        std::uint32_t u;
+        std::memcpy(&u, &x, sizeof(u));
+        // Map the IEEE bit pattern to a monotone integer line:
+        // negatives mirror below zero so -0.0 and +0.0 coincide.
+        return (u & 0x80000000u)
+                   ? -static_cast<std::int64_t>(u & 0x7fffffffu)
+                   : static_cast<std::int64_t>(u);
+    };
+    return std::llabs(key(a) - key(b));
+}
+
+/** Pinned tolerance bounds: |got - want| <= abs + rel * |want|. */
+struct NearBounds
+{
+    float abs_tol;
+    float rel_tol;
+};
+
+/**
+ * Tolerance parity over two same-shape tensors against PINNED bounds,
+ * elementwise |got - want| <= abs + rel * |want|. On failure reports
+ * the worst element's index, values, abs/rel excess and ULP distance.
+ */
+inline ::testing::AssertionResult
+nearParity(const Tensor &got, const Tensor &want, NearBounds nb)
+{
+    if (got.shape() != want.shape())
+        return ::testing::AssertionFailure()
+               << "shape mismatch " << got.shapeString() << " vs "
+               << want.shapeString();
+    double worst_excess = 0.0;
+    std::size_t worst = 0;
+    double max_abs = 0.0, max_rel = 0.0;
+    std::int64_t max_ulp = 0;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        const float g = got.data()[i];
+        const float w = want.data()[i];
+        const double ad = std::fabs(static_cast<double>(g) - w);
+        const double bound =
+            nb.abs_tol + nb.rel_tol * std::fabs(static_cast<double>(w));
+        max_abs = std::max(max_abs, ad);
+        if (w != 0.0f)
+            max_rel = std::max(max_rel, ad / std::fabs(w));
+        max_ulp = std::max(max_ulp, ulpDiff(g, w));
+        if (ad - bound > worst_excess) {
+            worst_excess = ad - bound;
+            worst = i;
+        }
+        if (std::isnan(g))
+            return ::testing::AssertionFailure()
+                   << "NaN at element " << i;
+    }
+    if (worst_excess > 0.0)
+        return ::testing::AssertionFailure()
+               << "element " << worst << ": got "
+               << got.data()[worst] << " want " << want.data()[worst]
+               << " exceeds |d| <= " << nb.abs_tol << " + "
+               << nb.rel_tol << "*|want| by " << worst_excess
+               << " (maxAbs=" << max_abs << " maxRel=" << max_rel
+               << " maxUlp=" << max_ulp << ")";
+    return ::testing::AssertionSuccess();
+}
+
+/** EXPECT wrapper for nearParity, tagged like the bitwise helpers. */
+inline void
+expectNearParity(const Tensor &got, const Tensor &want, NearBounds nb,
+                 const std::string &tag)
+{
+    EXPECT_TRUE(nearParity(got, want, nb)) << tag;
+}
+
+/**
+ * The golden-accuracy pin: a fixed-seed accuracy must stay at or
+ * above its PINNED floor. Floors are chosen from a measured run with
+ * margin (like golden values, not re-derived per run), so an
+ * approximation-quality regression fails this assertion instead of
+ * silently eroding the frontier.
+ */
+inline ::testing::AssertionResult
+accuracyAboveFloor(double acc, double floor_value,
+                   const std::string &what)
+{
+    if (acc >= floor_value)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << what << ": accuracy " << acc
+           << " fell below the pinned golden floor " << floor_value;
 }
 
 /** One GEMM problem size. */
